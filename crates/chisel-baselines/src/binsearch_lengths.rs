@@ -1,0 +1,260 @@
+//! Binary search on prefix lengths (Waldvogel, Varghese, Turner, Plattner
+//! — SIGCOMM 1997), reference [25] of the paper: hash tables for every
+//! populated length, probed by binary search guided by *markers* (shorter
+//! extracts of longer prefixes placed on their search path), each marker
+//! carrying its precomputed best-matching prefix so failed descents never
+//! backtrack. Only `O(log(#lengths))` tables are *searched* — but, as the
+//! paper notes, every length's table must still be *implemented*, and
+//! collisions inside each hash table remain unaddressed.
+
+use std::collections::HashMap;
+
+use chisel_prefix::bits::shr;
+use chisel_prefix::{Key, NextHop, RoutingTable};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    /// Next hop when a real prefix ends here.
+    real: Option<NextHop>,
+    /// Precomputed best-matching real prefix of this (marker) string.
+    bmp: Option<NextHop>,
+}
+
+/// The binary-search-on-lengths LPM engine of \[25\].
+#[derive(Debug, Clone)]
+pub struct BinarySearchLengths {
+    /// Populated lengths, ascending.
+    levels: Vec<u8>,
+    /// One hash table per level.
+    tables: Vec<HashMap<u128, Entry>>,
+    default_route: Option<NextHop>,
+    width: u8,
+}
+
+impl BinarySearchLengths {
+    /// Builds the structure, inserting markers along each prefix's binary
+    /// search path and precomputing marker best-matches.
+    pub fn from_table(table: &RoutingTable) -> Self {
+        let width = table.family().width();
+        let mut default_route = None;
+        // Real prefixes per length, for bmp computation.
+        let mut real: Vec<HashMap<u128, NextHop>> = vec![HashMap::new(); width as usize + 1];
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                default_route = Some(e.next_hop);
+            } else {
+                real[e.prefix.len() as usize].insert(e.prefix.bits(), e.next_hop);
+            }
+        }
+        let levels: Vec<u8> = (1..=width)
+            .filter(|&l| !real[l as usize].is_empty())
+            .collect();
+        let mut tables: Vec<HashMap<u128, Entry>> = vec![HashMap::new(); levels.len()];
+
+        // bmp(bits, len) = longest real prefix of length <= len covering.
+        let bmp_of = |bits: u128, len: u8| -> Option<NextHop> {
+            for l in (0..=len).rev() {
+                if let Some(&nh) = real[l as usize].get(&(bits >> (len - l))) {
+                    return Some(nh);
+                }
+            }
+            None
+        };
+
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                continue;
+            }
+            let len = e.prefix.len();
+            let bits = e.prefix.bits();
+            // Walk the binary search path toward `len`, dropping markers
+            // at every level the search must pass through going longer.
+            let (mut lo, mut hi) = (0usize, levels.len() - 1);
+            while lo <= hi {
+                let mid = (lo + hi) / 2;
+                let ml = levels[mid];
+                match ml.cmp(&len) {
+                    std::cmp::Ordering::Less => {
+                        let marker_bits = bits >> (len - ml);
+                        let entry = tables[mid].entry(marker_bits).or_default();
+                        if entry.bmp.is_none() {
+                            entry.bmp = bmp_of(marker_bits, ml);
+                        }
+                        lo = mid + 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let entry = tables[mid].entry(bits).or_default();
+                        entry.real = Some(e.next_hop);
+                        entry.bmp = bmp_of(bits, ml);
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if mid == 0 {
+                            break;
+                        }
+                        hi = mid - 1;
+                    }
+                }
+            }
+        }
+        BinarySearchLengths {
+            levels,
+            tables,
+            default_route,
+            width,
+        }
+    }
+
+    /// Longest-prefix match by binary search over the length levels.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, hash probes)`; probes are
+    /// `O(log #levels)` — the scheme's headline property.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize) {
+        if self.levels.is_empty() {
+            return (self.default_route, 0);
+        }
+        let mut best = self.default_route;
+        let (mut lo, mut hi) = (0isize, self.levels.len() as isize - 1);
+        let mut probes = 0;
+        while lo <= hi {
+            let mid = ((lo + hi) / 2) as usize;
+            let ml = self.levels[mid];
+            let bits = shr(key.value(), self.width - ml);
+            probes += 1;
+            match self.tables[mid].get(&bits) {
+                Some(entry) => {
+                    if let Some(nh) = entry.real.or(entry.bmp) {
+                        best = Some(nh);
+                    }
+                    lo = mid as isize + 1;
+                }
+                None => hi = mid as isize - 1,
+            }
+        }
+        (best, probes)
+    }
+
+    /// Number of per-length tables implemented.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total stored entries (real prefixes plus markers) — the marker
+    /// storage overhead of the scheme.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+    use chisel_prefix::{AddressFamily, Prefix};
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(3));
+        t.insert("10.1.2.3/32".parse().unwrap(), NextHop::new(4));
+        t.insert("172.16.0.0/12".parse().unwrap(), NextHop::new(5));
+        t.insert("192.168.0.0/16".parse().unwrap(), NextHop::new(6));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let lpm = BinarySearchLengths::from_table(&t);
+        let oracle = OracleLpm::from_table(&t);
+        for k in [
+            "10.1.2.3",
+            "10.1.2.4",
+            "10.1.3.3",
+            "10.2.2.2",
+            "172.16.1.1",
+            "172.32.1.1",
+            "192.168.5.5",
+            "8.8.8.8",
+        ] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let lpm = BinarySearchLengths::from_table(&table());
+        assert_eq!(lpm.num_levels(), 5); // 8, 12, 16, 24, 32
+        let (_, probes) = lpm.lookup_counting("10.1.2.3".parse().unwrap());
+        assert!(probes <= 3, "{probes} probes for 5 levels");
+    }
+
+    #[test]
+    fn markers_guide_without_backtracking() {
+        // A key matching a deep prefix's *marker* but not the prefix must
+        // resolve to the marker's precomputed bmp.
+        let mut t = RoutingTable::new_v4();
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.2.3/32".parse().unwrap(), NextHop::new(2));
+        let lpm = BinarySearchLengths::from_table(&t);
+        let oracle = OracleLpm::from_table(&t);
+        // 10.1.2.4 follows the /32's markers down then fails; bmp = /8.
+        for k in ["10.1.2.4", "10.1.2.3", "10.250.0.1", "11.1.2.3"] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn randomized_differential() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xB5EA);
+        let mut t = RoutingTable::new_v4();
+        for _ in 0..3_000 {
+            let len = rng.gen_range(1..=32u8);
+            let bits = rng.gen::<u128>() & chisel_prefix::bits::mask(len);
+            t.insert(
+                Prefix::new(AddressFamily::V4, bits, len).unwrap(),
+                NextHop::new(rng.gen_range(0..100)),
+            );
+        }
+        let lpm = BinarySearchLengths::from_table(&t);
+        let oracle = OracleLpm::from_table(&t);
+        let prefixes: Vec<Prefix> = t.iter().map(|e| e.prefix).collect();
+        for i in 0..20_000 {
+            // Half random keys, half keys inside covered space.
+            let key = if i % 2 == 0 {
+                Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128)
+            } else {
+                let p = prefixes[rng.gen_range(0..prefixes.len())];
+                let host = rng.gen::<u128>() & chisel_prefix::bits::mask(32 - p.len());
+                Key::from_raw(AddressFamily::V4, p.network() | host)
+            };
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn marker_overhead_is_bounded() {
+        let t = table();
+        let lpm = BinarySearchLengths::from_table(&t);
+        // Each prefix adds at most log2(levels) markers.
+        let n = 6; // non-default prefixes
+        assert!(lpm.total_entries() <= n * (1 + 3));
+        assert!(lpm.total_entries() >= n);
+    }
+
+    #[test]
+    fn empty_table() {
+        let lpm = BinarySearchLengths::from_table(&RoutingTable::new_v4());
+        assert_eq!(lpm.lookup("1.2.3.4".parse().unwrap()), None);
+        assert_eq!(lpm.num_levels(), 0);
+    }
+}

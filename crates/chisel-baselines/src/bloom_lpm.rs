@@ -1,0 +1,199 @@
+//! LPM with per-length Bloom filters (Dharmapurikar, Krishnamurthy,
+//! Taylor — SIGCOMM 2003), reference [8] of the paper: one on-chip Bloom
+//! filter in front of each per-length off-chip hash table. All filters
+//! are queried in parallel; only lengths reporting (possibly falsely)
+//! positive are probed off-chip, longest first, so the *expected*
+//! off-chip access count is one or two — but the worst case is still
+//! every populated length, and collisions inside the hash tables remain
+//! (the two gaps the paper's Section 2 points out).
+
+use chisel_hash::HashFamily;
+use chisel_prefix::bits::shr;
+use chisel_prefix::{Key, NextHop, RoutingTable};
+
+use crate::CountingBloomFilter;
+
+#[derive(Debug, Clone)]
+struct LengthStage {
+    len: u8,
+    bloom: CountingBloomFilter,
+    buckets: Vec<Vec<(u128, NextHop)>>,
+    hasher: HashFamily,
+}
+
+impl LengthStage {
+    fn probe(&self, bits: u128) -> Option<NextHop> {
+        let b = self.hasher.hash_one(0, bits, self.buckets.len());
+        self.buckets[b]
+            .iter()
+            .find(|&&(k, _)| k == bits)
+            .map(|&(_, nh)| nh)
+    }
+}
+
+/// The per-length Bloom-filter LPM engine of \[8\].
+#[derive(Debug, Clone)]
+pub struct BloomLpm {
+    stages: Vec<LengthStage>, // ascending length
+    default_route: Option<NextHop>,
+    width: u8,
+}
+
+impl BloomLpm {
+    /// Builds from a routing table with `bloom_bits_per_key` on-chip
+    /// filter bits and `k` filter hash functions per stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bloom_bits_per_key == 0` or `k == 0`.
+    pub fn from_table(
+        table: &RoutingTable,
+        bloom_bits_per_key: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(bloom_bits_per_key > 0);
+        let width = table.family().width();
+        let hist = table.length_histogram();
+        let mut stages: Vec<LengthStage> = hist
+            .populated_lengths()
+            .into_iter()
+            .filter(|&l| l > 0)
+            .map(|len| {
+                let n = hist.count(len).max(1);
+                LengthStage {
+                    len,
+                    bloom: CountingBloomFilter::new(n * bloom_bits_per_key, k, seed ^ (len as u64)),
+                    buckets: vec![Vec::new(); (2 * n).max(4)],
+                    hasher: HashFamily::new(1, seed ^ 0xFACE ^ ((len as u64) << 8)),
+                }
+            })
+            .collect();
+        let mut default_route = None;
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                default_route = Some(e.next_hop);
+                continue;
+            }
+            let stage = stages
+                .iter_mut()
+                .find(|s| s.len == e.prefix.len())
+                .expect("stage exists for populated length");
+            stage.bloom.insert(e.prefix.bits());
+            let b = stage
+                .hasher
+                .hash_one(0, e.prefix.bits(), stage.buckets.len());
+            stage.buckets[b].push((e.prefix.bits(), e.next_hop));
+        }
+        BloomLpm {
+            stages,
+            default_route,
+            width,
+        }
+    }
+
+    /// Longest-prefix match: query every Bloom filter (on-chip, parallel),
+    /// then probe positive lengths off-chip, longest first.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, off-chip hash-table probes)` — the
+    /// quantity \[8\] optimizes to ~1 expected.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize) {
+        // Parallel on-chip membership pass.
+        let positives: Vec<(u8, u128)> = self
+            .stages
+            .iter()
+            .filter_map(|s| {
+                let bits = shr(key.value(), self.width - s.len);
+                s.bloom.contains(bits).then_some((s.len, bits))
+            })
+            .collect();
+        // Off-chip probes, longest first; Bloom false positives miss here.
+        let mut probes = 0;
+        for &(len, bits) in positives.iter().rev() {
+            probes += 1;
+            let stage = self
+                .stages
+                .iter()
+                .find(|s| s.len == len)
+                .expect("stage exists");
+            if let Some(nh) = stage.probe(bits) {
+                return (Some(nh), probes);
+            }
+        }
+        (self.default_route, probes)
+    }
+
+    /// Number of per-length stages (hash tables implemented — the cost
+    /// \[8\] does *not* reduce, as the paper notes).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+    use chisel_prefix::Prefix;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(3));
+        t.insert("172.16.0.0/12".parse().unwrap(), NextHop::new(4));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let lpm = BloomLpm::from_table(&t, 10, 3, 1);
+        let oracle = OracleLpm::from_table(&t);
+        for k in ["10.1.2.3", "10.1.9.9", "10.9.9.9", "172.16.5.5", "9.9.9.9"] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn expected_offchip_probes_near_one() {
+        // With generous filters, the longest positive length is almost
+        // always the true match: ~1 expected probe.
+        let mut t = RoutingTable::new_v4();
+        for i in 0..2_000u32 {
+            t.insert(
+                Prefix::new(chisel_prefix::AddressFamily::V4, i as u128, 24).unwrap(),
+                NextHop::new(i),
+            );
+        }
+        for i in 0..500u32 {
+            t.insert(
+                Prefix::new(chisel_prefix::AddressFamily::V4, i as u128, 16).unwrap(),
+                NextHop::new(i),
+            );
+        }
+        let lpm = BloomLpm::from_table(&t, 10, 3, 2);
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for i in 0..2_000u128 {
+            let key = Key::from_raw(chisel_prefix::AddressFamily::V4, i << 8 | 7);
+            let (hit, probes) = lpm.lookup_counting(key);
+            assert!(hit.is_some());
+            total += probes;
+            n += 1;
+        }
+        let avg = total as f64 / n as f64;
+        assert!(avg < 1.5, "average off-chip probes {avg}");
+    }
+
+    #[test]
+    fn implements_every_populated_length() {
+        let lpm = BloomLpm::from_table(&table(), 10, 3, 1);
+        assert_eq!(lpm.num_stages(), 4); // /8 /12 /16 /24 (default route separate)
+    }
+}

@@ -1,0 +1,280 @@
+//! The naive hash-based LPM scheme: one chained hash table per prefix
+//! length, probed longest-first. This is the strawman of the paper's
+//! introduction — correct, but with unpredictable lookup rates (chains)
+//! and up to `width` tables.
+
+use chisel_hash::HashFamily;
+use chisel_prefix::bits::shr;
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+
+/// One per-length chained hash table.
+#[derive(Debug, Clone)]
+struct LengthTable {
+    buckets: Vec<Vec<(u128, NextHop)>>,
+    family: HashFamily,
+    len: usize,
+}
+
+impl LengthTable {
+    fn new(capacity: usize, seed: u64) -> Self {
+        LengthTable {
+            buckets: vec![Vec::new(); capacity.max(1)],
+            family: HashFamily::new(1, seed),
+            len: 0,
+        }
+    }
+
+    fn bucket_of(&self, bits: u128) -> usize {
+        self.family.hash_one(0, bits, self.buckets.len())
+    }
+
+    fn insert(&mut self, bits: u128, nh: NextHop) -> Option<NextHop> {
+        let b = self.bucket_of(bits);
+        for slot in &mut self.buckets[b] {
+            if slot.0 == bits {
+                return Some(std::mem::replace(&mut slot.1, nh));
+            }
+        }
+        self.buckets[b].push((bits, nh));
+        self.len += 1;
+        None
+    }
+
+    fn remove(&mut self, bits: u128) -> Option<NextHop> {
+        let b = self.bucket_of(bits);
+        let pos = self.buckets[b].iter().position(|&(k, _)| k == bits)?;
+        self.len -= 1;
+        Some(self.buckets[b].swap_remove(pos).1)
+    }
+
+    /// Returns the match and the number of chain entries examined.
+    fn get(&self, bits: u128) -> (Option<NextHop>, usize) {
+        let b = self.bucket_of(bits);
+        let mut probes = 0;
+        for &(k, nh) in &self.buckets[b] {
+            probes += 1;
+            if k == bits {
+                return (Some(nh), probes);
+            }
+        }
+        (None, probes.max(1))
+    }
+
+    fn max_chain(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Naive LPM over per-length chained hash tables.
+///
+/// ```
+/// use chisel_baselines::ChainedHashLpm;
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// # fn main() -> Result<(), chisel_prefix::PrefixError> {
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+/// let lpm = ChainedHashLpm::from_table(&t, 2.0, 1);
+/// assert_eq!(lpm.lookup("10.1.1.1".parse()?), Some(NextHop::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainedHashLpm {
+    tables: Vec<Option<LengthTable>>,
+    default_route: Option<NextHop>,
+    width: u8,
+    buckets_per_key: f64,
+    seed: u64,
+}
+
+impl ChainedHashLpm {
+    /// Builds from a routing table with `buckets_per_key` hash buckets per
+    /// stored prefix in each per-length table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `buckets_per_key > 0`.
+    pub fn from_table(table: &RoutingTable, buckets_per_key: f64, seed: u64) -> Self {
+        assert!(buckets_per_key > 0.0);
+        let width = table.family().width();
+        let hist = table.length_histogram();
+        let mut tables: Vec<Option<LengthTable>> = (0..=width).map(|_| None).collect();
+        let mut default_route = None;
+        for len in 1..=width {
+            let count = hist.count(len);
+            if count > 0 {
+                tables[len as usize] = Some(LengthTable::new(
+                    (count as f64 * buckets_per_key).ceil() as usize,
+                    seed ^ (len as u64) << 32,
+                ));
+            }
+        }
+        let mut this = ChainedHashLpm {
+            tables,
+            default_route,
+            width,
+            buckets_per_key,
+            seed,
+        };
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                default_route = Some(e.next_hop);
+                continue;
+            }
+            this.insert(e.prefix, e.next_hop);
+        }
+        this.default_route = default_route;
+        this
+    }
+
+    /// Inserts or overwrites a prefix.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) -> Option<NextHop> {
+        if prefix.is_empty() {
+            return self.default_route.replace(next_hop);
+        }
+        let len = prefix.len() as usize;
+        let seed = self.seed ^ (prefix.len() as u64) << 32;
+        let t = self.tables[len].get_or_insert_with(|| LengthTable::new(64, seed));
+        t.insert(prefix.bits(), next_hop)
+    }
+
+    /// Removes a prefix.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        if prefix.is_empty() {
+            return self.default_route.take();
+        }
+        self.tables[prefix.len() as usize]
+            .as_mut()
+            .and_then(|t| t.remove(prefix.bits()))
+    }
+
+    /// Longest-prefix match, longest table first.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, tables probed, chain entries examined)` —
+    /// the unpredictability the paper's introduction complains about.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize, usize) {
+        let mut tables_probed = 0;
+        let mut chain_probes = 0;
+        for len in (1..=self.width).rev() {
+            let Some(t) = &self.tables[len as usize] else {
+                continue;
+            };
+            tables_probed += 1;
+            let bits = shr(key.value(), self.width - len);
+            let (hit, probes) = t.get(bits);
+            chain_probes += probes;
+            if hit.is_some() {
+                return (hit, tables_probed, chain_probes);
+            }
+        }
+        (self.default_route, tables_probed, chain_probes)
+    }
+
+    /// The longest collision chain across all tables — the worst-case
+    /// lookup hazard.
+    pub fn max_chain(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(LengthTable::max_chain)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of per-length tables instantiated (the hardware-cost problem
+    /// CPE/collapsing address).
+    pub fn num_tables(&self) -> usize {
+        self.tables.iter().flatten().count()
+    }
+
+    /// Total stored prefixes (excluding the default route).
+    pub fn len(&self) -> usize {
+        self.tables.iter().flatten().map(|t| t.len).sum()
+    }
+
+    /// Whether no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.default_route.is_none()
+    }
+
+    /// Configured buckets per key.
+    pub fn buckets_per_key(&self) -> f64 {
+        self.buckets_per_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let lpm = ChainedHashLpm::from_table(&t, 2.0, 1);
+        let oracle = OracleLpm::from_table(&t);
+        for k in ["10.1.2.3", "10.1.9.9", "10.9.9.9", "9.9.9.9"] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn probing_counts_tables() {
+        let lpm = ChainedHashLpm::from_table(&table(), 2.0, 1);
+        assert_eq!(lpm.num_tables(), 3);
+        // A default-route-only match probes all 3 tables.
+        let (nh, probed, _) = lpm.lookup_counting("9.9.9.9".parse().unwrap());
+        assert_eq!(nh, Some(NextHop::new(0)));
+        assert_eq!(probed, 3);
+        // A /24 hit probes only the /24 table.
+        let (_, probed, _) = lpm.lookup_counting("10.1.2.3".parse().unwrap());
+        assert_eq!(probed, 1);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut lpm = ChainedHashLpm::from_table(&table(), 2.0, 1);
+        let p: Prefix = "11.0.0.0/8".parse().unwrap();
+        lpm.insert(p, NextHop::new(9));
+        assert_eq!(
+            lpm.lookup("11.1.1.1".parse().unwrap()),
+            Some(NextHop::new(9))
+        );
+        assert_eq!(lpm.remove(&p), Some(NextHop::new(9)));
+        assert_eq!(
+            lpm.lookup("11.1.1.1".parse().unwrap()),
+            Some(NextHop::new(0))
+        );
+    }
+
+    #[test]
+    fn chains_form_under_pressure() {
+        // Squeeze 1000 prefixes into very few buckets: chains must form.
+        let mut t = RoutingTable::new_v4();
+        for i in 0..1000u32 {
+            t.insert(
+                Prefix::new(chisel_prefix::AddressFamily::V4, i as u128, 24).unwrap(),
+                NextHop::new(i),
+            );
+        }
+        let lpm = ChainedHashLpm::from_table(&t, 0.1, 1);
+        assert!(lpm.max_chain() >= 5, "max chain {}", lpm.max_chain());
+        // Still correct despite chaining.
+        let key = Key::from_raw(chisel_prefix::AddressFamily::V4, 5u128 << 8 | 1);
+        assert_eq!(lpm.lookup(key), Some(NextHop::new(5)));
+    }
+}

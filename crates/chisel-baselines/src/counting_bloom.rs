@@ -1,0 +1,138 @@
+//! Counting Bloom filter (Fan et al., "Summary Cache") — the on-chip first
+//! level of the EBF scheme.
+
+use chisel_hash::HashFamily;
+
+/// A counting Bloom filter over 128-bit keys.
+///
+/// Counters saturate at `u16::MAX` rather than wrapping (in practice they
+/// never get near it; 4-bit counters suffice in hardware, which is what
+/// the storage model charges).
+#[derive(Debug, Clone)]
+pub struct CountingBloomFilter {
+    counters: Vec<u16>,
+    family: HashFamily,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter with `m` counters and `k` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: usize, seed: u64) -> Self {
+        assert!(m > 0);
+        CountingBloomFilter {
+            counters: vec![0; m],
+            family: HashFamily::new(k, seed),
+        }
+    }
+
+    /// Number of counters.
+    pub fn m(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Number of hash functions.
+    pub fn k(&self) -> usize {
+        self.family.k()
+    }
+
+    /// Increments the key's `k` counters.
+    pub fn insert(&mut self, key: u128) {
+        for loc in self.family.neighborhood(key, self.counters.len()) {
+            self.counters[loc] = self.counters[loc].saturating_add(1);
+        }
+    }
+
+    /// Decrements the key's `k` counters (the counting extension that
+    /// makes deletion possible).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a counter would underflow — removing a key
+    /// that was never inserted.
+    pub fn remove(&mut self, key: u128) {
+        for loc in self.family.neighborhood(key, self.counters.len()) {
+            debug_assert!(self.counters[loc] > 0, "bloom counter underflow");
+            self.counters[loc] = self.counters[loc].saturating_sub(1);
+        }
+    }
+
+    /// Membership query: may return false positives, never false
+    /// negatives.
+    pub fn contains(&self, key: u128) -> bool {
+        self.family
+            .neighborhood(key, self.counters.len())
+            .into_iter()
+            .all(|loc| self.counters[loc] > 0)
+    }
+
+    /// The key's counter values, in hash-function order — EBF's bucket
+    /// steering reads these.
+    pub fn counters_of(&self, key: u128) -> Vec<(usize, u16)> {
+        self.family
+            .neighborhood(key, self.counters.len())
+            .into_iter()
+            .map(|loc| (loc, self.counters[loc]))
+            .collect()
+    }
+
+    /// Measured false-positive rate against a sample of absent keys.
+    pub fn false_positive_rate(&self, absent: &[u128]) -> f64 {
+        if absent.is_empty() {
+            return 0.0;
+        }
+        let fp = absent.iter().filter(|&&k| self.contains(k)).count();
+        fp as f64 / absent.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = CountingBloomFilter::new(1000, 3, 1);
+        for key in 0..100u128 {
+            f.insert(key * 77);
+        }
+        for key in 0..100u128 {
+            assert!(f.contains(key * 77));
+        }
+    }
+
+    #[test]
+    fn removal_restores() {
+        let mut f = CountingBloomFilter::new(1000, 3, 1);
+        f.insert(42);
+        f.insert(43);
+        f.remove(42);
+        assert!(f.contains(43));
+        // 42 may still false-positive through 43's counters but with m=1000
+        // and 1 remaining key it will not.
+        assert!(!f.contains(42));
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = CountingBloomFilter::new(10 * 1024, 3, 2);
+        for key in 0..1024u128 {
+            f.insert(key.wrapping_mul(0x9E3779B9));
+        }
+        let absent: Vec<u128> = (0..10_000u128).map(|i| 0xF000_0000 + i).collect();
+        let rate = f.false_positive_rate(&absent);
+        // Theory: (1 - e^(-3*1024/10240))^3 ~ 0.017.
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn counters_of_matches_contains() {
+        let mut f = CountingBloomFilter::new(64, 3, 3);
+        f.insert(7);
+        let cs = f.counters_of(7);
+        assert_eq!(cs.len(), 3);
+        assert!(cs.iter().all(|&(_, c)| c >= 1));
+    }
+}

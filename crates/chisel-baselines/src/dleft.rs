@@ -1,0 +1,189 @@
+//! The d-left hash table (Broder & Mitzenmacher): `d` sub-tables, each key
+//! inserted into the least-loaded of its `d` candidate buckets with
+//! left-most tie-breaking. Lookups probe all `d` buckets (in parallel in
+//! hardware).
+
+use chisel_hash::HashFamily;
+
+/// A d-left hash table mapping 128-bit keys to `u32` values.
+#[derive(Debug, Clone)]
+pub struct DLeftTable {
+    /// `d` sub-tables of `buckets_per_subtable` buckets each.
+    subtables: Vec<Vec<Vec<(u128, u32)>>>,
+    family: HashFamily,
+    len: usize,
+}
+
+impl DLeftTable {
+    /// Creates a table with `d` sub-tables of `buckets_per_subtable`
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `buckets_per_subtable == 0`.
+    pub fn new(d: usize, buckets_per_subtable: usize, seed: u64) -> Self {
+        assert!(d > 0 && buckets_per_subtable > 0);
+        DLeftTable {
+            subtables: vec![vec![Vec::new(); buckets_per_subtable]; d],
+            family: HashFamily::new(d, seed),
+            len: 0,
+        }
+    }
+
+    /// Number of sub-tables.
+    pub fn d(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// Stored key count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_indices(&self, key: u128) -> Vec<usize> {
+        let m = self.subtables[0].len();
+        (0..self.d())
+            .map(|i| self.family.hash_one(i, key, m))
+            .collect()
+    }
+
+    /// Inserts a key into its least-loaded candidate bucket (ties broken
+    /// left-most). Overwrites if the key exists.
+    pub fn insert(&mut self, key: u128, value: u32) -> Option<u32> {
+        let locs = self.bucket_indices(key);
+        // Overwrite in place if present anywhere.
+        for (i, &b) in locs.iter().enumerate() {
+            for slot in &mut self.subtables[i][b] {
+                if slot.0 == key {
+                    return Some(std::mem::replace(&mut slot.1, value));
+                }
+            }
+        }
+        let (best, _) = locs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &b)| (self.subtables[i][b].len(), i))
+            .expect("d >= 1");
+        self.subtables[best][locs[best]].push((key, value));
+        self.len += 1;
+        None
+    }
+
+    /// Looks up a key, probing all `d` buckets; also returns the number of
+    /// chain entries examined.
+    pub fn get_counting(&self, key: u128) -> (Option<u32>, usize) {
+        let locs = self.bucket_indices(key);
+        let mut probes = 0;
+        for (i, &b) in locs.iter().enumerate() {
+            for &(k, v) in &self.subtables[i][b] {
+                probes += 1;
+                if k == key {
+                    return (Some(v), probes);
+                }
+            }
+        }
+        (None, probes)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: u128) -> Option<u32> {
+        self.get_counting(key).0
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: u128) -> Option<u32> {
+        let locs = self.bucket_indices(key);
+        for (i, &b) in locs.iter().enumerate() {
+            if let Some(pos) = self.subtables[i][b].iter().position(|&(k, _)| k == key) {
+                self.len -= 1;
+                return Some(self.subtables[i][b].swap_remove(pos).1);
+            }
+        }
+        None
+    }
+
+    /// Longest bucket across the whole structure.
+    pub fn max_bucket(&self) -> usize {
+        self.subtables
+            .iter()
+            .flat_map(|t| t.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of non-empty buckets holding more than one key.
+    pub fn collision_fraction(&self) -> f64 {
+        let (mut nonempty, mut collided) = (0usize, 0usize);
+        for t in &self.subtables {
+            for b in t {
+                if !b.is_empty() {
+                    nonempty += 1;
+                    if b.len() > 1 {
+                        collided += 1;
+                    }
+                }
+            }
+        }
+        if nonempty == 0 {
+            0.0
+        } else {
+            collided as f64 / nonempty as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = DLeftTable::new(4, 64, 1);
+        for key in 0..100u128 {
+            assert_eq!(t.insert(key * 31, key as u32), None);
+        }
+        assert_eq!(t.len(), 100);
+        for key in 0..100u128 {
+            assert_eq!(t.get(key * 31), Some(key as u32));
+        }
+        assert_eq!(t.remove(31), Some(1));
+        assert_eq!(t.get(31), None);
+        assert_eq!(t.len(), 99);
+    }
+
+    #[test]
+    fn overwrite_returns_previous() {
+        let mut t = DLeftTable::new(2, 16, 1);
+        assert_eq!(t.insert(5, 1), None);
+        assert_eq!(t.insert(5, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), Some(2));
+    }
+
+    #[test]
+    fn balancing_beats_single_choice() {
+        // With d = 4 choices at load 0.5, buckets of length > 2 should be
+        // essentially absent (the power of d choices).
+        let mut t = DLeftTable::new(4, 512, 7);
+        for key in 0..1024u128 {
+            t.insert(key.wrapping_mul(0x9E37_79B9), key as u32);
+        }
+        assert!(t.max_bucket() <= 3, "max bucket {}", t.max_bucket());
+    }
+
+    #[test]
+    fn counting_probes_bounded_by_occupancy() {
+        let mut t = DLeftTable::new(3, 128, 2);
+        for key in 0..100u128 {
+            t.insert(key, key as u32);
+        }
+        let (hit, probes) = t.get_counting(50);
+        assert_eq!(hit, Some(50));
+        assert!(probes <= 10);
+    }
+}

@@ -1,0 +1,159 @@
+//! The d-random multiple-choice hash table (Azar, Broder, Upfal —
+//! "Balanced Allocations"), the precursor of d-left described in the
+//! paper's Section 2: `d` hash functions index *one* table; a key is
+//! inserted into the least-loaded of its `d` candidate buckets with ties
+//! broken randomly (here: deterministically by a per-key hash, so the
+//! structure stays reproducible); a lookup must examine all `d` buckets
+//! sequentially.
+
+use chisel_hash::HashFamily;
+
+/// A d-random hash table mapping 128-bit keys to `u32` values.
+#[derive(Debug, Clone)]
+pub struct DRandomTable {
+    buckets: Vec<Vec<(u128, u32)>>,
+    family: HashFamily,
+    len: usize,
+}
+
+impl DRandomTable {
+    /// Creates a table of `m` buckets probed by `d` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `m == 0`.
+    pub fn new(d: usize, m: usize, seed: u64) -> Self {
+        assert!(d > 0 && m > 0);
+        DRandomTable {
+            buckets: vec![Vec::new(); m],
+            family: HashFamily::new(d, seed),
+            len: 0,
+        }
+    }
+
+    /// Number of hash functions.
+    pub fn d(&self) -> usize {
+        self.family.k()
+    }
+
+    /// Stored key count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key into the least-loaded candidate bucket (ties broken
+    /// by the key's partition hash — "randomly" but reproducibly).
+    pub fn insert(&mut self, key: u128, value: u32) -> Option<u32> {
+        let hood = self.family.neighborhood(key, self.buckets.len());
+        for &b in &hood {
+            for slot in &mut self.buckets[b] {
+                if slot.0 == key {
+                    return Some(std::mem::replace(&mut slot.1, value));
+                }
+            }
+        }
+        let tie_break = self.family.partition(key, self.d());
+        let best = hood
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &b)| (self.buckets[b].len(), (i + self.d() - tie_break) % self.d()))
+            .map(|(_, &b)| b)
+            .expect("d >= 1");
+        self.buckets[best].push((key, value));
+        self.len += 1;
+        None
+    }
+
+    /// Looks up a key, probing all `d` buckets sequentially; returns the
+    /// value and the number of chain entries examined.
+    pub fn get_counting(&self, key: u128) -> (Option<u32>, usize) {
+        let mut probes = 0;
+        for b in self.family.neighborhood(key, self.buckets.len()) {
+            for &(k, v) in &self.buckets[b] {
+                probes += 1;
+                if k == key {
+                    return (Some(v), probes);
+                }
+            }
+        }
+        (None, probes)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: u128) -> Option<u32> {
+        self.get_counting(key).0
+    }
+
+    /// Removes a key.
+    pub fn remove(&mut self, key: u128) -> Option<u32> {
+        for b in self.family.neighborhood(key, self.buckets.len()) {
+            if let Some(pos) = self.buckets[b].iter().position(|&(k, _)| k == key) {
+                self.len -= 1;
+                return Some(self.buckets[b].swap_remove(pos).1);
+            }
+        }
+        None
+    }
+
+    /// Longest bucket in the table.
+    pub fn max_bucket(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = DRandomTable::new(3, 256, 1);
+        for key in 0..200u128 {
+            assert_eq!(t.insert(key * 13, key as u32), None);
+        }
+        assert_eq!(t.len(), 200);
+        for key in 0..200u128 {
+            assert_eq!(t.get(key * 13), Some(key as u32));
+        }
+        assert_eq!(t.remove(13), Some(1));
+        assert_eq!(t.get(13), None);
+        assert_eq!(t.len(), 199);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut t = DRandomTable::new(2, 16, 1);
+        t.insert(7, 1);
+        assert_eq!(t.insert(7, 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn balancing_bounds_bucket_depth() {
+        // d choices keep max load near log log n (theory); at load 0.5
+        // buckets beyond 3 should be rare.
+        let mut t = DRandomTable::new(3, 2048, 5);
+        for key in 0..1024u128 {
+            t.insert(key.wrapping_mul(0x9E37_79B9), key as u32);
+        }
+        assert!(t.max_bucket() <= 4, "max bucket {}", t.max_bucket());
+    }
+
+    #[test]
+    fn single_choice_degrades() {
+        // The whole point of d > 1: compare against d = 1.
+        let mut one = DRandomTable::new(1, 512, 5);
+        let mut three = DRandomTable::new(3, 512, 5);
+        for key in 0..512u128 {
+            let k = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            one.insert(k, key as u32);
+            three.insert(k, key as u32);
+        }
+        assert!(three.max_bucket() <= one.max_bucket());
+    }
+}

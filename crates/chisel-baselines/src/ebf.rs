@@ -1,0 +1,182 @@
+//! Extended Bloom Filter (Song, Dharmapurikar, Turner, Lockwood —
+//! SIGCOMM 2005), the paper's hash-family comparator.
+//!
+//! EBF is a two-level structure: an on-chip counting Bloom filter of `m`
+//! counters and an off-chip hash table with the same `m` buckets. Every
+//! key is hashed with `k` functions; after all keys are counted, each key
+//! is stored in the bucket whose counter is smallest (ties broken by
+//! smallest location). A lookup reads the key's `k` counters on-chip and
+//! then fetches only the least-loaded bucket off-chip — usually exactly
+//! one off-chip access, but collisions in the least-loaded bucket still
+//! happen (the vulnerability Chisel eliminates).
+
+use chisel_hash::HashFamily;
+
+/// An EBF exact-match table mapping 128-bit keys to `u32` values.
+#[derive(Debug, Clone)]
+pub struct ExtendedBloomFilter {
+    counters: Vec<u16>,
+    buckets: Vec<Vec<(u128, u32)>>,
+    family: HashFamily,
+    len: usize,
+}
+
+impl ExtendedBloomFilter {
+    /// Builds an EBF of `m` locations over a static key set, applying the
+    /// two-phase construction of the original paper (count everything,
+    /// then place each key in its least-counter bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn build(m: usize, k: usize, seed: u64, keys: &[(u128, u32)]) -> Self {
+        assert!(m > 0);
+        let mut this = ExtendedBloomFilter {
+            counters: vec![0; m],
+            buckets: vec![Vec::new(); m],
+            family: HashFamily::new(k, seed),
+            len: 0,
+        };
+        for &(key, _) in keys {
+            for loc in this.family.neighborhood(key, m) {
+                this.counters[loc] = this.counters[loc].saturating_add(1);
+            }
+        }
+        for &(key, value) in keys {
+            let loc = this.steer(key);
+            this.buckets[loc].push((key, value));
+            this.len += 1;
+        }
+        this
+    }
+
+    /// The bucket a key is steered to: smallest counter, then smallest
+    /// location index — identical at insert and lookup time for a static
+    /// counter state.
+    fn steer(&self, key: u128) -> usize {
+        self.family
+            .neighborhood(key, self.counters.len())
+            .into_iter()
+            .min_by_key(|&loc| (self.counters[loc], loc))
+            .expect("k >= 1")
+    }
+
+    /// Inserts a key dynamically (counters are updated first so the
+    /// steering of *this* key is consistent; other keys' steering may
+    /// degrade — a known weakness of dynamic EBF).
+    pub fn insert(&mut self, key: u128, value: u32) {
+        for loc in self.family.neighborhood(key, self.counters.len()) {
+            self.counters[loc] = self.counters[loc].saturating_add(1);
+        }
+        let loc = self.steer(key);
+        self.buckets[loc].push((key, value));
+        self.len += 1;
+    }
+
+    /// Looks up a key: reads the `k` on-chip counters, fetches the
+    /// least-loaded bucket, scans it. Returns the value and the bucket
+    /// (chain) length scanned — >1 means a collision in the least-loaded
+    /// bucket.
+    pub fn get_counting(&self, key: u128) -> (Option<u32>, usize) {
+        let loc = self.steer(key);
+        let bucket = &self.buckets[loc];
+        for &(k, v) in bucket {
+            if k == key {
+                return (Some(v), bucket.len());
+            }
+        }
+        (None, bucket.len())
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: u128) -> Option<u32> {
+        self.get_counting(key).0
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of locations (`m`).
+    pub fn m(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Fraction of stored keys living in a bucket with more than one key —
+    /// the collision probability of Section 2 ("1 in 50 / 1000 / 2,500,000
+    /// keys" for m = 3N / 6N / 12N).
+    pub fn collided_key_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let collided: usize = self
+            .buckets
+            .iter()
+            .filter(|b| b.len() > 1)
+            .map(Vec::len)
+            .sum();
+        collided as f64 / self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyset(n: usize) -> Vec<(u128, u32)> {
+        (0..n)
+            .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let keys = keyset(1000);
+        let ebf = ExtendedBloomFilter::build(6000, 3, 1, &keys);
+        for &(k, v) in &keys {
+            assert_eq!(ebf.get(k), Some(v), "key {k:#x}");
+        }
+        assert_eq!(ebf.get(0xDEAD_BEEF_0000), None);
+        assert_eq!(ebf.len(), 1000);
+    }
+
+    #[test]
+    fn collisions_drop_with_table_size() {
+        let keys = keyset(4096);
+        let small = ExtendedBloomFilter::build(3 * 4096, 3, 2, &keys);
+        let large = ExtendedBloomFilter::build(12 * 4096, 3, 2, &keys);
+        let (cs, cl) = (small.collided_key_fraction(), large.collided_key_fraction());
+        assert!(cl < cs, "12N ({cl}) must collide less than 3N ({cs})");
+        // Paper's scale: 3N ~ 1-in-50 (0.02); allow generous slop.
+        assert!(cs < 0.2, "3N collision fraction {cs}");
+        assert!(cl < 0.01, "12N collision fraction {cl}");
+    }
+
+    #[test]
+    fn dynamic_insert_found() {
+        let mut ebf = ExtendedBloomFilter::build(600, 3, 3, &keyset(100));
+        ebf.insert(0xFFFF_0001, 777);
+        assert_eq!(ebf.get(0xFFFF_0001), Some(777));
+        assert_eq!(ebf.len(), 101);
+    }
+
+    #[test]
+    fn most_lookups_touch_single_entry_bucket() {
+        let keys = keyset(2000);
+        let ebf = ExtendedBloomFilter::build(12 * 2000, 3, 5, &keys);
+        let single = keys
+            .iter()
+            .filter(|&&(k, _)| ebf.get_counting(k).1 == 1)
+            .count();
+        assert!(
+            single as f64 > 0.99 * keys.len() as f64,
+            "only {single}/2000 single-entry buckets"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! EBF + CPE: the paper's hash-family base case (Section 6.3) — Controlled
+//! Prefix Expansion to a handful of target lengths, one Extended Bloom
+//! Filter per target length, probed longest-first.
+
+use chisel_prefix::bits::shr;
+use chisel_prefix::cpe::{expand_to_levels, optimal_levels, CpeStats};
+use chisel_prefix::{Key, NextHop, PrefixError, RoutingTable};
+
+use crate::ExtendedBloomFilter;
+
+/// An LPM engine made of CPE plus per-level EBF tables.
+#[derive(Debug, Clone)]
+pub struct EbfCpeLpm {
+    /// `(level, table)` pairs, ascending level.
+    levels: Vec<(u8, ExtendedBloomFilter)>,
+    default_route: Option<NextHop>,
+    width: u8,
+    cpe_stats: CpeStats,
+    m_per_key: f64,
+}
+
+impl EbfCpeLpm {
+    /// Builds from a routing table: picks `num_levels` storage-optimal CPE
+    /// target lengths, expands, and builds one EBF of `m_per_key`
+    /// locations per expanded key at each level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPE expansion errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_levels == 0` or `m_per_key < 1.0`.
+    pub fn build(
+        table: &RoutingTable,
+        num_levels: usize,
+        m_per_key: f64,
+        k: usize,
+        seed: u64,
+    ) -> Result<Self, PrefixError> {
+        assert!(m_per_key >= 1.0);
+        let width = table.family().width();
+        // Split out the default route: CPE would expand it across a level.
+        let mut body = RoutingTable::new(table.family());
+        let mut default_route = None;
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                default_route = Some(e.next_hop);
+            } else {
+                body.insert(e.prefix, e.next_hop);
+            }
+        }
+        if body.is_empty() {
+            return Ok(EbfCpeLpm {
+                levels: Vec::new(),
+                default_route,
+                width,
+                cpe_stats: CpeStats {
+                    original: 0,
+                    expanded: 0,
+                    generated: 0,
+                },
+                m_per_key,
+            });
+        }
+        let level_lens = optimal_levels(&body.length_histogram(), num_levels);
+        let expansion = expand_to_levels(&body, &level_lens)?;
+        let mut per_level: Vec<(u8, Vec<(u128, u32)>)> =
+            level_lens.iter().map(|&l| (l, Vec::new())).collect();
+        for e in expansion.table.iter() {
+            let slot = per_level
+                .iter_mut()
+                .find(|(l, _)| *l == e.prefix.len())
+                .expect("expanded prefix is at a target level");
+            slot.1.push((e.prefix.bits(), e.next_hop.id()));
+        }
+        let levels = per_level
+            .into_iter()
+            .filter(|(_, keys)| !keys.is_empty())
+            .enumerate()
+            .map(|(i, (l, keys))| {
+                let m = ((keys.len() as f64 * m_per_key).ceil() as usize).max(16);
+                (
+                    l,
+                    ExtendedBloomFilter::build(m, k, seed ^ ((i as u64) << 40), &keys),
+                )
+            })
+            .collect();
+        Ok(EbfCpeLpm {
+            levels,
+            default_route,
+            width,
+            cpe_stats: expansion.stats,
+            m_per_key,
+        })
+    }
+
+    /// Longest-prefix-match lookup: probes levels longest-first; the first
+    /// hit is the answer (CPE pruning guarantees the longest original wins
+    /// at its level).
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, off-chip bucket entries scanned)`.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize) {
+        let mut scanned = 0;
+        for &(level, ref table) in self.levels.iter().rev() {
+            let bits = shr(key.value(), self.width - level);
+            let (hit, n) = table.get_counting(bits);
+            scanned += n;
+            if let Some(v) = hit {
+                return (Some(NextHop::new(v)), scanned);
+            }
+        }
+        (self.default_route, scanned)
+    }
+
+    /// The CPE expansion statistics of the build.
+    pub fn cpe_stats(&self) -> CpeStats {
+        self.cpe_stats
+    }
+
+    /// The CPE target levels in use.
+    pub fn levels(&self) -> Vec<u8> {
+        self.levels.iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Total expanded keys stored.
+    pub fn stored_keys(&self) -> usize {
+        self.levels.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Configured EBF locations per expanded key.
+    pub fn m_per_key(&self) -> f64 {
+        self.m_per_key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+    use chisel_prefix::Prefix;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/23".parse().unwrap(), NextHop::new(3));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(4));
+        t.insert("192.168.7.0/24".parse().unwrap(), NextHop::new(5));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let lpm = EbfCpeLpm::build(&t, 3, 6.0, 3, 1).unwrap();
+        let oracle = OracleLpm::from_table(&t);
+        for k in [
+            "10.1.2.3",
+            "10.1.3.3",
+            "10.1.9.9",
+            "10.200.1.1",
+            "192.168.7.7",
+            "192.168.8.8",
+            "1.2.3.4",
+        ] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(lpm.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn level_count_respected() {
+        let lpm = EbfCpeLpm::build(&table(), 3, 6.0, 3, 1).unwrap();
+        assert!(lpm.levels().len() <= 3);
+        assert!(lpm.cpe_stats().expansion_factor() >= 1.0);
+    }
+
+    #[test]
+    fn expansion_grows_with_fewer_levels() {
+        let mut t = RoutingTable::new_v4();
+        for len in [8u8, 12, 16, 20, 24] {
+            for i in 0..50u32 {
+                t.insert(
+                    Prefix::new(chisel_prefix::AddressFamily::V4, i as u128, len).unwrap(),
+                    NextHop::new(i),
+                );
+            }
+        }
+        let few = EbfCpeLpm::build(&t, 2, 3.0, 3, 1).unwrap();
+        let many = EbfCpeLpm::build(&t, 5, 3.0, 3, 1).unwrap();
+        assert!(few.stored_keys() >= many.stored_keys());
+        assert_eq!(many.cpe_stats().expansion_factor(), 1.0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let lpm = EbfCpeLpm::build(&RoutingTable::new_v4(), 3, 6.0, 3, 1).unwrap();
+        assert_eq!(lpm.lookup("1.2.3.4".parse().unwrap()), None);
+        assert_eq!(lpm.stored_keys(), 0);
+    }
+
+    #[test]
+    fn default_route_only() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(
+            Prefix::default_route(chisel_prefix::AddressFamily::V4),
+            NextHop::new(9),
+        );
+        let lpm = EbfCpeLpm::build(&t, 3, 6.0, 3, 1).unwrap();
+        assert_eq!(
+            lpm.lookup("1.2.3.4".parse().unwrap()),
+            Some(NextHop::new(9))
+        );
+    }
+}

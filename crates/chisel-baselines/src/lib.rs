@@ -1,0 +1,55 @@
+//! Baseline LPM schemes the paper compares Chisel against (Sections 2
+//! and 6), implemented from scratch:
+//!
+//! - [`ChainedHashLpm`]: the naive per-length chained hash tables the
+//!   introduction starts from — collision statistics included.
+//! - [`DRandomTable`]: the d-random balanced-allocation hash table
+//!   (Azar, Broder & Upfal).
+//! - [`DLeftTable`]: the d-left multiple-choice hash table (Broder &
+//!   Mitzenmacher), a building block of EBF.
+//! - [`BloomLpm`]: per-length Bloom filters in front of per-length hash
+//!   tables (Dharmapurikar et al., SIGCOMM 2003).
+//! - [`BinarySearchLengths`]: binary search over prefix lengths with
+//!   markers and precomputed best-matches (Waldvogel et al., SIGCOMM
+//!   1997).
+//! - [`CountingBloomFilter`]: counting Bloom filter (Fan et al.).
+//! - [`ExtendedBloomFilter`]: EBF (Song et al., SIGCOMM 2005) — the
+//!   "latest hash-based scheme" of the paper's evaluation: an on-chip
+//!   counting Bloom filter steering lookups to the least-loaded bucket of
+//!   an off-chip hash table.
+//! - [`EbfCpeLpm`]: EBF combined with Controlled Prefix Expansion — the
+//!   paper's hash-family base case (Section 6.3).
+//! - [`BinaryTrie`]: one-bit-at-a-time trie.
+//! - [`TreeBitmap`]: the Eatherton/Varghese/Dittia multibit trie with
+//!   internal/external bitmaps — the trie-family comparator (Section
+//!   6.7.1).
+//! - [`Tcam`]: a functional ternary CAM priority-match model (power is
+//!   modelled in `chisel-hw`).
+//!
+//! All engines implement LPM over [`chisel_prefix::Key`] and are
+//! differentially tested against [`chisel_prefix::oracle::OracleLpm`].
+
+mod binsearch_lengths;
+mod bloom_lpm;
+mod chained;
+mod counting_bloom;
+mod dleft;
+mod drandom;
+mod ebf;
+mod ebf_lpm;
+pub mod storage;
+mod tcam;
+mod treebitmap;
+mod trie;
+
+pub use binsearch_lengths::BinarySearchLengths;
+pub use bloom_lpm::BloomLpm;
+pub use chained::ChainedHashLpm;
+pub use counting_bloom::CountingBloomFilter;
+pub use dleft::DLeftTable;
+pub use drandom::DRandomTable;
+pub use ebf::ExtendedBloomFilter;
+pub use ebf_lpm::EbfCpeLpm;
+pub use tcam::Tcam;
+pub use treebitmap::{TreeBitmap, TreeBitmapStats};
+pub use trie::BinaryTrie;

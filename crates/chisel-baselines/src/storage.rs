@@ -1,0 +1,89 @@
+//! Worst-case storage models for the hash-family comparisons of Figures
+//! 8 and 10.
+//!
+//! EBF sizing follows Section 2 / 6.1 of the paper: the on-chip counting
+//! Bloom filter and the off-chip hash table both have `c·n` locations,
+//! where `c` controls the collision probability ("when the hash table has
+//! size 3N, 6N and 12N, then 1 in every 50, 1000 and 2,500,000 keys will
+//! respectively encounter a collision"). The paper's "EBF" curve uses the
+//! low-collision point (c = 12) and "poor-EBF" the 1-in-1000 point
+//! (c = 6).
+
+use chisel_prefix::AddressFamily;
+
+/// Counter width of the on-chip counting Bloom filter (hardware uses
+/// 4-bit counters).
+pub const EBF_COUNTER_BITS: u64 = 4;
+
+/// Off-chip hash-table entry: key + next-hop pointer + chain pointer.
+fn ebf_entry_bits(family: AddressFamily) -> u64 {
+    family.width() as u64 + 16
+}
+
+/// EBF storage split into (on-chip counting Bloom filter, off-chip hash
+/// table) bits, for `n` keys at `c` locations per key.
+pub fn ebf_storage_bits(family: AddressFamily, n: usize, c: f64) -> (u64, u64) {
+    let m = (n as f64 * c).ceil() as u64;
+    (m * EBF_COUNTER_BITS, m * ebf_entry_bits(family))
+}
+
+/// The paper's "EBF" design point: collision odds about 1 in 2,500,000
+/// (hash table of 12N locations).
+pub fn ebf_paper_point(family: AddressFamily, n: usize) -> (u64, u64) {
+    ebf_storage_bits(family, n, 12.0)
+}
+
+/// The paper's "poor-EBF" point: collision odds about 1 in 1000 (6N).
+pub fn poor_ebf_point(family: AddressFamily, n: usize) -> (u64, u64) {
+    ebf_storage_bits(family, n, 6.0)
+}
+
+/// Storage of EBF+CPE for an expanded prefix count `expanded` at EBF
+/// sizing factor `c`: both levels scale with the CPE-inflated key count.
+pub fn ebf_cpe_storage_bits(family: AddressFamily, expanded: usize, c: f64) -> (u64, u64) {
+    ebf_storage_bits(family, expanded, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_core::stats::chisel_worst_case;
+
+    #[test]
+    fn ebf_grows_linearly() {
+        let (on1, off1) = ebf_paper_point(AddressFamily::V4, 256 * 1024);
+        let (on2, off2) = ebf_paper_point(AddressFamily::V4, 512 * 1024);
+        assert_eq!(on2, 2 * on1);
+        assert_eq!(off2, 2 * off1);
+    }
+
+    #[test]
+    fn figure8_shape_chisel_vs_ebf() {
+        // Figure 8: Chisel total ~8x smaller than EBF, ~4x smaller than
+        // poor-EBF, and at most ~2x the EBF *on-chip* part alone.
+        for n in [256 * 1024, 512 * 1024, 1024 * 1024] {
+            let chisel =
+                chisel_worst_case(AddressFamily::V4, n, 3, 3.0, 4, false).total_bits() as f64;
+            let (ebf_on, ebf_off) = ebf_paper_point(AddressFamily::V4, n);
+            let (poor_on, poor_off) = poor_ebf_point(AddressFamily::V4, n);
+            let ebf_total = (ebf_on + ebf_off) as f64;
+            let poor_total = (poor_on + poor_off) as f64;
+            let r_ebf = ebf_total / chisel;
+            let r_poor = poor_total / chisel;
+            assert!((5.0..12.0).contains(&r_ebf), "EBF/Chisel = {r_ebf}");
+            assert!((2.5..6.0).contains(&r_poor), "poorEBF/Chisel = {r_poor}");
+            assert!(
+                chisel < 3.0 * ebf_on as f64,
+                "Chisel should be near EBF on-chip size"
+            );
+        }
+    }
+
+    #[test]
+    fn ipv6_widens_offchip_only() {
+        let (on4, off4) = ebf_paper_point(AddressFamily::V4, 1 << 18);
+        let (on6, off6) = ebf_paper_point(AddressFamily::V6, 1 << 18);
+        assert_eq!(on4, on6);
+        assert!(off6 > 2 * off4);
+    }
+}

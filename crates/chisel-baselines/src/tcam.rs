@@ -1,0 +1,156 @@
+//! A functional Ternary CAM model: every entry is compared against the
+//! query in parallel (in hardware); the highest-priority match wins.
+//! Entries are kept sorted longest-prefix-first so priority order equals
+//! LPM order, the standard TCAM management discipline. Power and area are
+//! modelled in `chisel-hw`; this model provides functional behaviour and
+//! entry counts.
+
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+
+/// A ternary CAM LPM engine.
+///
+/// ```
+/// use chisel_baselines::Tcam;
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// # fn main() -> Result<(), chisel_prefix::PrefixError> {
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+/// let tcam = Tcam::from_table(&t);
+/// assert_eq!(tcam.lookup("10.1.1.1".parse()?), Some(NextHop::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcam {
+    /// Entries sorted by descending prefix length (priority order).
+    entries: Vec<(Prefix, NextHop)>,
+}
+
+impl Tcam {
+    /// Creates an empty TCAM.
+    pub fn new() -> Self {
+        Tcam {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from a routing table.
+    pub fn from_table(table: &RoutingTable) -> Self {
+        let mut entries: Vec<(Prefix, NextHop)> =
+            table.iter().map(|e| (e.prefix, e.next_hop)).collect();
+        entries.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(a.0.cmp(&b.0)));
+        Tcam { entries }
+    }
+
+    /// Number of TCAM entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TCAM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an entry, maintaining priority (length-descending) order.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) -> Option<NextHop> {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == prefix) {
+            return Some(std::mem::replace(&mut e.1, next_hop));
+        }
+        let at = self.entries.partition_point(|e| e.0.len() >= prefix.len());
+        self.entries.insert(at, (prefix, next_hop));
+        None
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        let pos = self.entries.iter().position(|e| &e.0 == prefix)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Priority match: the first (longest-prefix) entry matching the key.
+    /// Hardware does this in one parallel compare across all entries —
+    /// which is exactly why its power grows linearly with the table.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.matches(key))
+            .map(|&(_, nh)| nh)
+    }
+
+    /// Ternary storage bits: each entry stores value + mask at the key
+    /// width (2 bits of SRAM-equivalent per ternary cell).
+    pub fn storage_bits(&self, width: u8) -> u64 {
+        self.entries.len() as u64 * 2 * width as u64
+    }
+}
+
+impl Default for Tcam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let tcam = Tcam::from_table(&t);
+        let oracle = OracleLpm::from_table(&t);
+        for k in ["10.1.2.3", "10.1.9.9", "10.9.9.9", "9.9.9.9"] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(tcam.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn priority_order_maintained_under_updates() {
+        let mut tcam = Tcam::new();
+        tcam.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        tcam.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        tcam.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        assert_eq!(
+            tcam.lookup("10.1.1.1".parse().unwrap()),
+            Some(NextHop::new(2))
+        );
+        tcam.remove(&"10.1.0.0/16".parse().unwrap());
+        assert_eq!(
+            tcam.lookup("10.1.1.1".parse().unwrap()),
+            Some(NextHop::new(1))
+        );
+    }
+
+    #[test]
+    fn overwrite_same_prefix() {
+        let mut tcam = Tcam::from_table(&table());
+        assert_eq!(
+            tcam.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(9)),
+            Some(NextHop::new(1))
+        );
+        assert_eq!(tcam.len(), 4);
+        assert_eq!(
+            tcam.lookup("10.9.9.9".parse().unwrap()),
+            Some(NextHop::new(9))
+        );
+    }
+
+    #[test]
+    fn storage_is_two_bits_per_ternary_cell() {
+        let tcam = Tcam::from_table(&table());
+        assert_eq!(tcam.storage_bits(32), 4 * 2 * 32);
+    }
+}

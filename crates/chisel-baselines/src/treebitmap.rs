@@ -1,0 +1,327 @@
+//! Tree Bitmap (Eatherton, Varghese, Dittia — CCR 2004): the multibit
+//! trie with per-node internal/external bitmaps the paper compares
+//! against in Section 6.7.1.
+//!
+//! Each node covers `stride` key bits. Its *internal bitmap* has
+//! `2^stride - 1` bits marking prefixes ending inside the node (depths
+//! `0..stride`); its *external bitmap* has `2^stride` bits marking which
+//! children exist. Children and per-node results are stored as contiguous
+//! blocks indexed by popcount, which is what makes the scheme compact —
+//! and is also why its lookup needs one (off-chip, in the paper's sizing)
+//! memory access per level: latency grows with key width, the contrast
+//! Chisel draws.
+
+use chisel_prefix::bits::{addr_bits, extract_msb};
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Next hops of prefixes ending in this node, indexed by internal
+    /// bitmap position `(2^depth - 1) + path`.
+    internal: Vec<Option<NextHop>>,
+    children: Vec<Option<Box<Node>>>,
+}
+
+impl Node {
+    fn new(stride: u8) -> Self {
+        Node {
+            internal: vec![None; (1 << stride) - 1],
+            children: (0..1usize << stride).map(|_| None).collect(),
+        }
+    }
+}
+
+/// Storage accounting of a Tree Bitmap instance (as if serialized into
+/// the node-array layout of the original paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeBitmapStats {
+    /// Total trie nodes.
+    pub nodes: usize,
+    /// Total stored next-hop results.
+    pub results: usize,
+    /// Serialized size in bits: per node the two bitmaps plus child and
+    /// result block pointers.
+    pub storage_bits: u64,
+}
+
+impl TreeBitmapStats {
+    /// Bytes per prefix for a table of `n` prefixes.
+    pub fn bytes_per_prefix(&self, n: usize) -> f64 {
+        self.storage_bits as f64 / 8.0 / n.max(1) as f64
+    }
+}
+
+/// A Tree Bitmap LPM engine.
+///
+/// ```
+/// use chisel_baselines::TreeBitmap;
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// # fn main() -> Result<(), chisel_prefix::PrefixError> {
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+/// t.insert("10.1.0.0/16".parse()?, NextHop::new(2));
+/// let tb = TreeBitmap::from_table(&t, 4);
+/// assert_eq!(tb.lookup("10.1.9.9".parse()?), Some(NextHop::new(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBitmap {
+    root: Node,
+    stride: u8,
+    width: u8,
+    len: usize,
+}
+
+impl TreeBitmap {
+    /// Creates an empty Tree Bitmap with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= stride <= 8`.
+    pub fn new(width: u8, stride: u8) -> Self {
+        assert!((1..=8).contains(&stride), "stride {stride} out of range");
+        TreeBitmap {
+            root: Node::new(stride),
+            stride,
+            width,
+            len: 0,
+        }
+    }
+
+    /// Builds from a routing table.
+    pub fn from_table(table: &RoutingTable, stride: u8) -> Self {
+        let mut tb = TreeBitmap::new(table.family().width(), stride);
+        for e in table.iter() {
+            tb.insert(e.prefix, e.next_hop);
+        }
+        tb
+    }
+
+    /// The per-level stride.
+    pub fn stride(&self) -> u8 {
+        self.stride
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or overwrites a prefix.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) -> Option<NextHop> {
+        let s = self.stride;
+        let mut node = &mut self.root;
+        let mut remaining = prefix.len();
+        let mut consumed = 0u8;
+        while remaining >= s {
+            let chunk = extract_msb(prefix.bits(), prefix.len(), consumed, s) as usize;
+            node = node.children[chunk].get_or_insert_with(|| Box::new(Node::new(s)));
+            consumed += s;
+            remaining -= s;
+        }
+        let path = extract_msb(prefix.bits(), prefix.len(), consumed, remaining) as usize;
+        let pos = (1usize << remaining) - 1 + path;
+        let prev = node.internal[pos].replace(next_hop);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes a prefix (nodes are not reclaimed).
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        let s = self.stride;
+        let mut node = &mut self.root;
+        let mut remaining = prefix.len();
+        let mut consumed = 0u8;
+        while remaining >= s {
+            let chunk = extract_msb(prefix.bits(), prefix.len(), consumed, s) as usize;
+            node = node.children[chunk].as_mut()?;
+            consumed += s;
+            remaining -= s;
+        }
+        let path = extract_msb(prefix.bits(), prefix.len(), consumed, remaining) as usize;
+        let pos = (1usize << remaining) - 1 + path;
+        let prev = node.internal[pos].take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, node memory accesses)` — one access per
+    /// level visited, the latency that grows with key width.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize) {
+        let s = self.stride;
+        let mut node = &self.root;
+        let mut best = None;
+        let mut consumed = 0u8;
+        let mut accesses = 1usize;
+        loop {
+            let avail = (self.width - consumed).min(s);
+            let chunk = extract_msb(key.value(), self.width, consumed, avail) as usize;
+            // Longest internal match within this node: deepest depth first.
+            let max_depth = avail.min(s);
+            for depth in (0..=max_depth.min(s - 1).min(avail)).rev() {
+                let path = chunk >> (avail - depth);
+                let pos = (1usize << depth) - 1 + path;
+                if let Some(nh) = node.internal[pos] {
+                    best = Some(nh);
+                    break;
+                }
+            }
+            if avail < s || consumed + s > self.width {
+                break;
+            }
+            match &node.children[chunk] {
+                Some(child) => {
+                    node = child;
+                    consumed += s;
+                    accesses += 1;
+                }
+                None => break,
+            }
+        }
+        (best, accesses)
+    }
+
+    /// Storage accounting for the serialized node-array layout.
+    pub fn stats(&self) -> TreeBitmapStats {
+        fn walk(node: &Node, nodes: &mut usize, results: &mut usize) {
+            *nodes += 1;
+            *results += node.internal.iter().flatten().count();
+            for child in node.children.iter().flatten() {
+                walk(child, nodes, results);
+            }
+        }
+        let mut nodes = 0usize;
+        let mut results = 0usize;
+        walk(&self.root, &mut nodes, &mut results);
+        let internal_bits = (1u64 << self.stride) - 1;
+        let external_bits = 1u64 << self.stride;
+        let child_ptr = addr_bits(nodes.max(2)) as u64;
+        let result_ptr = addr_bits(results.max(2)) as u64;
+        TreeBitmapStats {
+            nodes,
+            results,
+            storage_bits: nodes as u64 * (internal_bits + external_bits + child_ptr + result_ptr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/23".parse().unwrap(), NextHop::new(3));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(4));
+        t.insert("10.1.2.3/32".parse().unwrap(), NextHop::new(5));
+        t.insert("192.0.0.0/3".parse().unwrap(), NextHop::new(6));
+        t
+    }
+
+    #[test]
+    fn matches_oracle_various_strides() {
+        let t = table();
+        let oracle = OracleLpm::from_table(&t);
+        for stride in [1u8, 2, 3, 4, 5] {
+            let tb = TreeBitmap::from_table(&t, stride);
+            for k in [
+                "10.1.2.3",
+                "10.1.2.4",
+                "10.1.3.3",
+                "10.1.9.9",
+                "10.9.9.9",
+                "11.0.0.1",
+                "192.1.1.1",
+                "224.0.0.1",
+                "4.4.4.4",
+            ] {
+                let key: Key = k.parse().unwrap();
+                assert_eq!(
+                    tb.lookup(key),
+                    oracle.lookup(key),
+                    "stride {stride} key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut tb = TreeBitmap::new(32, 4);
+        let p: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(tb.insert(p, NextHop::new(1)), None);
+        assert_eq!(tb.insert(p, NextHop::new(2)), Some(NextHop::new(1)));
+        assert_eq!(tb.len(), 1);
+        assert_eq!(
+            tb.lookup("10.1.1.1".parse().unwrap()),
+            Some(NextHop::new(2))
+        );
+        assert_eq!(tb.remove(&p), Some(NextHop::new(2)));
+        assert_eq!(tb.lookup("10.1.1.1".parse().unwrap()), None);
+        assert!(tb.is_empty());
+    }
+
+    #[test]
+    fn access_count_tracks_depth() {
+        let t = table();
+        let tb = TreeBitmap::from_table(&t, 4);
+        // /32 match: 8 levels of stride 4 -> 9 node accesses (root + 8).
+        let (nh, accesses) = tb.lookup_counting("10.1.2.3".parse().unwrap());
+        assert_eq!(nh, Some(NextHop::new(5)));
+        assert_eq!(accesses, 9);
+        // Shallow match: stops quickly.
+        let (nh, accesses) = tb.lookup_counting("55.1.2.3".parse().unwrap());
+        assert_eq!(nh, Some(NextHop::new(0)));
+        assert!(accesses <= 2);
+    }
+
+    #[test]
+    fn ipv6_worst_case_accesses_grow_with_width() {
+        let mut t = RoutingTable::new_v6();
+        t.insert("2001:db8:1:2:3:4:5:6/126".parse().unwrap(), NextHop::new(1));
+        let tb = TreeBitmap::from_table(&t, 4);
+        let (nh, accesses) = tb.lookup_counting("2001:db8:1:2:3:4:5:6".parse().unwrap());
+        assert_eq!(nh, Some(NextHop::new(1)));
+        assert!(accesses > 30, "IPv6 deep lookup used {accesses} accesses");
+    }
+
+    #[test]
+    fn stats_counts_nodes_and_results() {
+        let tb = TreeBitmap::from_table(&table(), 4);
+        let s = tb.stats();
+        assert_eq!(s.results, 7);
+        assert!(s.nodes >= 8);
+        assert!(s.storage_bits > 0);
+        assert!(s.bytes_per_prefix(7) > 0.0);
+    }
+
+    #[test]
+    fn default_route_lives_in_root() {
+        let mut tb = TreeBitmap::new(32, 4);
+        tb.insert(
+            Prefix::default_route(chisel_prefix::AddressFamily::V4),
+            NextHop::new(7),
+        );
+        assert_eq!(tb.lookup("1.2.3.4".parse().unwrap()), Some(NextHop::new(7)));
+    }
+}

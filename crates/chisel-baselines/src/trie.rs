@@ -1,0 +1,184 @@
+//! A one-bit-at-a-time binary trie — the simplest member of the trie
+//! family, used as a second correctness oracle and as the baseline whose
+//! node count motivates multibit tries.
+
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: [Option<Box<Node>>; 2],
+    next_hop: Option<NextHop>,
+}
+
+/// A binary (unibit) trie LPM engine.
+///
+/// ```
+/// use chisel_baselines::BinaryTrie;
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// # fn main() -> Result<(), chisel_prefix::PrefixError> {
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+/// let trie = BinaryTrie::from_table(&t);
+/// assert_eq!(trie.lookup("10.1.1.1".parse()?), Some(NextHop::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryTrie {
+    root: Node,
+    width: u8,
+    len: usize,
+}
+
+impl BinaryTrie {
+    /// Creates an empty trie for keys of the given width.
+    pub fn new(width: u8) -> Self {
+        BinaryTrie {
+            root: Node::default(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Builds a trie from a routing table.
+    pub fn from_table(table: &RoutingTable) -> Self {
+        let mut trie = BinaryTrie::new(table.family().width());
+        for e in table.iter() {
+            trie.insert(e.prefix, e.next_hop);
+        }
+        trie
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or overwrites a prefix.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) -> Option<NextHop> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = (prefix.bits() >> (prefix.len() - 1 - i)) & 1;
+            node = node.children[bit as usize].get_or_insert_with(Box::default);
+        }
+        let prev = node.next_hop.replace(next_hop);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes a prefix (leaves nodes in place; no path compression).
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = (prefix.bits() >> (prefix.len() - 1 - i)) & 1;
+            node = node.children[bit as usize].as_mut()?;
+        }
+        let prev = node.next_hop.take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix-match lookup; returns the match.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.lookup_counting(key).0
+    }
+
+    /// Lookup returning `(match, nodes visited)` — the bit-serial latency
+    /// that makes unibit tries unusable at line rate for IPv6.
+    pub fn lookup_counting(&self, key: Key) -> (Option<NextHop>, usize) {
+        let mut node = &self.root;
+        let mut best = node.next_hop;
+        let mut visited = 1;
+        for i in 0..self.width {
+            let bit = (key.value() >> (self.width - 1 - i)) & 1;
+            match &node.children[bit as usize] {
+                Some(child) => {
+                    node = child;
+                    visited += 1;
+                    if node.next_hop.is_some() {
+                        best = node.next_hop;
+                    }
+                }
+                None => break,
+            }
+        }
+        (best, visited)
+    }
+
+    /// Total trie nodes (the pointer-heavy storage cost of unibit tries).
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count(c))
+                .sum::<usize>()
+        }
+        count(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.128.0.0/9".parse().unwrap(), NextHop::new(2));
+        t.insert("10.255.0.0/16".parse().unwrap(), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn matches_oracle() {
+        let t = table();
+        let trie = BinaryTrie::from_table(&t);
+        let oracle = OracleLpm::from_table(&t);
+        for k in ["10.0.0.1", "10.128.0.1", "10.255.0.1", "11.0.0.1"] {
+            let key: Key = k.parse().unwrap();
+            assert_eq!(trie.lookup(key), oracle.lookup(key), "{k}");
+        }
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut trie = BinaryTrie::new(32);
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(trie.insert(p, NextHop::new(1)), None);
+        assert_eq!(trie.insert(p, NextHop::new(2)), Some(NextHop::new(1)));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.remove(&p), Some(NextHop::new(2)));
+        assert!(trie.is_empty());
+        assert_eq!(trie.remove(&p), None);
+    }
+
+    #[test]
+    fn visit_count_tracks_depth() {
+        let trie = BinaryTrie::from_table(&table());
+        let (_, visited) = trie.lookup_counting("10.255.0.1".parse().unwrap());
+        assert_eq!(visited, 17); // root + 16 bits
+    }
+
+    #[test]
+    fn node_count_grows_with_prefix_depth() {
+        let mut trie = BinaryTrie::new(32);
+        trie.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        assert_eq!(trie.node_count(), 9); // root + 8
+        trie.insert("10.0.0.0/16".parse().unwrap(), NextHop::new(2));
+        assert_eq!(trie.node_count(), 17); // shared path + 8 more
+    }
+}

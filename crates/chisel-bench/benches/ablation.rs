@@ -1,0 +1,92 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! stride sweep (storage vs bit-vector width trade-off computed inline),
+//! partition-count sweep for insert cost, and k sweep for lookup cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chisel_core::{ChiselConfig, ChiselLpm};
+use chisel_prefix::Key;
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_stride_sweep(c: &mut Criterion) {
+    let table = synthesize(20_000, &PrefixLenDistribution::bgp_ipv4(), 0xAB1A);
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys: Vec<Key> = (0..5_000)
+        .map(|_| Key::from_raw(chisel_prefix::AddressFamily::V4, rng.gen::<u32>() as u128))
+        .collect();
+    let mut group = c.benchmark_group("stride_sweep_lookup");
+    for stride in [2u8, 4, 6, 8] {
+        let engine =
+            ChiselLpm::build(&table, ChiselConfig::ipv4().stride(stride)).expect("engine builds");
+        eprintln!(
+            "stride {stride}: {} cells, {:.2} Mb on-chip",
+            engine.plan().num_cells(),
+            engine.storage().total_mbits()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &engine, |b, e| {
+            b.iter(|| keys.iter().filter(|&&k| e.lookup(k).is_some()).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let table = synthesize(20_000, &PrefixLenDistribution::bgp_ipv4(), 0xAB1B);
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys: Vec<Key> = (0..5_000)
+        .map(|_| Key::from_raw(chisel_prefix::AddressFamily::V4, rng.gen::<u32>() as u128))
+        .collect();
+    let mut group = c.benchmark_group("k_sweep_lookup");
+    for k in [2usize, 3, 4, 5] {
+        let engine = ChiselLpm::build(
+            &table,
+            ChiselConfig::ipv4().k(k).m_per_key((k as f64).max(3.0)),
+        )
+        .expect("engine builds");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &engine, |b, e| {
+            b.iter(|| keys.iter().filter(|&&k| e.lookup(k).is_some()).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_sweep(c: &mut Criterion) {
+    // Announce cost under different partition counts (resetup cost is
+    // bounded by the partition size).
+    let table = synthesize(20_000, &PrefixLenDistribution::bgp_ipv4(), 0xAB1C);
+    let mut group = c.benchmark_group("partition_sweep_announce");
+    group.sample_size(10);
+    for d in [1usize, 4, 16, 64] {
+        let engine =
+            ChiselLpm::build(&table, ChiselConfig::ipv4().partitions(d)).expect("engine builds");
+        let mut rng = StdRng::seed_from_u64(3);
+        let adds: Vec<chisel_prefix::Prefix> = (0..2_000)
+            .map(|_| {
+                let len = rng.gen_range(9..=28u8);
+                let bits = rng.gen::<u128>() & chisel_prefix::bits::mask(len);
+                chisel_prefix::Prefix::new(chisel_prefix::AddressFamily::V4, bits, len)
+                    .expect("masked")
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &engine, |b, e| {
+            b.iter(|| {
+                let mut e = e.clone();
+                for (i, &p) in adds.iter().enumerate() {
+                    e.announce(p, chisel_prefix::NextHop::new(i as u32))
+                        .expect("announce");
+                }
+                e.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stride_sweep, bench_k_sweep, bench_partition_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Baseline micro-benchmarks: hashing primitives and the exact-match
+//! structures the LPM engines are built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chisel_baselines::{CountingBloomFilter, DLeftTable, ExtendedBloomFilter};
+use chisel_bloomier::BloomierFilter;
+use chisel_hash::HashFamily;
+
+fn keyset(n: usize) -> Vec<(u128, u32)> {
+    (0..n)
+        .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+        .collect()
+}
+
+fn bench_hash_family(c: &mut Criterion) {
+    let family = HashFamily::new(3, 0xC0FFEE);
+    let mut out = [0usize; 3];
+    c.bench_function("hash_family_k3", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for key in 0..1000u128 {
+                family.hash_into(key, 1 << 20, &mut out);
+                acc ^= out[0];
+            }
+            acc
+        })
+    });
+}
+
+fn bench_exact_match(c: &mut Criterion) {
+    let n = 100_000;
+    let keys = keyset(n);
+    let bloomier = BloomierFilter::build(3, 3 * n, 1, &keys)
+        .expect("bloomier")
+        .filter;
+    let ebf = ExtendedBloomFilter::build(12 * n, 3, 1, &keys);
+    let mut dleft = DLeftTable::new(4, n / 2, 1);
+    let mut bloom = CountingBloomFilter::new(10 * n, 3, 1);
+    for &(k, v) in &keys {
+        dleft.insert(k, v);
+        bloom.insert(k);
+    }
+
+    let probe: Vec<u128> = keys.iter().step_by(7).map(|&(k, _)| k).collect();
+    let mut group = c.benchmark_group("exact_match_get");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("bloomier"), &probe, |b, p| {
+        b.iter(|| p.iter().map(|&k| bloomier.lookup(k) as u64).sum::<u64>())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("ebf"), &probe, |b, p| {
+        b.iter(|| {
+            p.iter()
+                .filter_map(|&k| ebf.get(k))
+                .map(u64::from)
+                .sum::<u64>()
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("dleft"), &probe, |b, p| {
+        b.iter(|| {
+            p.iter()
+                .filter_map(|&k| dleft.get(k))
+                .map(u64::from)
+                .sum::<u64>()
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("counting_bloom"),
+        &probe,
+        |b, p| b.iter(|| p.iter().filter(|&&k| bloom.contains(k)).count()),
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash_family, bench_exact_match
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Lookup-throughput benchmarks: Chisel vs. every baseline over the same
+//! BGP-shaped table and key stream. The paper's hardware sustains
+//! 200 Msps; software numbers here only establish relative cost and the
+//! O(1) shape (Chisel's lookup cost is independent of key width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use chisel_baselines::{ChainedHashLpm, EbfCpeLpm, TreeBitmap};
+use chisel_core::{ChiselConfig, ChiselLpm};
+use chisel_prefix::{Key, RoutingTable};
+use chisel_workloads::ipv6::synthesize_ipv6_from_v4_model;
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+
+const TABLE_SIZE: usize = 50_000;
+const KEYS: usize = 10_000;
+
+fn covered_keys(table: &RoutingTable, n: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prefixes: Vec<_> = table.iter().map(|e| e.prefix).collect();
+    let width = table.family().width();
+    (0..n)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            let host = rng.gen::<u128>() & chisel_prefix::bits::mask(width - p.len());
+            Key::from_raw(table.family(), p.network() | host)
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let table = synthesize(TABLE_SIZE, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let keys = covered_keys(&table, KEYS, 0x5EED);
+
+    let chisel = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("chisel builds");
+    let treebitmap = TreeBitmap::from_table(&table, 4);
+    let chained = ChainedHashLpm::from_table(&table, 2.0, 1);
+    let ebf_cpe = EbfCpeLpm::build(&table, 7, 12.0, 3, 1).expect("ebf builds");
+
+    let mut group = c.benchmark_group("lookup_ipv4");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("chisel", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += chisel.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.bench_function("treebitmap_s4", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += treebitmap.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.bench_function("chained_hash", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += chained.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.bench_function("ebf_cpe", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += ebf_cpe.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.finish();
+
+    // Key-width independence: IPv6 lookups on a same-size table.
+    let v6 = synthesize_ipv6_from_v4_model(TABLE_SIZE, &table, 0xB14C);
+    let keys6 = covered_keys(&v6, KEYS, 0x5EED);
+    let chisel6 = ChiselLpm::build(&v6, ChiselConfig::ipv6()).expect("v6 builds");
+    let tb6 = TreeBitmap::from_table(&v6, 4);
+    let mut group = c.benchmark_group("lookup_ipv6");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    for (name, f) in [
+        (
+            "chisel",
+            Box::new(|k: Key| chisel6.lookup(k)) as Box<dyn Fn(Key) -> _>,
+        ),
+        ("treebitmap_s4", Box::new(|k: Key| tb6.lookup(k))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &keys6, |b, keys| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &k in keys {
+                    hits += f(k).is_some() as u64;
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup
+}
+criterion_main!(benches);

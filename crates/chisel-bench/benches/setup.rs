@@ -1,0 +1,66 @@
+//! Setup-time benchmarks: the Bloomier peeling algorithm is O(n)
+//! (Section 3.2), and d-way partitioning divides re-setup cost by d
+//! (Section 4.4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chisel_bloomier::{BloomierFilter, PartitionedBloomier};
+use chisel_core::{ChiselConfig, ChiselLpm};
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+
+fn keyset(n: usize) -> Vec<(u128, u32)> {
+    (0..n)
+        .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+        .collect()
+}
+
+fn bench_bloomier_setup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloomier_setup");
+    for n in [10_000usize, 40_000, 160_000] {
+        let keys = keyset(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| BloomierFilter::build(3, 3 * keys.len(), 7, keys).expect("builds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_resetup(c: &mut Criterion) {
+    // Re-setup cost of one partition vs a monolithic rebuild: the bounded
+    // worst-case update path.
+    let keys = keyset(160_000);
+    let mut group = c.benchmark_group("partition_resetup");
+    for d in [1usize, 4, 16, 64] {
+        let (filt, _) =
+            PartitionedBloomier::build(3, 3 * keys.len(), d, 7, &keys).expect("partitioned build");
+        let part0: Vec<(u128, u32)> = keys
+            .iter()
+            .copied()
+            .filter(|&(k, _)| filt.partition_of(k) == 0)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut f = filt.clone();
+            b.iter(|| f.rebuild_partition(0, &part0).expect("rebuilds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_build(c: &mut Criterion) {
+    let table = synthesize(50_000, &PrefixLenDistribution::bgp_ipv4(), 0x5E7);
+    let mut group = c.benchmark_group("engine_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(table.len() as u64));
+    group.bench_function("chisel_50k", |b| {
+        b.iter(|| ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("builds"))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bloomier_setup, bench_partition_resetup, bench_engine_build
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Update-throughput benchmark (Table 1's measured quantity): replay a
+//! synthetic RIS trace through the engine's announce/withdraw path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use chisel_core::{ChiselConfig, ChiselLpm};
+use chisel_workloads::{
+    generate_trace, rrc_profiles, synthesize, PrefixLenDistribution, UpdateEvent,
+};
+
+fn bench_updates(c: &mut Criterion) {
+    let profile = rrc_profiles()[0];
+    let table = synthesize(
+        50_000,
+        &PrefixLenDistribution::bgp_ipv4(),
+        profile.seed ^ 0xBA5E,
+    );
+    let trace = generate_trace(&table, 50_000, &profile);
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4().slack(3.0)).expect("builds");
+
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("rrc00_replay", |b| {
+        b.iter(|| {
+            let mut e = engine.clone();
+            for ev in &trace {
+                match *ev {
+                    UpdateEvent::Announce(p, nh) => {
+                        e.announce(p, nh).expect("announce");
+                    }
+                    UpdateEvent::Withdraw(p) => {
+                        e.withdraw(p).expect("withdraw");
+                    }
+                }
+            }
+            e.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Reproduces the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment, paper scale
+//! repro fig9 fig10          # a subset
+//! repro all --divisor 16    # scaled-down quick run
+//! repro all --json out.json # also dump machine-readable results
+//! ```
+
+use std::process::ExitCode;
+
+use chisel_bench::experiments;
+use chisel_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut divisor = 1usize;
+    let mut json_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--divisor" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(d) if d >= 1 => divisor = d,
+                _ => {
+                    eprintln!("--divisor needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => ids.extend(experiments::all_ids().iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let scale = Scale { divisor };
+    let mut results = Vec::new();
+    for id in &ids {
+        match experiments::run(id, scale) {
+            Ok(result) => {
+                println!("{}", result.render());
+                results.push(result);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let value = serde_json::json!({
+            "divisor": divisor,
+            "experiments": results,
+        });
+        if let Err(e) = std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&value).expect("serializable"),
+        ) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!("usage: repro <ids...|all> [--divisor N] [--json PATH]");
+    println!("experiments: {}", experiments::all_ids().join(" "));
+}

@@ -1,0 +1,74 @@
+//! Figure 10: worst-case Chisel storage vs. average-case EBF+CPE storage,
+//! stride 4, across the seven AS benchmark tables.
+
+use chisel_baselines::storage::ebf_cpe_storage_bits;
+use chisel_prefix::cpe::expand_to_levels;
+use chisel_workloads::{as_profiles, synthesize, PrefixLenDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use crate::experiments::storage_model::{cpe_levels, pc_worst_bits};
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 10 comparison.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let stride = 4u8;
+    let mut lines = vec![
+        "table\tn\tEBF+CPE on-chip (Mb)\tEBF+CPE total (Mb)\tChisel worst (Mb)\tEBF+CPE/Chisel"
+            .to_string(),
+    ];
+    let mut rows = Vec::new();
+    let base = PrefixLenDistribution::bgp_ipv4();
+    for profile in as_profiles() {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let dist = base.jittered(&mut rng, 0.25);
+        let table = synthesize(scale.n(profile.prefixes), &dist, profile.seed);
+        let levels = cpe_levels(&table, stride);
+        let expanded = expand_to_levels(&table, &levels)
+            .expect("levels cover max length")
+            .stats
+            .expanded;
+        // EBF at its low-collision (12N) design point over the expanded set.
+        let (ebf_on, ebf_off) = ebf_cpe_storage_bits(table.family(), expanded, 12.0);
+        let chisel = pc_worst_bits(table.family(), table.len(), stride);
+        let ratio = (ebf_on + ebf_off) as f64 / chisel as f64;
+        lines.push(format!(
+            "{}\t{}\t{}\t{}\t{}\t{ratio:.1}x",
+            profile.name,
+            table.len(),
+            mbits(ebf_on),
+            mbits(ebf_on + ebf_off),
+            mbits(chisel),
+        ));
+        rows.push(json!({
+            "table": profile.name, "n": table.len(), "expanded": expanded,
+            "ebf_cpe_onchip_bits": ebf_on, "ebf_cpe_total_bits": ebf_on + ebf_off,
+            "chisel_worst_bits": chisel, "ratio": ratio,
+        }));
+    }
+    lines.push(String::new());
+    lines.push("paper shape: Chisel worst-case ~12-17x below EBF+CPE average-case".to_string());
+
+    ExperimentResult {
+        id: "fig10",
+        title: "Chisel worst-case vs EBF+CPE average-case storage",
+        data: json!({ "stride": stride, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chisel_order_of_magnitude_below_ebf_cpe() {
+        let r = run(Scale { divisor: 64 });
+        for row in r.data["rows"].as_array().unwrap() {
+            let ratio = row["ratio"].as_f64().unwrap();
+            assert!(ratio > 6.0, "ratio {ratio} too small");
+            assert!(ratio < 30.0, "ratio {ratio} implausibly large");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 11: CPE vs. prefix-collapsing storage as the routing table
+//! grows from 256K to 1M prefixes (synthetic tables scaled from the AS
+//! distribution models, as in the paper).
+
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+use serde_json::json;
+
+use crate::experiments::storage_model::table_storage;
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 11 scaling sweep.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let stride = 4u8;
+    let sizes = [256 * 1024usize, 512 * 1024, 784 * 1024, 1024 * 1024];
+    let dist = PrefixLenDistribution::bgp_ipv4();
+    let mut lines = vec!["n\tCPE worst (Mb)\tCPE avg (Mb)\tPC worst (Mb)\tPC avg (Mb)".to_string()];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let table = synthesize(scale.n(n), &dist, 0x000F_1611 ^ n as u64);
+        let s = table_storage(&table, stride);
+        lines.push(format!(
+            "{}K\t{}\t{}\t{}\t{}",
+            n / 1024,
+            mbits(s.cpe_worst),
+            mbits(s.cpe_avg),
+            mbits(s.pc_worst),
+            mbits(s.pc_avg),
+        ));
+        rows.push(json!({
+            "paper_n": n, "actual_n": table.len(),
+            "cpe_worst_bits": s.cpe_worst, "cpe_avg_bits": s.cpe_avg,
+            "pc_worst_bits": s.pc_worst, "pc_avg_bits": s.pc_avg,
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: all curves linear in n; CPE worst grows with a much steeper slope"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig11",
+        title: "CPE vs PC storage scaling with table size",
+        data: json!({ "stride": stride, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scaling_and_ordering() {
+        let r = run(Scale { divisor: 64 });
+        let rows = r.data["rows"].as_array().unwrap();
+        let first_pc = rows[0]["pc_worst_bits"].as_u64().unwrap();
+        let last_pc = rows[rows.len() - 1]["pc_worst_bits"].as_u64().unwrap();
+        assert!(last_pc > 2 * first_pc, "PC worst should grow with n");
+        for row in rows {
+            assert!(
+                row["pc_worst_bits"].as_u64().unwrap() < row["cpe_worst_bits"].as_u64().unwrap()
+            );
+            assert!(row["pc_avg_bits"].as_u64().unwrap() < row["cpe_avg_bits"].as_u64().unwrap());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 12: Chisel storage for IPv4 vs. IPv6 tables of the same size —
+//! only the Filter Table widens, so storage roughly doubles when the key
+//! width quadruples.
+
+use chisel_prefix::AddressFamily;
+use serde_json::json;
+
+use crate::experiments::storage_model::worst_breakdown;
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 12 comparison (worst-case sizing, as the paper's
+/// "estimated increase in storage space").
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let stride = 4u8;
+    let sizes = [256 * 1024usize, 512 * 1024, 784 * 1024, 1024 * 1024];
+    let mut lines = vec!["n\tIPv4 (Mb)\tIPv6 (Mb)\tratio".to_string()];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let v4 = worst_breakdown(AddressFamily::V4, n, stride, true);
+        let v6 = worst_breakdown(AddressFamily::V6, n, stride, true);
+        let ratio = v6.total_bits() as f64 / v4.total_bits() as f64;
+        lines.push(format!(
+            "{}K\t{}\t{}\t{ratio:.2}",
+            n / 1024,
+            mbits(v4.total_bits()),
+            mbits(v6.total_bits()),
+        ));
+        rows.push(json!({
+            "n": n,
+            "ipv4_bits": v4.total_bits(), "ipv6_bits": v6.total_bits(),
+            "ipv6_filter_bits": v6.filter_bits,
+            "ratio": ratio,
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: 4x wider keys => only ~2x storage (only the Filter Table widens)".to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig12",
+        title: "IPv4 vs IPv6 Chisel storage",
+        data: json!({ "stride": stride, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv6_roughly_doubles() {
+        let r = run(Scale::quick());
+        for row in r.data["rows"].as_array().unwrap() {
+            let ratio = row["ratio"].as_f64().unwrap();
+            assert!((1.4..2.6).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 13: worst-case power of a 200 Msps Chisel in 130nm embedded
+//! DRAM, vs. routing table size.
+
+use chisel_hw::chisel_power_watts;
+use chisel_prefix::AddressFamily;
+use serde_json::json;
+
+use crate::experiments::storage_model::worst_breakdown;
+use crate::{ExperimentResult, Scale};
+
+/// Runs the Figure 13 power sweep (model-based — scale-independent).
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let msps = 200.0;
+    let sizes = [256 * 1024usize, 512 * 1024, 784 * 1024, 1024 * 1024];
+    let mut lines = vec!["n\ton-chip Mb\tpower (W)".to_string()];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let bits = worst_breakdown(AddressFamily::V4, n, 4, true).total_bits();
+        let watts = chisel_power_watts(bits, msps);
+        lines.push(format!(
+            "{}K\t{:.1}\t{watts:.2}",
+            n / 1024,
+            bits as f64 / 1e6
+        ));
+        rows.push(json!({ "n": n, "bits": bits, "watts": watts }));
+    }
+    lines.push(String::new());
+    lines.push("paper anchor: ~5.5 W at 512K prefixes; growth is strongly sub-linear".to_string());
+
+    ExperimentResult {
+        id: "fig13",
+        title: "Chisel worst-case power at 200 Msps (130nm eDRAM)",
+        data: json!({ "msps": msps, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_and_sublinearity() {
+        let r = run(Scale::quick());
+        let rows = r.data["rows"].as_array().unwrap();
+        let w512 = rows[1]["watts"].as_f64().unwrap();
+        assert!((4.5..6.5).contains(&w512), "512K watts {w512}");
+        let w256 = rows[0]["watts"].as_f64().unwrap();
+        let w1m = rows[3]["watts"].as_f64().unwrap();
+        assert!(w1m > w256 && w1m < 1.6 * w256);
+    }
+}

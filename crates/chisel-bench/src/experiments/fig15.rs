@@ -1,0 +1,76 @@
+//! Figure 15: Chisel (worst and average case) vs. Tree Bitmap
+//! (average case) storage across the AS benchmark tables. Tree Bitmap
+//! storage is measured from a real Tree Bitmap built over each table.
+
+use chisel_baselines::TreeBitmap;
+use chisel_workloads::{as_profiles, synthesize, PrefixLenDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+
+use crate::experiments::storage_model::{pc_actual_bits, pc_worst_bits};
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 15 comparison.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let stride = 4u8;
+    let mut lines = vec![
+        "table\tn\tTreeBitmap avg (Mb)\tChisel worst (Mb)\tChisel avg (Mb)\tChiselAvg/TB"
+            .to_string(),
+    ];
+    let mut rows = Vec::new();
+    let base = PrefixLenDistribution::bgp_ipv4();
+    for profile in as_profiles() {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let dist = base.jittered(&mut rng, 0.25);
+        let table = synthesize(scale.n(profile.prefixes), &dist, profile.seed);
+        let tb = TreeBitmap::from_table(&table, stride);
+        let tb_bits = tb.stats().storage_bits;
+        let chisel_worst = pc_worst_bits(table.family(), table.len(), stride);
+        let (chisel_avg, _) = pc_actual_bits(&table, stride);
+        let ratio = chisel_avg as f64 / tb_bits as f64;
+        lines.push(format!(
+            "{}\t{}\t{}\t{}\t{}\t{ratio:.2}",
+            profile.name,
+            table.len(),
+            mbits(tb_bits),
+            mbits(chisel_worst),
+            mbits(chisel_avg),
+        ));
+        rows.push(json!({
+            "table": profile.name, "n": table.len(),
+            "treebitmap_bits": tb_bits, "treebitmap_nodes": tb.stats().nodes,
+            "chisel_worst_bits": chisel_worst, "chisel_avg_bits": chisel_avg,
+            "chisel_avg_over_tb": ratio,
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: Chisel average well below Tree Bitmap average; Chisel worst within ~1.2x of TB average"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig15",
+        title: "Chisel vs Tree Bitmap storage",
+        data: json!({ "stride": stride, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chisel_average_beats_treebitmap() {
+        let r = run(Scale { divisor: 64 });
+        for row in r.data["rows"].as_array().unwrap() {
+            let ratio = row["chisel_avg_over_tb"].as_f64().unwrap();
+            assert!(
+                ratio < 1.0,
+                "Chisel avg should undercut Tree Bitmap: {ratio}"
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 16: Chisel vs. TCAM power dissipation at 200 Msps for
+//! 128K..512K prefix tables.
+
+use chisel_hw::chisel_power_watts;
+use chisel_hw::tcam_power::{tcam_bits, tcam_power_watts};
+use chisel_prefix::AddressFamily;
+use serde_json::json;
+
+use crate::experiments::storage_model::worst_breakdown;
+use crate::{ExperimentResult, Scale};
+
+/// Runs the Figure 16 power comparison (model-based).
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let msps = 200.0;
+    let sizes = [128 * 1024usize, 256 * 1024, 384 * 1024, 512 * 1024];
+    let mut lines = vec!["n\tTCAM (W)\tChisel (W)\tTCAM/Chisel".to_string()];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let tcam = tcam_power_watts(tcam_bits(n, 32), msps);
+        let chisel = chisel_power_watts(
+            worst_breakdown(AddressFamily::V4, n, 4, true).total_bits(),
+            msps,
+        );
+        let ratio = tcam / chisel;
+        lines.push(format!(
+            "{}K\t{tcam:.1}\t{chisel:.1}\t{ratio:.1}x",
+            n / 1024
+        ));
+        rows.push(json!({ "n": n, "tcam_watts": tcam, "chisel_watts": chisel, "ratio": ratio }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: ~43% less power at 128K, ~5x less at 512K; TCAM grows linearly".to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig16",
+        title: "Chisel vs TCAM power at 200 Msps",
+        data: json!({ "msps": msps, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_widens_with_table_size() {
+        let r = run(Scale::quick());
+        let rows = r.data["rows"].as_array().unwrap();
+        let first = rows[0]["ratio"].as_f64().unwrap();
+        let last = rows[3]["ratio"].as_f64().unwrap();
+        assert!(first > 1.3, "128K ratio {first}");
+        assert!(last > 4.0 && last < 8.0, "512K ratio {last}");
+        assert!(last > first);
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 3: setup failure probability vs. number of keys `n`, at the
+//! design point k = 3, m/n = 3.
+
+use chisel_bloomier::analytics::failure_vs_n;
+use serde_json::json;
+
+use crate::{ExperimentResult, Scale};
+
+/// Runs the Figure 3 sweep (analytic — scale-independent).
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let ns = [
+        250_000usize,
+        500_000,
+        1_000_000,
+        1_500_000,
+        2_000_000,
+        2_500_000,
+    ];
+    let series = failure_vs_n(&ns, 3.0, 3);
+
+    let mut lines = vec!["n\tP(fail)".to_string()];
+    for &(n, p) in &series {
+        lines.push(format!("{n}\t{p:.3e}"));
+    }
+    lines.push(String::new());
+    lines.push(
+        "shape check: P(fail) decreases dramatically with n; < 1e-7 at LPM scales".to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig3",
+        title: "Setup failure probability vs n (k = 3, m/n = 3)",
+        data: json!({
+            "k": 3, "m_over_n": 3.0,
+            "points": series.iter().map(|&(n, p)| json!([n, p])).collect::<Vec<_>>(),
+        }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_decreasing() {
+        let r = run(Scale::quick());
+        let pts = r.data["points"].as_array().unwrap();
+        let probs: Vec<f64> = pts.iter().map(|p| p[1].as_f64().unwrap()).collect();
+        assert!(probs.windows(2).all(|w| w[1] <= w[0]));
+        assert!(probs[1] < 1e-7, "500K point = {}", probs[1]);
+    }
+}

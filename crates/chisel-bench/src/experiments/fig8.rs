@@ -1,0 +1,74 @@
+//! Figure 8: worst-case storage of EBF / poor-EBF / Chisel with no
+//! wildcard bits, for 256K..1M keys, split into first-level (on-chip) and
+//! second-level storage.
+
+use chisel_baselines::storage::{ebf_paper_point, poor_ebf_point};
+use chisel_core::stats::chisel_worst_case;
+use chisel_prefix::AddressFamily;
+use serde_json::json;
+
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 8 comparison (worst-case analytic sizing — the paper
+/// also uses no benchmarks here, only table sizes).
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let sizes = [256 * 1024usize, 512 * 1024, 784 * 1024, 1024 * 1024];
+    let mut lines = vec![
+        "n\tEBF on/off (Mb)\tpoorEBF on/off (Mb)\tChisel idx/filter (Mb)\tEBF/Chisel\tpoor/Chisel"
+            .to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let (ebf_on, ebf_off) = ebf_paper_point(AddressFamily::V4, n);
+        let (poor_on, poor_off) = poor_ebf_point(AddressFamily::V4, n);
+        let chisel = chisel_worst_case(AddressFamily::V4, n, 3, 3.0, 4, false);
+        let r_ebf = (ebf_on + ebf_off) as f64 / chisel.total_bits() as f64;
+        let r_poor = (poor_on + poor_off) as f64 / chisel.total_bits() as f64;
+        lines.push(format!(
+            "{}K\t{}/{}\t{}/{}\t{}/{}\t{r_ebf:.1}x\t{r_poor:.1}x",
+            n / 1024,
+            mbits(ebf_on),
+            mbits(ebf_off),
+            mbits(poor_on),
+            mbits(poor_off),
+            mbits(chisel.index_bits),
+            mbits(chisel.filter_bits),
+        ));
+        rows.push(json!({
+            "n": n,
+            "ebf_onchip_bits": ebf_on, "ebf_offchip_bits": ebf_off,
+            "poor_onchip_bits": poor_on, "poor_offchip_bits": poor_off,
+            "chisel_index_bits": chisel.index_bits,
+            "chisel_filter_bits": chisel.filter_bits,
+            "ebf_over_chisel": r_ebf, "poor_over_chisel": r_poor,
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: Chisel ~8x below EBF, ~4x below poor-EBF, and ~2x the EBF on-chip part alone"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig8",
+        title: "EBF vs Chisel worst-case storage, no wildcards",
+        data: json!({ "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_in_paper_band() {
+        let r = run(Scale::quick());
+        for row in r.data["rows"].as_array().unwrap() {
+            let e = row["ebf_over_chisel"].as_f64().unwrap();
+            let p = row["poor_over_chisel"].as_f64().unwrap();
+            assert!(e > 4.0 && e < 12.0, "EBF ratio {e}");
+            assert!(p > 2.0 && p < 6.0, "poor-EBF ratio {p}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure 9: Chisel storage with CPE vs. prefix collapsing (PC), worst
+//! and average case, stride 4, across the seven AS benchmark tables.
+
+use chisel_workloads::{as_profiles, synthesize, PrefixLenDistribution};
+use serde_json::json;
+
+use crate::experiments::storage_model::table_storage;
+use crate::{mbits, ExperimentResult, Scale};
+
+/// Runs the Figure 9 comparison over synthetic AS tables.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let stride = 4u8;
+    let mut lines = vec![
+        "table\tn\tCPE worst (Mb)\tCPE avg (Mb)\tPC worst (Mb)\tPC avg (Mb)\tPCworst/CPEavg"
+            .to_string(),
+    ];
+    let mut rows = Vec::new();
+    let base = PrefixLenDistribution::bgp_ipv4();
+    for profile in as_profiles() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(profile.seed);
+        let dist = base.jittered(&mut rng, 0.25);
+        let table = synthesize(scale.n(profile.prefixes), &dist, profile.seed);
+        let s = table_storage(&table, stride);
+        let ratio = s.pc_worst as f64 / s.cpe_avg as f64;
+        lines.push(format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{ratio:.2}",
+            profile.name,
+            table.len(),
+            mbits(s.cpe_worst),
+            mbits(s.cpe_avg),
+            mbits(s.pc_worst),
+            mbits(s.pc_avg),
+        ));
+        rows.push(json!({
+            "table": profile.name, "n": table.len(),
+            "cpe_worst_bits": s.cpe_worst, "cpe_avg_bits": s.cpe_avg,
+            "pc_worst_bits": s.pc_worst, "pc_avg_bits": s.pc_avg,
+            "groups": s.groups, "expanded": s.expanded,
+            "pc_worst_over_cpe_avg": ratio,
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper shape: PC worst-case beats CPE average-case; PC average far below CPE average"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "fig9",
+        title: "Chisel storage: CPE vs prefix collapsing, stride 4",
+        data: json!({ "stride": stride, "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_beats_cpe_on_every_table() {
+        let r = run(Scale { divisor: 64 });
+        for row in r.data["rows"].as_array().unwrap() {
+            let pc_worst = row["pc_worst_bits"].as_u64().unwrap();
+            let pc_avg = row["pc_avg_bits"].as_u64().unwrap();
+            let cpe_worst = row["cpe_worst_bits"].as_u64().unwrap();
+            let cpe_avg = row["cpe_avg_bits"].as_u64().unwrap();
+            assert!(
+                pc_worst < cpe_avg,
+                "PC worst {pc_worst} !< CPE avg {cpe_avg}"
+            );
+            assert!(pc_avg < cpe_avg);
+            assert!(pc_worst < cpe_worst / 3);
+        }
+    }
+}

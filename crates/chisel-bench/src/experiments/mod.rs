@@ -1,0 +1,86 @@
+//! One module per reproduced table/figure. See DESIGN.md's per-experiment
+//! index for the mapping to the paper.
+
+pub mod ablation;
+pub mod empirical;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig2;
+pub mod fig3;
+pub mod fig8;
+pub mod fig9;
+pub mod flaps;
+pub mod fpp;
+pub mod latency;
+pub mod proto;
+pub mod storage_model;
+pub mod strides;
+pub mod table1;
+pub mod table2;
+pub mod tables;
+
+use crate::{ExperimentResult, Scale};
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig2",
+        "fig3",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "tab1",
+        "fig15",
+        "fig16",
+        "tab2",
+        "latency",
+        "proto",
+        "ablation",
+        "empirical",
+        "fpp",
+        "strides",
+        "flaps",
+        "tables",
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error string for unknown ids.
+pub fn run(id: &str, scale: Scale) -> Result<ExperimentResult, String> {
+    match id {
+        "fig2" => Ok(fig2::run(scale)),
+        "fig3" => Ok(fig3::run(scale)),
+        "fig8" => Ok(fig8::run(scale)),
+        "fig9" => Ok(fig9::run(scale)),
+        "fig10" => Ok(fig10::run(scale)),
+        "fig11" => Ok(fig11::run(scale)),
+        "fig12" => Ok(fig12::run(scale)),
+        "fig13" => Ok(fig13::run(scale)),
+        "fig14" => Ok(fig14::run(scale)),
+        "tab1" | "table1" => Ok(table1::run(scale)),
+        "fig15" => Ok(fig15::run(scale)),
+        "fig16" => Ok(fig16::run(scale)),
+        "tab2" | "table2" => Ok(table2::run(scale)),
+        "latency" => Ok(latency::run(scale)),
+        "proto" => Ok(proto::run(scale)),
+        "ablation" => Ok(ablation::run(scale)),
+        "empirical" => Ok(empirical::run(scale)),
+        "fpp" => Ok(fpp::run(scale)),
+        "strides" => Ok(strides::run(scale)),
+        "flaps" => Ok(flaps::run(scale)),
+        "tables" => Ok(tables::run(scale)),
+        other => Err(format!("unknown experiment id: {other}")),
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared storage-model helpers for the Figures 9–12 comparisons.
+
+use chisel_core::stats::{chisel_actual, chisel_worst_case, StorageBreakdown};
+use chisel_prefix::collapse::{collapse_stats, StridePlan};
+use chisel_prefix::cpe::{expand_to_levels, worst_case_expansion};
+use chisel_prefix::{AddressFamily, RoutingTable};
+
+/// Worst-case Chisel storage with prefix collapsing for `n` prefixes.
+pub fn pc_worst_bits(family: AddressFamily, n: usize, stride: u8) -> u64 {
+    chisel_worst_case(family, n, 3, 3.0, stride, true).total_bits()
+}
+
+/// Average-case Chisel storage with prefix collapsing: sized by the table's
+/// actual collapsed-group count under the greedy plan.
+pub fn pc_actual_bits(table: &RoutingTable, stride: u8) -> (u64, usize) {
+    let plan = StridePlan::greedy(&table.length_histogram(), stride);
+    let stats = collapse_stats(table, &plan);
+    let groups = stats.total_groups().max(1);
+    let bits = chisel_actual(table.family(), groups, table.len(), 3.0, stride).total_bits();
+    (bits, groups)
+}
+
+/// CPE target levels at every `stride`-th length, the apples-to-apples
+/// configuration against a stride-`stride` collapse plan (both yield the
+/// same number of distinct hashable lengths).
+pub fn cpe_levels(table: &RoutingTable, stride: u8) -> Vec<u8> {
+    let width = table.family().width();
+    let hist = table.length_histogram();
+    let min = hist.min_len().unwrap_or(stride).max(1);
+    let max = hist.max_len().unwrap_or(width);
+    let mut levels: Vec<u8> = Vec::new();
+    let mut l = min.div_ceil(stride) * stride;
+    while l < max {
+        levels.push(l);
+        l += stride;
+    }
+    levels.push(max.max(l.min(width)).min(width));
+    levels.dedup();
+    levels
+}
+
+/// Average-case CPE storage for a Chisel-style (Index + Filter) layout:
+/// the tables hold the *expanded* prefix set and no Bit-vector Table.
+pub fn cpe_actual_bits(table: &RoutingTable, levels: &[u8]) -> (u64, usize) {
+    let expansion = expand_to_levels(table, levels).expect("levels cover max length");
+    let expanded = expansion.stats.expanded.max(1);
+    let bits = chisel_worst_case(table.family(), expanded, 3, 3.0, 0, false).total_bits();
+    (bits, expanded)
+}
+
+/// Worst-case CPE storage: every prefix could sit at the worst gap below
+/// its target level.
+pub fn cpe_worst_bits(family: AddressFamily, n: usize, levels: &[u8], min_len: u8) -> u64 {
+    let factor = worst_case_expansion(levels, min_len);
+    let worst_n = (n as f64 * factor).ceil() as usize;
+    chisel_worst_case(family, worst_n, 3, 3.0, 0, false).total_bits()
+}
+
+/// Convenience bundle for one benchmark table.
+#[derive(Debug, Clone)]
+pub struct TableStorage {
+    /// Worst-case prefix-collapsing storage (bits).
+    pub pc_worst: u64,
+    /// Average-case prefix-collapsing storage (bits).
+    pub pc_avg: u64,
+    /// Collapsed groups behind `pc_avg`.
+    pub groups: usize,
+    /// Worst-case CPE storage (bits).
+    pub cpe_worst: u64,
+    /// Average-case CPE storage (bits).
+    pub cpe_avg: u64,
+    /// Expanded prefixes behind `cpe_avg`.
+    pub expanded: usize,
+}
+
+/// Computes the four storage quantities of Figures 9/11 for one table.
+pub fn table_storage(table: &RoutingTable, stride: u8) -> TableStorage {
+    let n = table.len();
+    let family = table.family();
+    let levels = cpe_levels(table, stride);
+    let min_len = table.length_histogram().min_len().unwrap_or(1);
+    let (pc_avg, groups) = pc_actual_bits(table, stride);
+    let (cpe_avg, expanded) = cpe_actual_bits(table, &levels);
+    TableStorage {
+        pc_worst: pc_worst_bits(family, n, stride),
+        pc_avg,
+        groups,
+        cpe_worst: cpe_worst_bits(family, n, &levels, min_len),
+        cpe_avg,
+        expanded,
+    }
+}
+
+/// Re-export for experiments that need the breakdown.
+pub fn worst_breakdown(
+    family: AddressFamily,
+    n: usize,
+    stride: u8,
+    wildcards: bool,
+) -> StorageBreakdown {
+    chisel_worst_case(family, n, 3, 3.0, stride, wildcards)
+}

@@ -1,0 +1,53 @@
+//! Table 2: FPGA resource utilization of the 64K-prefix prototype on a
+//! Virtex-IIPro XC2VP100 (estimated; see `chisel-hw::fpga`).
+
+use chisel_hw::fpga::{estimate, FpgaConfig};
+use serde_json::json;
+
+use crate::{ExperimentResult, Scale};
+
+/// Runs the Table 2 estimation.
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let report = estimate(&FpgaConfig::prototype_64k());
+    let mut lines = vec!["Name\tUsed\tAvailable\tUtilization".to_string()];
+    let mut rows = Vec::new();
+    for row in &report.rows {
+        lines.push(format!(
+            "{}\t{}\t{}\t{}%",
+            row.name,
+            row.used,
+            row.available,
+            row.utilization_pct()
+        ));
+        rows.push(json!({
+            "name": row.name, "used": row.used, "available": row.available,
+            "utilization_pct": row.utilization_pct(),
+        }));
+    }
+    lines.push(String::new());
+    lines.push(
+        "paper Table 2: FF 14,138 (16%) / Slices 10,680 (24%) / LUT 10,746 (12%) / IOB 734 (70%) / BRAM 292 (65%)"
+            .to_string(),
+    );
+
+    ExperimentResult {
+        id: "tab2",
+        title: "FPGA prototype utilization (XC2VP100, 64K prefixes)",
+        data: json!({ "rows": rows }),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_resources_fit() {
+        let r = run(Scale::quick());
+        for row in r.data["rows"].as_array().unwrap() {
+            let pct = row["utilization_pct"].as_u64().unwrap();
+            assert!(pct <= 100, "{} over budget", row["name"]);
+        }
+    }
+}

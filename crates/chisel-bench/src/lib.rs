@@ -1,0 +1,74 @@
+//! Experiment harness reproducing every table and figure of the Chisel
+//! paper's evaluation (Section 6) and prototype report (Section 7).
+//!
+//! Each experiment lives in [`experiments`] and returns an
+//! [`ExperimentResult`] — a printable table plus a JSON value for
+//! machine-readable snapshots. The `repro` binary runs them:
+//!
+//! ```text
+//! cargo run -p chisel-bench --release --bin repro -- all
+//! cargo run -p chisel-bench --release --bin repro -- fig9 fig10 --divisor 8
+//! ```
+//!
+//! `--divisor N` scales table sizes and trace lengths down by `N` for
+//! quick runs; the shipped EXPERIMENTS.md uses the full paper-scale run
+//! (`--divisor 1`).
+
+pub mod experiments;
+
+use serde::Serialize;
+
+/// Scaling knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Divides every table size and trace length from the paper.
+    pub divisor: usize,
+}
+
+impl Scale {
+    /// Paper-scale (divisor 1).
+    pub fn full() -> Self {
+        Scale { divisor: 1 }
+    }
+
+    /// A quick run for CI / smoke tests.
+    pub fn quick() -> Self {
+        Scale { divisor: 32 }
+    }
+
+    /// Applies the divisor to a paper-scale count, keeping a sane floor.
+    pub fn n(&self, paper_n: usize) -> usize {
+        (paper_n / self.divisor).max(1024)
+    }
+}
+
+/// One reproduced table or figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig9`, `tab1`, ...).
+    pub id: &'static str,
+    /// Human-readable title echoing the paper artifact.
+    pub title: &'static str,
+    /// Pre-formatted report lines.
+    pub lines: Vec<String>,
+    /// Machine-readable data series.
+    pub data: serde_json::Value,
+}
+
+impl ExperimentResult {
+    /// Renders the result as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a bit count as megabits with two decimals.
+pub fn mbits(bits: u64) -> String {
+    format!("{:.2}", bits as f64 / 1.0e6)
+}

@@ -1,0 +1,225 @@
+//! Setup-failure probability analytics (paper Equation 3, Figures 2 & 3).
+//!
+//! The Bloomier filter setup algorithm fails to converge when the key
+//! hypergraph has a non-empty 2-core. For `n` keys, `k` hash functions and
+//! an Index Table of `m >= kn`... in the paper's design space `m >= 3n`,
+//! the failure probability is bounded by
+//!
+//! ```text
+//! P(fail) <= sum_{s>=1} (e^(k/2+1) / 2^(k/2))^s * (s*k/m)^(s*k/2)
+//! ```
+//!
+//! The bound is a union bound over "stuck" subsets of size `s`; it is only
+//! meaningful in its decreasing regime (small `s`), so the sum is
+//! truncated at the first increasing term — which is also where the
+//! paper's plotted curves live (for the design point the `s = 1` term
+//! dominates by many orders of magnitude).
+
+/// Upper bound on the probability that Bloomier filter setup fails to
+/// converge (Equation 3), computed in log space.
+///
+/// Returns a probability in `[0, 1]` (values above 1 are clamped — the
+/// bound is vacuous there).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0`, or `k == 0`.
+pub fn setup_failure_probability(n: usize, m: usize, k: usize) -> f64 {
+    assert!(n > 0 && m > 0 && k > 0);
+    let kf = k as f64;
+    let mf = m as f64;
+    // ln of the s-independent per-unit factor e^(k/2+1) / 2^(k/2).
+    let ln_base = (kf / 2.0 + 1.0) - (kf / 2.0) * std::f64::consts::LN_2;
+
+    let mut total = 0.0f64;
+    let mut prev_ln = f64::INFINITY;
+    for s in 1..=n {
+        let sf = s as f64;
+        let ln_term = sf * ln_base + (sf * kf / 2.0) * (sf * kf / mf).ln();
+        if ln_term >= prev_ln {
+            // Entering the increasing (vacuous) regime of the union bound.
+            break;
+        }
+        prev_ln = ln_term;
+        total += ln_term.exp();
+        if ln_term < -745.0 {
+            // Further terms underflow to zero.
+            break;
+        }
+    }
+    total.min(1.0)
+}
+
+/// Convenience sweep for Figure 2: failure probability as a function of
+/// `m/n` for a fixed `n` and each `k`.
+pub fn failure_vs_ratio(n: usize, ratios: &[f64], ks: &[usize]) -> Vec<(usize, Vec<(f64, f64)>)> {
+    ks.iter()
+        .map(|&k| {
+            let series = ratios
+                .iter()
+                .map(|&r| {
+                    let m = (n as f64 * r).round() as usize;
+                    (r, setup_failure_probability(n, m, k))
+                })
+                .collect();
+            (k, series)
+        })
+        .collect()
+}
+
+/// Convenience sweep for Figure 3: failure probability as a function of
+/// `n` at fixed `k` and `m/n`.
+pub fn failure_vs_n(ns: &[usize], ratio: f64, k: usize) -> Vec<(usize, f64)> {
+    ns.iter()
+        .map(|&n| {
+            let m = (n as f64 * ratio).round() as usize;
+            (n, setup_failure_probability(n, m, k))
+        })
+        .collect()
+}
+
+/// The asymptotic peeling threshold for `k` hash functions: the smallest
+/// `m/n` above which the setup algorithm succeeds with high probability
+/// (the 2-core of the random `k`-uniform key hypergraph is empty).
+///
+/// Computed by density evolution: peeling drives the stuck-probability
+/// fixed point `p = (1 - e^(-k n p / m))^(k-1)` to zero exactly when
+/// `m/n` exceeds the threshold. For `k = 3` this is ≈ 1.222 — the
+/// paper's `m/n = 3` design point sits 2.5× above it, which is why real
+/// setups essentially never fail (compare the `empirical` experiment).
+///
+/// # Panics
+///
+/// Panics if `k < 2` (peeling with one hash function never cascades).
+pub fn peeling_threshold(k: usize) -> f64 {
+    assert!(k >= 2, "peeling threshold needs k >= 2");
+    let peels = |ratio: f64| -> bool {
+        // Iterate the density-evolution map; success iff p -> 0.
+        let lambda = k as f64 / ratio;
+        let mut p = 1.0f64;
+        for _ in 0..10_000 {
+            let next = (1.0 - (-lambda * p).exp()).powi(k as i32 - 1);
+            if next < 1e-12 {
+                return true;
+            }
+            if (next - p).abs() < 1e-15 {
+                return false;
+            }
+            p = next;
+        }
+        false
+    };
+    let (mut lo, mut hi) = (1.0f64, 8.0f64);
+    debug_assert!(peels(hi) && !peels(lo));
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if peels(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_point_matches_paper_magnitude() {
+        // Paper Section 4.1: k = 3, m/n = 3, n in the hundreds of
+        // thousands gives P(fail) ~ 1 in 10 million or smaller.
+        let p = setup_failure_probability(256 * 1024, 3 * 256 * 1024, 3);
+        assert!(p < 1e-7, "design point failure prob too high: {p}");
+        assert!(p > 1e-10, "design point failure prob implausibly low: {p}");
+    }
+
+    #[test]
+    fn failure_decreases_with_k() {
+        // Figure 2: increasing k drops the failure probability sharply.
+        let n = 256 * 1024;
+        let m = 3 * n;
+        let mut prev = 1.0;
+        for k in 2..=7 {
+            let p = setup_failure_probability(n, m, k);
+            assert!(p < prev, "k={k}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn failure_decreases_with_ratio() {
+        // Figure 2: increasing m/n decreases the probability (marginally).
+        let n = 256 * 1024;
+        let p3 = setup_failure_probability(n, 3 * n, 3);
+        let p6 = setup_failure_probability(n, 6 * n, 3);
+        let p10 = setup_failure_probability(n, 10 * n, 3);
+        assert!(p6 < p3 && p10 < p6);
+    }
+
+    #[test]
+    fn failure_decreases_with_n() {
+        // Figure 3: P(fail) drops dramatically as n grows at fixed m/n.
+        let p_small = setup_failure_probability(500_000, 1_500_000, 3);
+        let p_large = setup_failure_probability(2_500_000, 7_500_000, 3);
+        assert!(p_large < p_small / 2.0, "{p_large} vs {p_small}");
+    }
+
+    #[test]
+    fn sweeps_have_expected_shape() {
+        let fig2 = failure_vs_ratio(1 << 18, &[2.0, 3.0, 4.0], &[2, 3]);
+        assert_eq!(fig2.len(), 2);
+        assert_eq!(fig2[0].1.len(), 3);
+        let fig3 = failure_vs_n(&[500_000, 1_000_000], 3.0, 3);
+        assert!(fig3[1].1 < fig3[0].1);
+    }
+
+    #[test]
+    fn peeling_thresholds_match_theory() {
+        // Known 2-core thresholds of random k-uniform hypergraphs.
+        assert!(
+            (peeling_threshold(3) - 1.222).abs() < 0.01,
+            "{}",
+            peeling_threshold(3)
+        );
+        assert!(
+            (peeling_threshold(4) - 1.295).abs() < 0.01,
+            "{}",
+            peeling_threshold(4)
+        );
+        // k = 2 peels only below the giant-component threshold m/n = 2.
+        assert!(
+            (peeling_threshold(2) - 2.0).abs() < 0.01,
+            "{}",
+            peeling_threshold(2)
+        );
+        // The design point m/n = 3 clears every practical k's threshold.
+        for k in 3..=7 {
+            assert!(peeling_threshold(k) < 3.0);
+        }
+    }
+
+    #[test]
+    fn empirical_convergence_brackets_the_threshold() {
+        // Real builds: clearly below threshold fails, clearly above works.
+        let n = 20_000usize;
+        let keys: Vec<(u128, u32)> = (0..n)
+            .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+            .collect();
+        let t = peeling_threshold(3);
+        let below =
+            crate::BloomierFilter::build(3, (n as f64 * (t - 0.12)) as usize, 5, &keys).unwrap();
+        let above =
+            crate::BloomierFilter::build(3, (n as f64 * (t + 0.12)) as usize, 5, &keys).unwrap();
+        assert!(!below.spilled.is_empty(), "below threshold must spill");
+        assert!(above.spilled.is_empty(), "above threshold must not spill");
+    }
+
+    #[test]
+    fn tiny_inputs_clamp_to_one() {
+        // Vacuous bound for absurd configs must clamp, not exceed 1.
+        let p = setup_failure_probability(10, 10, 3);
+        assert!(p <= 1.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The *original* Bloomier filter of Chazelle et al., as the paper's
+//! Section 4.2 describes (and rejects) it: the Index Table encodes
+//! `hτ(t)` concatenated with a checksum `c(t)`; a lookup XORs the
+//! neighborhood, verifies the checksum, recomputes `τ(t)` from `hτ` and
+//! reads the value stored *at τ(t)* in a Result Table of the same `m`
+//! locations.
+//!
+//! Its false positives are the reason Chisel stores keys instead: a
+//! checksum of `c` bits gives `PFP ≈ 2^-c`, and — crucially — the
+//! *specific* absent keys that collide do so **deterministically**,
+//! "leading to permanent mis-routing and packet loss for those
+//! destinations". The `fpp` experiment measures exactly that.
+
+use chisel_hash::HashFamily;
+
+use crate::BloomierError;
+
+/// The checksum-based Bloomier filter (paper Section 4.2's strawman).
+#[derive(Debug, Clone)]
+pub struct ChecksumBloomier {
+    family: HashFamily,
+    checksum: HashFamily,
+    m: usize,
+    htau_bits: u32,
+    checksum_bits: u32,
+    /// Index Table: XOR-encoded `hτ | (c << htau_bits)` words.
+    data: Vec<u32>,
+    /// Result Table: one value slot per Index Table location (the k-fold
+    /// over-provisioning the paper's indirection removes).
+    values: Vec<u32>,
+    len: usize,
+}
+
+impl ChecksumBloomier {
+    /// Builds over a static key set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomierError::SetupFailed`] if peeling cannot place all
+    /// keys (no spillover here — the strawman is static), plus the usual
+    /// construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checksum_bits + ceil(log2 k)` exceeds 32.
+    pub fn build(
+        k: usize,
+        m: usize,
+        checksum_bits: u32,
+        seed: u64,
+        keys: &[(u128, u32)],
+    ) -> Result<Self, BloomierError> {
+        if m < k {
+            return Err(BloomierError::TableTooSmall { m, k });
+        }
+        // Bits needed to store an hτ index in 0..k.
+        let htau_bits = if k <= 2 {
+            1
+        } else {
+            usize::BITS - (k - 1).leading_zeros()
+        };
+        assert!(
+            htau_bits + checksum_bits <= 32,
+            "encoded word exceeds 32 bits"
+        );
+        let mut this = ChecksumBloomier {
+            family: HashFamily::new(k, seed),
+            checksum: HashFamily::new(1, seed ^ 0xC5EC_5EC5),
+            m,
+            htau_bits,
+            checksum_bits,
+            data: vec![0; m],
+            values: vec![0; m],
+            len: 0,
+        };
+
+        // Peel (same algorithm as the key-storing filter).
+        let mut counts = vec![0u32; m];
+        let mut xorsum = vec![0u128; m];
+        let mut live = std::collections::HashMap::with_capacity(keys.len());
+        for &(key, value) in keys {
+            if live.insert(key, value).is_some() {
+                return Err(BloomierError::DuplicateKey { key });
+            }
+            for loc in this.family.neighborhood(key, m) {
+                counts[loc] += 1;
+                xorsum[loc] ^= key;
+            }
+        }
+        let mut order: Vec<(u128, usize)> = Vec::with_capacity(live.len());
+        let mut candidates: Vec<usize> = (0..m).filter(|&l| counts[l] == 1).collect();
+        while let Some(loc) = candidates.pop() {
+            if counts[loc] != 1 {
+                continue;
+            }
+            let key = xorsum[loc];
+            order.push((key, loc));
+            for l in this.family.neighborhood(key, m) {
+                counts[l] -= 1;
+                xorsum[l] ^= key;
+                if counts[l] == 1 {
+                    candidates.push(l);
+                }
+            }
+        }
+        if order.len() != live.len() {
+            return Err(BloomierError::SetupFailed {
+                placed: order.len(),
+                requested: live.len(),
+            });
+        }
+
+        // Encode in reverse peel order: D[τ] = XOR(other D) ^ (hτ | c<<b),
+        // and store the value at τ in the Result Table.
+        for idx in (0..order.len()).rev() {
+            let (key, tau) = order[idx];
+            let hood = this.family.neighborhood(key, m);
+            let htau = hood
+                .iter()
+                .position(|&l| l == tau)
+                .expect("τ is in the neighborhood") as u32;
+            let mut acc = htau | (this.checksum_of(key) << this.htau_bits);
+            let mut tau_seen = false;
+            for &loc in &hood {
+                if loc == tau && !tau_seen {
+                    tau_seen = true;
+                } else {
+                    acc ^= this.data[loc];
+                }
+            }
+            this.data[tau] = acc;
+            this.values[tau] = live[&key];
+        }
+        this.len = order.len();
+        Ok(this)
+    }
+
+    fn checksum_of(&self, key: u128) -> u32 {
+        if self.checksum_bits == 0 {
+            0
+        } else {
+            self.checksum.hash_one(0, key, 1usize << self.checksum_bits) as u32
+        }
+    }
+
+    /// Number of encoded keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no keys are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key: `Some(value)` for every encoded key, and — with
+    /// probability ≈ `k / 2^checksum_bits` per absent key,
+    /// *deterministically* — a bogus `Some` for keys never inserted.
+    pub fn lookup(&self, key: u128) -> Option<u32> {
+        let hood = self.family.neighborhood(key, self.m);
+        let mut acc = 0u32;
+        for &loc in &hood {
+            acc ^= self.data[loc];
+        }
+        let htau = acc & ((1u32 << self.htau_bits) - 1);
+        let c = acc >> self.htau_bits;
+        if htau as usize >= self.family.k() || c != self.checksum_of(key) {
+            return None;
+        }
+        Some(self.values[hood[htau as usize]])
+    }
+
+    /// Storage in bits: Index Table words plus the m-deep Result Table
+    /// (`value_bits` wide) — what the paper's pointer indirection shrinks.
+    pub fn storage_bits(&self, value_bits: u32) -> u64 {
+        self.m as u64 * (self.htau_bits + self.checksum_bits) as u64
+            + self.m as u64 * value_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyset(n: usize) -> Vec<(u128, u32)> {
+        (0..n)
+            .map(|i| ((i as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn encodes_all_keys() {
+        let keys = keyset(2000);
+        let f = ChecksumBloomier::build(3, 6000, 8, 1, &keys).unwrap();
+        for &(k, v) in &keys {
+            assert_eq!(f.lookup(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_tracks_checksum_width() {
+        let keys = keyset(4000);
+        let absent: Vec<u128> = (0..100_000u128).map(|i| 0xFFFF_0000_0000 + i).collect();
+        let mut prev_rate = 1.0f64;
+        for cbits in [2u32, 4, 8, 12] {
+            let f = ChecksumBloomier::build(3, 12_000, cbits, 7, &keys).unwrap();
+            let fp = absent.iter().filter(|&&k| f.lookup(k).is_some()).count();
+            let rate = fp as f64 / absent.len() as f64;
+            let expected = 3.0 / (1u64 << cbits) as f64; // ~k / 2^c
+            assert!(
+                rate < expected * 3.0 + 1e-4,
+                "cbits={cbits}: rate {rate} vs expected ~{expected}"
+            );
+            assert!(rate <= prev_rate, "rate must fall with checksum width");
+            prev_rate = rate;
+        }
+    }
+
+    #[test]
+    fn false_positives_are_persistent() {
+        // The paper's key argument: a false-positive key ALWAYS false
+        // positives — probability 1 for that destination.
+        let keys = keyset(4000);
+        let f = ChecksumBloomier::build(3, 12_000, 4, 7, &keys).unwrap();
+        let fp_keys: Vec<u128> = (0..50_000u128)
+            .map(|i| 0xABCD_0000_0000 + i)
+            .filter(|&k| f.lookup(k).is_some())
+            .collect();
+        assert!(
+            !fp_keys.is_empty(),
+            "4-bit checksum must leak false positives"
+        );
+        for &k in &fp_keys {
+            for _ in 0..10 {
+                assert!(
+                    f.lookup(k).is_some(),
+                    "false positive must be deterministic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_checksum_means_mostly_positives() {
+        let keys = keyset(500);
+        let f = ChecksumBloomier::build(3, 1500, 0, 3, &keys).unwrap();
+        // Only the htau < k test filters absent keys: 3/4 accepted.
+        let absent: Vec<u128> = (0..10_000u128).map(|i| 0xEEEE_0000 + i).collect();
+        let fp = absent.iter().filter(|&&k| f.lookup(k).is_some()).count();
+        let rate = fp as f64 / absent.len() as f64;
+        assert!(rate > 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn overloaded_build_fails_cleanly() {
+        let keys = keyset(1000);
+        assert!(matches!(
+            ChecksumBloomier::build(3, 1010, 8, 1, &keys),
+            Err(BloomierError::SetupFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_grows_with_checksum() {
+        let keys = keyset(100);
+        let narrow = ChecksumBloomier::build(3, 300, 4, 1, &keys).unwrap();
+        let wide = ChecksumBloomier::build(3, 300, 16, 1, &keys).unwrap();
+        assert!(wide.storage_bits(16) > narrow.storage_bits(16));
+    }
+}

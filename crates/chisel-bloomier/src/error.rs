@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Bloomier filter construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BloomierError {
+    /// The key has no singleton location, so it cannot be inserted
+    /// incrementally; the caller must re-run setup (or spill the key).
+    NoSingleton {
+        /// The key that could not be inserted.
+        key: u128,
+    },
+    /// Setup could not converge even after spilling `spill_limit` keys.
+    SetupFailed {
+        /// Keys successfully placed before giving up.
+        placed: usize,
+        /// Total keys requested.
+        requested: usize,
+    },
+    /// The same key was supplied twice to setup.
+    DuplicateKey {
+        /// The duplicated key.
+        key: u128,
+    },
+    /// The table is too small for the requested key set (`m < k`).
+    TableTooSmall {
+        /// Requested table size.
+        m: usize,
+        /// Number of hash functions.
+        k: usize,
+    },
+}
+
+impl fmt::Display for BloomierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloomierError::NoSingleton { key } => {
+                write!(f, "key {key:#x} has no singleton location")
+            }
+            BloomierError::SetupFailed { placed, requested } => {
+                write!(f, "setup failed: placed {placed} of {requested} keys")
+            }
+            BloomierError::DuplicateKey { key } => {
+                write!(f, "duplicate key {key:#x} in setup input")
+            }
+            BloomierError::TableTooSmall { m, k } => {
+                write!(f, "index table of {m} locations too small for k={k}")
+            }
+        }
+    }
+}
+
+impl Error for BloomierError {}

@@ -1,0 +1,43 @@
+//! Bloomier filter: collision-free static function encoding with
+//! incremental extensions (paper Sections 3 and 4.4).
+//!
+//! A Bloomier filter stores a function `key -> value` such that lookups are
+//! a constant-time XOR over `k` table locations — no chaining, no probing,
+//! no collisions. This crate implements:
+//!
+//! - [`BloomierFilter`]: the filter itself, built with the stack-based
+//!   peeling *setup algorithm* of Section 3.2 and encoded with the XOR
+//!   scheme of Equations 1/2/4.
+//! - Incremental inserts via *singleton* locations (Section 4.4.2) —
+//!   `O(1)` additions whenever one of the new key's hash locations is
+//!   untouched by every other live key.
+//! - [`PartitionedBloomier`]: the `d`-way logical partitioning that bounds
+//!   worst-case re-setup time to one small sub-table.
+//! - [`analytics`]: the setup-failure probability bound (Equation 3)
+//!   behind Figures 2 and 3.
+//!
+//! Lookups of keys *not* in the encoded set return arbitrary values (the
+//! false-positive problem); eliminating those exactly is the job of the
+//! Chisel engine's Filter Table in `chisel-core`.
+//!
+//! ```
+//! use chisel_bloomier::BloomierFilter;
+//!
+//! let keys: Vec<(u128, u32)> = (0..100).map(|i| (i * 7919, i as u32)).collect();
+//! let built = BloomierFilter::build(3, 300, 42, &keys).unwrap();
+//! assert!(built.spilled.is_empty());
+//! for &(k, v) in &keys {
+//!     assert_eq!(built.filter.lookup(k), v);
+//! }
+//! ```
+
+pub mod analytics;
+mod checksum;
+mod error;
+mod filter;
+mod partition;
+
+pub use checksum::ChecksumBloomier;
+pub use error::BloomierError;
+pub use filter::{BloomierFilter, Built};
+pub use partition::PartitionedBloomier;

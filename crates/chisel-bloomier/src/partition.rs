@@ -1,0 +1,277 @@
+use chisel_hash::HashFamily;
+
+use crate::{BloomierError, BloomierFilter, Built};
+
+/// A Bloomier filter logically partitioned into `d` sub-tables
+/// (paper Section 4.4.2).
+///
+/// Each key is assigned to a partition by a `log2(d)`-bit hash checksum;
+/// a re-setup triggered by a singleton-less insert then only rebuilds one
+/// sub-table of ~`n/d` keys, bounding the worst-case update latency. The
+/// hardware realization is still one monolithic Index Table — the checksum
+/// simply forms the most-significant address bits — so lookup cost is
+/// unchanged.
+#[derive(Debug, Clone)]
+pub struct PartitionedBloomier {
+    parts: Vec<BloomierFilter>,
+    selector: HashFamily,
+    k: usize,
+    part_m: usize,
+    seed: u64,
+    /// Per-partition seed salt, bumped when a partition is rebuilt after a
+    /// convergence failure so the rebuild tries fresh hash functions.
+    salts: Vec<u64>,
+}
+
+impl PartitionedBloomier {
+    /// Creates an empty partitioned filter: `d` sub-tables of
+    /// `ceil(total_m / d)` locations each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `total_m == 0`.
+    pub fn empty(k: usize, total_m: usize, d: usize, seed: u64) -> Self {
+        assert!(d > 0, "need at least one partition");
+        assert!(total_m > 0, "index table must be nonempty");
+        let part_m = total_m.div_ceil(d).max(k);
+        let parts = (0..d)
+            .map(|i| BloomierFilter::empty(k, part_m, part_seed(seed, i, 0)))
+            .collect();
+        PartitionedBloomier {
+            parts,
+            selector: HashFamily::new(1, seed ^ 0x5E1E_C70A),
+            k,
+            part_m,
+            seed,
+            salts: vec![0; d],
+        }
+    }
+
+    /// Builds over a static key set; spills are aggregated across
+    /// partitions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from any partition (duplicate keys,
+    /// table too small).
+    pub fn build(
+        k: usize,
+        total_m: usize,
+        d: usize,
+        seed: u64,
+        keys: &[(u128, u32)],
+    ) -> Result<(Self, Vec<(u128, u32)>), BloomierError> {
+        let mut this = Self::empty(k, total_m, d, seed);
+        let mut buckets: Vec<Vec<(u128, u32)>> = vec![Vec::new(); d];
+        for &(key, value) in keys {
+            buckets[this.partition_of(key)].push((key, value));
+        }
+        let mut spilled = Vec::new();
+        for (i, bucket) in buckets.iter().enumerate() {
+            spilled.extend(this.rebuild_partition(i, bucket)?);
+        }
+        Ok((this, spilled))
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Locations per partition.
+    #[inline]
+    pub fn partition_m(&self) -> usize {
+        self.part_m
+    }
+
+    /// Total Index Table locations across partitions.
+    #[inline]
+    pub fn total_m(&self) -> usize {
+        self.part_m * self.parts.len()
+    }
+
+    /// Total live keys.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(BloomierFilter::len).sum()
+    }
+
+    /// Whether no keys are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(BloomierFilter::is_empty)
+    }
+
+    /// The partition a key belongs to (the paper's hash checksum).
+    #[inline]
+    pub fn partition_of(&self, key: u128) -> usize {
+        self.selector.hash_one(0, key, self.parts.len())
+    }
+
+    /// The partition-selector hash family (needed to replay lookups from
+    /// an exported memory image).
+    pub fn selector(&self) -> &HashFamily {
+        &self.selector
+    }
+
+    /// Read access to one partition's filter (its table words and hash
+    /// family fully determine its lookups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= d`.
+    pub fn part(&self, i: usize) -> &BloomierFilter {
+        &self.parts[i]
+    }
+
+    /// Collision-free lookup: selects the partition, then XORs its `k`
+    /// locations.
+    #[inline]
+    pub fn lookup(&self, key: u128) -> u32 {
+        self.parts[self.partition_of(key)].lookup(key)
+    }
+
+    /// Incremental singleton insert into the key's partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomierError::NoSingleton`] when the partition must be
+    /// re-set-up; use [`PartitionedBloomier::rebuild_partition`] with the
+    /// partition's full key list.
+    pub fn try_insert(&mut self, key: u128, value: u32) -> Result<(), BloomierError> {
+        let p = self.partition_of(key);
+        self.parts[p].try_insert(key, value)
+    }
+
+    /// Whether an incremental insert of `key` would succeed.
+    pub fn has_singleton(&self, key: u128) -> bool {
+        self.parts[self.partition_of(key)].has_singleton(key)
+    }
+
+    /// Rebuilds one partition from scratch over `keys` (which must all map
+    /// to partition `idx`). Used for the bounded re-setup path. Retries
+    /// with salted hash seeds until the spill fits a small spillover set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-key errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a key does not belong to partition `idx`.
+    pub fn rebuild_partition(
+        &mut self,
+        idx: usize,
+        keys: &[(u128, u32)],
+    ) -> Result<Vec<(u128, u32)>, BloomierError> {
+        debug_assert!(keys.iter().all(|&(k, _)| self.partition_of(k) == idx));
+        // Up to 4 attempts with fresh seeds; the paper notes repeated
+        // failures have probability 1e-14, 1e-21, ... (Section 4.1).
+        let mut best: Option<(BloomierFilter, Vec<(u128, u32)>)> = None;
+        for attempt in 0..4u64 {
+            let salt = self.salts[idx] + attempt;
+            let built: Built =
+                BloomierFilter::build(self.k, self.part_m, part_seed(self.seed, idx, salt), keys)?;
+            let better = match &best {
+                None => true,
+                Some((_, spill)) => built.spilled.len() < spill.len(),
+            };
+            if better {
+                let done = built.spilled.is_empty();
+                self.salts[idx] = salt;
+                best = Some((built.filter, built.spilled));
+                if done {
+                    break;
+                }
+            }
+        }
+        let (filter, spilled) = best.expect("at least one attempt ran");
+        self.parts[idx] = filter;
+        Ok(spilled)
+    }
+}
+
+fn part_seed(seed: u64, idx: usize, salt: u64) -> u64 {
+    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyset(n: usize, salt: u128) -> Vec<(u128, u32)> {
+        (0..n)
+            .map(|i| ((i as u128).wrapping_mul(0x1234_5679) ^ salt, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn build_and_lookup_across_partitions() {
+        let keys = keyset(4000, 5);
+        let (f, spilled) = PartitionedBloomier::build(3, 12_000, 8, 1, &keys).unwrap();
+        assert!(spilled.is_empty());
+        assert_eq!(f.len(), 4000);
+        assert_eq!(f.d(), 8);
+        for &(k, v) in &keys {
+            assert_eq!(f.lookup(k), v);
+        }
+    }
+
+    #[test]
+    fn partition_assignment_is_stable() {
+        let f = PartitionedBloomier::empty(3, 3000, 16, 2);
+        let g = PartitionedBloomier::empty(3, 3000, 16, 2);
+        for key in 0..1000u128 {
+            assert_eq!(f.partition_of(key), g.partition_of(key));
+        }
+    }
+
+    #[test]
+    fn insert_goes_to_right_partition() {
+        let mut f = PartitionedBloomier::empty(3, 3000, 4, 3);
+        for &(k, v) in &keyset(100, 9) {
+            f.try_insert(k, v).unwrap();
+        }
+        assert_eq!(f.len(), 100);
+        for &(k, v) in &keyset(100, 9) {
+            assert_eq!(f.lookup(k), v);
+        }
+    }
+
+    #[test]
+    fn rebuild_partition_only_touches_that_partition() {
+        let keys = keyset(2000, 1);
+        let (mut f, _) = PartitionedBloomier::build(3, 6000, 4, 7, &keys).unwrap();
+        // Rebuild partition 2 with its keys plus some new ones.
+        let mut p2: Vec<(u128, u32)> = keys
+            .iter()
+            .copied()
+            .filter(|&(k, _)| f.partition_of(k) == 2)
+            .collect();
+        let extra: Vec<(u128, u32)> = keyset(500, 0xFF00_0000)
+            .into_iter()
+            .filter(|&(k, _)| f.partition_of(k) == 2)
+            .collect();
+        p2.extend(extra.iter().copied());
+        let spilled = f.rebuild_partition(2, &p2).unwrap();
+        assert!(spilled.is_empty());
+        // Everything (old keys in all partitions, new keys in p2) resolves.
+        for &(k, v) in keys.iter().chain(&extra) {
+            assert_eq!(f.lookup(k), v, "key {k:#x}");
+        }
+    }
+
+    #[test]
+    fn total_m_covers_requested() {
+        let f = PartitionedBloomier::empty(3, 1000, 7, 1);
+        assert!(f.total_m() >= 1000);
+        assert_eq!(f.partition_m(), 1000usize.div_ceil(7));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let f = PartitionedBloomier::empty(3, 100, 2, 1);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-field classification with per-class rule bitsets — the
+//! Lakshman–Stiliadis "bit vector" scheme, here with Chisel LPM engines
+//! as the per-field class finders. Handles the third real-world field
+//! (destination port *ranges*) by converting each range to its aligned
+//! prefix blocks ([`crate::ranges`]).
+//!
+//! Per packet: one LPM lookup per field (parallel in hardware), then an
+//! AND across the fields' rule bitsets; the highest-priority surviving
+//! rule wins. Unlike full cross-producting, memory is
+//! `O(classes x rules)` bits instead of `O(classes^fields)` entries.
+
+use chisel_prefix::{AddressFamily, Key, Prefix};
+
+use crate::field::{FieldLpm, RuleBits};
+use crate::ranges::range_to_prefixes;
+use crate::{Action, ClassifierError};
+
+/// A three-field rule: source prefix, destination prefix, and an
+/// inclusive destination-port range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule3 {
+    /// Source-address prefix.
+    pub src: Prefix,
+    /// Destination-address prefix.
+    pub dst: Prefix,
+    /// Inclusive destination-port range.
+    pub dport: (u16, u16),
+    /// Priority; higher wins, ties break toward the earlier rule.
+    pub priority: u32,
+    /// Action on match.
+    pub action: Action,
+}
+
+impl Rule3 {
+    /// Whether the rule matches a packet.
+    pub fn matches(&self, src: Key, dst: Key, dport: u16) -> bool {
+        self.src.matches(src)
+            && self.dst.matches(dst)
+            && (self.dport.0..=self.dport.1).contains(&dport)
+    }
+}
+
+/// The bit-vector multi-field classifier.
+///
+/// ```
+/// use chisel_classify::{BvClassifier, Rule3, Action};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rules = vec![Rule3 {
+///     src: "10.0.0.0/8".parse()?,
+///     dst: "0.0.0.0/0".parse()?,
+///     dport: (80, 80),
+///     priority: 5,
+///     action: Action::new(1),
+/// }];
+/// let c = BvClassifier::build(&rules, 3)?;
+/// assert!(c.classify("10.1.1.1".parse()?, "4.4.4.4".parse()?, 80).is_some());
+/// assert!(c.classify("10.1.1.1".parse()?, "4.4.4.4".parse()?, 81).is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BvClassifier {
+    src_field: FieldLpm,
+    dst_field: FieldLpm,
+    port_field: FieldLpm,
+    src_bits: Vec<RuleBits>,
+    dst_bits: Vec<RuleBits>,
+    port_bits: Vec<RuleBits>,
+    rules: Vec<Rule3>,
+    family: AddressFamily,
+}
+
+/// Embeds a 16-bit port into the top bits of a synthetic field key.
+fn port_key(port: u16, family: AddressFamily) -> Key {
+    Key::from_raw(family, (port as u128) << (family.width() - 16))
+}
+
+impl BvClassifier {
+    /// Builds the classifier from a rule list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifierError::Field`] if a field engine fails to
+    /// build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rules mix address families or a port range is inverted.
+    pub fn build(rules: &[Rule3], seed: u64) -> Result<Self, ClassifierError> {
+        let family = rules
+            .first()
+            .map(|r| r.src.family())
+            .unwrap_or(AddressFamily::V4);
+        assert!(
+            rules
+                .iter()
+                .all(|r| r.src.family() == family && r.dst.family() == family),
+            "mixed address families"
+        );
+        // Per-rule port prefix covers.
+        let port_prefixes_per_rule: Vec<Vec<Prefix>> = rules
+            .iter()
+            .map(|r| {
+                assert!(r.dport.0 <= r.dport.1, "inverted port range");
+                range_to_prefixes(r.dport.0 as u128, r.dport.1 as u128, 16, family)
+                    .expect("valid 16-bit range")
+            })
+            .collect();
+
+        let src_field = FieldLpm::build(family, rules.iter().map(|r| r.src).collect(), seed)
+            .map_err(ClassifierError::Field)?;
+        let dst_field =
+            FieldLpm::build(family, rules.iter().map(|r| r.dst).collect(), seed ^ 0xD57)
+                .map_err(ClassifierError::Field)?;
+        let port_field = FieldLpm::build(
+            family,
+            port_prefixes_per_rule.iter().flatten().copied().collect(),
+            seed ^ 0xB07,
+        )
+        .map_err(ClassifierError::Field)?;
+
+        let n = rules.len();
+        let cover_single = |field: &FieldLpm, pick: &dyn Fn(&Rule3) -> Prefix| -> Vec<RuleBits> {
+            field
+                .prefixes
+                .iter()
+                .map(|class_prefix| {
+                    let mut bits = RuleBits::new(n);
+                    for (i, r) in rules.iter().enumerate() {
+                        if pick(r).covers(class_prefix) {
+                            bits.set(i);
+                        }
+                    }
+                    bits
+                })
+                .collect()
+        };
+        let src_bits = cover_single(&src_field, &|r| r.src);
+        let dst_bits = cover_single(&dst_field, &|r| r.dst);
+        let port_bits = port_field
+            .prefixes
+            .iter()
+            .map(|class_prefix| {
+                let mut bits = RuleBits::new(n);
+                for (i, blocks) in port_prefixes_per_rule.iter().enumerate() {
+                    if blocks.iter().any(|b| b.covers(class_prefix)) {
+                        bits.set(i);
+                    }
+                }
+                bits
+            })
+            .collect();
+
+        Ok(BvClassifier {
+            src_field,
+            dst_field,
+            port_field,
+            src_bits,
+            dst_bits,
+            port_bits,
+            rules: rules.to_vec(),
+            family,
+        })
+    }
+
+    /// Classifies a packet: three parallel field lookups, one bitset AND.
+    pub fn classify(&self, src: Key, dst: Key, dport: u16) -> Option<Rule3> {
+        let i = self.src_field.class_of(src)? as usize;
+        let j = self.dst_field.class_of(dst)? as usize;
+        let k = self.port_field.class_of(port_key(dport, self.family))? as usize;
+        let best =
+            RuleBits::and_all_iter(&[&self.src_bits[i], &self.dst_bits[j], &self.port_bits[k]])
+                .max_by(|&a, &b| {
+                    self.rules[a]
+                        .priority
+                        .cmp(&self.rules[b].priority)
+                        .then(b.cmp(&a)) // earlier rule wins ties
+                })?;
+        Some(self.rules[best])
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Bitset memory in bits: `classes x rules` per field — the linear
+    /// (not exponential) memory scaling that distinguishes this scheme
+    /// from full cross-producting.
+    pub fn bitset_bits(&self) -> u64 {
+        let per_class = self.rules.len().div_ceil(64) as u64 * 64;
+        (self.src_bits.len() + self.dst_bits.len() + self.port_bits.len()) as u64 * per_class
+    }
+}
+
+/// Linear-scan oracle for three-field rules.
+#[cfg(test)]
+fn linear_classify3(rules: &[Rule3], src: Key, dst: Key, dport: u16) -> Option<Rule3> {
+    let mut best: Option<Rule3> = None;
+    for &r in rules {
+        if r.matches(src, dst, dport) && best.is_none_or(|b| r.priority > b.priority) {
+            best = Some(r);
+        }
+    }
+    best
+}
+
+/// Masks a random value into a prefix of the given length (test helper).
+#[cfg(test)]
+fn prefix_of(raw: u128, len: u8) -> Prefix {
+    Prefix::new(AddressFamily::V4, raw & chisel_prefix::bits::mask(len), len).expect("masked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rule(src: &str, dst: &str, dport: (u16, u16), priority: u32, act: u32) -> Rule3 {
+        Rule3 {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            dport,
+            priority,
+            action: Action::new(act),
+        }
+    }
+
+    fn firewall() -> Vec<Rule3> {
+        vec![
+            rule("0.0.0.0/0", "10.0.9.0/24", (80, 80), 10, 1), // web to DMZ
+            rule("0.0.0.0/0", "10.0.9.0/24", (443, 443), 10, 2), // https to DMZ
+            rule("10.0.0.0/8", "0.0.0.0/0", (0, 65535), 1, 3), // any outbound
+            rule("0.0.0.0/0", "10.0.9.9/32", (1024, 65535), 20, 4), // ephemeral to host
+        ]
+    }
+
+    #[test]
+    fn port_ranges_respected() {
+        let c = BvClassifier::build(&firewall(), 1).unwrap();
+        let get = |s: &str, d: &str, p: u16| {
+            c.classify(s.parse().unwrap(), d.parse().unwrap(), p)
+                .map(|r| r.action.id())
+        };
+        assert_eq!(get("8.8.8.8", "10.0.9.1", 80), Some(1));
+        assert_eq!(get("8.8.8.8", "10.0.9.1", 443), Some(2));
+        assert_eq!(get("8.8.8.8", "10.0.9.1", 8080), None);
+        assert_eq!(get("8.8.8.8", "10.0.9.9", 8080), Some(4));
+        assert_eq!(get("10.5.5.5", "8.8.8.8", 12345), Some(3));
+        assert_eq!(get("9.9.9.9", "9.9.9.9", 80), None);
+    }
+
+    #[test]
+    fn differential_vs_linear() {
+        let mut rng = StdRng::seed_from_u64(0xB5);
+        let mut rules = Vec::new();
+        for i in 0..150u32 {
+            let lo: u16 = rng.gen_range(0..60_000);
+            let hi = rng.gen_range(lo..=u16::MAX);
+            rules.push(Rule3 {
+                src: prefix_of(rng.gen(), rng.gen_range(0..=24)),
+                dst: prefix_of(rng.gen(), rng.gen_range(0..=24)),
+                dport: (lo, hi),
+                priority: rng.gen_range(0..40),
+                action: Action::new(i),
+            });
+        }
+        let c = BvClassifier::build(&rules, 5).unwrap();
+        for _ in 0..20_000 {
+            let src = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            let dst = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            let port: u16 = rng.gen();
+            let fast = c.classify(src, dst, port).map(|r| (r.priority, r.action));
+            let slow = linear_classify3(&rules, src, dst, port).map(|r| (r.priority, r.action));
+            assert_eq!(fast, slow, "({src}, {dst}, {port})");
+        }
+    }
+
+    #[test]
+    fn memory_is_linear_in_rules() {
+        let rules = firewall();
+        let c = BvClassifier::build(&rules, 1).unwrap();
+        // classes x 64-bit-rounded rule words per field.
+        assert!(c.bitset_bits() <= 3 * 20 * 64);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn empty_rules() {
+        let c = BvClassifier::build(&[], 1).unwrap();
+        assert!(c.is_empty());
+        assert!(c
+            .classify("1.2.3.4".parse().unwrap(), "5.6.7.8".parse().unwrap(), 80)
+            .is_none());
+    }
+}

@@ -1,0 +1,259 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use chisel_core::ChiselError;
+use chisel_prefix::{Key, Prefix};
+
+use crate::field::{FieldLpm, RuleBits};
+
+use crate::{Rule, RuleSet};
+
+/// Errors from classifier construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassifierError {
+    /// A per-field LPM engine failed to build.
+    Field(ChiselError),
+}
+
+impl fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifierError::Field(e) => write!(f, "field engine build failed: {e}"),
+        }
+    }
+}
+
+impl Error for ClassifierError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClassifierError::Field(e) => Some(e),
+        }
+    }
+}
+
+/// The cross-producting two-field classifier.
+///
+/// ```
+/// use chisel_classify::{Classifier, Rule, RuleSet, Action};
+/// use chisel_prefix::AddressFamily;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rules = RuleSet::new(AddressFamily::V4);
+/// rules.push(Rule {
+///     src: "10.0.0.0/8".parse()?,
+///     dst: "192.168.0.0/16".parse()?,
+///     priority: 10,
+///     action: Action::new(1),
+/// });
+/// let classifier = Classifier::build(&rules, 7)?;
+/// let hit = classifier.classify("10.1.1.1".parse()?, "192.168.0.5".parse()?);
+/// assert_eq!(hit.unwrap().action, Action::new(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    src_field: FieldLpm,
+    dst_field: FieldLpm,
+    rules: Vec<Rule>,
+    /// `(src class, dst class)` -> winning rule index. Pairs with no
+    /// matching rule are absent.
+    cross: HashMap<(u32, u32), u32>,
+}
+
+impl Classifier {
+    /// Builds the classifier: per-field Chisel engines plus the
+    /// precomputed cross-product table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifierError::Field`] if a field engine cannot build.
+    pub fn build(rules: &RuleSet, seed: u64) -> Result<Self, ClassifierError> {
+        let family = rules.family();
+        let src_field =
+            FieldLpm::build(family, rules.rules().iter().map(|r| r.src).collect(), seed)
+                .map_err(ClassifierError::Field)?;
+        let dst_field = FieldLpm::build(
+            family,
+            rules.rules().iter().map(|r| r.dst).collect(),
+            seed ^ 0xD57,
+        )
+        .map_err(ClassifierError::Field)?;
+
+        // For each field class, the set of rules whose field prefix
+        // covers the class prefix (equivalently: rules that match any
+        // packet in that class).
+        let n = rules.len();
+        let rules_covering = |field: &FieldLpm, pick: fn(&Rule) -> Prefix| -> Vec<RuleBits> {
+            field
+                .prefixes
+                .iter()
+                .map(|class_prefix| {
+                    let mut bits = RuleBits::new(n);
+                    for (i, r) in rules.rules().iter().enumerate() {
+                        if pick(r).covers(class_prefix) {
+                            bits.set(i);
+                        }
+                    }
+                    bits
+                })
+                .collect()
+        };
+        let src_cover = rules_covering(&src_field, |r| r.src);
+        let dst_cover = rules_covering(&dst_field, |r| r.dst);
+
+        let rule_list = rules.rules();
+        let mut cross = HashMap::new();
+        for (i, sbits) in src_cover.iter().enumerate() {
+            for (j, dbits) in dst_cover.iter().enumerate() {
+                let best = sbits.and_iter(dbits).max_by(|&a, &b| {
+                    rule_list[a]
+                        .priority
+                        .cmp(&rule_list[b].priority)
+                        // earlier rule wins ties: higher index loses
+                        .then(b.cmp(&a))
+                });
+                if let Some(r) = best {
+                    cross.insert((i as u32, j as u32), r as u32);
+                }
+            }
+        }
+        Ok(Classifier {
+            src_field,
+            dst_field,
+            rules: rule_list.to_vec(),
+            cross,
+        })
+    }
+
+    /// Classifies a packet: two parallel Chisel lookups plus one
+    /// cross-product table read.
+    pub fn classify(&self, src: Key, dst: Key) -> Option<Rule> {
+        let i = self.src_field.class_of(src)?;
+        let j = self.dst_field.class_of(dst)?;
+        self.cross.get(&(i, j)).map(|&r| self.rules[r as usize])
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the classifier has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Size of the precomputed cross-product table — the memory cost of
+    /// the scheme (worst case `src classes x dst classes`).
+    pub fn cross_product_entries(&self) -> usize {
+        self.cross.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, LinearClassifier};
+    use chisel_prefix::bits::mask;
+    use chisel_prefix::AddressFamily;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rule(src: &str, dst: &str, priority: u32, act: u32) -> Rule {
+        Rule {
+            src: src.parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            priority,
+            action: Action::new(act),
+        }
+    }
+
+    fn firewall() -> RuleSet {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        rs.push(rule("10.0.0.0/8", "0.0.0.0/0", 1, 100)); // allow out
+        rs.push(rule("0.0.0.0/0", "10.0.0.0/8", 2, 200)); // allow in
+        rs.push(rule("10.66.0.0/16", "0.0.0.0/0", 9, 300)); // quarantine
+        rs.push(rule("0.0.0.0/0", "10.0.9.0/24", 8, 400)); // protect server
+        rs.push(rule("192.168.0.0/16", "10.0.9.9/32", 20, 500)); // admin host
+        rs
+    }
+
+    #[test]
+    fn firewall_scenarios() {
+        let c = Classifier::build(&firewall(), 1).unwrap();
+        let get = |s: &str, d: &str| {
+            c.classify(s.parse().unwrap(), d.parse().unwrap())
+                .map(|r| r.action.id())
+        };
+        assert_eq!(get("10.1.1.1", "8.8.8.8"), Some(100));
+        assert_eq!(get("8.8.8.8", "10.1.1.1"), Some(200));
+        assert_eq!(get("10.66.1.1", "8.8.8.8"), Some(300));
+        assert_eq!(get("8.8.8.8", "10.0.9.1"), Some(400));
+        assert_eq!(get("192.168.1.1", "10.0.9.9"), Some(500));
+        assert_eq!(get("8.8.8.8", "9.9.9.9"), None);
+    }
+
+    #[test]
+    fn differential_vs_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0xC1A5);
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        for i in 0..200 {
+            let slen = rng.gen_range(0..=24u8);
+            let dlen = rng.gen_range(0..=24u8);
+            rs.push(Rule {
+                src: Prefix::new(AddressFamily::V4, rng.gen::<u128>() & mask(slen), slen).unwrap(),
+                dst: Prefix::new(AddressFamily::V4, rng.gen::<u128>() & mask(dlen), dlen).unwrap(),
+                priority: rng.gen_range(0..50),
+                action: crate::Action::new(i),
+            });
+        }
+        let fast = Classifier::build(&rs, 3).unwrap();
+        let slow = LinearClassifier::from_rules(&rs);
+        for _ in 0..20_000 {
+            let src = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            let dst = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            let f = fast.classify(src, dst).map(|r| (r.priority, r.action));
+            let s = slow.classify(src, dst).map(|r| (r.priority, r.action));
+            // Priorities must agree; actions may differ only on equal
+            // priority (tie-break), which both implement identically.
+            assert_eq!(f, s, "divergence at ({src}, {dst})");
+        }
+    }
+
+    #[test]
+    fn empty_rules() {
+        let rs = RuleSet::new(AddressFamily::V4);
+        let c = Classifier::build(&rs, 1).unwrap();
+        assert!(c.is_empty());
+        assert!(c
+            .classify("1.2.3.4".parse().unwrap(), "5.6.7.8".parse().unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn cross_product_is_bounded() {
+        let rs = firewall();
+        let c = Classifier::build(&rs, 1).unwrap();
+        // At most (#src classes) x (#dst classes) entries.
+        assert!(c.cross_product_entries() <= 5 * 5);
+        assert!(c.cross_product_entries() >= rs.len());
+    }
+
+    #[test]
+    fn tie_break_matches_linear() {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        rs.push(rule("10.0.0.0/8", "0.0.0.0/0", 5, 1));
+        rs.push(rule("10.0.0.0/8", "0.0.0.0/0", 5, 2));
+        let fast = Classifier::build(&rs, 1).unwrap();
+        let slow = LinearClassifier::from_rules(&rs);
+        let src: Key = "10.1.1.1".parse().unwrap();
+        let dst: Key = "9.9.9.9".parse().unwrap();
+        assert_eq!(
+            fast.classify(src, dst).unwrap().action,
+            slow.classify(src, dst).unwrap().action
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared per-field machinery: a Chisel LPM engine mapping a packet
+//! field to its equivalence class, and rule bitsets over classes.
+
+use chisel_core::{ChiselConfig, ChiselError, ChiselLpm};
+use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RoutingTable};
+
+/// One classification field: a Chisel LPM engine mapping a packet field
+/// to the equivalence class (id) of its longest matching field prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct FieldLpm {
+    engine: ChiselLpm,
+    pub(crate) prefixes: Vec<Prefix>,
+}
+
+impl FieldLpm {
+    pub(crate) fn build(
+        family: AddressFamily,
+        mut prefixes: Vec<Prefix>,
+        seed: u64,
+    ) -> Result<Self, ChiselError> {
+        prefixes.sort();
+        prefixes.dedup();
+        let mut table = RoutingTable::new(family);
+        for (id, &p) in prefixes.iter().enumerate() {
+            table.insert(p, NextHop::new(id as u32));
+        }
+        let config = match family {
+            AddressFamily::V4 => ChiselConfig::ipv4(),
+            AddressFamily::V6 => ChiselConfig::ipv6(),
+        }
+        .seed(seed);
+        Ok(FieldLpm {
+            engine: ChiselLpm::build(&table, config)?,
+            prefixes,
+        })
+    }
+
+    /// The class of a packet field: the id of the longest matching field
+    /// prefix, or `None` when nothing (not even a wildcard) matches.
+    pub(crate) fn class_of(&self, key: Key) -> Option<u32> {
+        self.engine.lookup(key).map(|nh| nh.id())
+    }
+
+    /// Number of equivalence classes.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn classes(&self) -> usize {
+        self.prefixes.len()
+    }
+}
+
+/// A rule-index bitset, one bit per rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RuleBits(pub(crate) Vec<u64>);
+
+impl RuleBits {
+    pub(crate) fn new(n: usize) -> Self {
+        RuleBits(vec![0; n.div_ceil(64)])
+    }
+
+    pub(crate) fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Iterates set bits of `self & other`.
+    pub(crate) fn and_iter<'a>(&'a self, other: &'a RuleBits) -> impl Iterator<Item = usize> + 'a {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .enumerate()
+            .flat_map(|(w, (&a, &b))| BitIter {
+                word: a & b,
+                base: w * 64,
+            })
+    }
+
+    /// Iterates set bits of the AND of all given bitsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty or lengths differ.
+    pub(crate) fn and_all_iter<'a>(sets: &'a [&'a RuleBits]) -> impl Iterator<Item = usize> + 'a {
+        let (first, rest) = sets.split_first().expect("at least one bitset");
+        first.0.iter().enumerate().flat_map(move |(w, &a)| {
+            let word = rest.iter().fold(a, |acc, s| acc & s.0[w]);
+            BitIter { word, base: w * 64 }
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rulebits_and_iter() {
+        let mut a = RuleBits::new(130);
+        let mut b = RuleBits::new(130);
+        for i in [0usize, 5, 64, 100, 129] {
+            a.set(i);
+        }
+        for i in [5usize, 64, 99, 129] {
+            b.set(i);
+        }
+        let both: Vec<usize> = a.and_iter(&b).collect();
+        assert_eq!(both, vec![5, 64, 129]);
+    }
+
+    #[test]
+    fn rulebits_and_all() {
+        let mut a = RuleBits::new(70);
+        let mut b = RuleBits::new(70);
+        let mut c = RuleBits::new(70);
+        for i in [1usize, 2, 65] {
+            a.set(i);
+            b.set(i);
+        }
+        c.set(2);
+        c.set(65);
+        let all: Vec<usize> = RuleBits::and_all_iter(&[&a, &b, &c]).collect();
+        assert_eq!(all, vec![2, 65]);
+    }
+
+    #[test]
+    fn field_lpm_classes() {
+        let f = FieldLpm::build(
+            AddressFamily::V4,
+            vec![
+                "0.0.0.0/0".parse().unwrap(),
+                "10.0.0.0/8".parse().unwrap(),
+                "10.1.0.0/16".parse().unwrap(),
+            ],
+            1,
+        )
+        .unwrap();
+        assert_eq!(f.classes(), 3);
+        // Longest match picks the most specific class.
+        let c_deep = f.class_of("10.1.2.3".parse().unwrap()).unwrap();
+        let c_mid = f.class_of("10.2.2.2".parse().unwrap()).unwrap();
+        let c_root = f.class_of("1.1.1.1".parse().unwrap()).unwrap();
+        assert_eq!(f.prefixes[c_deep as usize].len(), 16);
+        assert_eq!(f.prefixes[c_mid as usize].len(), 8);
+        assert_eq!(f.prefixes[c_root as usize].len(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Packet classification built from Chisel LPM building blocks.
+//!
+//! The paper positions LPM as "a fundamental part of IP-lookup, packet
+//! classification, intrusion detection and other packet-processing
+//! tasks": "Because each rule has multiple fields, packet classification
+//! is essentially a multiple-field extension of IP-lookup and can be
+//! performed by combining building blocks of LPM for each field \[20\]"
+//! (Section 1), and the conclusion names classification as the first
+//! application of Chisel as a building block (Section 8).
+//!
+//! This crate implements that combination for two-dimensional
+//! (source, destination) rules using the cross-producting scheme of
+//! Srinivasan, Varghese, Suri & Waldvogel (SIGCOMM 1998):
+//!
+//! 1. one **Chisel LPM engine per field**, mapping each packet field to
+//!    the id of its longest matching field prefix (its *equivalence
+//!    class*), and
+//! 2. a precomputed **cross-product table** mapping a pair of class ids
+//!    to the highest-priority matching rule.
+//!
+//! A [`LinearClassifier`] scan oracle backs the differential tests.
+
+mod bv;
+mod classifier;
+pub(crate) mod field;
+mod linear;
+pub mod ranges;
+mod rule;
+
+pub use bv::{BvClassifier, Rule3};
+pub use classifier::{Classifier, ClassifierError};
+pub use linear::LinearClassifier;
+pub use ranges::{range_to_blocks, range_to_prefixes};
+pub use rule::{Action, Rule, RuleSet};

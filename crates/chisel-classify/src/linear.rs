@@ -1,0 +1,73 @@
+use chisel_prefix::Key;
+
+use crate::{Rule, RuleSet};
+
+/// The obviously-correct classifier: scan every rule, keep the best
+/// match. Used as the oracle for the cross-producting classifier.
+#[derive(Debug, Clone)]
+pub struct LinearClassifier {
+    rules: Vec<Rule>,
+}
+
+impl LinearClassifier {
+    /// Builds from a rule set.
+    pub fn from_rules(rules: &RuleSet) -> Self {
+        LinearClassifier {
+            rules: rules.rules().to_vec(),
+        }
+    }
+
+    /// Classifies a packet: highest priority wins, ties break toward the
+    /// earlier rule.
+    pub fn classify(&self, src: Key, dst: Key) -> Option<Rule> {
+        let mut best: Option<Rule> = None;
+        for &r in &self.rules {
+            if r.matches(src, dst) && best.is_none_or(|b| r.priority > b.priority) {
+                best = Some(r);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Action;
+    use chisel_prefix::AddressFamily;
+
+    #[test]
+    fn highest_priority_wins_first_added_breaks_ties() {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        let mk = |prio, act| Rule {
+            src: "10.0.0.0/8".parse().unwrap(),
+            dst: "0.0.0.0/0".parse().unwrap(),
+            priority: prio,
+            action: Action::new(act),
+        };
+        rs.push(mk(1, 0));
+        rs.push(mk(7, 1));
+        rs.push(mk(7, 2)); // same priority, later: loses the tie
+        rs.push(mk(3, 3));
+        let c = LinearClassifier::from_rules(&rs);
+        let hit = c
+            .classify("10.1.1.1".parse().unwrap(), "4.4.4.4".parse().unwrap())
+            .unwrap();
+        assert_eq!(hit.action, Action::new(1));
+    }
+
+    #[test]
+    fn no_match_is_none() {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        rs.push(Rule {
+            src: "10.0.0.0/8".parse().unwrap(),
+            dst: "10.0.0.0/8".parse().unwrap(),
+            priority: 1,
+            action: Action::new(0),
+        });
+        let c = LinearClassifier::from_rules(&rs);
+        assert!(c
+            .classify("11.1.1.1".parse().unwrap(), "10.0.0.1".parse().unwrap())
+            .is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Range-to-prefix conversion — the standard trick that lets LPM
+//! building blocks handle the port-range fields of real classifiers
+//! (Srinivasan et al. \[20\]): any integer range `[lo, hi]` over a `w`-bit
+//! field splits into at most `2w - 2` maximal aligned blocks, each of
+//! which is one prefix.
+
+use chisel_prefix::{AddressFamily, Prefix, PrefixError};
+
+/// Splits `[lo, hi]` over a `width`-bit space into the minimal set of
+/// aligned blocks, returned as `(value, prefix_len)` pairs where `value`
+/// is the block's left-aligned start.
+///
+/// # Errors
+///
+/// Returns [`PrefixError::LengthOutOfRange`] if `width > 128`, and
+/// [`PrefixError::Parse`] if `lo > hi` or `hi` does not fit in `width`
+/// bits.
+pub fn range_to_blocks(lo: u128, hi: u128, width: u8) -> Result<Vec<(u128, u8)>, PrefixError> {
+    if width > 128 {
+        return Err(PrefixError::LengthOutOfRange {
+            len: width,
+            max: 128,
+        });
+    }
+    let max = chisel_prefix::bits::mask(width);
+    if lo > hi || hi > max {
+        return Err(PrefixError::Parse(format!(
+            "invalid range [{lo}, {hi}] for {width}-bit field"
+        )));
+    }
+    let mut out = Vec::new();
+    let mut cur = lo;
+    loop {
+        // Largest aligned block starting at `cur` that stays within hi.
+        let max_align = if cur == 0 {
+            width
+        } else {
+            cur.trailing_zeros().min(width as u32) as u8
+        };
+        let mut size_log = max_align;
+        // Shrink until the block fits in the remaining span.
+        while size_log > 0 {
+            let size = 1u128 << size_log;
+            if cur + (size - 1) <= hi {
+                break;
+            }
+            size_log -= 1;
+        }
+        let len = width - size_log;
+        out.push((cur, len));
+        let size = 1u128 << size_log;
+        if hi - cur < size {
+            break;
+        }
+        cur += size;
+        if cur > hi {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Converts a range over the high bits of an address family into
+/// prefixes — e.g. a 16-bit destination-port range embedded as the top
+/// 16 bits of a synthetic "port address" for a per-field LPM engine.
+///
+/// # Errors
+///
+/// Propagates [`range_to_blocks`] errors.
+pub fn range_to_prefixes(
+    lo: u128,
+    hi: u128,
+    width: u8,
+    family: AddressFamily,
+) -> Result<Vec<Prefix>, PrefixError> {
+    assert!(width <= family.width(), "field wider than family");
+    range_to_blocks(lo, hi, width)?
+        .into_iter()
+        .map(|(value, len)| {
+            // Left-align the field into the family width.
+            let bits = value >> (width - len);
+            Prefix::new(family, bits, len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(blocks: &[(u128, u8)], width: u8, x: u128) -> bool {
+        blocks.iter().any(|&(value, len)| {
+            let size_log = width - len;
+            x >> size_log == value >> size_log
+        })
+    }
+
+    #[test]
+    fn whole_space_is_one_block() {
+        let b = range_to_blocks(0, 0xFFFF, 16).unwrap();
+        assert_eq!(b, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn single_value_is_full_length() {
+        let b = range_to_blocks(80, 80, 16).unwrap();
+        assert_eq!(b, vec![(80, 16)]);
+    }
+
+    #[test]
+    fn classic_port_ranges() {
+        // [1024, 65535]: the "ephemeral ports" rule = 6 blocks.
+        let b = range_to_blocks(1024, 65535, 16).unwrap();
+        assert_eq!(b.len(), 6);
+        // [0, 1023]: well-known ports = 1 block.
+        let b = range_to_blocks(0, 1023, 16).unwrap();
+        assert_eq!(b, vec![(0, 6)]);
+    }
+
+    #[test]
+    fn exactness_exhaustive_8bit() {
+        // Every range over an 8-bit space: blocks cover exactly [lo, hi].
+        for lo in 0..=255u128 {
+            for hi in lo..=255u128 {
+                let blocks = range_to_blocks(lo, hi, 8).unwrap();
+                assert!(blocks.len() <= 14, "[{lo},{hi}]: {} blocks", blocks.len());
+                for x in 0..=255u128 {
+                    assert_eq!(
+                        covers(&blocks, 8, x),
+                        (lo..=hi).contains(&x),
+                        "[{lo},{hi}] at {x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        assert!(range_to_blocks(5, 4, 16).is_err());
+        assert!(range_to_blocks(0, 1 << 20, 16).is_err());
+        assert!(range_to_blocks(0, 0, 129).is_err());
+    }
+
+    #[test]
+    fn prefixes_embed_into_family() {
+        let ps = range_to_prefixes(1024, 65535, 16, AddressFamily::V4).unwrap();
+        assert_eq!(ps.len(), 6);
+        // The /6 block [1024..2047] becomes prefix len 6 over the top bits.
+        assert!(ps.iter().all(|p| p.len() <= 16));
+        // A port inside the range must match one prefix when embedded.
+        let key = chisel_prefix::Key::from_raw(AddressFamily::V4, 8080u128 << 16);
+        assert!(ps.iter().any(|p| p.matches(key)));
+        let low_key = chisel_prefix::Key::from_raw(AddressFamily::V4, 80u128 << 16);
+        assert!(!ps.iter().any(|p| p.matches(low_key)));
+    }
+}

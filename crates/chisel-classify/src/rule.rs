@@ -1,0 +1,156 @@
+use std::fmt;
+
+use chisel_prefix::{AddressFamily, Key, Prefix};
+
+/// An opaque classification action (accept, deny, queue id, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action(u32);
+
+impl Action {
+    /// Creates an action id.
+    pub fn new(id: u32) -> Self {
+        Action(id)
+    }
+
+    /// The raw id.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "act{}", self.0)
+    }
+}
+
+/// A two-field classification rule: both prefixes must cover the packet.
+/// Higher `priority` wins; ties break toward the earlier-added rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Source-address prefix.
+    pub src: Prefix,
+    /// Destination-address prefix.
+    pub dst: Prefix,
+    /// Priority; higher wins.
+    pub priority: u32,
+    /// The action taken on match.
+    pub action: Action,
+}
+
+impl Rule {
+    /// Whether this rule matches a packet.
+    pub fn matches(&self, src: Key, dst: Key) -> bool {
+        self.src.matches(src) && self.dst.matches(dst)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} prio {} => {}",
+            self.src, self.dst, self.priority, self.action
+        )
+    }
+}
+
+/// An ordered collection of rules over one address family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSet {
+    family: AddressFamily,
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new(family: AddressFamily) -> Self {
+        RuleSet {
+            family,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The address family.
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// Adds a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either field's family differs from the set's.
+    pub fn push(&mut self, rule: Rule) {
+        assert_eq!(rule.src.family(), self.family, "src family mismatch");
+        assert_eq!(rule.dst.family(), self.family, "dst family mismatch");
+        self.rules.push(rule);
+    }
+
+    /// The rules in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl Extend<Rule> for RuleSet {
+    fn extend<I: IntoIterator<Item = Rule>>(&mut self, iter: I) {
+        for r in iter {
+            self.push(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_matching() {
+        let r = Rule {
+            src: "10.0.0.0/8".parse().unwrap(),
+            dst: "192.168.0.0/16".parse().unwrap(),
+            priority: 5,
+            action: Action::new(1),
+        };
+        assert!(r.matches("10.1.1.1".parse().unwrap(), "192.168.9.9".parse().unwrap()));
+        assert!(!r.matches("11.1.1.1".parse().unwrap(), "192.168.9.9".parse().unwrap()));
+        assert!(!r.matches("10.1.1.1".parse().unwrap(), "192.169.9.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn ruleset_accumulates() {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        assert!(rs.is_empty());
+        rs.push(Rule {
+            src: "10.0.0.0/8".parse().unwrap(),
+            dst: "0.0.0.0/0".parse().unwrap(),
+            priority: 1,
+            action: Action::new(0),
+        });
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rules()[0].priority, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn family_mismatch_rejected() {
+        let mut rs = RuleSet::new(AddressFamily::V4);
+        rs.push(Rule {
+            src: "2001:db8::/32".parse().unwrap(),
+            dst: "2001:db8::/32".parse().unwrap(),
+            priority: 1,
+            action: Action::new(0),
+        });
+    }
+}

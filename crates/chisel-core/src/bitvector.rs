@@ -1,0 +1,188 @@
+//! The Bit-vector Table entry: a `2^stride`-bit leaf vector with rank
+//! support (paper Section 4.3.1).
+//!
+//! Each collapsed prefix owns one leaf vector. Bit `i` is set when some
+//! original prefix in the group covers leaf `i` of the collapsed subtree;
+//! the *rank* (number of ones up to and including `i`) added to the
+//! group's Result Table pointer addresses the leaf's next hop. Hardware
+//! implements rank as a popcount tree ("Count 1's" in Figure 6); here it
+//! is a word-wise `count_ones` loop.
+
+/// A fixed-width bit-vector with rank, as stored in the Bit-vector Table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafVector {
+    words: Vec<u64>,
+    leaves: usize,
+}
+
+impl LeafVector {
+    /// Creates an all-zero vector with `2^stride` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride > 24` (a 16M-bit vector is far past any sane
+    /// hardware provisioning; the paper uses strides around 4).
+    pub fn new(stride: u8) -> Self {
+        assert!(stride <= 24, "stride {stride} unreasonably large");
+        let leaves = 1usize << stride;
+        LeafVector {
+            words: vec![0; leaves.div_ceil(64)],
+            leaves,
+        }
+    }
+
+    /// Number of leaves (bits).
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Reads leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= leaves`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets leaf `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= leaves`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of ones in leaves `0..=i` — the hardware "Count 1's" unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= leaves`.
+    #[inline]
+    pub fn rank(&self, i: usize) -> usize {
+        assert!(i < self.leaves);
+        let full_words = i / 64;
+        let mut ones = 0usize;
+        for w in &self.words[..full_words] {
+            ones += w.count_ones() as usize;
+        }
+        let partial_bits = (i % 64) + 1;
+        let masked = self.words[full_words] & (u64::MAX >> (64 - partial_bits));
+        ones + masked.count_ones() as usize
+    }
+
+    /// Total number of ones — the size of the group's Result Table block.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every leaf is zero (the group is empty and its collapsed
+    /// prefix may be marked dirty).
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears every leaf.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Storage footprint in bits (the Bit-vector Table provisions exactly
+    /// `2^stride` bits per entry).
+    #[inline]
+    pub fn storage_bits(&self) -> usize {
+        self.leaves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let v = LeafVector::new(4);
+        assert_eq!(v.leaves(), 16);
+        assert!(v.is_zero());
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = LeafVector::new(7); // 128 leaves, 2 words
+        for i in [0usize, 1, 63, 64, 65, 127] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 6);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 5);
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let mut v = LeafVector::new(8); // 256 leaves
+        for i in (0..256).step_by(3) {
+            v.set(i, true);
+        }
+        let mut ones = 0;
+        for i in 0..256 {
+            if v.get(i) {
+                ones += 1;
+            }
+            assert_eq!(v.rank(i), ones, "rank({i})");
+        }
+    }
+
+    #[test]
+    fn paper_figure5_example() {
+        // Bit-vector 00001111 (leaves 4..8 set): leaf 4 ("100") has rank 1,
+        // so the Result Table address is ptr + 1 - 1 = ptr.
+        let mut v = LeafVector::new(3);
+        for i in 4..8 {
+            v.set(i, true);
+        }
+        assert_eq!(v.rank(4), 1);
+        assert_eq!(v.rank(7), 4);
+        assert_eq!(v.rank(3), 0);
+        // Bit-vector 00000011 for collapsed prefix 1001 in Figure 5(d) is
+        // leaves 6 and 7 in LSB-first order... the figure indexes leaves by
+        // suffix value; leaf 6 = suffix 110, leaf 7 = 111.
+        let mut v2 = LeafVector::new(3);
+        v2.set(6, true);
+        v2.set(7, true);
+        assert_eq!(v2.count_ones(), 2);
+        assert_eq!(v2.rank(6), 1);
+    }
+
+    #[test]
+    fn stride_zero_single_leaf() {
+        let mut v = LeafVector::new(0);
+        assert_eq!(v.leaves(), 1);
+        v.set(0, true);
+        assert_eq!(v.rank(0), 1);
+        assert!(!v.is_zero());
+        v.clear();
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_get_panics() {
+        LeafVector::new(3).get(8);
+    }
+}

@@ -1,0 +1,179 @@
+//! A shared Chisel engine for the line-card split the paper describes
+//! (Section 4.4): the software shadow applies updates on the network
+//! processor while the forwarding path keeps serving lookups.
+//!
+//! [`SharedChisel`] wraps the engine in a read-write lock: lookups take
+//! shared access (many in parallel), updates take exclusive access for
+//! the short in-place mutation — the software analogue of "the modified
+//! portions of the data structure are transferred to the hardware
+//! engine".
+
+use std::sync::Arc;
+
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+use parking_lot::RwLock;
+
+use crate::{ChiselConfig, ChiselError, ChiselLpm, UpdateKind, UpdateStats};
+
+/// A thread-safe, cloneable handle to a Chisel engine.
+///
+/// ```
+/// use chisel_core::{SharedChisel, ChiselConfig};
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// # fn main() -> Result<(), chisel_core::ChiselError> {
+/// let mut table = RoutingTable::new_v4();
+/// table.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+/// let shared = SharedChisel::build(&table, ChiselConfig::ipv4())?;
+///
+/// let handle = shared.clone();
+/// let t = std::thread::spawn(move || handle.lookup("10.1.1.1".parse().unwrap()));
+/// shared.announce("11.0.0.0/8".parse().unwrap(), NextHop::new(2))?;
+/// assert_eq!(t.join().unwrap(), Some(NextHop::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedChisel {
+    inner: Arc<RwLock<ChiselLpm>>,
+}
+
+impl SharedChisel {
+    /// Builds a shared engine over a routing table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChiselLpm::build`] errors.
+    pub fn build(table: &RoutingTable, config: ChiselConfig) -> Result<Self, ChiselError> {
+        Ok(SharedChisel {
+            inner: Arc::new(RwLock::new(ChiselLpm::build(table, config)?)),
+        })
+    }
+
+    /// Wraps an existing engine.
+    pub fn from_engine(engine: ChiselLpm) -> Self {
+        SharedChisel {
+            inner: Arc::new(RwLock::new(engine)),
+        }
+    }
+
+    /// Longest-prefix-match lookup under a shared lock.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        self.inner.read().lookup(key)
+    }
+
+    /// Applies an announce under an exclusive lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChiselLpm::announce`] errors.
+    pub fn announce(&self, prefix: Prefix, next_hop: NextHop) -> Result<UpdateKind, ChiselError> {
+        self.inner.write().announce(prefix, next_hop)
+    }
+
+    /// Applies a withdraw under an exclusive lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChiselLpm::withdraw`] errors.
+    pub fn withdraw(&self, prefix: Prefix) -> Result<UpdateKind, ChiselError> {
+        self.inner.write().withdraw(prefix)
+    }
+
+    /// Number of routable prefixes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the engine holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot of the update statistics.
+    pub fn update_stats(&self) -> UpdateStats {
+        self.inner.read().update_stats()
+    }
+
+    /// Runs a closure with shared access to the engine (batched lookups
+    /// without per-call lock traffic).
+    pub fn with_engine<T>(&self, f: impl FnOnce(&ChiselLpm) -> T) -> T {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::AddressFamily;
+
+    fn shared() -> SharedChisel {
+        let mut t = RoutingTable::new_v4();
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        SharedChisel::build(&t, ChiselConfig::ipv4()).unwrap()
+    }
+
+    #[test]
+    fn lookups_from_many_threads() {
+        let s = shared();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let h = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u128 {
+                        let key = Key::from_raw(AddressFamily::V4, 0x0A00_0000 | (i & 0xFFFF));
+                        assert_eq!(h.lookup(key), Some(NextHop::new(1)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn updates_interleave_with_lookups() {
+        let s = shared();
+        let reader = {
+            let h = s.clone();
+            std::thread::spawn(move || {
+                let mut hits = 0usize;
+                for i in 0..20_000u128 {
+                    let key = Key::from_raw(AddressFamily::V4, 0x0A00_0000 | (i & 0xFFFF));
+                    if h.lookup(key).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        };
+        for i in 0..500u32 {
+            let p = chisel_prefix::Prefix::new(AddressFamily::V4, 0x0B00 + i as u128, 16).unwrap();
+            s.announce(p, NextHop::new(i)).unwrap();
+        }
+        // Readers always saw a consistent engine (the /8 never left).
+        assert_eq!(reader.join().unwrap(), 20_000);
+        assert_eq!(s.len(), 501);
+    }
+
+    #[test]
+    fn with_engine_batches() {
+        let s = shared();
+        let total = s.with_engine(|e| {
+            (0..100u128)
+                .filter(|&i| {
+                    e.lookup(Key::from_raw(AddressFamily::V4, 0x0A00_0000 | i))
+                        .is_some()
+                })
+                .count()
+        });
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedChisel>();
+    }
+}

@@ -1,0 +1,536 @@
+//! The Chisel LPM engine: sub-cells searched in priority order, a default
+//! route, and the incremental update front-end (paper Sections 4.3–4.4).
+
+use chisel_prefix::collapse::StridePlan;
+use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};
+
+use crate::shadow::GroupShadow;
+use crate::stats::{LookupTrace, StorageBreakdown};
+use crate::subcell::{AnnounceOutcome, CellParams, SubCell};
+use crate::update::{RecentWithdrawals, UpdateKind, UpdateStats};
+use crate::{ChiselConfig, ChiselError};
+
+/// The Chisel longest-prefix-matching engine.
+///
+/// ```
+/// use chisel_core::{ChiselLpm, ChiselConfig};
+/// use chisel_prefix::{RoutingTable, NextHop, Key};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut table = RoutingTable::new_v4();
+/// table.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+/// table.insert("10.1.0.0/16".parse()?, NextHop::new(2));
+/// let mut engine = ChiselLpm::build(&table, ChiselConfig::ipv4())?;
+///
+/// assert_eq!(engine.lookup("10.1.2.3".parse()?), Some(NextHop::new(2)));
+///
+/// // Incremental update:
+/// engine.announce("11.0.0.0/8".parse()?, NextHop::new(3))?;
+/// assert_eq!(engine.lookup("11.9.9.9".parse()?), Some(NextHop::new(3)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChiselLpm {
+    config: ChiselConfig,
+    plan: StridePlan,
+    cells: Vec<SubCell>,
+    default_route: Option<NextHop>,
+    stats: UpdateStats,
+    recent: RecentWithdrawals,
+    len: usize,
+}
+
+impl ChiselLpm {
+    /// Builds an engine over a routing table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Bloomier setup cannot converge within the spillover
+    /// budget, or if the table's family disagrees with the configuration.
+    pub fn build(table: &RoutingTable, config: ChiselConfig) -> Result<Self, ChiselError> {
+        if table.family() != config.family {
+            return Err(ChiselError::FamilyMismatch);
+        }
+        let width = config.family.width();
+        let plan = match &config.plan {
+            Some(p) => p.clone(),
+            None => StridePlan::covering(&table.length_histogram(), config.stride, width),
+        };
+        let params = CellParams {
+            k: config.k,
+            m_per_key: config.m_per_key,
+            partitions: config.partitions,
+            seed: config.seed,
+            spill_capacity: config.spill_capacity,
+            flap_absorption: config.flap_absorption,
+        };
+
+        // Group prefixes per cell by collapsed key.
+        let ncells = plan.num_cells();
+        let mut groups: Vec<std::collections::HashMap<u128, GroupShadow>> =
+            vec![std::collections::HashMap::new(); ncells];
+        let mut default_route = None;
+        let mut len = 0usize;
+        for e in table.iter() {
+            if e.prefix.is_empty() {
+                default_route = Some(e.next_hop);
+                len += 1;
+                continue;
+            }
+            let ci = plan
+                .cell_for(e.prefix.len())
+                .ok_or(ChiselError::UnsupportedLength {
+                    len: e.prefix.len(),
+                })?;
+            let base = plan.cells()[ci].base;
+            let collapsed = e.prefix.truncate(base).bits();
+            let depth = e.prefix.len() - base;
+            let suffix = e.prefix.suffix_below(base);
+            groups[ci]
+                .entry(collapsed)
+                .or_default()
+                .insert(depth, suffix, e.next_hop);
+            len += 1;
+        }
+
+        let mut cells = Vec::with_capacity(ncells);
+        for (ci, cell_groups) in groups.into_iter().enumerate() {
+            // Deterministic sizing (Section 4.3.2): provision the Filter /
+            // Bit-vector tables for the cell's *original prefix* count
+            // (with headroom), not its collapsed-group count — this keeps
+            // Index Table load low so singleton inserts nearly always
+            // succeed.
+            let prefixes: usize = cell_groups.values().map(GroupShadow::len).sum();
+            let capacity = ((prefixes as f64 * config.slack).ceil() as usize).max(64);
+            cells.push(SubCell::build(
+                plan.cells()[ci],
+                width,
+                params,
+                cell_groups.into_iter().collect(),
+                capacity,
+            )?);
+        }
+        let flap_window = config.flap_window;
+        Ok(ChiselLpm {
+            config,
+            plan,
+            cells,
+            default_route,
+            stats: UpdateStats::default(),
+            recent: RecentWithdrawals::new(flap_window),
+            len,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ChiselConfig {
+        &self.config
+    }
+
+    /// The stride plan in use.
+    pub fn plan(&self) -> &StridePlan {
+        &self.plan
+    }
+
+    /// The address family served.
+    pub fn family(&self) -> AddressFamily {
+        self.config.family
+    }
+
+    /// Number of original prefixes currently routable (including the
+    /// default route).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the engine holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Longest-prefix-match lookup.
+    ///
+    /// Hardware searches all sub-cells in parallel and priority-encodes;
+    /// here the cells are probed from the longest base down and the first
+    /// match wins — the results are identical because cell length ranges
+    /// are disjoint.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        let mut trace = LookupTrace::default();
+        self.lookup_traced(key, &mut trace)
+    }
+
+    /// Lookup with memory-access tracing (for the latency experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the key family differs from the engine's.
+    pub fn lookup_traced(&self, key: Key, trace: &mut LookupTrace) -> Option<NextHop> {
+        debug_assert_eq!(key.family(), self.config.family);
+        for cell in self.cells.iter().rev() {
+            if let Some(nh) = cell.lookup(key.value(), trace) {
+                return Some(nh);
+            }
+        }
+        self.default_route
+    }
+
+    /// Applies a BGP `announce(p, len, h)`: inserts the prefix or updates
+    /// its next hop, classifying how the update was absorbed (Figure 14).
+    ///
+    /// # Errors
+    ///
+    /// Fails on family mismatch or when the spillover TCAM overflows
+    /// during a forced re-setup.
+    pub fn announce(
+        &mut self,
+        prefix: Prefix,
+        next_hop: NextHop,
+    ) -> Result<UpdateKind, ChiselError> {
+        if prefix.family() != self.config.family {
+            return Err(ChiselError::FamilyMismatch);
+        }
+        if prefix.is_empty() {
+            let kind = if self.recent.take(&prefix) {
+                UpdateKind::RouteFlap
+            } else if self.default_route.is_some() {
+                UpdateKind::NextHopChange
+            } else {
+                self.len += 1;
+                UpdateKind::AddCollapsed
+            };
+            self.default_route = Some(next_hop);
+            self.stats.record(kind);
+            return Ok(kind);
+        }
+        let ci = self
+            .plan
+            .cell_for(prefix.len())
+            .ok_or(ChiselError::UnsupportedLength { len: prefix.len() })?;
+        let base = self.plan.cells()[ci].base;
+        let collapsed = prefix.truncate(base).bits();
+        let depth = prefix.len() - base;
+        let suffix = prefix.suffix_below(base);
+        let flap = self.recent.take(&prefix);
+        let outcome = self.cells[ci].announce(collapsed, depth, suffix, next_hop)?;
+        let kind = match outcome {
+            AnnounceOutcome::DirtyRestore => UpdateKind::RouteFlap,
+            AnnounceOutcome::NextHopOnly => {
+                if flap {
+                    UpdateKind::RouteFlap
+                } else {
+                    UpdateKind::NextHopChange
+                }
+            }
+            AnnounceOutcome::Collapsed => {
+                if flap {
+                    UpdateKind::RouteFlap
+                } else {
+                    UpdateKind::AddCollapsed
+                }
+            }
+            AnnounceOutcome::Singleton => UpdateKind::AddSingleton,
+            AnnounceOutcome::Resetup => UpdateKind::Resetup,
+        };
+        if !matches!(outcome, AnnounceOutcome::NextHopOnly) {
+            self.len += 1;
+        }
+        self.stats.record(kind);
+        Ok(kind)
+    }
+
+    /// Applies a BGP `withdraw(p, len)`: removes the prefix if present.
+    ///
+    /// # Errors
+    ///
+    /// Fails on family mismatch.
+    pub fn withdraw(&mut self, prefix: Prefix) -> Result<UpdateKind, ChiselError> {
+        if prefix.family() != self.config.family {
+            return Err(ChiselError::FamilyMismatch);
+        }
+        let existed = if prefix.is_empty() {
+            self.default_route.take().is_some()
+        } else {
+            let ci = self
+                .plan
+                .cell_for(prefix.len())
+                .ok_or(ChiselError::UnsupportedLength { len: prefix.len() })?;
+            let base = self.plan.cells()[ci].base;
+            self.cells[ci].withdraw(
+                prefix.truncate(base).bits(),
+                prefix.len() - base,
+                prefix.suffix_below(base),
+            )
+        };
+        if existed {
+            self.len -= 1;
+            self.recent.record(prefix);
+        }
+        self.stats.record(UpdateKind::Withdraw);
+        Ok(UpdateKind::Withdraw)
+    }
+
+    /// Update-classification tallies since build.
+    pub fn update_stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Resets update tallies (e.g. between trace replays).
+    pub fn reset_update_stats(&mut self) {
+        self.stats = UpdateStats::default();
+    }
+
+    /// Total spillover TCAM occupancy across sub-cells.
+    pub fn spill_len(&self) -> usize {
+        self.cells.iter().map(SubCell::spill_len).sum()
+    }
+
+    /// Total partition re-setups performed across sub-cells.
+    pub fn resetups(&self) -> u64 {
+        self.cells.iter().map(SubCell::resetups).sum()
+    }
+
+    /// Actual on-chip storage of this engine instance, summed over
+    /// sub-cells with their real geometries.
+    pub fn storage(&self) -> StorageBreakdown {
+        use chisel_prefix::bits::addr_bits;
+        let mut s = StorageBreakdown::default();
+        for cell in &self.cells {
+            let cap = cell.capacity();
+            let ptr = addr_bits(cap) as u64;
+            s.index_bits += cell.index_locations() as u64 * ptr;
+            // Filter stores the collapsed key (base bits) + dirty bit; the
+            // hardware provisions full key width, which we follow.
+            s.filter_bits += cap as u64 * (self.config.family.width() as u64 + 1);
+            let result_ptr = addr_bits(2 * cell.result_high_water().max(1)) as u64;
+            s.bitvec_bits += cap as u64 * (cell.range().leaves() as u64 + result_ptr);
+        }
+        s
+    }
+
+    /// Number of live collapsed groups across sub-cells.
+    pub fn groups(&self) -> usize {
+        self.cells.iter().map(SubCell::groups).sum()
+    }
+
+    /// Exports every table's raw memory words as a [`crate::HardwareImage`]
+    /// — the payload the software shadow loads into the hardware engine
+    /// (Section 4.4).
+    pub fn export_image(&self) -> crate::HardwareImage {
+        crate::HardwareImage {
+            family: self.config.family,
+            cells: self.cells.iter().map(SubCell::export_image).collect(),
+            default_route: self.default_route,
+        }
+    }
+
+    /// Enumerates every routable prefix with its next hop (including the
+    /// default route), in no particular order. Used for verification.
+    pub fn iter_routes(&self) -> impl Iterator<Item = RouteEntry> + '_ {
+        let family = self.config.family;
+        let default = self
+            .default_route
+            .map(|nh| RouteEntry::new(Prefix::default_route(family), nh));
+        self.cells
+            .iter()
+            .flat_map(move |cell| {
+                let base = cell.range().base;
+                cell.iter_routes()
+                    .map(move |(collapsed, depth, suffix, nh)| {
+                        let p = Prefix::new(family, collapsed, base)
+                            .expect("stored collapsed key is valid")
+                            .extend(suffix, depth);
+                        RouteEntry::new(p, nh)
+                    })
+            })
+            .chain(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::oracle::OracleLpm;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn k(s: &str) -> Key {
+        s.parse().unwrap()
+    }
+
+    fn nh(i: u32) -> NextHop {
+        NextHop::new(i)
+    }
+
+    fn small_table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert(p("0.0.0.0/0"), nh(99));
+        t.insert(p("10.0.0.0/8"), nh(1));
+        t.insert(p("10.1.0.0/16"), nh(2));
+        t.insert(p("10.1.2.0/24"), nh(3));
+        t.insert(p("10.1.2.3/32"), nh(4));
+        t.insert(p("192.168.0.0/16"), nh(5));
+        t.insert(p("192.168.1.0/24"), nh(6));
+        t
+    }
+
+    #[test]
+    fn lookup_matches_oracle_on_small_table() {
+        let t = small_table();
+        let engine = ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap();
+        let oracle = OracleLpm::from_table(&t);
+        for key in [
+            "10.1.2.3",
+            "10.1.2.4",
+            "10.1.3.1",
+            "10.200.0.1",
+            "192.168.1.77",
+            "192.168.2.77",
+            "8.8.8.8",
+        ] {
+            assert_eq!(engine.lookup(k(key)), oracle.lookup(k(key)), "key {key}");
+        }
+        assert_eq!(engine.len(), 7);
+    }
+
+    #[test]
+    fn empty_table_builds() {
+        let engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        assert!(engine.is_empty());
+        assert_eq!(engine.lookup(k("1.2.3.4")), None);
+    }
+
+    #[test]
+    fn announce_then_lookup() {
+        let mut engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        engine.announce(p("10.0.0.0/8"), nh(1)).unwrap();
+        engine.announce(p("10.1.0.0/16"), nh(2)).unwrap();
+        assert_eq!(engine.lookup(k("10.1.0.1")), Some(nh(2)));
+        assert_eq!(engine.lookup(k("10.2.0.1")), Some(nh(1)));
+        assert_eq!(engine.len(), 2);
+    }
+
+    #[test]
+    fn withdraw_then_lookup() {
+        let mut engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        engine.withdraw(p("10.1.2.0/24")).unwrap();
+        assert_eq!(engine.lookup(k("10.1.2.200")), Some(nh(2)));
+        engine.withdraw(p("10.1.0.0/16")).unwrap();
+        assert_eq!(engine.lookup(k("10.1.2.200")), Some(nh(1)));
+        assert_eq!(engine.len(), 5);
+    }
+
+    #[test]
+    fn withdraw_absent_is_noop() {
+        let mut engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        let before = engine.len();
+        engine.withdraw(p("99.0.0.0/8")).unwrap();
+        assert_eq!(engine.len(), before);
+    }
+
+    #[test]
+    fn update_classification() {
+        let mut engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        // Next-hop change on an existing prefix.
+        assert_eq!(
+            engine.announce(p("10.1.0.0/16"), nh(42)).unwrap(),
+            UpdateKind::NextHopChange
+        );
+        assert_eq!(engine.lookup(k("10.1.9.9")), Some(nh(42)));
+        // Add a prefix that collapses into the existing 10.1.2.0/24 group.
+        assert_eq!(
+            engine.announce(p("10.1.2.128/25"), nh(43)).unwrap(),
+            UpdateKind::AddCollapsed
+        );
+        assert_eq!(engine.lookup(k("10.1.2.200")), Some(nh(43)));
+        assert_eq!(engine.lookup(k("10.1.2.100")), Some(nh(3)));
+        // Withdraw then re-announce: classified as a route flap.
+        engine.withdraw(p("10.1.2.128/25")).unwrap();
+        assert_eq!(
+            engine.announce(p("10.1.2.128/25"), nh(44)).unwrap(),
+            UpdateKind::RouteFlap
+        );
+        assert_eq!(engine.lookup(k("10.1.2.200")), Some(nh(44)));
+    }
+
+    #[test]
+    fn dirty_bit_flap_restore() {
+        let mut engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        // 192.168.1.0/24 is alone in its group; withdrawing it empties the
+        // group (dirty), and the re-announce must restore via the dirty bit.
+        engine.withdraw(p("192.168.1.0/24")).unwrap();
+        assert_eq!(engine.lookup(k("192.168.1.1")), Some(nh(5)));
+        assert_eq!(
+            engine.announce(p("192.168.1.0/24"), nh(7)).unwrap(),
+            UpdateKind::RouteFlap
+        );
+        assert_eq!(engine.lookup(k("192.168.1.1")), Some(nh(7)));
+    }
+
+    #[test]
+    fn default_route_updates() {
+        let mut engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        assert_eq!(engine.lookup(k("5.5.5.5")), None);
+        assert_eq!(
+            engine.announce(p("0.0.0.0/0"), nh(9)).unwrap(),
+            UpdateKind::AddCollapsed
+        );
+        assert_eq!(engine.lookup(k("5.5.5.5")), Some(nh(9)));
+        engine.withdraw(p("0.0.0.0/0")).unwrap();
+        assert_eq!(engine.lookup(k("5.5.5.5")), None);
+    }
+
+    #[test]
+    fn iter_routes_roundtrip() {
+        let t = small_table();
+        let engine = ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap();
+        let mut recovered = RoutingTable::new_v4();
+        recovered.extend(engine.iter_routes());
+        assert_eq!(recovered, t);
+    }
+
+    #[test]
+    fn ipv6_basic() {
+        let mut t = RoutingTable::new_v6();
+        t.insert(p("2001:db8::/32"), nh(1));
+        t.insert(p("2001:db8:1::/48"), nh(2));
+        t.insert(p("2001:db8:1:2::/64"), nh(3));
+        let engine = ChiselLpm::build(&t, ChiselConfig::ipv6()).unwrap();
+        assert_eq!(engine.lookup(k("2001:db8:1:2::99")), Some(nh(3)));
+        assert_eq!(engine.lookup(k("2001:db8:1:3::99")), Some(nh(2)));
+        assert_eq!(engine.lookup(k("2001:db8:ff::1")), Some(nh(1)));
+        assert_eq!(engine.lookup(k("2002::1")), None);
+    }
+
+    #[test]
+    fn family_mismatch_rejected() {
+        let engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        let mut e2 = engine.clone();
+        assert_eq!(
+            e2.announce(p("2001:db8::/32"), nh(1)).unwrap_err(),
+            ChiselError::FamilyMismatch
+        );
+        assert!(matches!(
+            ChiselLpm::build(&RoutingTable::new_v6(), ChiselConfig::ipv4()),
+            Err(ChiselError::FamilyMismatch)
+        ));
+    }
+
+    #[test]
+    fn lookup_trace_depth() {
+        let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        let mut trace = LookupTrace::default();
+        let _ = engine.lookup_traced(k("10.1.2.3"), &mut trace);
+        assert!(trace.result_reads == 1, "exactly one off-chip access");
+        assert!(trace.index_reads >= 1);
+    }
+
+    #[test]
+    fn storage_is_nonzero_and_scales() {
+        let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        let s = engine.storage();
+        assert!(s.index_bits > 0 && s.filter_bits > 0 && s.bitvec_bits > 0);
+    }
+}

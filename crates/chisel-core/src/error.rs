@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use chisel_bloomier::BloomierError;
+
+/// Errors from building or updating a Chisel engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChiselError {
+    /// The underlying Bloomier filter could not be constructed.
+    Bloomier(BloomierError),
+    /// More keys spilled than the spillover TCAM can hold.
+    SpilloverOverflow {
+        /// Keys that needed spilling.
+        needed: usize,
+        /// Configured spillover TCAM capacity.
+        capacity: usize,
+    },
+    /// A prefix length is not covered by the engine's stride plan.
+    UnsupportedLength {
+        /// The offending prefix length.
+        len: u8,
+    },
+    /// The update or lookup used the wrong address family.
+    FamilyMismatch,
+    /// A sub-cell ran out of filter-table slots and growth is disabled.
+    CapacityExceeded {
+        /// Base length of the full sub-cell.
+        cell_base: u8,
+    },
+}
+
+impl fmt::Display for ChiselError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChiselError::Bloomier(e) => write!(f, "bloomier construction failed: {e}"),
+            ChiselError::SpilloverOverflow { needed, capacity } => {
+                write!(
+                    f,
+                    "spillover TCAM overflow: {needed} keys, capacity {capacity}"
+                )
+            }
+            ChiselError::UnsupportedLength { len } => {
+                write!(f, "prefix length {len} not covered by the stride plan")
+            }
+            ChiselError::FamilyMismatch => write!(f, "address family mismatch"),
+            ChiselError::CapacityExceeded { cell_base } => {
+                write!(f, "sub-cell at base length {cell_base} is full")
+            }
+        }
+    }
+}
+
+impl Error for ChiselError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChiselError::Bloomier(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<BloomierError> for ChiselError {
+    fn from(e: BloomierError) -> Self {
+        ChiselError::Bloomier(e)
+    }
+}

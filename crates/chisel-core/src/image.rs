@@ -1,0 +1,219 @@
+//! Hardware memory images.
+//!
+//! The paper's deployment model (Section 4.4) keeps a software shadow on
+//! the line card and loads "the new memory contents … into the hardware
+//! engine". A [`HardwareImage`] is exactly that payload: the raw words of
+//! every Index / Filter / Bit-vector / Result table plus the hash-unit
+//! configuration — nothing else. `HardwareImage::lookup` executes the
+//! Figure 6 data path *purely from the image*, which both documents the
+//! hardware table layout and proves the image is complete (the test
+//! suite replays lookups against the live engine).
+
+use chisel_hash::HashFamily;
+use chisel_prefix::bits::extract_msb;
+use chisel_prefix::{AddressFamily, Key, NextHop};
+
+use crate::bitvector::LeafVector;
+
+/// One Index Table partition: its memory words and its hash unit.
+#[derive(Debug, Clone)]
+pub struct IndexPartImage {
+    /// The XOR-encoded pointer words.
+    pub words: Vec<u32>,
+    /// The partition's `k` hash functions.
+    pub family: HashFamily,
+}
+
+/// One Filter Table word: the stored key plus the valid and dirty bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterWord {
+    /// The collapsed key.
+    pub key: u128,
+    /// Slot holds a live entry.
+    pub valid: bool,
+    /// Entry withdrawn but retained for route-flap absorption.
+    pub dirty: bool,
+}
+
+/// One Bit-vector Table word: the leaf vector and its Result Table
+/// pointer (absent when the group covers no leaf).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVectorWord {
+    /// The `2^stride`-bit leaf vector.
+    pub vector: LeafVector,
+    /// Base address of the group's Result Table block.
+    pub pointer: Option<u32>,
+}
+
+/// One sub-cell's memories.
+#[derive(Debug, Clone)]
+pub struct CellImage {
+    /// Collapsed base length.
+    pub base: u8,
+    /// Collapse stride.
+    pub stride: u8,
+    /// Partition-selector hash unit.
+    pub selector: HashFamily,
+    /// Index Table partitions.
+    pub index_parts: Vec<IndexPartImage>,
+    /// Filter Table words.
+    pub filter: Vec<FilterWord>,
+    /// Bit-vector Table words (parallel to `filter`).
+    pub bitvec: Vec<BitVectorWord>,
+    /// Off-chip Result Table words (next-hop ids).
+    pub result: Vec<u32>,
+    /// Spillover TCAM contents: `(collapsed key, slot)`.
+    pub spill: Vec<(u128, u32)>,
+}
+
+/// A complete engine memory image.
+#[derive(Debug, Clone)]
+pub struct HardwareImage {
+    /// Address family served.
+    pub family: AddressFamily,
+    /// Sub-cell images, ascending base length.
+    pub cells: Vec<CellImage>,
+    /// The default route register.
+    pub default_route: Option<NextHop>,
+}
+
+impl HardwareImage {
+    /// Executes a lookup purely from the image, mirroring the hardware
+    /// data path of Figure 6.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        debug_assert_eq!(key.family(), self.family);
+        let width = self.family.width();
+        for cell in self.cells.iter().rev() {
+            let collapsed = extract_msb(key.value(), width, 0, cell.base);
+            // Spillover TCAM first, then the partitioned Index Table.
+            let slot = match cell.spill.iter().find(|&&(k, _)| k == collapsed) {
+                Some(&(_, s)) => s,
+                None => {
+                    let d = cell.index_parts.len();
+                    let part = &cell.index_parts[cell.selector.hash_one(0, collapsed, d)];
+                    let m = part.words.len();
+                    let mut acc = 0u32;
+                    for i in 0..part.family.k() {
+                        acc ^= part.words[part.family.hash_one(i, collapsed, m)];
+                    }
+                    acc
+                }
+            };
+            let Some(fw) = cell.filter.get(slot as usize) else {
+                continue;
+            };
+            if !fw.valid || fw.dirty || fw.key != collapsed {
+                continue;
+            }
+            let bw = &cell.bitvec[slot as usize];
+            let leaf = extract_msb(key.value(), width, cell.base, cell.stride) as usize;
+            if !bw.vector.get(leaf) {
+                continue;
+            }
+            let rank = bw.vector.rank(leaf);
+            let ptr = bw.pointer.expect("set leaf implies a block") as usize;
+            return Some(NextHop::new(cell.result[ptr + rank - 1]));
+        }
+        self.default_route
+    }
+
+    /// Total image payload in bits, charging each table its hardware
+    /// word width (index: pointer bits; filter: key + 2 flag bits;
+    /// bit-vector: `2^stride` + pointer bits; result: 32-bit next hops).
+    pub fn payload_bits(&self) -> u64 {
+        use chisel_prefix::bits::addr_bits;
+        let mut total = 0u64;
+        for cell in &self.cells {
+            let ptr = addr_bits(cell.filter.len().max(2)) as u64;
+            total += cell
+                .index_parts
+                .iter()
+                .map(|p| p.words.len() as u64 * ptr)
+                .sum::<u64>();
+            total += cell.filter.len() as u64 * (self.family.width() as u64 + 2);
+            let rptr = addr_bits(cell.result.len().max(2)) as u64;
+            total += cell.bitvec.len() as u64 * ((1u64 << cell.stride) + rptr);
+            total += cell.result.len() as u64 * 32;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChiselConfig, ChiselLpm};
+    use chisel_prefix::{NextHop, Prefix, RoutingTable};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_engine(seed: u64, n: usize) -> ChiselLpm {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = RoutingTable::new_v4();
+        while t.len() < n {
+            let len = rng.gen_range(1..=32u8);
+            let bits = rng.gen::<u128>() & chisel_prefix::bits::mask(len);
+            t.insert(
+                Prefix::new(AddressFamily::V4, bits, len).unwrap(),
+                NextHop::new(rng.gen_range(0..256)),
+            );
+        }
+        ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap()
+    }
+
+    #[test]
+    fn image_replays_engine_lookups() {
+        let engine = random_engine(1, 3_000);
+        let image = engine.export_image();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20_000 {
+            let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            assert_eq!(
+                image.lookup(key),
+                engine.lookup(key),
+                "image diverged at {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_survives_updates() {
+        let mut engine = random_engine(3, 1_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..2_000u32 {
+            let len = rng.gen_range(1..=32u8);
+            let bits = rng.gen::<u128>() & chisel_prefix::bits::mask(len);
+            let p = Prefix::new(AddressFamily::V4, bits, len).unwrap();
+            if rng.gen_bool(0.4) {
+                engine.withdraw(p).unwrap();
+            } else {
+                engine.announce(p, NextHop::new(i)).unwrap();
+            }
+        }
+        let image = engine.export_image();
+        for _ in 0..10_000 {
+            let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+            assert_eq!(image.lookup(key), engine.lookup(key));
+        }
+    }
+
+    #[test]
+    fn payload_accounting_nonzero_and_monotone() {
+        let small = random_engine(5, 500).export_image();
+        let large = random_engine(5, 4_000).export_image();
+        assert!(small.payload_bits() > 0);
+        assert!(large.payload_bits() > small.payload_bits());
+    }
+
+    #[test]
+    fn default_route_in_image() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(Prefix::default_route(AddressFamily::V4), NextHop::new(9));
+        let engine = ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap();
+        let image = engine.export_image();
+        assert_eq!(
+            image.lookup("1.2.3.4".parse().unwrap()),
+            Some(NextHop::new(9))
+        );
+    }
+}

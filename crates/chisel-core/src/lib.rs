@@ -1,0 +1,47 @@
+//! The Chisel LPM engine (paper Section 4): Bloomier-filter sub-cells with
+//! prefix collapsing, exact false-positive elimination, and incremental
+//! updates.
+//!
+//! The lookup data path per sub-cell is Figure 6 of the paper:
+//!
+//! ```text
+//! key ──collapse──▶ Index Table (k-segment XOR) ──p──▶ Filter Table (== ?)
+//!                                              └─p──▶ Bit-vector Table ─rank+ptr─▶ Result Table
+//! ```
+//!
+//! - The **Index Table** is a [`chisel_bloomier::PartitionedBloomier`]
+//!   encoding a pointer `p(t)` per collapsed prefix (Equation 4).
+//! - The **Filter Table** stores the collapsed keys themselves, turning
+//!   the Bloomier filter's probabilistic false positives into exact
+//!   mismatch detection (Section 4.2).
+//! - The **Bit-vector Table** disambiguates the collapsed bits with a
+//!   `2^stride`-bit vector and a rank-indexed pointer into the off-chip
+//!   **Result Table** (Section 4.3).
+//! - Updates are applied incrementally through dirty bits, singleton
+//!   inserts and partition-bounded re-setups (Section 4.4).
+//!
+//! See [`ChiselLpm`] for the user-facing API and [`ChiselConfig`] for the
+//! design-point knobs.
+
+mod bitvector;
+mod concurrent;
+mod config;
+mod engine;
+mod error;
+pub mod image;
+mod result_table;
+mod shadow;
+pub mod stats;
+mod subcell;
+mod update;
+
+pub use bitvector::LeafVector;
+pub use concurrent::SharedChisel;
+pub use config::ChiselConfig;
+pub use engine::ChiselLpm;
+pub use error::ChiselError;
+pub use image::HardwareImage;
+pub use result_table::{Block, ResultTable};
+pub use shadow::GroupShadow;
+pub use stats::{LookupTrace, StorageBreakdown};
+pub use update::{RecentWithdrawals, UpdateKind, UpdateStats};

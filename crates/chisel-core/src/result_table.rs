@@ -1,0 +1,185 @@
+//! The Result Table: an off-chip (commodity DRAM) array of next hops,
+//! carved into per-group blocks by a size-class allocator.
+//!
+//! Each collapsed prefix's bit-vector points at one contiguous block whose
+//! entries are the next hops of the group's covered leaves, compacted in
+//! leaf order. Blocks are over-provisioned to the next power of two so
+//! future announces usually fit without reallocation (paper Section 4.3.2:
+//! "region sizes are slightly over-provisioned to accommodate future
+//! adds"), mirroring what trie schemes do for variable-size trie nodes.
+
+use chisel_prefix::NextHop;
+
+/// A block handle: base pointer plus size class (`2^class` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// First Result Table address of the block.
+    pub ptr: u32,
+    /// The block spans `2^class` entries.
+    pub class: u8,
+}
+
+impl Block {
+    /// Capacity of the block in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        1usize << self.class
+    }
+}
+
+/// The Result Table with its block allocator.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    data: Vec<NextHop>,
+    /// `free[class]` holds pointers of freed `2^class`-entry blocks.
+    free: Vec<Vec<u32>>,
+    /// High-water mark of entries ever carved out.
+    high_water: usize,
+}
+
+const MAX_CLASS: usize = 25; // 32M-entry blocks; far beyond any stride
+
+impl ResultTable {
+    /// Creates an empty Result Table.
+    pub fn new() -> Self {
+        ResultTable {
+            data: Vec::new(),
+            free: vec![Vec::new(); MAX_CLASS + 1],
+            high_water: 0,
+        }
+    }
+
+    /// Allocates a block with room for at least `min_entries` next hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_entries` exceeds the maximum block size.
+    pub fn alloc(&mut self, min_entries: usize) -> Block {
+        let class = min_entries.max(1).next_power_of_two().trailing_zeros() as u8;
+        assert!(
+            (class as usize) <= MAX_CLASS,
+            "block of {min_entries} entries too large"
+        );
+        if let Some(ptr) = self.free[class as usize].pop() {
+            return Block { ptr, class };
+        }
+        let ptr = self.data.len() as u32;
+        self.data
+            .resize(self.data.len() + (1usize << class), NextHop::new(u32::MAX));
+        self.high_water = self.high_water.max(self.data.len());
+        Block { ptr, class }
+    }
+
+    /// Returns a block to the free list.
+    pub fn release(&mut self, block: Block) {
+        self.free[block.class as usize].push(block.ptr);
+    }
+
+    /// Writes the next hop at `block.ptr + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the block capacity.
+    #[inline]
+    pub fn write(&mut self, block: Block, offset: usize, next_hop: NextHop) {
+        assert!(offset < block.capacity(), "offset beyond block");
+        self.data[block.ptr as usize + offset] = next_hop;
+    }
+
+    /// Reads the next hop at `block.ptr + offset` — the single off-chip
+    /// access at the end of every lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the block capacity.
+    #[inline]
+    pub fn read(&self, block: Block, offset: usize) -> NextHop {
+        assert!(offset < block.capacity(), "offset beyond block");
+        self.data[block.ptr as usize + offset]
+    }
+
+    /// Total entries ever carved out (allocated footprint).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// The raw next-hop words as loaded into commodity DRAM (unused slots
+    /// carry `u32::MAX`).
+    pub fn words(&self) -> Vec<u32> {
+        self.data.iter().map(|nh| nh.id()).collect()
+    }
+
+    /// Entries currently sitting on free lists (external fragmentation).
+    pub fn free_entries(&self) -> usize {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(c, list)| list.len() << c)
+            .sum()
+    }
+}
+
+impl Default for ResultTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_power_of_two() {
+        let mut t = ResultTable::new();
+        assert_eq!(t.alloc(1).capacity(), 1);
+        assert_eq!(t.alloc(2).capacity(), 2);
+        assert_eq!(t.alloc(3).capacity(), 4);
+        assert_eq!(t.alloc(5).capacity(), 8);
+        assert_eq!(t.alloc(16).capacity(), 16);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut t = ResultTable::new();
+        let b = t.alloc(4);
+        for i in 0..4 {
+            t.write(b, i, NextHop::new(i as u32 + 100));
+        }
+        for i in 0..4 {
+            assert_eq!(t.read(b, i), NextHop::new(i as u32 + 100));
+        }
+    }
+
+    #[test]
+    fn release_enables_reuse() {
+        let mut t = ResultTable::new();
+        let a = t.alloc(8);
+        t.release(a);
+        let b = t.alloc(8);
+        assert_eq!(a.ptr, b.ptr, "freed block must be reused");
+        assert_eq!(t.free_entries(), 0);
+        let hw = t.high_water();
+        let _c = t.alloc(8);
+        assert!(t.high_water() > hw, "no free block of this class remains");
+    }
+
+    #[test]
+    fn fragmentation_accounting() {
+        let mut t = ResultTable::new();
+        let blocks: Vec<_> = (0..4).map(|_| t.alloc(4)).collect();
+        for b in &blocks {
+            t.release(*b);
+        }
+        assert_eq!(t.free_entries(), 16);
+        assert_eq!(t.high_water(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_block_write_panics() {
+        let mut t = ResultTable::new();
+        let b = t.alloc(2);
+        t.write(b, 2, NextHop::new(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! The software shadow of one collapsed-prefix group.
+//!
+//! The paper keeps "a shadow copy of the data structures in software" on
+//! the line card's network processor (Section 4.4); updates are applied to
+//! the shadow first and the regenerated bit-vector/result block is then
+//! written to the hardware engine. The shadow for one group records the
+//! *original* prefixes that collapsed onto the group's key, which is
+//! exactly the information the hardware tables discard.
+
+use std::collections::BTreeMap;
+
+use chisel_prefix::NextHop;
+
+/// The original prefixes of one collapsed group, keyed by
+/// `(length - base, suffix bits below base)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupShadow {
+    /// `(depth, suffix)` -> next hop, where `depth = original_len - base`
+    /// and `suffix` is the collapsed-away low bits of the prefix.
+    routes: BTreeMap<(u8, u128), NextHop>,
+}
+
+impl GroupShadow {
+    /// Creates an empty shadow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of original prefixes in the group.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the group holds no prefixes (its collapsed key can be
+    /// marked dirty).
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Inserts or overwrites an original prefix, returning the previous
+    /// next hop if the prefix existed.
+    pub fn insert(&mut self, depth: u8, suffix: u128, next_hop: NextHop) -> Option<NextHop> {
+        self.routes.insert((depth, suffix), next_hop)
+    }
+
+    /// Removes an original prefix, returning its next hop if present.
+    pub fn remove(&mut self, depth: u8, suffix: u128) -> Option<NextHop> {
+        self.routes.remove(&(depth, suffix))
+    }
+
+    /// Exact-match lookup of an original prefix.
+    pub fn get(&self, depth: u8, suffix: u128) -> Option<NextHop> {
+        self.routes.get(&(depth, suffix)).copied()
+    }
+
+    /// Resolves the next hop of leaf `leaf` in a `stride`-bit subtree: the
+    /// *longest* (deepest) group prefix covering the leaf, per LPM
+    /// semantics. `None` when no prefix covers the leaf.
+    pub fn resolve_leaf(&self, leaf: usize, stride: u8) -> Option<NextHop> {
+        // Deepest depth first: a prefix of depth d covers leaf iff
+        // leaf >> (stride - d) == suffix.
+        for depth in (0..=stride).rev() {
+            let suffix = (leaf as u128) >> (stride - depth);
+            if let Some(&nh) = self.routes.get(&(depth, suffix)) {
+                return Some(nh);
+            }
+        }
+        None
+    }
+
+    /// Iterates `(depth, suffix, next_hop)` in ascending depth order.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, u128, NextHop)> + '_ {
+        self.routes.iter().map(|(&(d, s), &nh)| (d, s, nh))
+    }
+
+    /// Removes every prefix.
+    pub fn clear(&mut self) {
+        self.routes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_deepest() {
+        let mut g = GroupShadow::new();
+        // stride 3; depth 0 covers everything, depth 2 suffix 0b10 covers
+        // leaves 4 and 5, depth 3 suffix 0b101 covers leaf 5 only.
+        g.insert(0, 0, NextHop::new(1));
+        g.insert(2, 0b10, NextHop::new(2));
+        g.insert(3, 0b101, NextHop::new(3));
+        assert_eq!(g.resolve_leaf(5, 3), Some(NextHop::new(3)));
+        assert_eq!(g.resolve_leaf(4, 3), Some(NextHop::new(2)));
+        assert_eq!(g.resolve_leaf(0, 3), Some(NextHop::new(1)));
+        assert_eq!(g.resolve_leaf(7, 3), Some(NextHop::new(1)));
+    }
+
+    #[test]
+    fn resolve_without_cover_is_none() {
+        let mut g = GroupShadow::new();
+        g.insert(2, 0b11, NextHop::new(9)); // covers leaves 6, 7 of 8
+        assert_eq!(g.resolve_leaf(0, 3), None);
+        assert_eq!(g.resolve_leaf(6, 3), Some(NextHop::new(9)));
+        assert_eq!(g.resolve_leaf(7, 3), Some(NextHop::new(9)));
+    }
+
+    #[test]
+    fn paper_figure5_groups() {
+        // Group for collapsed prefix 1001 (base 4, stride 3):
+        // P1 = 10011* (depth 1, suffix 1), P3 = 1001101 (depth 3, 101).
+        let mut g = GroupShadow::new();
+        g.insert(1, 0b1, NextHop::new(1)); // P1
+        g.insert(3, 0b101, NextHop::new(3)); // P3
+                                             // Figure 5(c): leaves 100..111 resolve to P1 except 101 -> P3.
+        assert_eq!(g.resolve_leaf(0b100, 3), Some(NextHop::new(1)));
+        assert_eq!(g.resolve_leaf(0b101, 3), Some(NextHop::new(3)));
+        assert_eq!(g.resolve_leaf(0b110, 3), Some(NextHop::new(1)));
+        assert_eq!(g.resolve_leaf(0b111, 3), Some(NextHop::new(1)));
+        for leaf in 0..4 {
+            assert_eq!(g.resolve_leaf(leaf, 3), None);
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut g = GroupShadow::new();
+        assert!(g.is_empty());
+        assert_eq!(g.insert(2, 1, NextHop::new(5)), None);
+        assert_eq!(g.insert(2, 1, NextHop::new(6)), Some(NextHop::new(5)));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(2, 1), Some(NextHop::new(6)));
+        assert_eq!(g.remove(2, 1), Some(NextHop::new(6)));
+        assert!(g.is_empty());
+        assert_eq!(g.remove(2, 1), None);
+    }
+
+    #[test]
+    fn depth_zero_group_prefix() {
+        // A prefix exactly at the base length covers the whole subtree.
+        let mut g = GroupShadow::new();
+        g.insert(0, 0, NextHop::new(4));
+        for leaf in 0..16 {
+            assert_eq!(g.resolve_leaf(leaf, 4), Some(NextHop::new(4)));
+        }
+    }
+}

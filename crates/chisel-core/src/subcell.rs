@@ -1,0 +1,536 @@
+//! One Chisel sub-cell (Figure 6): a partitioned Bloomier Index Table, a
+//! Filter Table for exact false-positive elimination, a Bit-vector Table
+//! disambiguating collapsed bits, a Result Table of next hops, and a small
+//! spillover store for setup-failure keys.
+//!
+//! A sub-cell serves all original prefix lengths in `base ..= base+stride`;
+//! the engine instantiates one sub-cell per stride-plan cell and searches
+//! them in parallel (here: in priority order).
+
+use chisel_bloomier::{BloomierError, PartitionedBloomier};
+use chisel_prefix::bits::extract_msb;
+use chisel_prefix::collapse::CellRange;
+use chisel_prefix::NextHop;
+
+use crate::bitvector::LeafVector;
+use crate::result_table::{Block, ResultTable};
+use crate::shadow::GroupShadow;
+use crate::stats::LookupTrace;
+use crate::ChiselError;
+
+/// One Filter Table entry: the collapsed key, a valid bit, and the dirty
+/// bit used to absorb route flaps (Section 4.4.1).
+#[derive(Debug, Clone)]
+struct FilterEntry {
+    key: u128,
+    valid: bool,
+    dirty: bool,
+}
+
+/// One Bit-vector Table entry: the leaf vector plus its Result Table block.
+#[derive(Debug, Clone)]
+struct BitVecEntry {
+    vector: LeafVector,
+    block: Option<Block>,
+}
+
+/// Geometry and hashing parameters a sub-cell is built with.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CellParams {
+    pub k: usize,
+    pub m_per_key: f64,
+    pub partitions: usize,
+    pub seed: u64,
+    pub spill_capacity: usize,
+    pub flap_absorption: bool,
+}
+
+/// Outcome of a sub-cell announce, refined by the engine into an
+/// [`crate::UpdateKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AnnounceOutcome {
+    /// Cleared a dirty bit (the collapsed key never left the Index Table).
+    DirtyRestore,
+    /// The exact prefix existed; only its next hop changed.
+    NextHopOnly,
+    /// New prefix absorbed into an existing collapsed group.
+    Collapsed,
+    /// New collapsed key inserted via a singleton.
+    Singleton,
+    /// New collapsed key forced a partition re-setup.
+    Resetup,
+}
+
+/// A Chisel sub-cell.
+#[derive(Debug, Clone)]
+pub(crate) struct SubCell {
+    range: CellRange,
+    width: u8,
+    params: CellParams,
+    index: PartitionedBloomier,
+    filter: Vec<FilterEntry>,
+    bitvec: Vec<BitVecEntry>,
+    shadows: Vec<GroupShadow>,
+    free_slots: Vec<u32>,
+    result: ResultTable,
+    /// Spillover TCAM: (collapsed key, slot) pairs, searched before the
+    /// Index Table.
+    spill: Vec<(u128, u32)>,
+    live_groups: usize,
+    resetups: u64,
+}
+
+impl SubCell {
+    /// Builds a sub-cell over pre-grouped collapsed prefixes.
+    ///
+    /// `capacity` is the Filter/Bit-vector Table depth to provision. The
+    /// paper sizes deterministically for the *original prefix* count
+    /// (Section 4.3.2), which keeps the Index Table load low and makes
+    /// incremental singleton inserts nearly always succeed.
+    pub fn build(
+        range: CellRange,
+        width: u8,
+        params: CellParams,
+        groups: Vec<(u128, GroupShadow)>,
+        capacity: usize,
+    ) -> Result<Self, ChiselError> {
+        let capacity = capacity.max(groups.len()).max(64);
+        let mut cell = SubCell {
+            range,
+            width,
+            params,
+            index: PartitionedBloomier::empty(
+                params.k,
+                ((capacity as f64) * params.m_per_key).ceil() as usize,
+                params.partitions,
+                cell_seed(params.seed, range.base),
+            ),
+            filter: (0..capacity)
+                .map(|_| FilterEntry {
+                    key: 0,
+                    valid: false,
+                    dirty: false,
+                })
+                .collect(),
+            bitvec: (0..capacity)
+                .map(|_| BitVecEntry {
+                    vector: LeafVector::new(range.stride),
+                    block: None,
+                })
+                .collect(),
+            shadows: vec![GroupShadow::new(); capacity],
+            free_slots: (0..capacity as u32).rev().collect(),
+            result: ResultTable::new(),
+            spill: Vec::new(),
+            live_groups: 0,
+            resetups: 0,
+        };
+        cell.install_groups(groups)?;
+        Ok(cell)
+    }
+
+    /// Installs groups into a freshly-initialized cell: claims slots,
+    /// writes filter/bit-vector/result state, and runs Bloomier setup over
+    /// all keys at once.
+    fn install_groups(&mut self, groups: Vec<(u128, GroupShadow)>) -> Result<(), ChiselError> {
+        let mut keys = Vec::with_capacity(groups.len());
+        for (bits, shadow) in groups {
+            let slot = self.free_slots.pop().ok_or(ChiselError::CapacityExceeded {
+                cell_base: self.range.base,
+            })?;
+            self.filter[slot as usize] = FilterEntry {
+                key: bits,
+                valid: true,
+                dirty: false,
+            };
+            self.shadows[slot as usize] = shadow;
+            self.regenerate(slot);
+            self.live_groups += 1;
+            keys.push((bits, slot));
+        }
+        // Per-partition build.
+        let d = self.index.d();
+        let mut buckets: Vec<Vec<(u128, u32)>> = vec![Vec::new(); d];
+        for &(key, slot) in &keys {
+            buckets[self.index.partition_of(key)].push((key, slot));
+        }
+        for (i, bucket) in buckets.iter().enumerate() {
+            let spilled = self.index.rebuild_partition(i, bucket)?;
+            self.spill.extend(spilled.iter().map(|&(k, v)| (k, v)));
+        }
+        if self.spill.len() > self.params.spill_capacity {
+            return Err(ChiselError::SpilloverOverflow {
+                needed: self.spill.len(),
+                capacity: self.params.spill_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// The cell's length range.
+    pub fn range(&self) -> CellRange {
+        self.range
+    }
+
+    /// Number of live (non-dirty) collapsed groups.
+    pub fn groups(&self) -> usize {
+        self.live_groups
+    }
+
+    /// Filter/Bit-vector Table depth the cell is provisioned for.
+    pub fn capacity(&self) -> usize {
+        self.filter.len()
+    }
+
+    /// Index Table locations (across all partitions).
+    pub fn index_locations(&self) -> usize {
+        self.index.total_m()
+    }
+
+    /// Spillover TCAM occupancy.
+    pub fn spill_len(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Number of partition re-setups this cell has performed.
+    pub fn resetups(&self) -> u64 {
+        self.resetups
+    }
+
+    /// Result Table (off-chip) high-water mark in entries.
+    pub fn result_high_water(&self) -> usize {
+        self.result.high_water()
+    }
+
+    /// The collapsed key of a full-width lookup value for this cell.
+    #[inline]
+    fn collapse_key(&self, key_value: u128) -> u128 {
+        extract_msb(key_value, self.width, 0, self.range.base)
+    }
+
+    /// The bit-vector leaf index of a full-width lookup value.
+    #[inline]
+    fn leaf_of(&self, key_value: u128) -> usize {
+        extract_msb(key_value, self.width, self.range.base, self.range.stride) as usize
+    }
+
+    /// Finds the slot bound to a collapsed key: spillover TCAM first, then
+    /// the Index Table, validated against the Filter Table. Returns the
+    /// slot even for dirty entries (callers distinguish).
+    fn slot_of(&self, collapsed: u128) -> Option<u32> {
+        if let Some(&(_, slot)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+            return Some(slot);
+        }
+        let p = self.index.lookup(collapsed);
+        let entry = self.filter.get(p as usize)?;
+        (entry.valid && entry.key == collapsed).then_some(p)
+    }
+
+    /// Full data-path lookup for a key, tracing memory accesses.
+    pub fn lookup(&self, key_value: u128, trace: &mut LookupTrace) -> Option<NextHop> {
+        let collapsed = self.collapse_key(key_value);
+        // Hardware reads the k index segments in parallel: one access.
+        trace.index_reads += 1;
+        let slot = if let Some(&(_, s)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+            trace.spill_hits += 1;
+            s
+        } else {
+            self.index.lookup(collapsed)
+        };
+        let entry = self.filter.get(slot as usize)?;
+        trace.filter_reads += 1;
+        trace.bitvec_reads += 1; // read in parallel with the filter check
+        if !entry.valid || entry.dirty || entry.key != collapsed {
+            return None; // no match or false positive filtered out
+        }
+        let bv = &self.bitvec[slot as usize];
+        let leaf = self.leaf_of(key_value);
+        if !bv.vector.get(leaf) {
+            return None;
+        }
+        let rank = bv.vector.rank(leaf);
+        let block = bv.block.expect("set leaf implies allocated block");
+        trace.result_reads += 1;
+        Some(self.result.read(block, rank - 1))
+    }
+
+    /// Rebuilds slot's bit-vector and Result Table block from its shadow.
+    fn regenerate(&mut self, slot: u32) {
+        let si = slot as usize;
+        let stride = self.range.stride;
+        let leaves = 1usize << stride;
+        let mut hops: Vec<Option<NextHop>> = Vec::with_capacity(leaves);
+        for leaf in 0..leaves {
+            hops.push(self.shadows[si].resolve_leaf(leaf, stride));
+        }
+        let ones = hops.iter().filter(|h| h.is_some()).count();
+
+        let entry = &mut self.bitvec[si];
+        entry.vector.clear();
+        // Keep the old block if it still fits; else swap.
+        let need_new = match entry.block {
+            Some(b) => b.capacity() < ones,
+            None => ones > 0,
+        };
+        if need_new {
+            if let Some(old) = entry.block.take() {
+                self.result.release(old);
+            }
+            if ones > 0 {
+                entry.block = Some(self.result.alloc(ones));
+            }
+        }
+        if ones == 0 {
+            if let Some(old) = entry.block.take() {
+                self.result.release(old);
+            }
+            return;
+        }
+        let block = self.bitvec[si].block.expect("allocated above");
+        let mut off = 0usize;
+        for (leaf, hop) in hops.into_iter().enumerate() {
+            if let Some(nh) = hop {
+                self.bitvec[si].vector.set(leaf, true);
+                self.result.write(block, off, nh);
+                off += 1;
+            }
+        }
+    }
+
+    /// Applies an announce for an original prefix of `depth` extra bits
+    /// and collapsed key `collapsed`.
+    pub fn announce(
+        &mut self,
+        collapsed: u128,
+        depth: u8,
+        suffix: u128,
+        next_hop: NextHop,
+    ) -> Result<AnnounceOutcome, ChiselError> {
+        if let Some(slot) = self.slot_of(collapsed) {
+            let si = slot as usize;
+            let was_dirty = self.filter[si].dirty;
+            if was_dirty {
+                self.filter[si].dirty = false;
+                self.shadows[si].clear();
+                self.live_groups += 1;
+            }
+            let existed = self.shadows[si].insert(depth, suffix, next_hop).is_some();
+            self.regenerate(slot);
+            return Ok(if was_dirty {
+                AnnounceOutcome::DirtyRestore
+            } else if existed {
+                AnnounceOutcome::NextHopOnly
+            } else {
+                AnnounceOutcome::Collapsed
+            });
+        }
+
+        // New collapsed key: claim a slot (growing if exhausted).
+        let grew = if self.free_slots.is_empty() {
+            self.grow()?;
+            true
+        } else {
+            false
+        };
+        let slot = self.free_slots.pop().ok_or(ChiselError::CapacityExceeded {
+            cell_base: self.range.base,
+        })?;
+        let si = slot as usize;
+        self.filter[si] = FilterEntry {
+            key: collapsed,
+            valid: true,
+            dirty: false,
+        };
+        self.shadows[si].clear();
+        self.shadows[si].insert(depth, suffix, next_hop);
+        self.regenerate(slot);
+        self.live_groups += 1;
+
+        match self.index.try_insert(collapsed, slot) {
+            Ok(()) => Ok(if grew {
+                AnnounceOutcome::Resetup
+            } else {
+                AnnounceOutcome::Singleton
+            }),
+            Err(BloomierError::NoSingleton { .. }) => {
+                self.resetup_partition_with(collapsed, slot)?;
+                Ok(AnnounceOutcome::Resetup)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Applies a withdraw. Returns `true` when the prefix existed.
+    pub fn withdraw(&mut self, collapsed: u128, depth: u8, suffix: u128) -> bool {
+        let Some(slot) = self.slot_of(collapsed) else {
+            return false;
+        };
+        let si = slot as usize;
+        if self.filter[si].dirty {
+            return false;
+        }
+        if self.shadows[si].remove(depth, suffix).is_none() {
+            return false;
+        }
+        if self.shadows[si].is_empty() {
+            if self.params.flap_absorption {
+                // All expanded prefixes deleted: mark dirty and retain the
+                // key in the Index Table until the next re-setup
+                // (Section 4.4.1).
+                self.filter[si].dirty = true;
+            } else {
+                // Ablation mode: drop the entry outright. The stale Index
+                // Table encoding is harmless (the Filter Table rejects it)
+                // and a re-announce must insert a fresh key.
+                self.filter[si].valid = false;
+                self.free_slots.push(slot);
+            }
+            self.live_groups -= 1;
+            let entry = &mut self.bitvec[si];
+            entry.vector.clear();
+            if let Some(block) = entry.block.take() {
+                self.result.release(block);
+            }
+        } else {
+            self.regenerate(slot);
+        }
+        true
+    }
+
+    /// Re-sets-up the partition of `new_key` (Section 4.4.2): gathers the
+    /// partition's live keys from the Filter Table, purges its dirty
+    /// entries, reclaims its spillover keys, and rebuilds.
+    fn resetup_partition_with(&mut self, new_key: u128, new_slot: u32) -> Result<(), ChiselError> {
+        self.resetups += 1;
+        let part = self.index.partition_of(new_key);
+        let mut keys: Vec<(u128, u32)> = vec![(new_key, new_slot)];
+        for slot in 0..self.filter.len() as u32 {
+            let e = &self.filter[slot as usize];
+            if !e.valid || e.key == new_key {
+                continue;
+            }
+            if self.index.partition_of(e.key) != part {
+                continue;
+            }
+            if self.spill.iter().any(|&(k, _)| k == e.key) {
+                continue; // handled below
+            }
+            if e.dirty {
+                self.purge_slot(slot);
+            } else {
+                keys.push((e.key, slot));
+            }
+        }
+        // Spilled keys of this partition get another chance to be placed.
+        let spill = std::mem::take(&mut self.spill);
+        let mut kept = Vec::with_capacity(spill.len());
+        for &(k, s) in &spill {
+            if self.index.partition_of(k) == part {
+                if self.filter[s as usize].dirty {
+                    self.purge_slot(s);
+                } else {
+                    keys.push((k, s));
+                }
+            } else {
+                kept.push((k, s));
+            }
+        }
+        self.spill = kept;
+        let spilled = self.index.rebuild_partition(part, &keys)?;
+        self.spill.extend(spilled);
+        if self.spill.len() > self.params.spill_capacity {
+            return Err(ChiselError::SpilloverOverflow {
+                needed: self.spill.len(),
+                capacity: self.params.spill_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Frees a dirty slot entirely (purge at re-setup time).
+    fn purge_slot(&mut self, slot: u32) {
+        let si = slot as usize;
+        debug_assert!(self.filter[si].dirty);
+        self.filter[si].valid = false;
+        self.filter[si].dirty = false;
+        self.shadows[si].clear();
+        let entry = &mut self.bitvec[si];
+        entry.vector.clear();
+        if let Some(block) = entry.block.take() {
+            self.result.release(block);
+        }
+        self.free_slots.push(slot);
+    }
+
+    /// Doubles capacity by rebuilding the whole cell (a full — but still
+    /// cell-local — re-setup). Dirty entries are purged in passing.
+    fn grow(&mut self) -> Result<(), ChiselError> {
+        self.resetups += 1;
+        let groups: Vec<(u128, GroupShadow)> = self
+            .filter
+            .iter()
+            .zip(&self.shadows)
+            .filter(|(e, _)| e.valid && !e.dirty)
+            .map(|(e, s)| (e.key, s.clone()))
+            .collect();
+        let new_capacity = (self.capacity() * 2).max(64);
+        let rebuilt = SubCell::build(self.range, self.width, self.params, groups, new_capacity)?;
+        *self = SubCell {
+            resetups: self.resetups,
+            ..rebuilt
+        };
+        Ok(())
+    }
+
+    /// Exports the cell's memories as a hardware image (see
+    /// [`crate::HardwareImage`]).
+    pub fn export_image(&self) -> crate::image::CellImage {
+        crate::image::CellImage {
+            base: self.range.base,
+            stride: self.range.stride,
+            selector: self.index.selector().clone(),
+            index_parts: (0..self.index.d())
+                .map(|i| {
+                    let part = self.index.part(i);
+                    crate::image::IndexPartImage {
+                        words: part.table_words().to_vec(),
+                        family: part.family().clone(),
+                    }
+                })
+                .collect(),
+            filter: self
+                .filter
+                .iter()
+                .map(|e| crate::image::FilterWord {
+                    key: e.key,
+                    valid: e.valid,
+                    dirty: e.dirty,
+                })
+                .collect(),
+            bitvec: self
+                .bitvec
+                .iter()
+                .map(|e| crate::image::BitVectorWord {
+                    vector: e.vector.clone(),
+                    pointer: e.block.map(|b| b.ptr),
+                })
+                .collect(),
+            result: self.result.words(),
+            spill: self.spill.clone(),
+        }
+    }
+
+    /// Enumerates `(collapsed_key, depth, suffix, next_hop)` of every live
+    /// original prefix — used by verification and serialization.
+    pub fn iter_routes(&self) -> impl Iterator<Item = (u128, u8, u128, NextHop)> + '_ {
+        self.filter
+            .iter()
+            .zip(&self.shadows)
+            .filter(|(e, _)| e.valid && !e.dirty)
+            .flat_map(|(e, s)| s.iter().map(move |(d, suf, nh)| (e.key, d, suf, nh)))
+    }
+}
+
+fn cell_seed(seed: u64, base: u8) -> u64 {
+    seed ^ ((base as u64) << 32).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}

@@ -1,0 +1,226 @@
+//! Update classification — the categories of Figure 14 and the counters
+//! behind the paper's update-traffic breakup.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use chisel_prefix::Prefix;
+
+/// How one update was applied — the paper's Figure 14 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum UpdateKind {
+    /// A `withdraw`: applied on the bit-vector / Result Table only (or a
+    /// no-op when the prefix was absent).
+    Withdraw,
+    /// An `announce` restoring a recently-removed prefix — either clearing
+    /// a dirty Index Table entry or re-setting a bit-vector bit.
+    RouteFlap,
+    /// An `announce` for a prefix already present: only the next hop
+    /// changed.
+    NextHopChange,
+    /// An `announce` adding a prefix whose *collapsed* form already exists
+    /// in the Index Table: only the Bit-vector/Result tables change.
+    AddCollapsed,
+    /// An `announce` adding a new collapsed key to the Index Table
+    /// incrementally through a singleton location.
+    AddSingleton,
+    /// An `announce` that forced a (partition-bounded) Index Table
+    /// re-setup.
+    Resetup,
+}
+
+impl fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UpdateKind::Withdraw => "withdraw",
+            UpdateKind::RouteFlap => "route-flap",
+            UpdateKind::NextHopChange => "next-hop",
+            UpdateKind::AddCollapsed => "add-pc",
+            UpdateKind::AddSingleton => "singleton",
+            UpdateKind::Resetup => "resetup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tallies of applied updates by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Withdraw operations.
+    pub withdraws: usize,
+    /// Route-flap restores.
+    pub route_flaps: usize,
+    /// Next-hop-only changes.
+    pub next_hop_changes: usize,
+    /// Adds absorbed by prefix collapsing.
+    pub add_collapsed: usize,
+    /// Incremental singleton inserts.
+    pub add_singleton: usize,
+    /// Partition re-setups.
+    pub resetups: usize,
+}
+
+impl UpdateStats {
+    /// Records one update.
+    pub fn record(&mut self, kind: UpdateKind) {
+        match kind {
+            UpdateKind::Withdraw => self.withdraws += 1,
+            UpdateKind::RouteFlap => self.route_flaps += 1,
+            UpdateKind::NextHopChange => self.next_hop_changes += 1,
+            UpdateKind::AddCollapsed => self.add_collapsed += 1,
+            UpdateKind::AddSingleton => self.add_singleton += 1,
+            UpdateKind::Resetup => self.resetups += 1,
+        }
+    }
+
+    /// Total updates recorded.
+    pub fn total(&self) -> usize {
+        self.withdraws
+            + self.route_flaps
+            + self.next_hop_changes
+            + self.add_collapsed
+            + self.add_singleton
+            + self.resetups
+    }
+
+    /// Fraction of updates applied without touching the Index Table
+    /// structure (everything but singleton inserts and re-setups) — the
+    /// paper's "99.9% incremental" headline number counts these plus
+    /// singletons.
+    pub fn incremental_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - (self.resetups as f64 / total as f64)
+    }
+}
+
+/// A bounded memory of recently withdrawn prefixes, used to classify an
+/// announce as a route flap (paper Section 4.4: "a large fraction of
+/// updates are actually route-flaps").
+#[derive(Debug, Clone)]
+pub struct RecentWithdrawals {
+    set: HashMap<Prefix, usize>,
+    fifo: VecDeque<Prefix>,
+    capacity: usize,
+}
+
+impl RecentWithdrawals {
+    /// Creates a window remembering at most `capacity` withdrawals.
+    pub fn new(capacity: usize) -> Self {
+        RecentWithdrawals {
+            set: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a withdrawal.
+    pub fn record(&mut self, prefix: Prefix) {
+        *self.set.entry(prefix).or_insert(0) += 1;
+        self.fifo.push_back(prefix);
+        while self.fifo.len() > self.capacity {
+            let old = self.fifo.pop_front().expect("fifo nonempty");
+            if let Some(c) = self.set.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Consumes a pending withdrawal of `prefix` if one is remembered,
+    /// returning whether the announce is a flap.
+    pub fn take(&mut self, prefix: &Prefix) -> bool {
+        match self.set.get_mut(prefix) {
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.set.remove(prefix);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of remembered (not yet consumed or evicted) withdrawals.
+    pub fn len(&self) -> usize {
+        self.set.values().sum()
+    }
+
+    /// Whether no withdrawals are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_tally_and_fraction() {
+        let mut s = UpdateStats::default();
+        for _ in 0..99 {
+            s.record(UpdateKind::Withdraw);
+        }
+        s.record(UpdateKind::Resetup);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.withdraws, 99);
+        assert_eq!(s.resetups, 1);
+        assert!((s.incremental_fraction() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_fraction_is_one() {
+        assert_eq!(UpdateStats::default().incremental_fraction(), 1.0);
+    }
+
+    #[test]
+    fn recent_withdrawals_flap_detection() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let q: Prefix = "11.0.0.0/8".parse().unwrap();
+        let mut r = RecentWithdrawals::new(10);
+        r.record(p);
+        assert!(r.take(&p));
+        assert!(!r.take(&p), "flap already consumed");
+        assert!(!r.take(&q));
+    }
+
+    #[test]
+    fn recent_withdrawals_eviction() {
+        let mut r = RecentWithdrawals::new(2);
+        let a: Prefix = "1.0.0.0/8".parse().unwrap();
+        let b: Prefix = "2.0.0.0/8".parse().unwrap();
+        let c: Prefix = "3.0.0.0/8".parse().unwrap();
+        r.record(a);
+        r.record(b);
+        r.record(c); // evicts a
+        assert_eq!(r.len(), 2);
+        assert!(!r.take(&a));
+        assert!(r.take(&b));
+        assert!(r.take(&c));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_withdrawals_counted() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let mut r = RecentWithdrawals::new(10);
+        r.record(p);
+        r.record(p);
+        assert!(r.take(&p));
+        assert!(r.take(&p));
+        assert!(!r.take(&p));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(UpdateKind::AddCollapsed.to_string(), "add-pc");
+        assert_eq!(UpdateKind::Resetup.to_string(), "resetup");
+    }
+}

@@ -1,0 +1,166 @@
+use crate::{MixHasher, SplitMix64};
+
+/// `k` independently-seeded hash functions over 128-bit keys — the *hash
+/// neighborhood* generator of a Bloomier filter, plus the partition
+/// selector used for `d`-way logical Index Table partitioning.
+///
+/// The family is cheap to clone (a few `u64`s per function) and fully
+/// deterministic given `(k, seed)`.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    hashers: Vec<MixHasher>,
+    selector: MixHasher,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family of `k` hash functions from a master seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "a hash family needs at least one function");
+        let mut rng = SplitMix64::new(seed);
+        let hashers = (0..k).map(|_| MixHasher::from_rng(&mut rng)).collect();
+        let selector = MixHasher::from_rng(&mut rng);
+        HashFamily {
+            hashers,
+            selector,
+            seed,
+        }
+    }
+
+    /// Number of hash functions.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.hashers.len()
+    }
+
+    /// The master seed the family was derived from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `i`-th hash of `key` in range `0..m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    #[inline]
+    pub fn hash_one(&self, i: usize, key: u128, m: usize) -> usize {
+        self.hashers[i].hash_range(key, m)
+    }
+
+    /// Fills `out` (length exactly `k`) with the key's hash neighborhood in
+    /// range `0..m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != k`.
+    #[inline]
+    pub fn hash_into(&self, key: u128, m: usize, out: &mut [usize]) {
+        assert_eq!(out.len(), self.k(), "output slice must have length k");
+        for (slot, h) in out.iter_mut().zip(&self.hashers) {
+            *slot = h.hash_range(key, m);
+        }
+    }
+
+    /// The key's hash neighborhood as a fresh vector (convenience form of
+    /// [`HashFamily::hash_into`]).
+    pub fn neighborhood(&self, key: u128, m: usize) -> Vec<usize> {
+        self.hashers.iter().map(|h| h.hash_range(key, m)).collect()
+    }
+
+    /// The partition selector: a `log2(d)`-bit checksum assigning `key` to
+    /// one of `d` logical partitions (paper Section 4.4.2). Independent of
+    /// the `k` neighborhood functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `d == 0`.
+    #[inline]
+    pub fn partition(&self, key: u128, d: usize) -> usize {
+        self.selector.hash_range(key, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighborhood_matches_hash_one() {
+        let f = HashFamily::new(4, 123);
+        let n = f.neighborhood(0xABCD, 999);
+        assert_eq!(n.len(), 4);
+        for (i, &h) in n.iter().enumerate() {
+            assert_eq!(h, f.hash_one(i, 0xABCD, 999));
+        }
+    }
+
+    #[test]
+    fn hash_into_agrees_with_neighborhood() {
+        let f = HashFamily::new(3, 55);
+        let mut out = [0usize; 3];
+        f.hash_into(77, 1 << 16, &mut out);
+        assert_eq!(out.to_vec(), f.neighborhood(77, 1 << 16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn hash_into_wrong_len_panics() {
+        let f = HashFamily::new(3, 55);
+        let mut out = [0usize; 2];
+        f.hash_into(77, 16, &mut out);
+    }
+
+    #[test]
+    fn partition_is_uniform() {
+        let f = HashFamily::new(3, 9);
+        let d = 16;
+        let mut counts = vec![0usize; d];
+        let n = 16_000u128;
+        for key in 0..n {
+            counts[f.partition(key, d)] += 1;
+        }
+        let expected = n as usize / d;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.2,
+                "partition {i} has {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_independent_of_neighborhood() {
+        // Keys with equal first-hash should not all share a partition.
+        let f = HashFamily::new(1, 11);
+        let m = 4;
+        let mut parts = std::collections::HashSet::new();
+        for key in 0..10_000u128 {
+            if f.hash_one(0, key, m) == 0 {
+                parts.insert(f.partition(key, 8));
+            }
+        }
+        assert!(parts.len() > 4, "selector correlated with hash 0");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashFamily::new(3, 42);
+        let b = HashFamily::new(3, 42);
+        for key in [0u128, 1, u128::MAX, 0xDEADBEEF] {
+            assert_eq!(a.neighborhood(key, 1 << 20), b.neighborhood(key, 1 << 20));
+            assert_eq!(a.partition(key, 32), b.partition(key, 32));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        HashFamily::new(0, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Seeded universal hash family for collision-free LPM hashing.
+//!
+//! The paper rules out cryptographic hashes (MD5/SHA-1) as too slow for
+//! line-rate lookup (Section 2); hardware hash-based LPM schemes use simple
+//! multiply/XOR mixing networks instead. This crate provides:
+//!
+//! - [`MixHasher`]: one hardware-style hash function over 128-bit keys —
+//!   two 64-bit odd multipliers plus an xorshift finalizer.
+//! - [`HashFamily`]: `k` independently-seeded [`MixHasher`]s mapping a key
+//!   into a table of `m` locations (a key's *hash neighborhood* in Bloomier
+//!   filter terms), plus the partition-selector checksum used for the
+//!   paper's `d`-way logical Index Table partitioning (Section 4.4.2).
+//!
+//! All hashing is deterministic given a seed, so every engine in the
+//! workspace is reproducible.
+//!
+//! ```
+//! use chisel_hash::HashFamily;
+//!
+//! let family = HashFamily::new(3, 0xC0FFEE);
+//! let mut out = [0usize; 3];
+//! family.hash_into(0xDEAD_BEEF, 1024, &mut out);
+//! assert!(out.iter().all(|&h| h < 1024));
+//! // Deterministic:
+//! let mut out2 = [0usize; 3];
+//! family.hash_into(0xDEAD_BEEF, 1024, &mut out2);
+//! assert_eq!(out, out2);
+//! ```
+
+mod family;
+mod mix;
+
+pub use family::HashFamily;
+pub use mix::{MixHasher, SplitMix64};

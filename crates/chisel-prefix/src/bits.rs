@@ -1,0 +1,118 @@
+//! Low-level bit helpers shared by the prefix transforms and the engines.
+//!
+//! Throughout the workspace a prefix's bits are stored *right-aligned*: a
+//! prefix `10011*` of length 5 is the integer `0b10011`. These helpers keep
+//! the shift-by-128 edge cases in one place.
+
+/// Returns a mask with the low `n` bits set.
+///
+/// # Panics
+///
+/// Panics if `n > 128`.
+#[inline]
+pub fn mask(n: u8) -> u128 {
+    match n {
+        128 => u128::MAX,
+        n if n < 128 => (1u128 << n) - 1,
+        _ => panic!("mask width {n} exceeds 128"),
+    }
+}
+
+/// Shifts `v` right by `n`, returning 0 when `n >= 128`.
+#[inline]
+pub fn shr(v: u128, n: u8) -> u128 {
+    if n >= 128 {
+        0
+    } else {
+        v >> n
+    }
+}
+
+/// Shifts `v` left by `n`, returning 0 when `n >= 128`.
+#[inline]
+pub fn shl(v: u128, n: u8) -> u128 {
+    if n >= 128 {
+        0
+    } else {
+        v << n
+    }
+}
+
+/// Extracts the `count` bits of `v` (a `width`-bit value) starting `start`
+/// bits from the most-significant end.
+///
+/// Bit 0 of the result is the last extracted bit. Used to pull sub-cell leaf
+/// indices out of lookup keys.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `start + count > width` or `width > 128`.
+#[inline]
+pub fn extract_msb(v: u128, width: u8, start: u8, count: u8) -> u128 {
+    debug_assert!(width <= 128);
+    debug_assert!(start + count <= width);
+    shr(v, width - start - count) & mask(count)
+}
+
+/// Number of bits needed to address `n` distinct values (`ceil(log2(n))`),
+/// with a floor of 1 so even trivial tables have a nonzero entry width.
+#[inline]
+pub fn addr_bits(n: usize) -> u32 {
+    if n <= 2 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(5), 0b11111);
+        assert_eq!(mask(127), u128::MAX >> 1);
+        assert_eq!(mask(128), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_too_wide_panics() {
+        let _ = mask(129);
+    }
+
+    #[test]
+    fn shift_edges() {
+        assert_eq!(shr(u128::MAX, 128), 0);
+        assert_eq!(shl(1, 128), 0);
+        assert_eq!(shr(0b100, 2), 1);
+        assert_eq!(shl(1, 2), 0b100);
+    }
+
+    #[test]
+    fn extract_from_msb_end() {
+        // 8-bit value 0b1011_0010; first 3 bits are 101.
+        assert_eq!(extract_msb(0b1011_0010, 8, 0, 3), 0b101);
+        // bits 3..6 are 100.
+        assert_eq!(extract_msb(0b1011_0010, 8, 3, 3), 0b100);
+        // whole value
+        assert_eq!(extract_msb(0b1011_0010, 8, 0, 8), 0b1011_0010);
+        // empty extract
+        assert_eq!(extract_msb(0b1011_0010, 8, 4, 0), 0);
+    }
+
+    #[test]
+    fn addr_bits_rounds_up() {
+        assert_eq!(addr_bits(0), 1);
+        assert_eq!(addr_bits(1), 1);
+        assert_eq!(addr_bits(2), 1);
+        assert_eq!(addr_bits(3), 2);
+        assert_eq!(addr_bits(4), 2);
+        assert_eq!(addr_bits(5), 3);
+        assert_eq!(addr_bits(1 << 20), 20);
+        assert_eq!(addr_bits((1 << 20) + 1), 21);
+    }
+}

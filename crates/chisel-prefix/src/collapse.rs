@@ -1,0 +1,437 @@
+//! Prefix collapsing — the paper's novel wildcard-support transform
+//! (Section 4.3).
+//!
+//! Where CPE *expands* a prefix to a longer length (multiplying the prefix
+//! count), prefix collapsing *truncates* it to a shorter sub-cell base
+//! length. Prefixes that become identical after collapsing form a *group*
+//! disambiguated by a `2^stride`-bit bit-vector, so the table always holds
+//! exactly one entry per collapsed prefix and at most one storage location
+//! per original prefix.
+//!
+//! A [`StridePlan`] tiles the populated prefix lengths into sub-cells; each
+//! [`CellRange`] covers lengths `base ..= base + stride` and collapses them
+//! all to `base`.
+
+use std::collections::HashMap;
+
+use crate::{LengthHistogram, Prefix, RoutingTable};
+
+/// One sub-cell's length range: original lengths `base ..= base + stride`
+/// are collapsed to `base`, disambiguated with a `2^stride`-bit bit-vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellRange {
+    /// Collapsed (base) prefix length of the sub-cell.
+    pub base: u8,
+    /// Maximum number of collapsed bits; the cell covers `stride + 1`
+    /// consecutive original lengths.
+    pub stride: u8,
+}
+
+impl CellRange {
+    /// The longest original prefix length the cell covers.
+    #[inline]
+    pub fn high(&self) -> u8 {
+        self.base + self.stride
+    }
+
+    /// Whether the cell covers prefixes of length `len`.
+    #[inline]
+    pub fn covers_len(&self, len: u8) -> bool {
+        self.base <= len && len <= self.high()
+    }
+
+    /// Number of leaves in the cell's bit-vectors.
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        1usize << self.stride
+    }
+}
+
+/// A tiling of prefix lengths into sub-cells.
+///
+/// Cells are stored ascending by base length and never overlap, so a match
+/// in a later cell is always longer than any match in an earlier cell —
+/// which is what lets the engine's priority encoder pick the highest
+/// matching cell (paper Section 4.3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StridePlan {
+    cells: Vec<CellRange>,
+}
+
+impl StridePlan {
+    /// Builds a plan from explicit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cells are not ascending and disjoint.
+    pub fn from_cells(cells: Vec<CellRange>) -> Self {
+        assert!(
+            cells.windows(2).all(|w| w[0].high() < w[1].base),
+            "cells must be ascending and disjoint"
+        );
+        StridePlan { cells }
+    }
+
+    /// Tiles lengths `min_len ..= max_len` uniformly: each cell covers
+    /// `stride + 1` lengths (the last cell is clipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_len > max_len` or `min_len == 0` (the zero-length
+    /// default route is handled outside the sub-cell array).
+    pub fn uniform(min_len: u8, max_len: u8, stride: u8) -> Self {
+        assert!(min_len > 0, "length 0 is handled as the default route");
+        assert!(min_len <= max_len);
+        let mut cells = Vec::new();
+        let mut base = min_len;
+        while base <= max_len {
+            let s = stride.min(max_len - base);
+            cells.push(CellRange { base, stride: s });
+            base += s + 1;
+        }
+        StridePlan { cells }
+    }
+
+    /// The paper's greedy algorithm (Section 4.3.3): starting from the
+    /// shortest populated length, collapse progressively larger lengths
+    /// into it until the maximum stride is reached, then move to the next
+    /// populated length.
+    ///
+    /// Returns an empty plan for an empty histogram. Length 0 is ignored
+    /// (it is the default route).
+    pub fn greedy(hist: &LengthHistogram, max_stride: u8) -> Self {
+        let mut cells = Vec::new();
+        let populated: Vec<u8> = hist
+            .populated_lengths()
+            .into_iter()
+            .filter(|&l| l > 0)
+            .collect();
+        let mut i = 0;
+        while i < populated.len() {
+            let base = populated[i];
+            // Absorb every populated length within the stride window.
+            let mut last = base;
+            while i < populated.len() && populated[i] <= base + max_stride {
+                last = populated[i];
+                i += 1;
+            }
+            cells.push(CellRange {
+                base,
+                stride: last - base,
+            });
+        }
+        StridePlan { cells }
+    }
+
+    /// Builds the plan a live router needs: the greedy plan of
+    /// [`StridePlan::greedy`] with every gap filled by uniform tiling, so
+    /// that *all* lengths `1..=width` are covered — updates may announce
+    /// prefixes at lengths the build table never had.
+    pub fn covering(hist: &LengthHistogram, max_stride: u8, width: u8) -> Self {
+        let greedy = Self::greedy(hist, max_stride);
+        let mut cells = Vec::new();
+        let mut pos = 1u8;
+        let bases: Vec<u8> = greedy.cells().iter().map(|c| c.base).collect();
+        for (i, &base) in bases.iter().enumerate() {
+            // Tile the gap before this greedy cell.
+            while pos < base {
+                let s = max_stride.min(base - 1 - pos);
+                cells.push(CellRange {
+                    base: pos,
+                    stride: s,
+                });
+                pos += s + 1;
+            }
+            // Extend the greedy cell to its full provisioned stride where
+            // the following gap allows, so in-window announces at
+            // initially-unpopulated lengths stay in the same cell.
+            let limit = if i + 1 < bases.len() {
+                bases[i + 1] - 1
+            } else {
+                width
+            };
+            let stride = max_stride.min(limit - base);
+            cells.push(CellRange { base, stride });
+            pos = base + stride + 1;
+        }
+        while pos <= width {
+            let s = max_stride.min(width - pos);
+            cells.push(CellRange {
+                base: pos,
+                stride: s,
+            });
+            pos += s + 1;
+        }
+        StridePlan { cells }
+    }
+
+    /// The cells, ascending by base length.
+    pub fn cells(&self) -> &[CellRange] {
+        &self.cells
+    }
+
+    /// Number of sub-cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Index of the cell covering original length `len`, if any.
+    pub fn cell_for(&self, len: u8) -> Option<usize> {
+        // cells are sorted by base; binary search on base then check range.
+        match self.cells.binary_search_by(|c| c.base.cmp(&len)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => {
+                let c = self.cells[i - 1];
+                c.covers_len(len).then_some(i - 1)
+            }
+        }
+    }
+
+    /// The largest stride used by any cell.
+    pub fn max_stride(&self) -> u8 {
+        self.cells.iter().map(|c| c.stride).max().unwrap_or(0)
+    }
+}
+
+/// Statistics of collapsing a routing table under a plan — the quantities
+/// the storage model needs (groups per cell, not prefixes per cell).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapseStats {
+    /// Per cell: number of distinct collapsed prefixes (groups).
+    pub groups_per_cell: Vec<usize>,
+    /// Per cell: number of original prefixes assigned to the cell.
+    pub prefixes_per_cell: Vec<usize>,
+    /// Largest group (original prefixes sharing one collapsed prefix).
+    pub max_group_size: usize,
+    /// Original prefixes not covered by any cell (should only ever be the
+    /// length-0 default route).
+    pub uncovered: usize,
+}
+
+impl CollapseStats {
+    /// Total distinct collapsed prefixes across all cells.
+    pub fn total_groups(&self) -> usize {
+        self.groups_per_cell.iter().sum()
+    }
+
+    /// Total original prefixes assigned to cells.
+    pub fn total_prefixes(&self) -> usize {
+        self.prefixes_per_cell.iter().sum()
+    }
+}
+
+/// Collapses every prefix of `table` under `plan` and reports group
+/// statistics. This is the storage-model path; the Chisel engine does the
+/// same grouping itself when building its sub-cells.
+pub fn collapse_stats(table: &RoutingTable, plan: &StridePlan) -> CollapseStats {
+    let ncells = plan.num_cells();
+    let mut groups: Vec<HashMap<u128, usize>> = vec![HashMap::new(); ncells];
+    let mut prefixes = vec![0usize; ncells];
+    let mut uncovered = 0usize;
+    for e in table.iter() {
+        match plan.cell_for(e.prefix.len()) {
+            Some(ci) => {
+                let collapsed = e.prefix.truncate(plan.cells()[ci].base);
+                *groups[ci].entry(collapsed.bits()).or_insert(0) += 1;
+                prefixes[ci] += 1;
+            }
+            None => uncovered += 1,
+        }
+    }
+    let max_group_size = groups
+        .iter()
+        .flat_map(|g| g.values().copied())
+        .max()
+        .unwrap_or(0);
+    CollapseStats {
+        groups_per_cell: groups.iter().map(HashMap::len).collect(),
+        prefixes_per_cell: prefixes,
+        max_group_size,
+        uncovered,
+    }
+}
+
+/// Collapses a single prefix to the base length of its covering cell.
+///
+/// Returns `None` if no cell covers the prefix length.
+pub fn collapse_prefix(prefix: &Prefix, plan: &StridePlan) -> Option<(usize, Prefix)> {
+    let ci = plan.cell_for(prefix.len())?;
+    Some((ci, prefix.truncate(plan.cells()[ci].base)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddressFamily, NextHop};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn uniform_tiles_lengths() {
+        let plan = StridePlan::uniform(1, 32, 4);
+        // Cells: 1-5, 6-10, 11-15, 16-20, 21-25, 26-30, 31-32.
+        assert_eq!(plan.num_cells(), 7);
+        assert_eq!(plan.cells()[0], CellRange { base: 1, stride: 4 });
+        assert_eq!(
+            plan.cells()[6],
+            CellRange {
+                base: 31,
+                stride: 1
+            }
+        );
+        for len in 1..=32u8 {
+            let ci = plan.cell_for(len).unwrap();
+            assert!(plan.cells()[ci].covers_len(len));
+        }
+        assert_eq!(plan.cell_for(0), None);
+    }
+
+    #[test]
+    fn greedy_follows_populated_lengths() {
+        // Paper Figure 5: prefixes of lengths 5, 6, 7 with stride 3 form a
+        // single cell based at 4? No — greedy starts at the *shortest
+        // populated* length, 5, and absorbs 6 and 7 (within stride 3).
+        let mut t = RoutingTable::new_v4();
+        t.insert(p("152.0.0.0/5"), NextHop::new(1));
+        t.insert(p("168.0.0.0/6"), NextHop::new(2));
+        t.insert(p("154.0.0.0/7"), NextHop::new(3));
+        let plan = StridePlan::greedy(&t.length_histogram(), 3);
+        assert_eq!(plan.cells(), &[CellRange { base: 5, stride: 2 }]);
+    }
+
+    #[test]
+    fn greedy_starts_new_cell_past_stride() {
+        let mut t = RoutingTable::new_v4();
+        for len in [8u8, 10, 12, 16, 24] {
+            t.insert(
+                Prefix::new(AddressFamily::V4, 1, len).unwrap(),
+                NextHop::new(len as u32),
+            );
+        }
+        let plan = StridePlan::greedy(&t.length_histogram(), 4);
+        // 8 absorbs 10 and 12 (<= 12); 16 next; 24 next.
+        assert_eq!(
+            plan.cells(),
+            &[
+                CellRange { base: 8, stride: 4 },
+                CellRange {
+                    base: 16,
+                    stride: 0
+                },
+                CellRange {
+                    base: 24,
+                    stride: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn greedy_empty_histogram() {
+        let plan = StridePlan::greedy(&RoutingTable::new_v4().length_histogram(), 4);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn cell_for_misses_gaps() {
+        let plan = StridePlan::from_cells(vec![
+            CellRange { base: 8, stride: 2 },
+            CellRange {
+                base: 16,
+                stride: 4,
+            },
+        ]);
+        assert_eq!(plan.cell_for(8), Some(0));
+        assert_eq!(plan.cell_for(10), Some(0));
+        assert_eq!(plan.cell_for(11), None);
+        assert_eq!(plan.cell_for(16), Some(1));
+        assert_eq!(plan.cell_for(20), Some(1));
+        assert_eq!(plan.cell_for(21), None);
+        assert_eq!(plan.cell_for(7), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_cells_panic() {
+        StridePlan::from_cells(vec![
+            CellRange { base: 8, stride: 4 },
+            CellRange {
+                base: 12,
+                stride: 2,
+            },
+        ]);
+    }
+
+    #[test]
+    fn paper_figure5_collapse() {
+        // P1: 10011* (5), P2: 101011* (6), P3: 1001101 (7); stride 3 from
+        // base 4 gives collapsed prefixes 1001 and 1010.
+        let p1 = Prefix::new(AddressFamily::V4, 0b10011, 5).unwrap();
+        let p2 = Prefix::new(AddressFamily::V4, 0b101011, 6).unwrap();
+        let p3 = Prefix::new(AddressFamily::V4, 0b1001101, 7).unwrap();
+        let plan = StridePlan::from_cells(vec![CellRange { base: 4, stride: 3 }]);
+        let mut t = RoutingTable::new_v4();
+        t.insert(p1, NextHop::new(1));
+        t.insert(p2, NextHop::new(2));
+        t.insert(p3, NextHop::new(3));
+        let stats = collapse_stats(&t, &plan);
+        assert_eq!(stats.groups_per_cell, vec![2]);
+        assert_eq!(stats.prefixes_per_cell, vec![3]);
+        assert_eq!(stats.max_group_size, 2); // 1001 holds P1 and P3
+        assert_eq!(stats.uncovered, 0);
+
+        let (ci, c1) = collapse_prefix(&p1, &plan).unwrap();
+        assert_eq!(ci, 0);
+        assert_eq!(c1.bits(), 0b1001);
+        let (_, c2) = collapse_prefix(&p2, &plan).unwrap();
+        assert_eq!(c2.bits(), 0b1010);
+        let (_, c3) = collapse_prefix(&p3, &plan).unwrap();
+        assert_eq!(c3.bits(), 0b1001);
+    }
+
+    #[test]
+    fn covering_plan_covers_every_length() {
+        let mut t = RoutingTable::new_v4();
+        for len in [8u8, 16, 24] {
+            t.insert(
+                Prefix::new(AddressFamily::V4, 1, len).unwrap(),
+                NextHop::new(len as u32),
+            );
+        }
+        let plan = StridePlan::covering(&t.length_histogram(), 4, 32);
+        for len in 1..=32u8 {
+            assert!(plan.cell_for(len).is_some(), "length {len} uncovered");
+        }
+        // Populated lengths stay in cells based at populated lengths.
+        for len in [8u8, 16, 24] {
+            let cell = plan.cells()[plan.cell_for(len).unwrap()];
+            assert!(cell.base <= len && len <= cell.high());
+        }
+        assert!(plan.cells().iter().all(|c| c.stride <= 4));
+    }
+
+    #[test]
+    fn covering_plan_on_empty_histogram_tiles_uniformly() {
+        let plan = StridePlan::covering(&RoutingTable::new_v4().length_histogram(), 4, 32);
+        assert_eq!(plan, StridePlan::uniform(1, 32, 4));
+    }
+
+    #[test]
+    fn default_route_is_uncovered() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(Prefix::default_route(AddressFamily::V4), NextHop::new(1));
+        t.insert(p("10.0.0.0/8"), NextHop::new(2));
+        let plan = StridePlan::uniform(1, 32, 4);
+        let stats = collapse_stats(&t, &plan);
+        assert_eq!(stats.uncovered, 1);
+        assert_eq!(stats.total_prefixes(), 1);
+    }
+}

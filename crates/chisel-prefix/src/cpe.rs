@@ -1,0 +1,348 @@
+//! Controlled Prefix Expansion (CPE), Srinivasan & Varghese 1998.
+//!
+//! CPE is the transform the paper's baselines must use to reduce the number
+//! of distinct prefix lengths: a prefix of length `x` is *expanded* into
+//! `2^(l-x)` prefixes of the next target length `l >= x`. Expanded prefixes
+//! that collide with an existing longer prefix are dropped (the longer
+//! original wins, preserving LPM semantics).
+//!
+//! This module implements both the expansion itself and the dynamic-program
+//! that picks storage-optimal target levels, so the "average-case CPE"
+//! numbers in Figures 9–11 are as favourable to CPE as the original
+//! algorithm allows.
+
+use std::collections::HashMap;
+
+use crate::{LengthHistogram, NextHop, Prefix, PrefixError, RoutingTable};
+
+/// Statistics from one CPE run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpeStats {
+    /// Number of prefixes before expansion.
+    pub original: usize,
+    /// Number of prefixes after expansion (post-collision-pruning).
+    pub expanded: usize,
+    /// The raw number of expanded prefixes generated before pruning
+    /// shadowed duplicates.
+    pub generated: usize,
+}
+
+impl CpeStats {
+    /// The effective expansion factor `expanded / original`.
+    pub fn expansion_factor(&self) -> f64 {
+        if self.original == 0 {
+            1.0
+        } else {
+            self.expanded as f64 / self.original as f64
+        }
+    }
+}
+
+/// The result of a CPE transform: an expanded table where every prefix
+/// length is one of the chosen target levels.
+#[derive(Debug, Clone)]
+pub struct CpeExpansion {
+    /// The expanded routing table.
+    pub table: RoutingTable,
+    /// The target levels used.
+    pub levels: Vec<u8>,
+    /// Expansion statistics.
+    pub stats: CpeStats,
+}
+
+/// Expands `table` so every prefix has one of the `levels` lengths.
+///
+/// `levels` must be sorted ascending and its last element must be at least
+/// the longest populated length in `table`. A zero-length (default route)
+/// prefix expands to the first level like any other prefix.
+///
+/// # Errors
+///
+/// Returns [`PrefixError::LengthOutOfRange`] if some prefix is longer than
+/// the last level.
+pub fn expand_to_levels(table: &RoutingTable, levels: &[u8]) -> Result<CpeExpansion, PrefixError> {
+    assert!(!levels.is_empty(), "CPE needs at least one target level");
+    assert!(
+        levels.windows(2).all(|w| w[0] < w[1]),
+        "levels must be strictly ascending"
+    );
+    // expanded prefix -> (original length, next hop); longest original wins.
+    let mut out: HashMap<Prefix, (u8, NextHop)> = HashMap::new();
+    let mut generated = 0usize;
+    for e in table.iter() {
+        let len = e.prefix.len();
+        let level = *levels
+            .iter()
+            .find(|&&l| l >= len)
+            .ok_or(PrefixError::LengthOutOfRange {
+                len,
+                max: *levels.last().expect("nonempty levels"),
+            })?;
+        let extra = level - len;
+        for suffix in 0..(1u128 << extra) {
+            generated += 1;
+            let expanded = e.prefix.extend(suffix, extra);
+            match out.get(&expanded) {
+                Some(&(olen, _)) if olen >= len => {}
+                _ => {
+                    out.insert(expanded, (len, e.next_hop));
+                }
+            }
+        }
+    }
+    let mut expanded_table = RoutingTable::new(table.family());
+    for (p, (_, nh)) in &out {
+        expanded_table.insert(*p, *nh);
+    }
+    let stats = CpeStats {
+        original: table.len(),
+        expanded: expanded_table.len(),
+        generated,
+    };
+    Ok(CpeExpansion {
+        table: expanded_table,
+        levels: levels.to_vec(),
+        stats,
+    })
+}
+
+/// Picks `num_levels` target lengths minimizing the total expanded prefix
+/// count for the given length histogram — the dynamic program from the CPE
+/// paper.
+///
+/// The returned levels always end at the histogram's maximum populated
+/// length (expanding past it would only cost storage). Returns an empty
+/// vector for an empty histogram.
+///
+/// # Panics
+///
+/// Panics if `num_levels == 0`.
+#[allow(clippy::needless_range_loop)] // dp/choice tables indexed in lockstep
+pub fn optimal_levels(hist: &LengthHistogram, num_levels: usize) -> Vec<u8> {
+    assert!(num_levels > 0, "need at least one level");
+    let max = match hist.max_len() {
+        Some(m) => m as usize,
+        None => return Vec::new(),
+    };
+    let min = hist.min_len().expect("nonempty histogram") as usize;
+    let levels = num_levels.min(max - min + 1);
+
+    // cost(a, b) = prefixes generated when lengths (a, b] all expand to b.
+    // Cap at f64 to tolerate 2^large factors; the DP only compares.
+    // `a = -1` is the virtual "no level yet" boundary (a length-0 default
+    // route makes min = 0, so the boundary must go below zero).
+    let cost = |a: isize, b: usize| -> f64 {
+        let mut c = 0.0f64;
+        let from = (a + 1).max(0) as usize;
+        for x in from..=b {
+            let n = hist.count(x as u8) as f64;
+            if n > 0.0 {
+                c += n * 2f64.powi((b - x) as i32);
+            }
+        }
+        c
+    };
+
+    // dp[r][b] = min cost covering lengths (min-1, b] with r levels, last
+    // level exactly b. choice[r][b] = previous level.
+    let lo = min as isize - 1; // virtual "no level yet" boundary
+    let width = max + 1;
+    let mut dp = vec![vec![f64::INFINITY; width + 1]; levels + 1];
+    let mut choice = vec![vec![usize::MAX; width + 1]; levels + 1];
+    for b in min..=max {
+        dp[1][b] = cost(lo, b);
+    }
+    for r in 2..=levels {
+        for b in min..=max {
+            for prev in min..b {
+                if dp[r - 1][prev].is_finite() {
+                    let c = dp[r - 1][prev] + cost(prev as isize, b);
+                    if c < dp[r][b] {
+                        dp[r][b] = c;
+                        choice[r][b] = prev;
+                    }
+                }
+            }
+        }
+    }
+    // Walk back from (levels, max).
+    let mut best_r = 1;
+    for r in 1..=levels {
+        if dp[r][max] < dp[best_r][max] {
+            best_r = r;
+        }
+    }
+    let mut out = Vec::with_capacity(best_r);
+    let mut b = max;
+    let mut r = best_r;
+    while r >= 1 {
+        out.push(b as u8);
+        if r == 1 {
+            break;
+        }
+        b = choice[r][b];
+        r -= 1;
+    }
+    out.reverse();
+    out
+}
+
+/// Worst-case expansion factor for a table whose prefixes may fall on any
+/// length: `2^(max gap)` where the gap is the distance from a length to its
+/// target level. Used for the deterministic-sizing comparisons in
+/// Figures 9–11.
+pub fn worst_case_expansion(levels: &[u8], min_len: u8) -> f64 {
+    let mut worst = 1.0f64;
+    let mut prev = min_len.saturating_sub(1);
+    for &l in levels {
+        // A prefix at length prev+1 expands by 2^(l - (prev+1)).
+        if l > prev {
+            worst = worst.max(2f64.powi((l - prev - 1) as i32));
+        }
+        prev = l;
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleLpm;
+    use crate::{AddressFamily, Key};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn small_table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert(p("10.0.0.0/7"), NextHop::new(1));
+        t.insert(p("10.0.0.0/8"), NextHop::new(2));
+        t.insert(p("10.128.0.0/9"), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn expansion_counts() {
+        // Levels {9}: /7 -> 4 prefixes, /8 -> 2, /9 -> 1. Collisions:
+        // 10.0/8 shadows half of 10.0/7's expansion; 10.128/9 shadows one
+        // of 10.0/8's.
+        let exp = expand_to_levels(&small_table(), &[9]).unwrap();
+        assert_eq!(exp.stats.generated, 7);
+        // Expanded distinct prefixes: /7 covers 10.0/9,10.128/9,11.0/9,11.128/9;
+        // overwritten by /8 (10.0,10.128) and /9 (10.128) => 4 distinct.
+        assert_eq!(exp.stats.expanded, 4);
+        assert!(exp.table.iter().all(|e| e.prefix.len() == 9));
+    }
+
+    #[test]
+    fn expansion_preserves_lpm_semantics() {
+        let t = small_table();
+        let exp = expand_to_levels(&t, &[9]).unwrap();
+        let before = OracleLpm::from_table(&t);
+        let after = OracleLpm::from_table(&exp.table);
+        // Every key in the covered space must resolve identically.
+        for hi in 0..64u32 {
+            let key = Key::from_raw(AddressFamily::V4, ((hi as u128) << 26) | 12345);
+            assert_eq!(before.lookup(key), after.lookup(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn exact_level_is_no_expansion() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(p("10.0.0.0/8"), NextHop::new(1));
+        let exp = expand_to_levels(&t, &[8, 16]).unwrap();
+        assert_eq!(exp.stats.expanded, 1);
+        assert_eq!(exp.stats.expansion_factor(), 1.0);
+    }
+
+    #[test]
+    fn too_long_prefix_errors() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(p("10.0.0.0/24"), NextHop::new(1));
+        assert!(expand_to_levels(&t, &[16]).is_err());
+    }
+
+    #[test]
+    fn optimal_levels_prefer_populated_lengths() {
+        let mut t = RoutingTable::new_v4();
+        for i in 0..100u32 {
+            t.insert(
+                Prefix::new(
+                    AddressFamily::V4,
+                    (0xc000_0000u32 as u128 >> 8) | i as u128,
+                    24,
+                )
+                .unwrap(),
+                NextHop::new(i),
+            );
+        }
+        t.insert(p("10.0.0.0/8"), NextHop::new(1));
+        let levels = optimal_levels(&t.length_histogram(), 2);
+        // /24 dominates; two levels should be exactly {8, 24}.
+        assert_eq!(levels, vec![8, 24]);
+    }
+
+    #[test]
+    fn optimal_levels_single_level_is_max() {
+        let hist = small_table().length_histogram();
+        assert_eq!(optimal_levels(&hist, 1), vec![9]);
+    }
+
+    #[test]
+    fn optimal_levels_with_default_route() {
+        // A length-0 prefix makes min_len = 0; the DP boundary must not
+        // underflow (regression: debug-mode subtract overflow).
+        let mut t = RoutingTable::new_v4();
+        t.insert(Prefix::default_route(AddressFamily::V4), NextHop::new(1));
+        t.insert(p("10.0.0.0/8"), NextHop::new(2));
+        let levels = optimal_levels(&t.length_histogram(), 2);
+        assert!(!levels.is_empty());
+        assert_eq!(*levels.last().unwrap(), 8);
+        // Expansion through those levels must still preserve LPM.
+        let exp = expand_to_levels(&t, &levels).unwrap();
+        let before = OracleLpm::from_table(&t);
+        let after = OracleLpm::from_table(&exp.table);
+        for raw in [0u128, 0x0a00_0001, 0xffff_ffff] {
+            let key = Key::from_raw(AddressFamily::V4, raw);
+            assert_eq!(before.lookup(key), after.lookup(key));
+        }
+    }
+
+    #[test]
+    fn optimal_levels_empty_histogram() {
+        let hist = RoutingTable::new_v4().length_histogram();
+        assert!(optimal_levels(&hist, 3).is_empty());
+    }
+
+    #[test]
+    fn optimal_levels_reduce_expansion() {
+        let mut t = RoutingTable::new_v4();
+        for (i, len) in [8u8, 12, 16, 20, 24].iter().enumerate() {
+            for j in 0..20u32 {
+                let bits = ((i as u128) << 5 | j as u128) & crate::bits::mask(*len);
+                t.insert(
+                    Prefix::new(AddressFamily::V4, bits, *len).unwrap(),
+                    NextHop::new(j),
+                );
+            }
+        }
+        let hist = t.length_histogram();
+        let lv2 = optimal_levels(&hist, 2);
+        let lv4 = optimal_levels(&hist, 4);
+        let e2 = expand_to_levels(&t, &lv2).unwrap().stats.expanded;
+        let e4 = expand_to_levels(&t, &lv4).unwrap().stats.expanded;
+        assert!(e4 <= e2, "more levels must not expand more ({e4} > {e2})");
+    }
+
+    #[test]
+    fn worst_case_expansion_is_max_gap() {
+        // levels {8, 16} from min length 1: worst gap is length 1 -> 8 (2^7)
+        // vs 9 -> 16 (2^7).
+        assert_eq!(worst_case_expansion(&[8, 16], 1), 128.0);
+        assert_eq!(worst_case_expansion(&[8, 16], 8), 128.0);
+        assert_eq!(worst_case_expansion(&[4], 1), 8.0);
+        assert_eq!(worst_case_expansion(&[4], 4), 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing or constructing prefixes, keys or tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PrefixError {
+    /// The textual prefix or address did not parse.
+    Parse(String),
+    /// The prefix length exceeds the family's address width.
+    LengthOutOfRange {
+        /// Offending length.
+        len: u8,
+        /// Maximum allowed for the family.
+        max: u8,
+    },
+    /// Bits were set beyond the declared prefix length.
+    TrailingBits,
+    /// An operation mixed IPv4 and IPv6 objects.
+    FamilyMismatch,
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::Parse(s) => write!(f, "invalid prefix or address syntax: {s}"),
+            PrefixError::LengthOutOfRange { len, max } => {
+                write!(f, "prefix length {len} exceeds family width {max}")
+            }
+            PrefixError::TrailingBits => {
+                write!(f, "value has bits set beyond the prefix length")
+            }
+            PrefixError::FamilyMismatch => write!(f, "mixed IPv4 and IPv6 operands"),
+        }
+    }
+}
+
+impl Error for PrefixError {}

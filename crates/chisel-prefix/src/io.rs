@@ -1,0 +1,141 @@
+//! Plain-text routing-table I/O.
+//!
+//! The format is the one routing-table dumps (and the paper's benchmark
+//! sources) reduce to: one route per line, `prefix next-hop-id`,
+//! `#`-comments and blank lines ignored.
+//!
+//! ```text
+//! # AS64496 snapshot
+//! 0.0.0.0/0 0
+//! 10.0.0.0/8 12
+//! 10.1.0.0/16 7
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{NextHop, PrefixError, RoutingTable};
+
+/// Parses a routing table from newline-delimited text.
+///
+/// The first route line decides the address family; later lines of the
+/// other family are an error. A `&mut` reference works as the reader.
+///
+/// # Errors
+///
+/// Returns [`PrefixError::Parse`] on malformed lines (with the line
+/// number), [`PrefixError::FamilyMismatch`] on mixed families, and wraps
+/// I/O failures in [`PrefixError::Parse`].
+pub fn read_table<R: Read>(reader: R) -> Result<RoutingTable, PrefixError> {
+    let mut table: Option<RoutingTable> = None;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| PrefixError::Parse(format!("I/O error: {e}")))?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |msg: &str| PrefixError::Parse(format!("line {}: {msg}: {line}", lineno + 1));
+        let prefix: crate::Prefix = parts
+            .next()
+            .ok_or_else(|| err("missing prefix"))?
+            .parse()
+            .map_err(|_| err("bad prefix"))?;
+        let next_hop: u32 = parts
+            .next()
+            .ok_or_else(|| err("missing next hop"))?
+            .parse()
+            .map_err(|_| err("bad next hop"))?;
+        if parts.next().is_some() {
+            return Err(err("trailing tokens"));
+        }
+        let table = table.get_or_insert_with(|| RoutingTable::new(prefix.family()));
+        if prefix.family() != table.family() {
+            return Err(PrefixError::FamilyMismatch);
+        }
+        table.insert(prefix, NextHop::new(next_hop));
+    }
+    Ok(table.unwrap_or_else(RoutingTable::new_v4))
+}
+
+/// Writes a routing table as newline-delimited `prefix next-hop` text,
+/// in lexicographic prefix order. A `&mut` reference works as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_table<W: Write>(mut writer: W, table: &RoutingTable) -> std::io::Result<()> {
+    for e in table.iter() {
+        writeln!(writer, "{} {}", e.prefix, e.next_hop.id())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(12));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(7));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_table(&mut buf, &t).unwrap();
+        let back = read_table(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# snapshot\n\n10.0.0.0/8 1  # core\n   \n10.1.0.0/16 2\n";
+        let t = read_table(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&"10.0.0.0/8".parse().unwrap()), Some(NextHop::new(1)));
+    }
+
+    #[test]
+    fn duplicate_prefix_last_wins() {
+        let text = "10.0.0.0/8 1\n10.0.0.0/8 2\n";
+        let t = read_table(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&"10.0.0.0/8".parse().unwrap()), Some(NextHop::new(2)));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        for bad in ["10.0.0.0/8", "10.0.0.0/8 x", "zzz 1", "10.0.0.0/8 1 extra"] {
+            let e = read_table(bad.as_bytes()).unwrap_err();
+            assert!(matches!(e, PrefixError::Parse(_)), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn mixed_families_rejected() {
+        let text = "10.0.0.0/8 1\n2001:db8::/32 2\n";
+        assert_eq!(
+            read_table(text.as_bytes()).unwrap_err(),
+            PrefixError::FamilyMismatch
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_v4_table() {
+        let t = read_table("".as_bytes()).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ipv6_roundtrip() {
+        let mut t = RoutingTable::new_v6();
+        t.insert("2001:db8::/32".parse().unwrap(), NextHop::new(5));
+        let mut buf = Vec::new();
+        write_table(&mut buf, &t).unwrap();
+        assert_eq!(read_table(buf.as_slice()).unwrap(), t);
+    }
+}

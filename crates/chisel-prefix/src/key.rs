@@ -1,0 +1,123 @@
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use crate::{AddressFamily, PrefixError};
+
+/// A fully-specified lookup key: a complete IPv4 or IPv6 address.
+///
+/// The value is stored right-aligned in the family's width (32 or 128 bits).
+///
+/// ```
+/// use chisel_prefix::Key;
+///
+/// let k: Key = "10.1.2.3".parse().unwrap();
+/// assert_eq!(k.value(), 0x0a010203);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key {
+    family: AddressFamily,
+    value: u128,
+}
+
+impl Key {
+    /// Creates a key from a raw right-aligned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if bits above the family width are set.
+    #[inline]
+    pub fn from_raw(family: AddressFamily, value: u128) -> Self {
+        debug_assert!(
+            family != AddressFamily::V4 || value <= u32::MAX as u128,
+            "IPv4 key value exceeds 32 bits"
+        );
+        Key { family, value }
+    }
+
+    /// The family of this key.
+    #[inline]
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// The raw right-aligned address value.
+    #[inline]
+    pub fn value(&self) -> u128 {
+        self.value
+    }
+}
+
+impl From<Ipv4Addr> for Key {
+    fn from(a: Ipv4Addr) -> Self {
+        Key {
+            family: AddressFamily::V4,
+            value: u32::from_be_bytes(a.octets()) as u128,
+        }
+    }
+}
+
+impl From<Ipv6Addr> for Key {
+    fn from(a: Ipv6Addr) -> Self {
+        Key {
+            family: AddressFamily::V6,
+            value: u128::from_be_bytes(a.octets()),
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family {
+            AddressFamily::V4 => write!(f, "{}", Ipv4Addr::from((self.value as u32).to_be_bytes())),
+            AddressFamily::V6 => write!(f, "{}", Ipv6Addr::from(self.value.to_be_bytes())),
+        }
+    }
+}
+
+impl FromStr for Key {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Ok(v4) = s.parse::<Ipv4Addr>() {
+            Ok(Key::from(v4))
+        } else if let Ok(v6) = s.parse::<Ipv6Addr>() {
+            Ok(Key::from(v6))
+        } else {
+            Err(PrefixError::Parse(s.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0.0.0.0", "10.1.2.3", "255.255.255.255"] {
+            assert_eq!(s.parse::<Key>().unwrap().to_string(), s);
+        }
+        for s in ["::", "2001:db8::1"] {
+            assert_eq!(s.parse::<Key>().unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn family_detection() {
+        assert_eq!(
+            "1.2.3.4".parse::<Key>().unwrap().family(),
+            AddressFamily::V4
+        );
+        assert_eq!("::1".parse::<Key>().unwrap().family(), AddressFamily::V6);
+        assert!("not-an-address".parse::<Key>().is_err());
+    }
+
+    #[test]
+    fn from_std_addrs() {
+        let k = Key::from(Ipv4Addr::new(192, 168, 0, 1));
+        assert_eq!(k.value(), 0xc0a8_0001);
+        let k6 = Key::from(Ipv6Addr::LOCALHOST);
+        assert_eq!(k6.value(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// An opaque next-hop identifier.
+///
+/// Real routers store next-hop records (egress port, MAC rewrite, label
+/// stack) in an off-chip table; every LPM scheme in the paper — and in this
+/// workspace — resolves a key to one of these identifiers and leaves the
+/// record itself off-chip (paper Section 5 excludes next-hop storage from
+/// all storage results for this reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NextHop(u32);
+
+impl NextHop {
+    /// Creates a next-hop identifier.
+    #[inline]
+    pub fn new(id: u32) -> Self {
+        NextHop(id)
+    }
+
+    /// The raw identifier.
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NextHop {
+    fn from(id: u32) -> Self {
+        NextHop(id)
+    }
+}
+
+impl fmt::Display for NextHop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nh{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let nh = NextHop::new(7);
+        assert_eq!(nh.id(), 7);
+        assert_eq!(nh.to_string(), "nh7");
+        assert_eq!(NextHop::from(7u32), nh);
+    }
+}

@@ -1,0 +1,138 @@
+//! A simple, obviously-correct LPM implementation used as the test oracle.
+//!
+//! One hash map per prefix length, probed from the longest length down —
+//! the "naive" scheme the paper's introduction starts from. It is slow but
+//! trivially correct, which makes it the reference every engine in this
+//! workspace is differentially tested against.
+
+use std::collections::HashMap;
+
+use crate::{Key, NextHop, Prefix, RoutingTable};
+
+/// Reference longest-prefix-match engine.
+///
+/// ```
+/// use chisel_prefix::{RoutingTable, NextHop, oracle::OracleLpm};
+///
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+/// t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+/// let o = OracleLpm::from_table(&t);
+/// assert_eq!(o.lookup("10.1.9.9".parse().unwrap()), Some(NextHop::new(2)));
+/// assert_eq!(o.lookup("10.2.0.1".parse().unwrap()), Some(NextHop::new(1)));
+/// assert_eq!(o.lookup("11.0.0.1".parse().unwrap()), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleLpm {
+    /// `by_len[l]` maps prefix bits of length `l` to the next hop.
+    by_len: Vec<HashMap<u128, NextHop>>,
+    width: u8,
+}
+
+impl OracleLpm {
+    /// Builds an oracle over a routing table.
+    pub fn from_table(table: &RoutingTable) -> Self {
+        let width = table.family().width();
+        let mut by_len = vec![HashMap::new(); width as usize + 1];
+        for e in table.iter() {
+            by_len[e.prefix.len() as usize].insert(e.prefix.bits(), e.next_hop);
+        }
+        OracleLpm { by_len, width }
+    }
+
+    /// Inserts or overwrites a prefix.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) {
+        self.by_len[prefix.len() as usize].insert(prefix.bits(), next_hop);
+    }
+
+    /// Removes a prefix, returning its next hop if present.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        self.by_len[prefix.len() as usize].remove(&prefix.bits())
+    }
+
+    /// Longest-prefix-match lookup: probes every length, longest first.
+    pub fn lookup(&self, key: Key) -> Option<NextHop> {
+        debug_assert_eq!(key.family().width(), self.width);
+        for len in (0..=self.width).rev() {
+            let table = &self.by_len[len as usize];
+            if table.is_empty() {
+                continue;
+            }
+            let bits = crate::bits::shr(key.value(), self.width - len);
+            if let Some(&nh) = table.get(&bits) {
+                return Some(nh);
+            }
+        }
+        None
+    }
+
+    /// Total number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.by_len.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_len.iter().all(HashMap::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddressFamily;
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("10.1.2.0/24".parse().unwrap(), NextHop::new(3));
+        t.insert("10.1.2.3/32".parse().unwrap(), NextHop::new(4));
+        let o = OracleLpm::from_table(&t);
+        assert_eq!(o.lookup("10.1.2.3".parse().unwrap()), Some(NextHop::new(4)));
+        assert_eq!(o.lookup("10.1.2.4".parse().unwrap()), Some(NextHop::new(3)));
+        assert_eq!(o.lookup("10.1.3.0".parse().unwrap()), Some(NextHop::new(2)));
+        assert_eq!(o.lookup("10.9.9.9".parse().unwrap()), Some(NextHop::new(1)));
+        assert_eq!(o.lookup("99.9.9.9".parse().unwrap()), Some(NextHop::new(0)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut o = OracleLpm::from_table(&RoutingTable::new_v4());
+        assert!(o.is_empty());
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        o.insert(p, NextHop::new(5));
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.lookup("10.0.0.1".parse().unwrap()), Some(NextHop::new(5)));
+        assert_eq!(o.remove(&p), Some(NextHop::new(5)));
+        assert_eq!(o.lookup("10.0.0.1".parse().unwrap()), None);
+        assert_eq!(o.remove(&p), None);
+    }
+
+    #[test]
+    fn ipv6_lookup() {
+        let mut t = RoutingTable::new_v6();
+        t.insert("2001:db8::/32".parse().unwrap(), NextHop::new(1));
+        t.insert("2001:db8:1::/48".parse().unwrap(), NextHop::new(2));
+        let o = OracleLpm::from_table(&t);
+        assert_eq!(
+            o.lookup("2001:db8:1::42".parse().unwrap()),
+            Some(NextHop::new(2))
+        );
+        assert_eq!(
+            o.lookup("2001:db8:2::42".parse().unwrap()),
+            Some(NextHop::new(1))
+        );
+        assert_eq!(o.lookup("2002::1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn default_route_only() {
+        let mut t = RoutingTable::new_v4();
+        t.insert(Prefix::default_route(AddressFamily::V4), NextHop::new(7));
+        let o = OracleLpm::from_table(&t);
+        assert_eq!(o.lookup("1.2.3.4".parse().unwrap()), Some(NextHop::new(7)));
+    }
+}

@@ -1,0 +1,389 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use crate::bits::{mask, shl, shr};
+use crate::{Key, PrefixError};
+
+/// The address family a prefix or key belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AddressFamily {
+    /// 32-bit IPv4 addresses.
+    V4,
+    /// 128-bit IPv6 addresses.
+    V6,
+}
+
+impl AddressFamily {
+    /// Address width in bits (32 for IPv4, 128 for IPv6).
+    #[inline]
+    pub fn width(self) -> u8 {
+        match self {
+            AddressFamily::V4 => 32,
+            AddressFamily::V6 => 128,
+        }
+    }
+}
+
+impl fmt::Display for AddressFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressFamily::V4 => write!(f, "IPv4"),
+            AddressFamily::V6 => write!(f, "IPv6"),
+        }
+    }
+}
+
+/// A routing prefix: `len` explicit bits followed by wildcard bits.
+///
+/// The explicit bits are stored right-aligned in `bits`; for example the
+/// prefix `10011*` of length 5 has `bits == 0b10011`. The invariant that no
+/// bit above position `len - 1` is set is enforced at construction.
+///
+/// ```
+/// use chisel_prefix::{Prefix, AddressFamily};
+///
+/// let p = Prefix::new(AddressFamily::V4, 0b10011, 5).unwrap();
+/// assert_eq!(p.len(), 5);
+/// assert_eq!(p.to_string(), "152.0.0.0/5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prefix {
+    family: AddressFamily,
+    bits: u128,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix from right-aligned bits and a length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrefixError::LengthOutOfRange`] if `len` exceeds the family
+    /// width and [`PrefixError::TrailingBits`] if `bits` has bits set at or
+    /// above position `len`.
+    pub fn new(family: AddressFamily, bits: u128, len: u8) -> Result<Self, PrefixError> {
+        if len > family.width() {
+            return Err(PrefixError::LengthOutOfRange {
+                len,
+                max: family.width(),
+            });
+        }
+        if bits & !mask(len) != 0 {
+            return Err(PrefixError::TrailingBits);
+        }
+        Ok(Prefix { family, bits, len })
+    }
+
+    /// The zero-length prefix (the default route) for a family.
+    pub fn default_route(family: AddressFamily) -> Self {
+        Prefix {
+            family,
+            bits: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates the length-`width` prefix exactly covering a single key.
+    pub fn host(key: Key) -> Self {
+        Prefix {
+            family: key.family(),
+            bits: key.value(),
+            len: key.family().width(),
+        }
+    }
+
+    /// The family this prefix belongs to.
+    #[inline]
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// The number of explicit bits.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default route.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The explicit bits, right-aligned.
+    #[inline]
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// The explicit bits left-aligned into the family's address width, i.e.
+    /// the network address of the prefix.
+    #[inline]
+    pub fn network(&self) -> u128 {
+        shl(self.bits, self.family.width() - self.len)
+    }
+
+    /// Whether this prefix matches (covers) the fully-specified `key`.
+    ///
+    /// Returns `false` when families differ.
+    #[inline]
+    pub fn matches(&self, key: Key) -> bool {
+        self.family == key.family() && shr(key.value(), self.family.width() - self.len) == self.bits
+    }
+
+    /// Whether this prefix covers all keys covered by `other` (i.e. `self`
+    /// is a — not necessarily strict — ancestor of `other`).
+    #[inline]
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.family == other.family
+            && self.len <= other.len
+            && shr(other.bits, other.len - self.len) == self.bits
+    }
+
+    /// Collapses this prefix to a shorter length, dropping its least
+    /// significant bits — the paper's *prefix collapsing* primitive
+    /// (Section 4.3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_len > self.len()`.
+    #[inline]
+    pub fn truncate(&self, new_len: u8) -> Prefix {
+        assert!(
+            new_len <= self.len,
+            "truncate to {new_len} from shorter prefix /{}",
+            self.len
+        );
+        Prefix {
+            family: self.family,
+            bits: self.bits >> (self.len - new_len),
+            len: new_len,
+        }
+    }
+
+    /// Appends `extra_len` explicit bits taken from `suffix` — the CPE
+    /// expansion primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extended length exceeds the family width or if `suffix`
+    /// does not fit in `extra_len` bits.
+    #[inline]
+    pub fn extend(&self, suffix: u128, extra_len: u8) -> Prefix {
+        let new_len = self.len + extra_len;
+        assert!(new_len <= self.family.width(), "extension exceeds width");
+        assert!(
+            suffix & !mask(extra_len) == 0,
+            "suffix wider than extra_len"
+        );
+        Prefix {
+            family: self.family,
+            bits: shl(self.bits, extra_len) | suffix,
+            len: new_len,
+        }
+    }
+
+    /// The trailing `self.len() - base_len` bits below `base_len` — the bits
+    /// that prefix collapsing to `base_len` would discard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_len > self.len()`.
+    #[inline]
+    pub fn suffix_below(&self, base_len: u8) -> u128 {
+        assert!(base_len <= self.len);
+        self.bits & mask(self.len - base_len)
+    }
+
+    /// Iterates over the keys... no — exposes the smallest key covered by
+    /// this prefix (network address as a key).
+    pub fn first_key(&self) -> Key {
+        Key::from_raw(self.family, self.network())
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prefix {
+    /// Lexicographic order on the bit string: by left-aligned bits, then by
+    /// length, then by family. This places a prefix immediately before its
+    /// descendants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.family
+            .cmp(&other.family)
+            .then_with(|| self.network().cmp(&other.network()))
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.family {
+            AddressFamily::V4 => {
+                let addr = Ipv4Addr::from((self.network() as u32).to_be_bytes());
+                write!(f, "{}/{}", addr, self.len)
+            }
+            AddressFamily::V6 => {
+                let addr = Ipv6Addr::from(self.network().to_be_bytes());
+                write!(f, "{}/{}", addr, self.len)
+            }
+        }
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixError;
+
+    /// Parses `a.b.c.d/len` or `h:h::h/len` notation. Host bits below the
+    /// prefix length are silently masked off, matching common router
+    /// configuration behaviour.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixError::Parse(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::Parse(s.to_string()))?;
+        if let Ok(v4) = addr.parse::<Ipv4Addr>() {
+            if len > 32 {
+                return Err(PrefixError::LengthOutOfRange { len, max: 32 });
+            }
+            let value = u32::from_be_bytes(v4.octets()) as u128;
+            Ok(Prefix {
+                family: AddressFamily::V4,
+                bits: shr(value, 32 - len) & mask(len),
+                len,
+            })
+        } else if let Ok(v6) = addr.parse::<Ipv6Addr>() {
+            if len > 128 {
+                return Err(PrefixError::LengthOutOfRange { len, max: 128 });
+            }
+            let value = u128::from_be_bytes(v6.octets());
+            Ok(Prefix {
+                family: AddressFamily::V6,
+                bits: shr(value, 128 - len) & mask(len),
+                len,
+            })
+        } else {
+            Err(PrefixError::Parse(s.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_v4() {
+        assert_eq!(p("10.0.0.0/8").to_string(), "10.0.0.0/8");
+        assert_eq!(p("192.168.1.0/24").to_string(), "192.168.1.0/24");
+        assert_eq!(p("0.0.0.0/0").to_string(), "0.0.0.0/0");
+        assert_eq!(p("255.255.255.255/32").to_string(), "255.255.255.255/32");
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        assert_eq!(p("10.1.2.3/8"), p("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn parse_and_display_v6() {
+        assert_eq!(p("2001:db8::/32").to_string(), "2001:db8::/32");
+        assert_eq!(p("::/0").to_string(), "::/0");
+        let full = "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128";
+        assert_eq!(p(full).to_string(), full);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("zzz/8".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(Prefix::new(AddressFamily::V4, 0b111, 3).is_ok());
+        assert_eq!(
+            Prefix::new(AddressFamily::V4, 0b1000, 3),
+            Err(PrefixError::TrailingBits)
+        );
+        assert_eq!(
+            Prefix::new(AddressFamily::V4, 0, 33),
+            Err(PrefixError::LengthOutOfRange { len: 33, max: 32 })
+        );
+    }
+
+    #[test]
+    fn matches_keys() {
+        let pre = p("10.0.0.0/8");
+        assert!(pre.matches("10.1.2.3".parse().unwrap()));
+        assert!(pre.matches("10.255.255.255".parse().unwrap()));
+        assert!(!pre.matches("11.0.0.0".parse().unwrap()));
+        assert!(Prefix::default_route(AddressFamily::V4).matches("1.2.3.4".parse().unwrap()));
+    }
+
+    #[test]
+    fn matches_rejects_family_mismatch() {
+        assert!(!p("10.0.0.0/8").matches("::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(p("10.0.0.0/8").covers(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").covers(&p("11.0.0.0/16")));
+        assert!(Prefix::default_route(AddressFamily::V4).covers(&p("1.0.0.0/8")));
+    }
+
+    #[test]
+    fn truncate_drops_low_bits() {
+        // 10011* (len 5) collapsed to len 4 is 1001*.
+        let pre = Prefix::new(AddressFamily::V4, 0b10011, 5).unwrap();
+        let c = pre.truncate(4);
+        assert_eq!(c.bits(), 0b1001);
+        assert_eq!(c.len(), 4);
+        assert_eq!(pre.truncate(5), pre);
+        assert_eq!(pre.truncate(0), Prefix::default_route(AddressFamily::V4));
+    }
+
+    #[test]
+    fn extend_appends_bits() {
+        let pre = Prefix::new(AddressFamily::V4, 0b1001, 4).unwrap();
+        let e = pre.extend(0b101, 3);
+        assert_eq!(e.bits(), 0b1001101);
+        assert_eq!(e.len(), 7);
+    }
+
+    #[test]
+    fn suffix_below_extracts_collapsed_bits() {
+        let pre = Prefix::new(AddressFamily::V4, 0b1001101, 7).unwrap();
+        assert_eq!(pre.suffix_below(4), 0b101);
+        assert_eq!(pre.suffix_below(7), 0);
+        assert_eq!(pre.suffix_below(0), 0b1001101);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![p("10.1.0.0/16"), p("10.0.0.0/8"), p("9.0.0.0/8")];
+        v.sort();
+        assert_eq!(v, vec![p("9.0.0.0/8"), p("10.0.0.0/8"), p("10.1.0.0/16")]);
+    }
+
+    #[test]
+    fn network_left_aligns() {
+        assert_eq!(p("128.0.0.0/1").network(), 1u128 << 31);
+        assert_eq!(p("10.0.0.0/8").network(), 0x0a00_0000);
+    }
+}

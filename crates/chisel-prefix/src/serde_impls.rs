@@ -1,0 +1,146 @@
+//! Serde implementations (enabled with the `serde` feature).
+//!
+//! Prefixes and keys serialize as their canonical display strings
+//! (`"10.0.0.0/8"`, `"10.1.2.3"`) so serialized tables are human-readable
+//! and deserialization re-validates every invariant through the existing
+//! parsers. Routing tables serialize as ordered `[prefix, next_hop]`
+//! pairs.
+
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{Key, NextHop, Prefix, RouteEntry, RoutingTable};
+
+impl Serialize for Prefix {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Prefix {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(DeError::custom)
+    }
+}
+
+impl Serialize for Key {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Key {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(DeError::custom)
+    }
+}
+
+impl Serialize for NextHop {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u32(self.id())
+    }
+}
+
+impl<'de> Deserialize<'de> for NextHop {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(NextHop::new(u32::deserialize(deserializer)?))
+    }
+}
+
+impl Serialize for RouteEntry {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.prefix, self.next_hop).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for RouteEntry {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (prefix, next_hop) = <(Prefix, NextHop)>::deserialize(deserializer)?;
+        Ok(RouteEntry { prefix, next_hop })
+    }
+}
+
+impl Serialize for RoutingTable {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de> Deserialize<'de> for RoutingTable {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = Vec::<RouteEntry>::deserialize(deserializer)?;
+        let family = entries
+            .first()
+            .map(|e| e.prefix.family())
+            .unwrap_or(crate::AddressFamily::V4);
+        let mut table = RoutingTable::new(family);
+        for e in entries {
+            if e.prefix.family() != family {
+                return Err(DeError::custom("mixed address families in routing table"));
+            }
+            table.insert(e.prefix, e.next_hop);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AddressFamily;
+
+    fn sample() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("0.0.0.0/0".parse().unwrap(), NextHop::new(0));
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t
+    }
+
+    #[test]
+    fn prefix_json_roundtrip() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, "\"10.0.0.0/8\"");
+        assert_eq!(serde_json::from_str::<Prefix>(&json).unwrap(), p);
+    }
+
+    #[test]
+    fn key_json_roundtrip() {
+        let k: Key = "2001:db8::1".parse().unwrap();
+        let json = serde_json::to_string(&k).unwrap();
+        assert_eq!(serde_json::from_str::<Key>(&json).unwrap(), k);
+    }
+
+    #[test]
+    fn table_json_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: RoutingTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.family(), AddressFamily::V4);
+    }
+
+    #[test]
+    fn invalid_prefix_rejected() {
+        assert!(serde_json::from_str::<Prefix>("\"10.0.0.0/99\"").is_err());
+        assert!(serde_json::from_str::<Prefix>("\"not-a-prefix\"").is_err());
+    }
+
+    #[test]
+    fn mixed_family_table_rejected() {
+        let json = r#"[["10.0.0.0/8", 1], ["2001:db8::/32", 2]]"#;
+        assert!(serde_json::from_str::<RoutingTable>(json).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = RoutingTable::new_v4();
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "[]");
+        let back: RoutingTable = serde_json::from_str(&json).unwrap();
+        assert!(back.is_empty());
+    }
+}

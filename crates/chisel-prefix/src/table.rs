@@ -1,0 +1,225 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{AddressFamily, NextHop, Prefix, RouteEntry};
+
+/// A deduplicated routing table: a set of prefixes, each bound to exactly
+/// one next hop. Later inserts of the same prefix overwrite the next hop,
+/// matching BGP `announce` semantics.
+///
+/// ```
+/// use chisel_prefix::{RoutingTable, NextHop};
+///
+/// let mut t = RoutingTable::new_v4();
+/// t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+/// t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(2)); // overwrite
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    family: AddressFamily,
+    routes: BTreeMap<Prefix, NextHop>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for the given family.
+    pub fn new(family: AddressFamily) -> Self {
+        RoutingTable {
+            family,
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// Creates an empty IPv4 table.
+    pub fn new_v4() -> Self {
+        Self::new(AddressFamily::V4)
+    }
+
+    /// Creates an empty IPv6 table.
+    pub fn new_v6() -> Self {
+        Self::new(AddressFamily::V6)
+    }
+
+    /// The family of this table.
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// Number of distinct prefixes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Inserts (or overwrites) a route, returning the previous next hop for
+    /// the prefix if there was one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix family differs from the table family.
+    pub fn insert(&mut self, prefix: Prefix, next_hop: NextHop) -> Option<NextHop> {
+        assert_eq!(prefix.family(), self.family, "family mismatch on insert");
+        self.routes.insert(prefix, next_hop)
+    }
+
+    /// Removes a prefix, returning its next hop if it was present.
+    pub fn remove(&mut self, prefix: &Prefix) -> Option<NextHop> {
+        self.routes.remove(prefix)
+    }
+
+    /// Looks up the next hop bound to an exact prefix (not an LPM lookup —
+    /// see [`crate::oracle::OracleLpm`] for that).
+    pub fn get(&self, prefix: &Prefix) -> Option<NextHop> {
+        self.routes.get(prefix).copied()
+    }
+
+    /// Whether the table contains the exact prefix.
+    pub fn contains(&self, prefix: &Prefix) -> bool {
+        self.routes.contains_key(prefix)
+    }
+
+    /// Iterates routes in lexicographic prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = RouteEntry> + '_ {
+        self.routes.iter().map(|(p, nh)| RouteEntry::new(*p, *nh))
+    }
+
+    /// Per-length prefix counts.
+    pub fn length_histogram(&self) -> LengthHistogram {
+        let mut counts = vec![0usize; self.family.width() as usize + 1];
+        for p in self.routes.keys() {
+            counts[p.len() as usize] += 1;
+        }
+        LengthHistogram { counts }
+    }
+}
+
+impl Extend<RouteEntry> for RoutingTable {
+    fn extend<I: IntoIterator<Item = RouteEntry>>(&mut self, iter: I) {
+        for e in iter {
+            self.insert(e.prefix, e.next_hop);
+        }
+    }
+}
+
+impl fmt::Display for RoutingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} routing table, {} prefixes", self.family, self.len())
+    }
+}
+
+/// Per-length prefix counts of a routing table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LengthHistogram {
+    counts: Vec<usize>,
+}
+
+impl LengthHistogram {
+    /// Count of prefixes with exactly this length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the family width the histogram was built for.
+    pub fn count(&self, len: u8) -> usize {
+        self.counts[len as usize]
+    }
+
+    /// Lengths with at least one prefix, ascending.
+    pub fn populated_lengths(&self) -> Vec<u8> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, _)| l as u8)
+            .collect()
+    }
+
+    /// Total number of prefixes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The maximum populated length, if any prefix exists.
+    pub fn max_len(&self) -> Option<u8> {
+        self.counts.iter().rposition(|&c| c > 0).map(|l| l as u8)
+    }
+
+    /// The minimum populated length, if any prefix exists.
+    pub fn min_len(&self) -> Option<u8> {
+        self.counts.iter().position(|&c| c > 0).map(|l| l as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new_v4();
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        t.insert("10.1.0.0/16".parse().unwrap(), NextHop::new(2));
+        t.insert("192.168.0.0/16".parse().unwrap(), NextHop::new(3));
+        t
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut t = table();
+        assert_eq!(
+            t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(9)),
+            Some(NextHop::new(1))
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(&"10.0.0.0/8".parse().unwrap()), Some(NextHop::new(9)));
+    }
+
+    #[test]
+    fn remove_returns_previous() {
+        let mut t = table();
+        assert_eq!(
+            t.remove(&"10.1.0.0/16".parse().unwrap()),
+            Some(NextHop::new(2))
+        );
+        assert_eq!(t.remove(&"10.1.0.0/16".parse().unwrap()), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_lengths() {
+        let h = table().length_histogram();
+        assert_eq!(h.count(8), 1);
+        assert_eq!(h.count(16), 2);
+        assert_eq!(h.count(24), 0);
+        assert_eq!(h.populated_lengths(), vec![8, 16]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.min_len(), Some(8));
+        assert_eq!(h.max_len(), Some(16));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = RoutingTable::new_v4().length_histogram();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min_len(), None);
+        assert_eq!(h.max_len(), None);
+        assert!(h.populated_lengths().is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let prefixes: Vec<_> = table().iter().map(|e| e.prefix).collect();
+        let mut sorted = prefixes.clone();
+        sorted.sort();
+        assert_eq!(prefixes, sorted);
+    }
+
+    #[test]
+    #[should_panic]
+    fn family_mismatch_panics() {
+        let mut t = RoutingTable::new_v4();
+        t.insert("2001:db8::/32".parse().unwrap(), NextHop::new(1));
+    }
+}

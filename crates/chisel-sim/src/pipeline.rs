@@ -1,0 +1,161 @@
+use std::fmt;
+
+/// One pipeline stage of the lookup datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage name ("hash", "index", ...).
+    pub name: &'static str,
+    /// Cycles from entering to leaving the stage.
+    pub latency: u32,
+    /// Cycles between successive lookups entering the stage (1 = fully
+    /// pipelined; 8 = the prototype's slow DDR controller).
+    pub initiation_interval: u32,
+}
+
+impl Stage {
+    /// Creates a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`, `initiation_interval == 0`, or the
+    /// interval exceeds the latency (a stage cannot emit before it
+    /// finishes).
+    pub fn new(name: &'static str, latency: u32, initiation_interval: u32) -> Self {
+        assert!(latency >= 1 && initiation_interval >= 1);
+        assert!(
+            initiation_interval <= latency,
+            "II {initiation_interval} > latency {latency} for {name}"
+        );
+        Stage {
+            name,
+            latency,
+            initiation_interval,
+        }
+    }
+
+    /// A fully-pipelined stage (II = 1).
+    pub fn pipelined(name: &'static str, latency: u32) -> Self {
+        Self::new(name, latency, 1)
+    }
+}
+
+/// A linear lookup pipeline with a clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    clock_mhz: f64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stage list or non-positive clock.
+    pub fn new(stages: Vec<Stage>, clock_mhz: f64) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        assert!(clock_mhz > 0.0);
+        Pipeline { stages, clock_mhz }
+    }
+
+    /// The stages in order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Clock frequency in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// End-to-end latency of one lookup, in cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.stages.iter().map(|s| s.latency).sum()
+    }
+
+    /// End-to-end latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_cycles() as f64 * 1e3 / self.clock_mhz
+    }
+
+    /// The bottleneck initiation interval.
+    pub fn bottleneck_ii(&self) -> u32 {
+        self.stages
+            .iter()
+            .map(|s| s.initiation_interval)
+            .max()
+            .expect("nonempty")
+    }
+
+    /// Sustained throughput in million searches per second: the clock
+    /// divided by the slowest stage's initiation interval.
+    pub fn throughput_msps(&self) -> f64 {
+        self.clock_mhz / self.bottleneck_ii() as f64
+    }
+
+    /// The bottleneck stage.
+    pub fn bottleneck(&self) -> &Stage {
+        self.stages
+            .iter()
+            .max_by_key(|s| s.initiation_interval)
+            .expect("nonempty")
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} MHz pipeline, {} stages, {} cycles latency, {:.1} Msps",
+            self.clock_mhz,
+            self.stages.len(),
+            self.latency_cycles(),
+            self.throughput_msps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Pipeline {
+        Pipeline::new(
+            vec![
+                Stage::pipelined("hash", 1),
+                Stage::pipelined("index", 2),
+                Stage::new("result", 8, 8),
+            ],
+            100.0,
+        )
+    }
+
+    #[test]
+    fn latency_is_sum() {
+        assert_eq!(simple().latency_cycles(), 11);
+        assert!((simple().latency_ns() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_clock_over_bottleneck() {
+        let p = simple();
+        assert_eq!(p.bottleneck_ii(), 8);
+        assert!((p.throughput_msps() - 12.5).abs() < 1e-9);
+        assert_eq!(p.bottleneck().name, "result");
+    }
+
+    #[test]
+    fn fully_pipelined_hits_clock() {
+        let p = Pipeline::new(
+            vec![Stage::pipelined("a", 3), Stage::pipelined("b", 2)],
+            200.0,
+        );
+        assert!((p.throughput_msps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ii_beyond_latency_rejected() {
+        Stage::new("bad", 2, 3);
+    }
+}

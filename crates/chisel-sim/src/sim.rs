@@ -1,0 +1,185 @@
+//! Discrete-event simulation of the lookup pipeline: validates the
+//! closed-form throughput and exposes queueing behaviour — the
+//! "complicated queueing and stalling mechanisms" the paper says
+//! variable-latency schemes force on a router pipeline (Section 1).
+
+use crate::Pipeline;
+
+/// How lookups arrive at the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// One lookup every `period` cycles (line-rate traffic).
+    Periodic {
+        /// Cycles between arrivals.
+        period: u32,
+    },
+    /// `burst` back-to-back lookups every `interval` cycles.
+    Bursty {
+        /// Lookups per burst.
+        burst: u32,
+        /// Cycles between burst starts.
+        interval: u32,
+    },
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Lookups completed.
+    pub completed: u64,
+    /// Cycle at which the last lookup finished.
+    pub finish_cycle: u64,
+    /// Sustained throughput in lookups per cycle.
+    pub throughput_per_cycle: f64,
+    /// Mean end-to-end latency in cycles (including queueing).
+    pub mean_latency_cycles: f64,
+    /// Worst observed end-to-end latency in cycles.
+    pub max_latency_cycles: u64,
+    /// Largest backlog observed at the pipeline entrance.
+    pub max_queue_depth: usize,
+}
+
+impl SimReport {
+    /// Throughput in Msps given the pipeline clock.
+    pub fn throughput_msps(&self, clock_mhz: f64) -> f64 {
+        self.throughput_per_cycle * clock_mhz
+    }
+}
+
+/// Simulates `lookups` requests flowing through `pipeline` under the
+/// given arrival pattern.
+///
+/// Each stage admits a new lookup only `initiation_interval` cycles after
+/// the previous admission; a lookup advances to the next stage once its
+/// latency has elapsed *and* the next stage can admit it (blocking,
+/// in-order pipeline). Arrivals queue unboundedly at the entrance.
+///
+/// # Panics
+///
+/// Panics if `lookups == 0`.
+pub fn simulate(pipeline: &Pipeline, lookups: u64, arrivals: ArrivalPattern) -> SimReport {
+    assert!(lookups > 0);
+    let stages = pipeline.stages();
+    // next_free[i]: first cycle stage i can admit a new lookup.
+    let mut next_free: Vec<u64> = vec![0; stages.len()];
+    let mut completed = 0u64;
+    let mut finish_cycle = 0u64;
+    let mut total_latency = 0u64;
+    let mut max_latency = 0u64;
+    let mut max_queue = 0usize;
+
+    // Precompute arrival times.
+    let arrival_at = |i: u64| -> u64 {
+        match arrivals {
+            ArrivalPattern::Periodic { period } => i * period as u64,
+            ArrivalPattern::Bursty { burst, interval } => (i / burst as u64) * interval as u64,
+        }
+    };
+
+    let mut last_exit_entry = 0u64; // entry cycle of previous lookup into stage 0
+    for i in 0..lookups {
+        let arrival = arrival_at(i);
+        let mut t = arrival;
+        debug_assert!(t >= last_exit_entry || i == 0);
+        last_exit_entry = t;
+        for (s, stage) in stages.iter().enumerate() {
+            // Blocking admission: wait until the stage can take another
+            // lookup. The wait divided by the admission period estimates
+            // the backlog queued in front of this stage.
+            let admit = t.max(next_free[s]);
+            if admit > t {
+                let waiting = ((admit - t) / stage.initiation_interval as u64) as usize;
+                max_queue = max_queue.max(waiting);
+            }
+            next_free[s] = admit + stage.initiation_interval as u64;
+            t = admit + stage.latency as u64;
+        }
+        completed += 1;
+        finish_cycle = t;
+        let latency = t - arrival;
+        total_latency += latency;
+        max_latency = max_latency.max(latency);
+    }
+
+    SimReport {
+        completed,
+        finish_cycle,
+        throughput_per_cycle: completed as f64 / finish_cycle.max(1) as f64,
+        mean_latency_cycles: total_latency as f64 / completed as f64,
+        max_latency_cycles: max_latency,
+        max_queue_depth: max_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+
+    fn pipe(result_ii: u32) -> Pipeline {
+        Pipeline::new(
+            vec![
+                Stage::pipelined("hash", 1),
+                Stage::pipelined("index", 2),
+                Stage::pipelined("filter+bitvec", 2),
+                Stage::new("result", result_ii.max(4), result_ii),
+            ],
+            100.0,
+        )
+    }
+
+    #[test]
+    fn saturating_arrivals_hit_closed_form_throughput() {
+        let p = pipe(8);
+        let r = simulate(&p, 10_000, ArrivalPattern::Periodic { period: 1 });
+        let sim_msps = r.throughput_msps(p.clock_mhz());
+        let model = p.throughput_msps();
+        assert!(
+            (sim_msps - model).abs() / model < 0.01,
+            "sim {sim_msps} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn fully_pipelined_keeps_up_with_line_rate() {
+        let p = pipe(1);
+        let r = simulate(&p, 10_000, ArrivalPattern::Periodic { period: 1 });
+        assert_eq!(r.max_queue_depth, 0, "no backlog at matched rate");
+        assert_eq!(r.mean_latency_cycles, p.latency_cycles() as f64);
+    }
+
+    #[test]
+    fn underprovisioned_pipeline_builds_queues() {
+        // Arrivals every cycle into an II=8 bottleneck: latency grows
+        // without bound; this is the stalling hazard the paper cites.
+        let p = pipe(8);
+        let fast = simulate(&p, 1_000, ArrivalPattern::Periodic { period: 1 });
+        let slow = simulate(&p, 1_000, ArrivalPattern::Periodic { period: 8 });
+        assert!(fast.max_latency_cycles > 10 * slow.max_latency_cycles);
+        assert!(fast.max_queue_depth > 100);
+        assert_eq!(slow.max_queue_depth, 0);
+    }
+
+    #[test]
+    fn bursts_drain_between_intervals() {
+        let p = pipe(1);
+        // 16-lookup bursts every 32 cycles: drains fully, bounded latency.
+        let r = simulate(
+            &p,
+            1_600,
+            ArrivalPattern::Bursty {
+                burst: 16,
+                interval: 32,
+            },
+        );
+        assert!(r.max_latency_cycles <= p.latency_cycles() as u64 + 16);
+    }
+
+    #[test]
+    fn report_counts_everything() {
+        let p = pipe(1);
+        let r = simulate(&p, 500, ArrivalPattern::Periodic { period: 2 });
+        assert_eq!(r.completed, 500);
+        assert!(r.finish_cycle >= 1_000);
+    }
+}

@@ -1,0 +1,249 @@
+//! Prefix-length distributions modelled on public BGP snapshots.
+
+use chisel_prefix::AddressFamily;
+use rand::Rng;
+
+/// A discrete distribution over prefix lengths.
+#[derive(Debug, Clone)]
+pub struct PrefixLenDistribution {
+    family: AddressFamily,
+    /// Cumulative weights indexed by length.
+    cumulative: Vec<f64>,
+}
+
+impl PrefixLenDistribution {
+    /// Builds a distribution from `(length, weight)` pairs; weights need
+    /// not be normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a length exceeds the family width, all weights are zero,
+    /// or any weight is negative.
+    pub fn from_weights(family: AddressFamily, weights: &[(u8, f64)]) -> Self {
+        let mut table = vec![0.0; family.width() as usize + 1];
+        for &(len, w) in weights {
+            assert!(len <= family.width(), "length {len} beyond family width");
+            assert!(w >= 0.0, "negative weight");
+            table[len as usize] += w;
+        }
+        let mut cumulative = Vec::with_capacity(table.len());
+        let mut acc = 0.0;
+        for w in table {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all weights zero");
+        PrefixLenDistribution { family, cumulative }
+    }
+
+    /// The canonical IPv4 BGP shape: dominated by /24, strong /16 and
+    /// /19–/23 presence, thin tail elsewhere. Matches the shape of
+    /// bgp.potaroo.net snapshots from the paper's era.
+    pub fn bgp_ipv4() -> Self {
+        Self::from_weights(
+            AddressFamily::V4,
+            &[
+                (8, 0.2),
+                (9, 0.1),
+                (10, 0.2),
+                (11, 0.3),
+                (12, 0.6),
+                (13, 1.0),
+                (14, 1.5),
+                (15, 1.5),
+                (16, 7.5),
+                (17, 2.0),
+                (18, 3.0),
+                (19, 5.0),
+                (20, 5.5),
+                (21, 5.0),
+                (22, 7.0),
+                (23, 7.0),
+                (24, 52.0),
+                (25, 0.2),
+                (26, 0.2),
+                (27, 0.1),
+                (28, 0.1),
+                (29, 0.1),
+                (30, 0.1),
+                (32, 0.3),
+            ],
+        )
+    }
+
+    /// The canonical IPv6 BGP shape: /32 allocations and /48 assignments
+    /// dominate, with mass at /40, /44 and a little at /64.
+    pub fn bgp_ipv6() -> Self {
+        Self::from_weights(
+            AddressFamily::V6,
+            &[
+                (16, 0.2),
+                (20, 0.3),
+                (24, 0.8),
+                (28, 1.2),
+                (29, 1.5),
+                (32, 28.0),
+                (36, 3.0),
+                (40, 6.0),
+                (44, 5.0),
+                (48, 48.0),
+                (52, 1.0),
+                (56, 2.0),
+                (60, 0.5),
+                (64, 2.5),
+            ],
+        )
+    }
+
+    /// The family of the distribution.
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// Samples one prefix length.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u8 {
+        let total = *self.cumulative.last().expect("nonempty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative
+            .iter()
+            .position(|&c| x < c)
+            .expect("x below total") as u8
+    }
+
+    /// Applies multiplicative jitter to every populated weight — used to
+    /// derive distinct per-AS profiles from the base shape.
+    pub fn jittered<R: Rng>(&self, rng: &mut R, amount: f64) -> Self {
+        let mut prev = 0.0;
+        let mut weights = Vec::new();
+        for (len, &c) in self.cumulative.iter().enumerate() {
+            let w = c - prev;
+            prev = c;
+            if w > 0.0 {
+                let factor = 1.0 + rng.gen_range(-amount..amount);
+                weights.push((len as u8, w * factor.max(0.05)));
+            }
+        }
+        Self::from_weights(self.family, &weights)
+    }
+}
+
+/// One named benchmark table profile (substituting for a real BGP table).
+#[derive(Debug, Clone)]
+pub struct AsProfile {
+    /// The AS name used in the paper's figures (e.g. "AS1221").
+    pub name: &'static str,
+    /// Seed deriving both the jittered length distribution and the table.
+    pub seed: u64,
+    /// Number of prefixes the synthetic table should hold.
+    pub prefixes: usize,
+}
+
+/// The seven AS tables the paper's storage figures use, sized like the
+/// paper's benchmarks ("consistently contain more than 140K prefixes").
+pub fn as_profiles() -> Vec<AsProfile> {
+    vec![
+        AsProfile {
+            name: "AS1221",
+            seed: 0xA51221,
+            prefixes: 180_000,
+        },
+        AsProfile {
+            name: "AS12956",
+            seed: 0xA12956,
+            prefixes: 160_000,
+        },
+        AsProfile {
+            name: "AS286",
+            seed: 0xA50286,
+            prefixes: 150_000,
+        },
+        AsProfile {
+            name: "AS293",
+            seed: 0xA50293,
+            prefixes: 165_000,
+        },
+        AsProfile {
+            name: "AS4637",
+            seed: 0xA54637,
+            prefixes: 155_000,
+        },
+        AsProfile {
+            name: "AS701",
+            seed: 0xA50701,
+            prefixes: 170_000,
+        },
+        AsProfile {
+            name: "AS7660",
+            seed: 0xA57660,
+            prefixes: 145_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_weights() {
+        let d = PrefixLenDistribution::bgp_ipv4();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 33];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        // /24 dominates (~52%).
+        assert!(counts[24] > 45_000 && counts[24] < 60_000, "{}", counts[24]);
+        // /16 present (~7.5%).
+        assert!(counts[16] > 5_000 && counts[16] < 11_000);
+        // Nothing at unpopulated lengths.
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[31], 0);
+    }
+
+    #[test]
+    fn ipv6_shape() {
+        let d = PrefixLenDistribution::bgp_ipv6();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut n48 = 0;
+        let mut n32 = 0;
+        for _ in 0..10_000 {
+            match d.sample(&mut rng) {
+                48 => n48 += 1,
+                32 => n32 += 1,
+                _ => {}
+            }
+        }
+        assert!(n48 > 4_000, "{n48}");
+        assert!(n32 > 2_000, "{n32}");
+    }
+
+    #[test]
+    fn jitter_changes_but_preserves_support() {
+        let d = PrefixLenDistribution::bgp_ipv4();
+        let mut rng = StdRng::seed_from_u64(3);
+        let j = d.jittered(&mut rng, 0.3);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let l = j.sample(&mut rng2);
+            assert!((8..=32).contains(&l), "length {l} outside base support");
+        }
+    }
+
+    #[test]
+    fn profiles_are_distinct_and_large() {
+        let ps = as_profiles();
+        assert_eq!(ps.len(), 7);
+        let names: std::collections::HashSet<_> = ps.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 7);
+        assert!(ps.iter().all(|p| p.prefixes >= 140_000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weights_panic() {
+        PrefixLenDistribution::from_weights(AddressFamily::V4, &[(8, 0.0)]);
+    }
+}

@@ -1,0 +1,56 @@
+//! IPv6 table synthesis from IPv4 models — the paper's own method for its
+//! IPv6 scalability experiments (Section 6.4.2: "we synthesized IPv6
+//! tables using the IPv4 tables as models").
+
+use chisel_prefix::RoutingTable;
+
+use crate::{synthesize, PrefixLenDistribution};
+
+/// Synthesizes an IPv6 table of `n` prefixes whose length *structure*
+/// mirrors an IPv4 model table: each IPv4 length is mapped into the IPv6
+/// allocation ranges (an IPv4 /16 allocation behaves like an IPv6 /32,
+/// an IPv4 /24 assignment like an IPv6 /48), then jittered.
+pub fn synthesize_ipv6_from_v4_model(n: usize, v4_model: &RoutingTable, seed: u64) -> RoutingTable {
+    let hist = v4_model.length_histogram();
+    let mut weights: Vec<(u8, f64)> = Vec::new();
+    for len in 1..=32u8 {
+        let c = hist.count(len);
+        if c == 0 {
+            continue;
+        }
+        // Map IPv4 length to the IPv6 range: stretch the 8..=32 band onto
+        // 16..=64 (the populated IPv6 band), preserving relative mass.
+        let v6_len = 2 * len;
+        weights.push((v6_len.min(64), c as f64));
+    }
+    if weights.is_empty() {
+        weights.push((48, 1.0));
+    }
+    let dist = PrefixLenDistribution::from_weights(chisel_prefix::AddressFamily::V6, &weights);
+    synthesize(n, &dist, seed ^ 0x1969_6076)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_v4_structure() {
+        let v4 = synthesize(20_000, &PrefixLenDistribution::bgp_ipv4(), 5);
+        let v6 = synthesize_ipv6_from_v4_model(10_000, &v4, 5);
+        assert_eq!(v6.len(), 10_000);
+        assert_eq!(v6.family(), chisel_prefix::AddressFamily::V6);
+        let h = v6.length_histogram();
+        // IPv4 /24 dominance maps to /48 dominance.
+        assert!(h.count(48) as f64 > 0.4 * v6.len() as f64);
+        // IPv4 /16 mass maps to /32.
+        assert!(h.count(32) > 0);
+        assert!(h.max_len().unwrap() <= 64);
+    }
+
+    #[test]
+    fn empty_model_still_synthesizes() {
+        let v6 = synthesize_ipv6_from_v4_model(100, &RoutingTable::new_v4(), 1);
+        assert_eq!(v6.len(), 100);
+    }
+}

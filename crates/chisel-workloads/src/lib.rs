@@ -1,0 +1,33 @@
+//! Synthetic routing tables and BGP update traces.
+//!
+//! The paper evaluates on real BGP tables from bgp.potaroo.net and real
+//! RIPE RIS update traces — neither of which ships with this repository.
+//! Per DESIGN.md, this crate substitutes distribution-matched synthetic
+//! workloads:
+//!
+//! - [`PrefixLenDistribution`]: empirical prefix-length shapes, with one
+//!   seeded profile per AS table the paper names (AS1221, AS12956, ...).
+//! - [`synthesize`]: seeded table synthesis with realistic
+//!   more-specific/sibling structure.
+//! - [`ipv6`]: IPv6 table synthesis from IPv4 models, exactly the method
+//!   the paper itself uses for its IPv6 experiments (Section 6.4.2).
+//! - [`mrt`]: an MRT / BGP UPDATE codec so synthetic traces can be
+//!   exported and real RIS dumps replayed.
+//! - [`updates`]: update-trace generation with per-trace mixes of
+//!   withdraws, route flaps, next-hop changes and adds, one profile per
+//!   RIS collector the paper uses (rrc00, rrc01, rrc11, rrc08, rrc06).
+//!
+//! Everything is deterministic given a seed.
+
+pub mod distribution;
+pub mod ipv6;
+pub mod mrt;
+pub mod stats;
+pub mod synth;
+pub mod updates;
+
+pub use distribution::{as_profiles, AsProfile, PrefixLenDistribution};
+pub use mrt::{read_mrt, write_mrt, MrtError};
+pub use stats::{analyze, TraceStats};
+pub use synth::synthesize;
+pub use updates::{generate_trace, rrc_profiles, TraceProfile, UpdateEvent};

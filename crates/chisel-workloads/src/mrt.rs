@@ -1,0 +1,377 @@
+//! MRT / BGP UPDATE trace codec (RFC 6396 + RFC 4271, IPv4 subset).
+//!
+//! The update traces the paper consumes (RIPE RIS, Section 5) are
+//! distributed as MRT files of BGP4MP messages. This module implements
+//! enough of the format to (a) export our synthetic traces as valid MRT
+//! so they can be inspected with standard tooling, and (b) replay an MRT
+//! byte stream into [`UpdateEvent`]s — so a user with real RIS dumps can
+//! feed them straight into the engine.
+//!
+//! Scope: BGP4MP / BGP4MP_MESSAGE records carrying IPv4 BGP UPDATEs with
+//! withdrawn routes, a NEXT_HOP path attribute, and NLRI. (Real-world
+//! IPv6 NLRI rides in MP_REACH attributes; our IPv6 traces stay in the
+//! native [`UpdateEvent`] form.)
+
+use chisel_prefix::bits::mask;
+use chisel_prefix::{AddressFamily, NextHop, Prefix, PrefixError};
+
+use crate::UpdateEvent;
+
+/// MRT type BGP4MP.
+const MRT_TYPE_BGP4MP: u16 = 16;
+/// BGP4MP subtype BGP4MP_MESSAGE (2-byte AS numbers).
+const BGP4MP_MESSAGE: u16 = 1;
+/// BGP message type UPDATE.
+const BGP_UPDATE: u8 = 2;
+/// Path attribute: NEXT_HOP.
+const ATTR_NEXT_HOP: u8 = 3;
+/// Path attribute: ORIGIN.
+const ATTR_ORIGIN: u8 = 1;
+
+/// Errors from MRT decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MrtError {
+    /// Input ended in the middle of a record or field.
+    Truncated {
+        /// Byte offset where the shortage was noticed.
+        offset: usize,
+    },
+    /// An unsupported MRT type/subtype or BGP message type was found.
+    Unsupported {
+        /// Short description.
+        what: String,
+    },
+    /// A malformed field (bad marker, bad prefix length, ...).
+    Malformed {
+        /// Short description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for MrtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrtError::Truncated { offset } => write!(f, "truncated MRT input at byte {offset}"),
+            MrtError::Unsupported { what } => write!(f, "unsupported MRT content: {what}"),
+            MrtError::Malformed { what } => write!(f, "malformed MRT content: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+impl From<PrefixError> for MrtError {
+    fn from(e: PrefixError) -> Self {
+        MrtError::Malformed {
+            what: e.to_string(),
+        }
+    }
+}
+
+/// Encodes an IPv4 update trace as an MRT byte stream, one BGP4MP
+/// UPDATE message per event. Next-hop ids are embedded as `10.254.x.y`
+/// NEXT_HOP addresses so they survive a round trip.
+///
+/// # Panics
+///
+/// Panics if an event carries a non-IPv4 prefix.
+pub fn write_mrt(events: &[UpdateEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 64);
+    for (i, ev) in events.iter().enumerate() {
+        let body = encode_bgp_update(ev);
+        // BGP4MP_MESSAGE header: peer AS, local AS, ifindex, AFI, peer IP,
+        // local IP (IPv4).
+        let mut msg = Vec::with_capacity(body.len() + 16);
+        msg.extend_from_slice(&64512u16.to_be_bytes()); // peer AS
+        msg.extend_from_slice(&64513u16.to_be_bytes()); // local AS
+        msg.extend_from_slice(&0u16.to_be_bytes()); // ifindex
+        msg.extend_from_slice(&1u16.to_be_bytes()); // AFI IPv4
+        msg.extend_from_slice(&[192, 0, 2, 1]); // peer IP
+        msg.extend_from_slice(&[192, 0, 2, 2]); // local IP
+        msg.extend_from_slice(&body);
+        // MRT common header.
+        out.extend_from_slice(&(i as u32).to_be_bytes()); // timestamp
+        out.extend_from_slice(&MRT_TYPE_BGP4MP.to_be_bytes());
+        out.extend_from_slice(&BGP4MP_MESSAGE.to_be_bytes());
+        out.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+        out.extend_from_slice(&msg);
+    }
+    out
+}
+
+fn encode_prefix(prefix: &Prefix, out: &mut Vec<u8>) {
+    assert_eq!(prefix.family(), AddressFamily::V4, "MRT codec is IPv4-only");
+    out.push(prefix.len());
+    let network = (prefix.network() as u32).to_be_bytes();
+    out.extend_from_slice(&network[..(prefix.len() as usize).div_ceil(8)]);
+}
+
+fn encode_bgp_update(ev: &UpdateEvent) -> Vec<u8> {
+    let mut withdrawn = Vec::new();
+    let mut attrs = Vec::new();
+    let mut nlri = Vec::new();
+    match ev {
+        UpdateEvent::Withdraw(p) => encode_prefix(p, &mut withdrawn),
+        UpdateEvent::Announce(p, nh) => {
+            // ORIGIN attribute (well-known mandatory with NLRI).
+            attrs.extend_from_slice(&[0x40, ATTR_ORIGIN, 1, 0]);
+            // NEXT_HOP attribute: encode the id as 10.254.x.y.
+            let id = nh.id();
+            attrs.extend_from_slice(&[0x40, ATTR_NEXT_HOP, 4, 10, 254, (id >> 8) as u8, id as u8]);
+            encode_prefix(p, &mut nlri);
+        }
+    }
+    let mut body = Vec::new();
+    body.extend_from_slice(&[0xFF; 16]); // marker
+    let total = 16 + 2 + 1 + 2 + withdrawn.len() + 2 + attrs.len() + nlri.len();
+    body.extend_from_slice(&(total as u16).to_be_bytes());
+    body.push(BGP_UPDATE);
+    body.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
+    body.extend_from_slice(&withdrawn);
+    body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    body.extend_from_slice(&attrs);
+    body.extend_from_slice(&nlri);
+    body
+}
+
+/// A cursor with bounds-checked reads.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MrtError> {
+        if self.pos + n > self.data.len() {
+            return Err(MrtError::Truncated { offset: self.pos });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MrtError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MrtError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, MrtError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+}
+
+fn decode_prefix(cur: &mut Cursor<'_>) -> Result<Prefix, MrtError> {
+    let len = cur.u8()?;
+    if len > 32 {
+        return Err(MrtError::Malformed {
+            what: format!("prefix length {len}"),
+        });
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    let mut addr = [0u8; 4];
+    addr[..nbytes].copy_from_slice(cur.take(nbytes)?);
+    let value = u32::from_be_bytes(addr) as u128;
+    let bits = (value >> (32 - len)) & mask(len);
+    Ok(Prefix::new(AddressFamily::V4, bits, len)?)
+}
+
+/// Decodes an MRT byte stream back into update events.
+///
+/// # Errors
+///
+/// Returns [`MrtError`] on truncation, unsupported record types, or
+/// malformed BGP messages.
+pub fn read_mrt(data: &[u8]) -> Result<Vec<UpdateEvent>, MrtError> {
+    let mut cur = Cursor { data, pos: 0 };
+    let mut out = Vec::new();
+    while !cur.done() {
+        let _timestamp = cur.u32()?;
+        let mrt_type = cur.u16()?;
+        let subtype = cur.u16()?;
+        let length = cur.u32()? as usize;
+        let record = cur.take(length)?;
+        if mrt_type != MRT_TYPE_BGP4MP || subtype != BGP4MP_MESSAGE {
+            return Err(MrtError::Unsupported {
+                what: format!("MRT type {mrt_type} subtype {subtype}"),
+            });
+        }
+        let mut rec = Cursor {
+            data: record,
+            pos: 0,
+        };
+        let _peer_as = rec.u16()?;
+        let _local_as = rec.u16()?;
+        let _ifindex = rec.u16()?;
+        let afi = rec.u16()?;
+        if afi != 1 {
+            return Err(MrtError::Unsupported {
+                what: format!("AFI {afi}"),
+            });
+        }
+        let _peer_ip = rec.take(4)?;
+        let _local_ip = rec.take(4)?;
+        decode_bgp_update(&mut rec, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn decode_bgp_update(cur: &mut Cursor<'_>, out: &mut Vec<UpdateEvent>) -> Result<(), MrtError> {
+    let marker = cur.take(16)?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(MrtError::Malformed {
+            what: "BGP marker".to_string(),
+        });
+    }
+    let total = cur.u16()? as usize;
+    if total < 19 {
+        return Err(MrtError::Malformed {
+            what: format!("BGP length {total}"),
+        });
+    }
+    let msg_type = cur.u8()?;
+    if msg_type != BGP_UPDATE {
+        return Err(MrtError::Unsupported {
+            what: format!("BGP message type {msg_type}"),
+        });
+    }
+    let rest = cur.take(total - 19)?;
+    let mut body = Cursor { data: rest, pos: 0 };
+
+    // Withdrawn routes.
+    let wlen = body.u16()? as usize;
+    let wend = body.pos + wlen;
+    while body.pos < wend {
+        out.push(UpdateEvent::Withdraw(decode_prefix(&mut body)?));
+    }
+
+    // Path attributes: find NEXT_HOP.
+    let alen = body.u16()? as usize;
+    let aend = body.pos + alen;
+    let mut next_hop = None;
+    while body.pos < aend {
+        let flags = body.u8()?;
+        let attr_type = body.u8()?;
+        let len = if flags & 0x10 != 0 {
+            body.u16()? as usize
+        } else {
+            body.u8()? as usize
+        };
+        let value = body.take(len)?;
+        if attr_type == ATTR_NEXT_HOP {
+            if len != 4 {
+                return Err(MrtError::Malformed {
+                    what: "NEXT_HOP length".to_string(),
+                });
+            }
+            next_hop = Some(NextHop::new(((value[2] as u32) << 8) | value[3] as u32));
+        }
+    }
+
+    // NLRI until the end of the message.
+    while !body.done() {
+        let prefix = decode_prefix(&mut body)?;
+        let nh = next_hop.ok_or_else(|| MrtError::Malformed {
+            what: "NLRI without NEXT_HOP attribute".to_string(),
+        })?;
+        out.push(UpdateEvent::Announce(prefix, nh));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_trace, rrc_profiles, synthesize, PrefixLenDistribution};
+
+    fn sample_events() -> Vec<UpdateEvent> {
+        vec![
+            UpdateEvent::Announce("10.0.0.0/8".parse().unwrap(), NextHop::new(1)),
+            UpdateEvent::Withdraw("10.1.0.0/16".parse().unwrap()),
+            UpdateEvent::Announce("192.168.7.0/24".parse().unwrap(), NextHop::new(300)),
+            UpdateEvent::Announce("0.0.0.0/0".parse().unwrap(), NextHop::new(0)),
+            UpdateEvent::Withdraw("255.255.255.255/32".parse().unwrap()),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let events = sample_events();
+        let bytes = write_mrt(&events);
+        assert_eq!(read_mrt(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn roundtrip_full_trace() {
+        let table = synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 3);
+        let trace = generate_trace(&table, 5_000, &rrc_profiles()[0]);
+        let bytes = write_mrt(&trace);
+        assert_eq!(read_mrt(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let bytes = write_mrt(&sample_events());
+        // Any strict prefix of the stream that cuts a record must error
+        // (cuts at record boundaries decode the events before the cut).
+        for cut in [1usize, 5, 11, 20, bytes.len() - 1] {
+            let r = read_mrt(&bytes[..cut]);
+            assert!(
+                matches!(r, Err(MrtError::Truncated { .. })) || r.is_ok(),
+                "cut at {cut}: {r:?}"
+            );
+        }
+        assert!(matches!(
+            read_mrt(&bytes[..bytes.len() - 1]),
+            Err(MrtError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = write_mrt(&sample_events()[..1]);
+        // Marker starts after MRT header (12) + BGP4MP header (16).
+        bytes[12 + 16] = 0x00;
+        assert!(matches!(read_mrt(&bytes), Err(MrtError::Malformed { .. })));
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut bytes = write_mrt(&sample_events()[..1]);
+        bytes[4] = 0xEE; // MRT type
+        assert!(matches!(
+            read_mrt(&bytes),
+            Err(MrtError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_encoding_is_minimal() {
+        // A /8 prefix encodes in 1+1 bytes, a /24 in 1+3.
+        let mut buf = Vec::new();
+        encode_prefix(&"10.0.0.0/8".parse().unwrap(), &mut buf);
+        assert_eq!(buf, vec![8, 10]);
+        buf.clear();
+        encode_prefix(&"192.168.7.0/24".parse().unwrap(), &mut buf);
+        assert_eq!(buf, vec![24, 192, 168, 7]);
+        buf.clear();
+        encode_prefix(&"0.0.0.0/0".parse().unwrap(), &mut buf);
+        assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_trace() {
+        assert_eq!(read_mrt(&[]).unwrap(), Vec::new());
+    }
+}

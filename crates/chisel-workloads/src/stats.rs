@@ -1,0 +1,136 @@
+//! Trace analysis: the aggregate properties of an update trace that
+//! determine how an LPM engine absorbs it (the quantities behind the
+//! paper's Section 4.4 heuristics — flap fraction, add locality).
+
+use std::collections::HashMap;
+
+use chisel_prefix::Prefix;
+
+use crate::UpdateEvent;
+
+/// Aggregate statistics of one update trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total events.
+    pub events: usize,
+    /// Announce events.
+    pub announces: usize,
+    /// Withdraw events.
+    pub withdraws: usize,
+    /// Announces of a prefix withdrawn earlier in the trace (flaps).
+    pub flap_announces: usize,
+    /// Distinct prefixes touched.
+    pub distinct_prefixes: usize,
+    /// Events touching the busiest single prefix.
+    pub max_events_per_prefix: usize,
+    /// Mean distance (in events) between a withdraw and the flap
+    /// re-announce it pairs with.
+    pub mean_flap_distance: f64,
+}
+
+impl TraceStats {
+    /// Fraction of announces that are flaps — the locality the dirty-bit
+    /// mechanism exploits.
+    pub fn flap_fraction(&self) -> f64 {
+        if self.announces == 0 {
+            0.0
+        } else {
+            self.flap_announces as f64 / self.announces as f64
+        }
+    }
+}
+
+/// Analyzes a trace.
+pub fn analyze(events: &[UpdateEvent]) -> TraceStats {
+    let mut withdrawn_at: HashMap<Prefix, usize> = HashMap::new();
+    let mut per_prefix: HashMap<Prefix, usize> = HashMap::new();
+    let mut announces = 0usize;
+    let mut withdraws = 0usize;
+    let mut flaps = 0usize;
+    let mut flap_distance = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            UpdateEvent::Withdraw(p) => {
+                withdraws += 1;
+                withdrawn_at.insert(*p, i);
+                *per_prefix.entry(*p).or_insert(0) += 1;
+            }
+            UpdateEvent::Announce(p, _) => {
+                announces += 1;
+                if let Some(at) = withdrawn_at.remove(p) {
+                    flaps += 1;
+                    flap_distance += i - at;
+                }
+                *per_prefix.entry(*p).or_insert(0) += 1;
+            }
+        }
+    }
+    TraceStats {
+        events: events.len(),
+        announces,
+        withdraws,
+        flap_announces: flaps,
+        distinct_prefixes: per_prefix.len(),
+        max_events_per_prefix: per_prefix.values().copied().max().unwrap_or(0),
+        mean_flap_distance: if flaps == 0 {
+            0.0
+        } else {
+            flap_distance as f64 / flaps as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_trace, rrc_profiles, synthesize, PrefixLenDistribution};
+    use chisel_prefix::NextHop;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn counts_small_trace() {
+        let events = vec![
+            UpdateEvent::Announce(p("10.0.0.0/8"), NextHop::new(1)),
+            UpdateEvent::Withdraw(p("10.0.0.0/8")),
+            UpdateEvent::Announce(p("11.0.0.0/8"), NextHop::new(2)),
+            UpdateEvent::Announce(p("10.0.0.0/8"), NextHop::new(3)), // flap, distance 2
+        ];
+        let s = analyze(&events);
+        assert_eq!(s.events, 4);
+        assert_eq!(s.announces, 3);
+        assert_eq!(s.withdraws, 1);
+        assert_eq!(s.flap_announces, 1);
+        assert_eq!(s.distinct_prefixes, 2);
+        assert_eq!(s.max_events_per_prefix, 3);
+        assert_eq!(s.mean_flap_distance, 2.0);
+        assert!((s.flap_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_traces_have_paper_like_locality() {
+        let table = synthesize(5_000, &PrefixLenDistribution::bgp_ipv4(), 0x57A);
+        for profile in rrc_profiles() {
+            let trace = generate_trace(&table, 20_000, &profile);
+            let s = analyze(&trace);
+            // "A large fraction of updates are actually route-flaps."
+            assert!(
+                s.flap_fraction() > 0.15,
+                "{}: flap fraction {}",
+                profile.name,
+                s.flap_fraction()
+            );
+            assert_eq!(s.events, 20_000);
+            assert!(s.distinct_prefixes < s.events);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = analyze(&[]);
+        assert_eq!(s.events, 0);
+        assert_eq!(s.flap_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded synthesis of routing tables with realistic aggregate /
+//! more-specific structure.
+
+use chisel_prefix::bits::mask;
+use chisel_prefix::{NextHop, Prefix, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PrefixLenDistribution;
+
+/// Fraction of prefixes generated as more-specifics of earlier prefixes —
+/// real BGP tables are full of /24 holes punched into /16 aggregates.
+const MORE_SPECIFIC_FRACTION: f64 = 0.35;
+
+/// Synthesizes a routing table of `n` distinct prefixes drawn from `dist`.
+///
+/// About a third of the prefixes are generated as more-specifics of
+/// already-generated shorter prefixes, giving the nested structure that
+/// prefix collapsing and CPE react to; the rest are sampled uniformly at
+/// the sampled length. Next hops are drawn from a pool of 64 (routers have
+/// few distinct next hops regardless of table size).
+///
+/// # Panics
+///
+/// Panics if `n` is so large relative to the distribution's support that
+/// distinct prefixes cannot be found (more than ~2^24 IPv4 prefixes).
+pub fn synthesize(n: usize, dist: &PrefixLenDistribution, seed: u64) -> RoutingTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let width = dist.family().width();
+    let mut table = RoutingTable::new(dist.family());
+    let mut pool: Vec<Prefix> = Vec::new();
+    let mut attempts = 0usize;
+    let max_attempts = n * 64 + 4096;
+    while table.len() < n {
+        attempts += 1;
+        assert!(
+            attempts < max_attempts,
+            "cannot synthesize {n} distinct prefixes from this distribution"
+        );
+        let len = dist.sample(&mut rng);
+        if len == 0 {
+            continue;
+        }
+        let prefix = if !pool.is_empty() && rng.gen_bool(MORE_SPECIFIC_FRACTION) {
+            // Punch a more-specific into a random earlier prefix.
+            let parent = pool[rng.gen_range(0..pool.len())];
+            if parent.len() >= len {
+                random_prefix(&mut rng, dist, len, width)
+            } else {
+                let extra = len - parent.len();
+                parent.extend(rng.gen::<u128>() & mask(extra), extra)
+            }
+        } else {
+            random_prefix(&mut rng, dist, len, width)
+        };
+        if table
+            .insert(prefix, NextHop::new(rng.gen_range(0..64)))
+            .is_none()
+        {
+            pool.push(prefix);
+        }
+    }
+    table
+}
+
+fn random_prefix<R: Rng>(
+    rng: &mut R,
+    _dist: &PrefixLenDistribution,
+    len: u8,
+    _width: u8,
+) -> Prefix {
+    let bits = rng.gen::<u128>() & mask(len);
+    Prefix::new(_dist.family(), bits, len).expect("masked bits fit the length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_profiles;
+
+    #[test]
+    fn synthesizes_requested_count() {
+        let t = synthesize(10_000, &PrefixLenDistribution::bgp_ipv4(), 1);
+        assert_eq!(t.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = PrefixLenDistribution::bgp_ipv4();
+        let a = synthesize(2_000, &d, 42);
+        let b = synthesize(2_000, &d, 42);
+        assert_eq!(a, b);
+        let c = synthesize(2_000, &d, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_histogram_tracks_distribution() {
+        let t = synthesize(50_000, &PrefixLenDistribution::bgp_ipv4(), 7);
+        let h = t.length_histogram();
+        // /24 dominance survives synthesis.
+        assert!(h.count(24) as f64 > 0.4 * t.len() as f64);
+        assert_eq!(h.count(0), 0);
+    }
+
+    #[test]
+    fn has_nested_structure() {
+        let t = synthesize(20_000, &PrefixLenDistribution::bgp_ipv4(), 9);
+        let prefixes: Vec<Prefix> = t.iter().map(|e| e.prefix).collect();
+        // Count prefixes covered by some shorter prefix in the table;
+        // with 35% more-specific generation this must be substantial.
+        let mut nested = 0;
+        for (i, p) in prefixes.iter().enumerate().skip(1) {
+            // sorted order: ancestors sort immediately before descendants,
+            // so scanning a few predecessors suffices for a lower bound.
+            for q in prefixes[i.saturating_sub(16)..i].iter() {
+                if q.covers(p) && q != p {
+                    nested += 1;
+                    break;
+                }
+            }
+        }
+        assert!(
+            nested as f64 > 0.15 * prefixes.len() as f64,
+            "only {nested} nested prefixes"
+        );
+    }
+
+    #[test]
+    fn ipv6_synthesis() {
+        let t = synthesize(5_000, &PrefixLenDistribution::bgp_ipv6(), 3);
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.family(), chisel_prefix::AddressFamily::V6);
+    }
+
+    #[test]
+    fn profile_seeds_give_distinct_tables() {
+        let d = PrefixLenDistribution::bgp_ipv4();
+        let ps = as_profiles();
+        let a = synthesize(1_000, &d, ps[0].seed);
+        let b = synthesize(1_000, &d, ps[1].seed);
+        assert_ne!(a, b);
+    }
+}

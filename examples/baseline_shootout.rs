@@ -1,0 +1,91 @@
+//! Build every LPM engine in the workspace over the same table, verify
+//! they agree on every lookup, and print each scheme's cost profile —
+//! the paper's Section 6 comparison in one program.
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout
+//! ```
+
+use chisel::baselines::{BinaryTrie, ChainedHashLpm, EbfCpeLpm, Tcam, TreeBitmap};
+use chisel::hw::{chisel_power_watts, tcam_power::tcam_bits, tcam_power::tcam_power_watts};
+use chisel::workloads::{synthesize, PrefixLenDistribution};
+use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key};
+use chisel_prefix::oracle::OracleLpm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 30_000;
+    let table = synthesize(n, &PrefixLenDistribution::bgp_ipv4(), 0x5400);
+    println!("table: {n} IPv4 prefixes\n");
+
+    let oracle = OracleLpm::from_table(&table);
+    let chisel = ChiselLpm::build(&table, ChiselConfig::ipv4())?;
+    let treebitmap = TreeBitmap::from_table(&table, 4);
+    let trie = BinaryTrie::from_table(&table);
+    let chained = ChainedHashLpm::from_table(&table, 2.0, 1);
+    let ebf_cpe = EbfCpeLpm::build(&table, 7, 12.0, 3, 1)?;
+    let tcam = Tcam::from_table(&table);
+
+    // Differential check across all engines.
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut checked = 0;
+    for _ in 0..50_000 {
+        let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+        let expect = oracle.lookup(key);
+        assert_eq!(chisel.lookup(key), expect, "chisel diverged on {key}");
+        assert_eq!(
+            treebitmap.lookup(key),
+            expect,
+            "treebitmap diverged on {key}"
+        );
+        assert_eq!(trie.lookup(key), expect, "trie diverged on {key}");
+        assert_eq!(chained.lookup(key), expect, "chained diverged on {key}");
+        assert_eq!(ebf_cpe.lookup(key), expect, "ebf+cpe diverged on {key}");
+        checked += 1;
+    }
+    // TCAM's linear scan is slow; check a sample.
+    for _ in 0..500 {
+        let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+        assert_eq!(
+            tcam.lookup(key),
+            oracle.lookup(key),
+            "tcam diverged on {key}"
+        );
+    }
+    println!("all 6 engines agree with the oracle on {checked} random keys\n");
+
+    println!("scheme          storage           lookup cost profile");
+    println!(
+        "chisel          {:7.2} Mb on-chip  4 sequential accesses, 1 off-chip; {:.1} W @200Msps",
+        chisel.storage().total_mbits(),
+        chisel_power_watts(chisel.storage().total_bits(), 200.0),
+    );
+    let tb = treebitmap.stats();
+    println!(
+        "tree bitmap     {:7.2} Mb          {} nodes, 1 access/level",
+        tb.storage_bits as f64 / 1e6,
+        tb.nodes
+    );
+    println!(
+        "binary trie     {:7.2} Mb          {} nodes, 1 access/bit",
+        (trie.node_count() * 80) as f64 / 1e6,
+        trie.node_count()
+    );
+    println!(
+        "chained hash    ({} per-length tables, max chain {})",
+        chained.num_tables(),
+        chained.max_chain()
+    );
+    println!(
+        "EBF+CPE         {} expanded keys at 12 locations/key ({} levels)",
+        ebf_cpe.stored_keys(),
+        ebf_cpe.levels().len()
+    );
+    println!(
+        "TCAM            {:7.2} Mb ternary  1 parallel compare; {:.1} W @200Msps",
+        tcam.storage_bits(32) as f64 / 1e6,
+        tcam_power_watts(tcam_bits(tcam.len(), 32), 200.0),
+    );
+    Ok(())
+}

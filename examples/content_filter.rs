@@ -1,0 +1,122 @@
+//! Generic content search with a Bloomier filter (paper Section 8: the
+//! scheme applies "for packet classification and intrusion detection, as
+//! well as for generic content searches"): a signature dictionary with
+//! guaranteed single-probe, collision-free lookups, false positives
+//! removed exactly by verifying the stored token.
+//!
+//! ```text
+//! cargo run --release --example content_filter
+//! ```
+
+use std::time::Instant;
+
+use chisel::bloomier::BloomierFilter;
+use chisel::hash::SplitMix64;
+
+/// A token dictionary: token hash -> signature id, with the token hashes
+/// stored for exact false-positive elimination — the same
+/// Index-Table-plus-Filter-Table split Chisel uses for prefixes.
+struct SignatureSet {
+    index: BloomierFilter,
+    tokens: Vec<u128>, // "filter table": the actual keys, by id
+}
+
+impl SignatureSet {
+    fn build(tokens: &[&str]) -> Self {
+        let keys: Vec<(u128, u32)> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (token_key(t), i as u32))
+            .collect();
+        let built = BloomierFilter::build(3, 3 * keys.len().max(8), 0x51C, &keys)
+            .expect("signature set builds");
+        assert!(built.spilled.is_empty(), "tiny sets never spill at m/n=3");
+        SignatureSet {
+            index: built.filter,
+            tokens: keys.iter().map(|&(k, _)| k).collect(),
+        }
+    }
+
+    /// Returns the signature id of `token` iff it is in the set — no
+    /// false positives: the pointer from the index is verified against
+    /// the stored token key.
+    fn match_token(&self, token: &str) -> Option<u32> {
+        let key = token_key(token);
+        let id = self.index.lookup(key) as usize;
+        (id < self.tokens.len() && self.tokens[id] == key).then_some(id as u32)
+    }
+}
+
+/// Collapse a token to a 128-bit key (a strong fingerprint; the filter
+/// stage compares fingerprints, as Chisel compares full prefixes).
+fn token_key(token: &str) -> u128 {
+    let mut rng = SplitMix64::new(0xF00D);
+    let (a, b) = (rng.next_odd() as u128, rng.next_odd() as u128);
+    let mut acc = 0xcbf2_9ce4_8422_2325u128;
+    for &byte in token.as_bytes() {
+        acc = acc.wrapping_mul(a) ^ (byte as u128).wrapping_mul(b);
+        acc ^= acc >> 61;
+    }
+    acc
+}
+
+fn main() {
+    let signatures = [
+        "SELECT * FROM",
+        "UNION SELECT",
+        "../../etc/passwd",
+        "cmd.exe",
+        "/bin/sh",
+        "<script>",
+        "eval(",
+        "xp_cmdshell",
+        "DROP TABLE",
+        "' OR '1'='1",
+    ];
+    let set = SignatureSet::build(&signatures);
+
+    // Scan a token stream.
+    let stream = [
+        "GET",
+        "/index.html",
+        "HTTP/1.1",
+        "<script>",
+        "alert(1)",
+        "SELECT",
+        "UNION SELECT",
+        "normal",
+        "payload",
+        "../../etc/passwd",
+    ];
+    println!(
+        "scanning {} tokens against {} signatures:",
+        stream.len(),
+        signatures.len()
+    );
+    for token in stream {
+        match set.match_token(token) {
+            Some(id) => println!(
+                "  ALERT: {token:?} matches signature #{id} ({:?})",
+                signatures[id as usize]
+            ),
+            None => println!("  ok:    {token:?}"),
+        }
+    }
+
+    // No false positives, ever: hammer with random tokens.
+    let start = Instant::now();
+    let mut checked = 0u64;
+    for i in 0..2_000_000u64 {
+        let token = format!("random-token-{i}");
+        assert!(
+            set.match_token(&token).is_none(),
+            "false positive on {token}"
+        );
+        checked += 1;
+    }
+    println!(
+        "\n{checked} random tokens probed in {:.2}s with zero false positives ({} memory probes each)",
+        start.elapsed().as_secs_f64(),
+        set.index.k() + 1,
+    );
+}

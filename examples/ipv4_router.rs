@@ -1,0 +1,91 @@
+//! A realistic IPv4 forwarding scenario: synthesize a BGP-shaped table of
+//! 150K prefixes, build a Chisel engine, serve a stream of lookups, and
+//! absorb a live update feed — the workload the paper's introduction
+//! motivates.
+//!
+//! ```text
+//! cargo run --release --example ipv4_router
+//! ```
+
+use std::time::Instant;
+
+use chisel::core::stats::LookupTrace;
+use chisel::workloads::{
+    generate_trace, rrc_profiles, synthesize, PrefixLenDistribution, UpdateEvent,
+};
+use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key};
+use chisel_prefix::oracle::OracleLpm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 150_000;
+    println!("synthesizing {n}-prefix BGP-shaped table...");
+    let table = synthesize(n, &PrefixLenDistribution::bgp_ipv4(), 0xBEEF);
+
+    let start = Instant::now();
+    let mut engine = ChiselLpm::build(&table, ChiselConfig::ipv4())?;
+    println!(
+        "engine built in {:.2}s: {} collapsed groups, {} spillover entries, {:.2} Mb on-chip",
+        start.elapsed().as_secs_f64(),
+        engine.groups(),
+        engine.spill_len(),
+        engine.storage().total_mbits(),
+    );
+
+    // Serve lookups: random traffic plus covered destinations.
+    let oracle = OracleLpm::from_table(&table);
+    let keys: Vec<Key> = (0..200_000u64)
+        .map(|i| {
+            Key::from_raw(
+                AddressFamily::V4,
+                ((i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) & 0xFFFF_FFFF) as u128,
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let mut hits = 0usize;
+    let mut trace = LookupTrace::default();
+    for &k in &keys {
+        if engine.lookup_traced(k, &mut trace).is_some() {
+            hits += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "served {} lookups in {elapsed:.2}s ({:.1} M lookups/s software), {hits} routed, {} off-chip reads",
+        keys.len(),
+        keys.len() as f64 / elapsed / 1e6,
+        trace.result_reads,
+    );
+    for &k in keys.iter().step_by(97) {
+        assert_eq!(engine.lookup(k), oracle.lookup(k), "divergence at {k}");
+    }
+    println!("spot-check against oracle: OK");
+
+    // Absorb an update feed.
+    let profile = rrc_profiles()[0];
+    let updates = generate_trace(&table, 100_000, &profile);
+    let start = Instant::now();
+    for ev in &updates {
+        match *ev {
+            UpdateEvent::Announce(p, nh) => {
+                engine.announce(p, nh)?;
+            }
+            UpdateEvent::Withdraw(p) => {
+                engine.withdraw(p)?;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = engine.update_stats();
+    println!(
+        "applied {} updates in {elapsed:.2}s ({:.0} updates/s): {:?}",
+        updates.len(),
+        updates.len() as f64 / elapsed,
+        stats,
+    );
+    println!(
+        "incremental fraction: {:.5} (paper: >= 0.999)",
+        stats.incremental_fraction()
+    );
+    Ok(())
+}

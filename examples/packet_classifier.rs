@@ -1,0 +1,96 @@
+//! Packet classification from LPM building blocks (paper Sections 1 & 8):
+//! a two-field firewall built from per-field Chisel engines and a
+//! cross-product table, validated against a linear-scan oracle and
+//! timed against it.
+//!
+//! ```text
+//! cargo run --release --example packet_classifier
+//! ```
+
+use std::time::Instant;
+
+use chisel::classify::{Action, Classifier, LinearClassifier, Rule, RuleSet};
+use chisel::prefix::bits::mask;
+use chisel::{AddressFamily, Key, Prefix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic firewall: site policies plus many per-subnet rules.
+    let mut rng = StdRng::seed_from_u64(0xF1BE);
+    let mut rules = RuleSet::new(AddressFamily::V4);
+    rules.push(Rule {
+        src: "10.0.0.0/8".parse()?,
+        dst: "0.0.0.0/0".parse()?,
+        priority: 1,
+        action: Action::new(1), // permit outbound
+    });
+    rules.push(Rule {
+        src: "0.0.0.0/0".parse()?,
+        dst: "10.0.0.0/8".parse()?,
+        priority: 2,
+        action: Action::new(2), // permit inbound
+    });
+    for i in 0..500u32 {
+        let slen = rng.gen_range(8..=24u8);
+        let dlen = rng.gen_range(8..=24u8);
+        rules.push(Rule {
+            src: Prefix::new(AddressFamily::V4, rng.gen::<u128>() & mask(slen), slen)?,
+            dst: Prefix::new(AddressFamily::V4, rng.gen::<u128>() & mask(dlen), dlen)?,
+            priority: 10 + rng.gen_range(0..90),
+            action: Action::new(100 + i),
+        });
+    }
+    println!("{} rules", rules.len());
+
+    let start = Instant::now();
+    let fast = Classifier::build(&rules, 42)?;
+    println!(
+        "cross-producting classifier built in {:.2}s ({} cross-product entries)",
+        start.elapsed().as_secs_f64(),
+        fast.cross_product_entries()
+    );
+    let slow = LinearClassifier::from_rules(&rules);
+
+    // Validate and time.
+    let packets: Vec<(Key, Key)> = (0..100_000)
+        .map(|_| {
+            (
+                Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128),
+                Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128),
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut fast_hits = 0usize;
+    for &(s, d) in &packets {
+        fast_hits += fast.classify(s, d).is_some() as usize;
+    }
+    let fast_time = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut slow_hits = 0usize;
+    for &(s, d) in &packets {
+        slow_hits += slow.classify(s, d).is_some() as usize;
+    }
+    let slow_time = start.elapsed().as_secs_f64();
+    assert_eq!(fast_hits, slow_hits);
+
+    for &(s, d) in packets.iter().step_by(37) {
+        assert_eq!(
+            fast.classify(s, d).map(|r| r.priority),
+            slow.classify(s, d).map(|r| r.priority),
+            "divergence at ({s}, {d})"
+        );
+    }
+    println!(
+        "classified {} packets: {:.2} M/s via LPM building blocks vs {:.3} M/s linear scan ({:.0}x)",
+        packets.len(),
+        packets.len() as f64 / fast_time / 1e6,
+        packets.len() as f64 / slow_time / 1e6,
+        slow_time / fast_time,
+    );
+    println!("{fast_hits} packets matched a rule; results agree with the linear oracle");
+    Ok(())
+}

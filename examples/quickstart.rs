@@ -1,0 +1,69 @@
+//! Quickstart: build a Chisel engine over a handful of routes, look up
+//! keys, and apply incremental updates.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use chisel::{ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small routing table.
+    let mut table = RoutingTable::new_v4();
+    table.insert("0.0.0.0/0".parse()?, NextHop::new(0)); // default route
+    table.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+    table.insert("10.1.0.0/16".parse()?, NextHop::new(2));
+    table.insert("10.1.2.0/24".parse()?, NextHop::new(3));
+    table.insert("192.168.0.0/16".parse()?, NextHop::new(4));
+
+    // Build the engine at the paper's design point (k = 3, m/n = 3,
+    // stride 4).
+    let mut engine = ChiselLpm::build(&table, ChiselConfig::ipv4())?;
+    println!(
+        "built engine: {} routes, {} collapsed groups",
+        engine.len(),
+        engine.groups()
+    );
+
+    // Longest-prefix-match lookups.
+    for dst in [
+        "10.1.2.3",
+        "10.1.9.9",
+        "10.200.0.1",
+        "192.168.7.7",
+        "8.8.8.8",
+    ] {
+        let key: Key = dst.parse()?;
+        match engine.lookup(key) {
+            Some(nh) => println!("{dst:<14} -> {nh}"),
+            None => println!("{dst:<14} -> (no route)"),
+        }
+    }
+
+    // Incremental updates: announce a more-specific, watch it win.
+    let p: Prefix = "10.1.2.128/25".parse()?;
+    let kind = engine.announce(p, NextHop::new(9))?;
+    println!("announce {p}: applied as {kind}");
+    println!(
+        "10.1.2.200     -> {}",
+        engine.lookup("10.1.2.200".parse()?).expect("route exists")
+    );
+
+    // Withdraw it again; the /24 takes over.
+    engine.withdraw(p)?;
+    println!(
+        "after withdraw -> {}",
+        engine.lookup("10.1.2.200".parse()?).expect("route exists")
+    );
+
+    // Storage accounting of this instance.
+    let s = engine.storage();
+    println!(
+        "on-chip storage: {:.1} Kb (index {:.1} / filter {:.1} / bit-vector {:.1})",
+        s.total_bits() as f64 / 1e3,
+        s.index_bits as f64 / 1e3,
+        s.filter_bits as f64 / 1e3,
+        s.bitvec_bits as f64 / 1e3,
+    );
+    Ok(())
+}

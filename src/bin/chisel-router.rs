@@ -1,0 +1,142 @@
+//! `chisel-router` — a command-line front end to the Chisel engine.
+//!
+//! ```text
+//! chisel-router lookup <table-file> <addr> [<addr>...]   LPM lookups
+//! chisel-router stats  <table-file>                      table + engine stats
+//! chisel-router replay <table-file> <trace.mrt>          apply an MRT update trace
+//! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
+//! ```
+//!
+//! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
+//! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
+//! or by RIS collectors (IPv4 UPDATE subset).
+
+use std::fs::File;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use chisel::prefix::io::read_table;
+use chisel::workloads::{analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent};
+use chisel::{ChiselConfig, ChiselLpm, Key, RoutingTable};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..]),
+        Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
+        Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2]),
+        Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
+        _ => {
+            eprintln!(
+                "usage: chisel-router lookup <table> <addr>... | stats <table> | \
+                 replay <table> <trace.mrt> | synth <n> <out> [seed]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<(RoutingTable, ChiselLpm), Box<dyn std::error::Error>> {
+    let table = read_table(File::open(path)?)?;
+    let config = match table.family() {
+        chisel::AddressFamily::V4 => ChiselConfig::ipv4(),
+        chisel::AddressFamily::V6 => ChiselConfig::ipv6(),
+    };
+    let engine = ChiselLpm::build(&table, config)?;
+    Ok((table, engine))
+}
+
+fn cmd_lookup(path: &str, addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (_, engine) = load(path)?;
+    for addr in addrs {
+        let key: Key = addr.parse()?;
+        match engine.lookup(key) {
+            Some(nh) => println!("{addr} -> {nh}"),
+            None => println!("{addr} -> no route"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    let (table, engine) = load(path)?;
+    let hist = table.length_histogram();
+    println!("table: {} ({} prefixes)", path, table.len());
+    println!(
+        "lengths: {:?} populated, min /{} max /{}",
+        hist.populated_lengths().len(),
+        hist.min_len().unwrap_or(0),
+        hist.max_len().unwrap_or(0),
+    );
+    println!(
+        "engine: built in {:.2}s, {} sub-cells, {} collapsed groups, {} spillover entries",
+        start.elapsed().as_secs_f64(),
+        engine.plan().num_cells(),
+        engine.groups(),
+        engine.spill_len(),
+    );
+    let s = engine.storage();
+    println!(
+        "on-chip storage: {:.2} Mb (index {:.2} / filter {:.2} / bit-vector {:.2})",
+        s.total_mbits(),
+        s.index_bits as f64 / 1e6,
+        s.filter_bits as f64 / 1e6,
+        s.bitvec_bits as f64 / 1e6,
+    );
+    println!(
+        "estimated power at 200 Msps: {:.2} W (130nm eDRAM model)",
+        chisel::hw::chisel_power_watts(s.total_bits(), 200.0)
+    );
+    Ok(())
+}
+
+fn cmd_replay(table_path: &str, mrt_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (_, mut engine) = load(table_path)?;
+    let bytes = std::fs::read(mrt_path)?;
+    let events = read_mrt(&bytes)?;
+    let stats = analyze(&events);
+    println!(
+        "trace: {} events ({} announces / {} withdraws, flap fraction {:.2})",
+        stats.events,
+        stats.announces,
+        stats.withdraws,
+        stats.flap_fraction(),
+    );
+    let start = Instant::now();
+    for ev in &events {
+        match *ev {
+            UpdateEvent::Announce(p, nh) => {
+                engine.announce(p, nh)?;
+            }
+            UpdateEvent::Withdraw(p) => {
+                engine.withdraw(p)?;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let u = engine.update_stats();
+    println!(
+        "applied in {elapsed:.2}s ({:.0} updates/s): {u:?}",
+        events.len() as f64 / elapsed
+    );
+    println!("incremental fraction: {:.5}", u.incremental_fraction());
+    Ok(())
+}
+
+fn cmd_synth(n: &str, out: &str, seed: Option<&String>) -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = n.parse()?;
+    let seed: u64 = seed.map(|s| s.parse()).transpose()?.unwrap_or(1);
+    let table = synthesize(n, &PrefixLenDistribution::bgp_ipv4(), seed);
+    let mut file = File::create(out)?;
+    chisel::prefix::io::write_table(&mut file, &table)?;
+    println!("wrote {} prefixes to {out}", table.len());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # Chisel — storage-efficient, collision-free hash-based LPM
+//!
+//! A from-scratch Rust reproduction of *"Chisel: A Storage-efficient,
+//! Collision-free Hash-based Network Processing Architecture"* (ISCA 2006):
+//! a longest-prefix-matching engine built on Bloomier filters with prefix
+//! collapsing, exact false-positive elimination, and fast incremental
+//! updates — plus every baseline the paper compares against.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`prefix`] — prefixes, keys, routing tables, CPE, prefix collapsing.
+//! - [`hash`] — the seeded universal hash family.
+//! - [`bloomier`] — the collision-free Bloomier filter.
+//! - [`core`] — the Chisel LPM engine itself.
+//! - [`baselines`] — EBF, Tree Bitmap, tries, TCAM comparators.
+//! - [`hw`] — eDRAM/TCAM power and storage models, FPGA estimator.
+//! - [`workloads`] — synthetic routing tables and BGP update traces.
+//! - [`sim`] — cycle-level pipeline simulator (paper Section 5/7).
+//! - [`classify`] — packet classification from LPM building blocks (Section 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use chisel::{ChiselLpm, ChiselConfig, RoutingTable, NextHop, Key};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut table = RoutingTable::new_v4();
+//! table.insert("10.0.0.0/8".parse()?, NextHop::new(1));
+//! table.insert("10.1.0.0/16".parse()?, NextHop::new(2));
+//!
+//! let engine = ChiselLpm::build(&table, ChiselConfig::ipv4())?;
+//! let key: Key = "10.1.2.3".parse()?;
+//! assert_eq!(engine.lookup(key), Some(NextHop::new(2)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use chisel_baselines as baselines;
+pub use chisel_bloomier as bloomier;
+pub use chisel_classify as classify;
+pub use chisel_core as core;
+pub use chisel_hash as hash;
+pub use chisel_hw as hw;
+pub use chisel_prefix as prefix;
+pub use chisel_sim as sim;
+pub use chisel_workloads as workloads;
+
+pub use chisel_core::{ChiselConfig, ChiselLpm};
+pub use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};

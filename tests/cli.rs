@@ -1,0 +1,106 @@
+//! End-to-end tests of the `chisel-router` binary: synth a table, build
+//! an engine over it, run lookups, and replay an MRT trace — the whole
+//! downstream-user path through real process invocations.
+
+use std::process::Command;
+
+fn router() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_chisel-router"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("chisel-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    dir
+}
+
+#[test]
+fn synth_stats_lookup_roundtrip() {
+    let dir = tempdir();
+    let table = dir.join("table.txt");
+
+    let out = router()
+        .args(["synth", "3000", table.to_str().unwrap(), "42"])
+        .output()
+        .expect("synth runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = router()
+        .args(["stats", table.to_str().unwrap()])
+        .output()
+        .expect("stats runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3000 prefixes"), "{text}");
+    assert!(text.contains("on-chip storage"), "{text}");
+
+    // Look up the first prefix's network address: must route.
+    let first = std::fs::read_to_string(&table).expect("table readable");
+    let addr = first
+        .lines()
+        .next()
+        .unwrap()
+        .split('/')
+        .next()
+        .unwrap()
+        .to_string();
+    let out = router()
+        .args(["lookup", table.to_str().unwrap(), &addr])
+        .output()
+        .expect("lookup runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("-> nh"), "{text}");
+}
+
+#[test]
+fn replay_mrt_trace() {
+    use chisel::workloads::{
+        generate_trace, rrc_profiles, synthesize, write_mrt, PrefixLenDistribution,
+    };
+
+    let dir = tempdir();
+    let table_path = dir.join("replay-table.txt");
+    let trace_path = dir.join("trace.mrt");
+
+    let table = synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 9);
+    let mut f = std::fs::File::create(&table_path).expect("table file");
+    chisel::prefix::io::write_table(&mut f, &table).expect("table writes");
+    let trace = generate_trace(&table, 5_000, &rrc_profiles()[0]);
+    std::fs::write(&trace_path, write_mrt(&trace)).expect("trace writes");
+
+    let out = router()
+        .args([
+            "replay",
+            table_path.to_str().unwrap(),
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("replay runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("5000 events"), "{text}");
+    assert!(text.contains("incremental fraction"), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = router().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = router()
+        .args(["lookup", "/nonexistent/table", "1.2.3.4"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

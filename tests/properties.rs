@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! end-to-end LPM invariants.
+
+use chisel::prefix::bits::mask;
+use chisel::prefix::collapse::StridePlan;
+use chisel::prefix::cpe::{expand_to_levels, optimal_levels};
+use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
+use chisel_bloomier::BloomierFilter;
+use chisel_core::LeafVector;
+use chisel_prefix::oracle::OracleLpm;
+use proptest::prelude::*;
+
+fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
+    (0u8..=32, any::<u32>()).prop_map(|(len, raw)| {
+        Prefix::new(AddressFamily::V4, (raw as u128) & mask(len), len).expect("masked bits fit")
+    })
+}
+
+fn arb_table_v4(max: usize) -> impl Strategy<Value = RoutingTable> {
+    proptest::collection::vec((arb_prefix_v4(), 0u32..64), 0..max).prop_map(|entries| {
+        let mut t = RoutingTable::new_v4();
+        for (p, nh) in entries {
+            t.insert(p, NextHop::new(nh));
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prefix_truncate_then_covers(p in arb_prefix_v4(), cut in 0u8..=32) {
+        let cut = cut.min(p.len());
+        let t = p.truncate(p.len() - cut);
+        prop_assert!(t.covers(&p));
+        // Truncation then extension with the dropped suffix restores p.
+        let restored = t.extend(p.suffix_below(t.len()), p.len() - t.len());
+        prop_assert_eq!(restored, p);
+    }
+
+    #[test]
+    fn prefix_matches_iff_host_covered(p in arb_prefix_v4(), host in any::<u32>()) {
+        let key = Key::from_raw(AddressFamily::V4, p.network() | (host as u128 & mask(32 - p.len())));
+        prop_assert!(p.matches(key));
+        // Any key differing in a prefix bit must not match.
+        if !p.is_empty() {
+            let flip = 1u128 << (32 - 1); // flip the top bit
+            let other = Key::from_raw(AddressFamily::V4, key.value() ^ flip);
+            prop_assert!(!p.matches(other) || p.is_empty());
+        }
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix_v4()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().expect("display output parses");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn leaf_vector_rank_matches_naive(bits in proptest::collection::vec(any::<bool>(), 1..256)) {
+        let stride = (usize::BITS - (bits.len() - 1).leading_zeros()).max(1) as u8;
+        let mut v = LeafVector::new(stride);
+        for (i, &b) in bits.iter().enumerate() {
+            v.set(i, b);
+        }
+        let mut ones = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            if b { ones += 1; }
+            prop_assert_eq!(v.rank(i), ones);
+        }
+        prop_assert_eq!(v.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn bloomier_encodes_exactly(keys in proptest::collection::hash_map(any::<u128>(), any::<u32>(), 1..200)) {
+        let kv: Vec<(u128, u32)> = keys.into_iter().collect();
+        let built = BloomierFilter::build(3, 3 * kv.len() + 8, 5, &kv).expect("builds");
+        let spilled: std::collections::HashSet<u128> =
+            built.spilled.iter().map(|&(k, _)| k).collect();
+        for &(k, v) in &kv {
+            if !spilled.contains(&k) {
+                prop_assert_eq!(built.filter.lookup(k), v);
+            }
+        }
+    }
+
+    #[test]
+    fn cpe_preserves_lpm(table in arb_table_v4(40), probes in proptest::collection::vec(any::<u32>(), 32)) {
+        let hist = table.length_histogram();
+        if hist.total() == 0 { return Ok(()); }
+        let levels = optimal_levels(&hist, 4);
+        let expanded = expand_to_levels(&table, &levels).expect("levels cover max");
+        let before = OracleLpm::from_table(&table);
+        let after = OracleLpm::from_table(&expanded.table);
+        for raw in probes {
+            let key = Key::from_raw(AddressFamily::V4, raw as u128);
+            prop_assert_eq!(before.lookup(key), after.lookup(key));
+        }
+    }
+
+    #[test]
+    fn stride_plan_covers_all_lengths(stride in 1u8..=8) {
+        let plan = StridePlan::uniform(1, 32, stride);
+        for len in 1..=32u8 {
+            let ci = plan.cell_for(len).expect("covered");
+            let cell = plan.cells()[ci];
+            prop_assert!(cell.base <= len && len <= cell.high());
+            prop_assert!(cell.stride <= stride);
+        }
+    }
+
+    #[test]
+    fn chisel_matches_oracle_on_random_tables(
+        table in arb_table_v4(60),
+        probes in proptest::collection::vec(any::<u32>(), 64),
+        stride in 1u8..=6,
+    ) {
+        let engine = ChiselLpm::build(&table, ChiselConfig::ipv4().stride(stride)).expect("builds");
+        let oracle = OracleLpm::from_table(&table);
+        for raw in probes {
+            let key = Key::from_raw(AddressFamily::V4, raw as u128);
+            prop_assert_eq!(engine.lookup(key), oracle.lookup(key));
+        }
+    }
+
+    #[test]
+    fn chisel_update_sequence_matches_oracle(
+        ops in proptest::collection::vec((any::<bool>(), arb_prefix_v4(), 0u32..16), 1..80),
+        probes in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let mut engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).expect("builds");
+        let mut oracle = OracleLpm::from_table(&RoutingTable::new_v4());
+        for (announce, p, nh) in ops {
+            if announce {
+                engine.announce(p, NextHop::new(nh)).expect("announce");
+                oracle.insert(p, NextHop::new(nh));
+            } else {
+                engine.withdraw(p).expect("withdraw");
+                oracle.remove(&p);
+            }
+        }
+        for raw in probes {
+            let key = Key::from_raw(AddressFamily::V4, raw as u128);
+            prop_assert_eq!(engine.lookup(key), oracle.lookup(key));
+        }
+    }
+
+    #[test]
+    fn mrt_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Arbitrary bytes must produce Ok or a structured error, never a
+        // panic — parser robustness for real-world trace files.
+        let _ = chisel::workloads::read_mrt(&bytes);
+    }
+
+    #[test]
+    fn mrt_roundtrip(ops in proptest::collection::vec((any::<bool>(), arb_prefix_v4(), 0u32..1024), 0..40)) {
+        let events: Vec<chisel::workloads::UpdateEvent> = ops
+            .into_iter()
+            .map(|(announce, p, nh)| {
+                if announce {
+                    chisel::workloads::UpdateEvent::Announce(p, NextHop::new(nh))
+                } else {
+                    chisel::workloads::UpdateEvent::Withdraw(p)
+                }
+            })
+            .collect();
+        let bytes = chisel::workloads::write_mrt(&events);
+        prop_assert_eq!(chisel::workloads::read_mrt(&bytes).expect("own output parses"), events);
+    }
+
+    #[test]
+    fn hardware_image_replays_engine(table in arb_table_v4(50), probes in proptest::collection::vec(any::<u32>(), 32)) {
+        let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("builds");
+        let image = engine.export_image();
+        for raw in probes {
+            let key = Key::from_raw(AddressFamily::V4, raw as u128);
+            prop_assert_eq!(image.lookup(key), engine.lookup(key));
+        }
+    }
+
+    #[test]
+    fn iter_routes_is_lossless(table in arb_table_v4(60)) {
+        let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("builds");
+        let mut recovered = RoutingTable::new_v4();
+        recovered.extend(engine.iter_routes());
+        prop_assert_eq!(recovered, table);
+    }
+}

@@ -1,0 +1,233 @@
+//! Adversarial / worst-case integration tests: the deterministic
+//! guarantees the paper claims must hold under hostile prefix
+//! distributions, not just BGP-shaped ones.
+
+use chisel::prefix::bits::mask;
+use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
+use chisel_prefix::oracle::OracleLpm;
+
+fn p(bits: u128, len: u8) -> Prefix {
+    Prefix::new(AddressFamily::V4, bits, len).unwrap()
+}
+
+#[test]
+fn all_prefixes_in_one_cell() {
+    // Every prefix at the same length: a single sub-cell absorbs the
+    // whole table and lookups stay collision-free.
+    let mut table = RoutingTable::new_v4();
+    for i in 0..5_000u128 {
+        table.insert(p(i, 24), NextHop::new(i as u32));
+    }
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).unwrap();
+    let oracle = OracleLpm::from_table(&table);
+    for i in (0..5_000u128).step_by(7) {
+        let key = Key::from_raw(AddressFamily::V4, i << 8 | 0x55);
+        assert_eq!(engine.lookup(key), oracle.lookup(key));
+    }
+}
+
+#[test]
+fn fully_saturated_group() {
+    // 2^stride + 1 prefixes that all collapse onto ONE Index Table key:
+    // the group's bit-vector must disambiguate every leaf.
+    let stride = 4u8;
+    let base = 20u8;
+    let parent = 0xABCDEu128 & mask(base); // some /20
+    let mut table = RoutingTable::new_v4();
+    table.insert(p(parent, base), NextHop::new(999));
+    for leaf in 0..(1u128 << stride) {
+        table.insert(
+            p((parent << stride) | leaf, base + stride),
+            NextHop::new(leaf as u32),
+        );
+    }
+    let engine = ChiselLpm::build(
+        &table,
+        ChiselConfig::ipv4()
+            .stride(stride)
+            .plan(chisel::prefix::collapse::StridePlan::uniform(1, 32, stride)),
+    )
+    .unwrap();
+    let oracle = OracleLpm::from_table(&table);
+    for leaf in 0..(1u128 << stride) {
+        let key = Key::from_raw(
+            AddressFamily::V4,
+            ((parent << stride) | leaf) << (32 - base - stride),
+        );
+        assert_eq!(engine.lookup(key), oracle.lookup(key), "leaf {leaf}");
+        assert_eq!(engine.lookup(key), Some(NextHop::new(leaf as u32)));
+    }
+}
+
+#[test]
+fn deeply_nested_chain() {
+    // One prefix at every length 1..=32 along one path: LPM must always
+    // return the deepest cover.
+    let path: u128 = 0b1010_1100_0011_0101_1010_1100_0011_0101;
+    let mut table = RoutingTable::new_v4();
+    for len in 1..=32u8 {
+        table.insert(p(path >> (32 - len), len), NextHop::new(len as u32));
+    }
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).unwrap();
+    // Exact-path key matches the /32.
+    assert_eq!(
+        engine.lookup(Key::from_raw(AddressFamily::V4, path)),
+        Some(NextHop::new(32))
+    );
+    // Diverging at bit i (0-indexed from MSB) matches the length-i prefix.
+    let oracle = OracleLpm::from_table(&table);
+    for i in 1..32u8 {
+        let key = Key::from_raw(
+            AddressFamily::V4,
+            path ^ (1u128 << (32 - 1 - i as u32 as u8)),
+        );
+        assert_eq!(engine.lookup(key), oracle.lookup(key), "diverge at bit {i}");
+        assert_eq!(
+            engine.lookup(key),
+            Some(NextHop::new(i as u32)),
+            "diverge at bit {i}"
+        );
+    }
+}
+
+#[test]
+fn tiny_index_forces_spillover_but_stays_correct() {
+    // m/n barely above 1 forces peel failures; spilled keys must still
+    // resolve through the spillover TCAM.
+    let mut table = RoutingTable::new_v4();
+    for i in 0..2_000u128 {
+        table.insert(p(i, 24), NextHop::new(i as u32));
+    }
+    let config = ChiselConfig::ipv4()
+        .m_per_key(1.05)
+        .slack(1.0)
+        .spill_capacity(4_096);
+    let engine = ChiselLpm::build(&table, config).unwrap();
+    assert!(engine.spill_len() > 0, "expected spillover at m/n=1.05");
+    let oracle = OracleLpm::from_table(&table);
+    for i in 0..2_000u128 {
+        let key = Key::from_raw(AddressFamily::V4, i << 8 | 1);
+        assert_eq!(engine.lookup(key), oracle.lookup(key), "prefix {i}");
+    }
+}
+
+#[test]
+fn spillover_overflow_is_reported() {
+    let mut table = RoutingTable::new_v4();
+    for i in 0..4_000u128 {
+        table.insert(p(i, 24), NextHop::new(i as u32));
+    }
+    let config = ChiselConfig::ipv4()
+        .m_per_key(1.0)
+        .slack(1.0)
+        .spill_capacity(0);
+    match ChiselLpm::build(&table, config) {
+        Err(chisel::core::ChiselError::SpilloverOverflow { .. }) => {}
+        Ok(engine) => {
+            // Peeling can still succeed at m = n occasionally; then there
+            // must be zero spills.
+            assert_eq!(engine.spill_len(), 0);
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn growth_under_sustained_announces() {
+    // Build tiny, then announce far past the provisioned capacity: the
+    // engine must grow (resetup) and stay correct throughout.
+    let mut engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+    let mut oracle = OracleLpm::from_table(&RoutingTable::new_v4());
+    for i in 0..3_000u128 {
+        let prefix = p(i, 24);
+        engine.announce(prefix, NextHop::new(i as u32)).unwrap();
+        oracle.insert(prefix, NextHop::new(i as u32));
+    }
+    assert_eq!(engine.len(), 3_000);
+    for i in (0..3_000u128).step_by(11) {
+        let key = Key::from_raw(AddressFamily::V4, i << 8);
+        assert_eq!(engine.lookup(key), oracle.lookup(key));
+    }
+}
+
+#[test]
+fn withdraw_everything_then_reannounce() {
+    let mut table = RoutingTable::new_v4();
+    for i in 0..500u128 {
+        table.insert(p(i, 20), NextHop::new(i as u32));
+    }
+    let mut engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).unwrap();
+    for i in 0..500u128 {
+        engine.withdraw(p(i, 20)).unwrap();
+    }
+    assert_eq!(engine.len(), 0);
+    for i in 0..500u128 {
+        let key = Key::from_raw(AddressFamily::V4, i << 12);
+        assert_eq!(engine.lookup(key), None, "stale route for {i}");
+    }
+    // Re-announce (route flaps restore through dirty bits).
+    for i in 0..500u128 {
+        engine
+            .announce(p(i, 20), NextHop::new(1000 + i as u32))
+            .unwrap();
+    }
+    let stats = engine.update_stats();
+    assert!(
+        stats.route_flaps >= 450,
+        "most re-announces should be dirty-bit flaps: {stats:?}"
+    );
+    for i in 0..500u128 {
+        let key = Key::from_raw(AddressFamily::V4, i << 12);
+        assert_eq!(engine.lookup(key), Some(NextHop::new(1000 + i as u32)));
+    }
+}
+
+#[test]
+fn worst_case_sizing_guarantee_holds() {
+    // The paper's worst-case claim: the architecture holds n prefixes
+    // regardless of distribution. Three hostile distributions, same
+    // config, must all build and serve.
+    let n = 2_000u128;
+    let hostile: Vec<RoutingTable> = vec![
+        // (a) all at one length
+        {
+            let mut t = RoutingTable::new_v4();
+            for i in 0..n {
+                t.insert(p(i, 28), NextHop::new(i as u32));
+            }
+            t
+        },
+        // (b) maximal nesting: chains of 32
+        {
+            let mut t = RoutingTable::new_v4();
+            let mut i = 0u128;
+            'outer: for seed in 0..n {
+                let path = seed.wrapping_mul(0x9E37_79B9) & mask(32);
+                for len in 1..=32u8 {
+                    t.insert(p(path >> (32 - len), len), NextHop::new(len as u32));
+                    i += 1;
+                    if i >= n {
+                        break 'outer;
+                    }
+                }
+            }
+            t
+        },
+        // (c) dense sibling fan: all 2^11 prefixes of length 11
+        {
+            let mut t = RoutingTable::new_v4();
+            for i in 0..(1u128 << 11) {
+                t.insert(p(i, 11), NextHop::new(i as u32));
+            }
+            t
+        },
+    ];
+    for (i, table) in hostile.iter().enumerate() {
+        let engine = ChiselLpm::build(table, ChiselConfig::ipv4()).unwrap();
+        let oracle = OracleLpm::from_table(table);
+        for seed in 0..1_000u128 {
+            let key = Key::from_raw(AddressFamily::V4, seed.wrapping_mul(0xDEAD_BEEF) & mask(32));
+            assert_eq!(engine.lookup(key), oracle.lookup(key), "distribution {i}");
+        }
+    }
+}
