@@ -1,0 +1,172 @@
+//! Concurrent read-path benchmarks for the snapshot-published engine:
+//!
+//! 1. Reader lookup throughput with no writer vs. under a sustained
+//!    ~1k-update/s route flap (the Section 4.4 scenario: BGP churn on the
+//!    control plane must not disturb the forwarding path). With the
+//!    lock-free snapshot scheme the two should be within a few percent.
+//! 2. `lookup_batch` (software-pipelined, prefetching) vs. per-key
+//!    `lookup` over the same key stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use chisel_core::{ChiselConfig, ChiselLpm, SharedChisel};
+use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+
+const TABLE_SIZE: usize = 50_000;
+const KEYS: usize = 10_000;
+const FLAP_UPDATES_PER_S: u64 = 1_000;
+
+fn covered_keys(table: &RoutingTable, n: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prefixes: Vec<_> = table.iter().map(|e| e.prefix).collect();
+    let width = table.family().width();
+    (0..n)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            let host = rng.gen::<u128>() & chisel_prefix::bits::mask(width - p.len());
+            Key::from_raw(table.family(), p.network() | host)
+        })
+        .collect()
+}
+
+/// Prefixes the flap writer churns: 240.x.y.0/24 — class-E space the
+/// synthetic tables never use, disjoint from the benchmark key set.
+const FLAP_SET: u64 = 256;
+
+fn flap_prefix(j: u64) -> Prefix {
+    let bits = 0xF0_0000u128 | u128::from(j % FLAP_SET);
+    Prefix::new(chisel_prefix::AddressFamily::V4, bits, 24).expect("valid flap prefix")
+}
+
+/// A paced route-flap loop: each pair of updates withdraws and then
+/// re-announces one prefix of a pre-announced flap set — the paper's
+/// Section 4.4 churn scenario, where the dirty-bit scheme absorbs the
+/// flap without re-running Index Table setup. Runs until `stop` is
+/// raised.
+fn flap_writer(shared: SharedChisel, stop: Arc<AtomicBool>, applied: Arc<AtomicU64>) {
+    let period = Duration::from_micros(1_000_000 / FLAP_UPDATES_PER_S);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let p = flap_prefix(i / 2);
+        if i.is_multiple_of(2) {
+            shared.withdraw(p).expect("flap withdraw applies");
+        } else {
+            shared
+                .announce(p, NextHop::new((i % 251) as u32))
+                .expect("flap announce applies");
+        }
+        i += 1;
+        applied.fetch_add(1, Ordering::Relaxed);
+        // Pace to the target update rate, applying updates in small
+        // bursts (as a router draining its RIB->FIB queue would) and
+        // sleeping between bursts. Sleeping (rather than spinning)
+        // matters: on a machine with few cores a spinning writer steals
+        // reader cycles and the "flap" numbers measure scheduler
+        // contention instead of snapshot-publication cost; bursts keep
+        // the wakeup/context-switch rate well below the update rate.
+        const BURST: u64 = 8;
+        if i.is_multiple_of(BURST) {
+            let deadline = period * (i as u32);
+            let elapsed = start.elapsed();
+            if elapsed < deadline {
+                std::thread::sleep(deadline - elapsed);
+            }
+        }
+    }
+}
+
+fn bench_reader_under_flap(c: &mut Criterion) {
+    let table = synthesize(TABLE_SIZE, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let keys = covered_keys(&table, KEYS, 0x5EED);
+    let shared = SharedChisel::build(&table, ChiselConfig::ipv4()).expect("chisel builds");
+
+    let mut group = c.benchmark_group("concurrent_read");
+    group.throughput(Throughput::Elements(KEYS as u64));
+
+    group.bench_function("no_writer", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += shared.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+
+    // Seed the flap set so the writer measures steady-state flap churn
+    // (withdraw + re-announce of existing routes), not first-time inserts.
+    for j in 0..FLAP_SET {
+        shared
+            .announce(flap_prefix(j), NextHop::new((j % 251) as u32))
+            .expect("flap seed applies");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let applied = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let (s, st, ap) = (shared.clone(), stop.clone(), applied.clone());
+        std::thread::spawn(move || flap_writer(s, st, ap))
+    };
+    let flap_start = Instant::now();
+    group.bench_function("flap_1k_per_s", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += shared.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("flap writer exits cleanly");
+    let secs = flap_start.elapsed().as_secs_f64();
+    println!(
+        "flap writer applied {} updates in {:.1}s ({:.0}/s), final generation {}",
+        applied.load(Ordering::Relaxed),
+        secs,
+        applied.load(Ordering::Relaxed) as f64 / secs,
+        shared.generation(),
+    );
+    group.finish();
+}
+
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let table = synthesize(TABLE_SIZE, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let keys = covered_keys(&table, KEYS, 0x5EED);
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("chisel builds");
+
+    let mut group = c.benchmark_group("batch_lookup");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                hits += engine.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    group.bench_function("batched", |b| {
+        let mut out = vec![None; keys.len()];
+        b.iter(|| {
+            engine.lookup_batch(&keys, &mut out);
+            out.iter().filter(|o| o.is_some()).count() as u64
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reader_under_flap, bench_batch_vs_scalar
+}
+criterion_main!(benches);

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn updates_are_overwhelmingly_incremental() {
-        let (_, engine, events) = replay(Scale { divisor: 32 }, 0);
+        // Divisor 16: the smallest scale at which the paper's >=99.9%
+        // incremental claim is meaningful — shrinking the table further
+        // inflates the per-insert re-setup probability past the bound.
+        let (_, engine, events) = replay(Scale { divisor: 16 }, 0);
         let s = engine.update_stats();
         assert_eq!(s.total(), events);
         assert!(

@@ -16,7 +16,7 @@
 
 pub mod experiments;
 
-use serde::Serialize;
+use serde::{Serialize, SerializeStruct as _, Serializer};
 
 /// Scaling knobs shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +43,7 @@ impl Scale {
 }
 
 /// One reproduced table or figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id (`fig9`, `tab1`, ...).
     pub id: &'static str,
@@ -53,6 +53,17 @@ pub struct ExperimentResult {
     pub lines: Vec<String>,
     /// Machine-readable data series.
     pub data: serde_json::Value,
+}
+
+impl Serialize for ExperimentResult {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ExperimentResult", 4)?;
+        s.serialize_field("id", &self.id)?;
+        s.serialize_field("title", &self.title)?;
+        s.serialize_field("lines", &self.lines)?;
+        s.serialize_field("data", &self.data)?;
+        s.end()
+    }
 }
 
 impl ExperimentResult {

@@ -121,6 +121,15 @@ impl BloomierFilter {
         acc
     }
 
+    /// Prefetches the `k` Index Table locations of `key`'s hash
+    /// neighborhood, so a following [`BloomierFilter::lookup`] hits cache.
+    #[inline]
+    pub fn prefetch(&self, key: u128) {
+        for i in 0..self.family.k() {
+            crate::prefetch_read(&self.data[self.family.hash_one(i, key, self.m)]);
+        }
+    }
+
     /// Attempts an incremental insert (Section 4.4.2): succeeds iff the key
     /// has a *singleton* — a hash location no other live key touches.
     ///

@@ -41,3 +41,25 @@ pub use checksum::ChecksumBloomier;
 pub use error::BloomierError;
 pub use filter::{BloomierFilter, Built};
 pub use partition::PartitionedBloomier;
+
+/// Hints the CPU to pull the cache line holding `value` toward L1.
+///
+/// Used by the software-pipelined batch lookup to overlap the dependent
+/// Index → Filter → Result table reads of one key with the independent
+/// probes of its lane neighbors. Compiles to `prefetcht0` on x86-64 and
+/// to nothing elsewhere — it is purely a scheduling hint, never required
+/// for correctness.
+#[inline(always)]
+pub fn prefetch_read<T>(value: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` has no memory-safety requirements — it is a
+    // hint and may be passed any address, valid or not.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(
+            std::ptr::from_ref(value).cast::<i8>(),
+            core::arch::x86_64::_MM_HINT_T0,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = value;
+}

@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use chisel_hash::HashFamily;
 
 use crate::{BloomierError, BloomierFilter, Built};
@@ -11,9 +13,15 @@ use crate::{BloomierError, BloomierFilter, Built};
 /// hardware realization is still one monolithic Index Table — the checksum
 /// simply forms the most-significant address bits — so lookup cost is
 /// unchanged.
+///
+/// Partitions sit behind `Arc`s: cloning the whole filter is `d` pointer
+/// bumps, and a mutation copies only the one partition it lands in. This
+/// is what keeps snapshot publication (the clone-apply-publish update
+/// path) proportional to the *modified* Index Table group rather than the
+/// full table.
 #[derive(Debug, Clone)]
 pub struct PartitionedBloomier {
-    parts: Vec<BloomierFilter>,
+    parts: Vec<Arc<BloomierFilter>>,
     selector: HashFamily,
     k: usize,
     part_m: usize,
@@ -35,7 +43,7 @@ impl PartitionedBloomier {
         assert!(total_m > 0, "index table must be nonempty");
         let part_m = total_m.div_ceil(d).max(k);
         let parts = (0..d)
-            .map(|i| BloomierFilter::empty(k, part_m, part_seed(seed, i, 0)))
+            .map(|i| Arc::new(BloomierFilter::empty(k, part_m, part_seed(seed, i, 0))))
             .collect();
         PartitionedBloomier {
             parts,
@@ -93,12 +101,12 @@ impl PartitionedBloomier {
 
     /// Total live keys.
     pub fn len(&self) -> usize {
-        self.parts.iter().map(BloomierFilter::len).sum()
+        self.parts.iter().map(|p| p.len()).sum()
     }
 
     /// Whether no keys are encoded.
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(BloomierFilter::is_empty)
+        self.parts.iter().all(|p| p.is_empty())
     }
 
     /// The partition a key belongs to (the paper's hash checksum).
@@ -130,6 +138,13 @@ impl PartitionedBloomier {
         self.parts[self.partition_of(key)].lookup(key)
     }
 
+    /// Prefetches the key's hash neighborhood in its partition (see
+    /// [`BloomierFilter::prefetch`]).
+    #[inline]
+    pub fn prefetch(&self, key: u128) {
+        self.parts[self.partition_of(key)].prefetch(key);
+    }
+
     /// Incremental singleton insert into the key's partition.
     ///
     /// # Errors
@@ -139,7 +154,7 @@ impl PartitionedBloomier {
     /// partition's full key list.
     pub fn try_insert(&mut self, key: u128, value: u32) -> Result<(), BloomierError> {
         let p = self.partition_of(key);
-        self.parts[p].try_insert(key, value)
+        Arc::make_mut(&mut self.parts[p]).try_insert(key, value)
     }
 
     /// Whether an incremental insert of `key` would succeed.
@@ -185,7 +200,7 @@ impl PartitionedBloomier {
             }
         }
         let (filter, spilled) = best.expect("at least one attempt ran");
-        self.parts[idx] = filter;
+        self.parts[idx] = Arc::new(filter);
         Ok(spilled)
     }
 }

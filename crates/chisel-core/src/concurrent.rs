@@ -2,18 +2,67 @@
 //! (Section 4.4): the software shadow applies updates on the network
 //! processor while the forwarding path keeps serving lookups.
 //!
-//! [`SharedChisel`] wraps the engine in a read-write lock: lookups take
-//! shared access (many in parallel), updates take exclusive access for
-//! the short in-place mutation — the software analogue of "the modified
-//! portions of the data structure are transferred to the hardware
-//! engine".
+//! [`SharedChisel`] publishes immutable engine snapshots through a
+//! [`SnapshotCell`] instead of taking a read-write lock. Lookups pin the
+//! current snapshot without blocking (and without bumping a reference
+//! count); the writer clones the engine — cheap, because every table is
+//! chunked copy-on-write (see `crate::cow`) and Index Table partitions
+//! sit behind `Arc`s, so the clone copies pointers and the update then
+//! deep-copies only the chunks and the partition it actually touches —
+//! applies the update off to the side, and swings the snapshot pointer in
+//! one atomic step. This mirrors the hardware flow where "the modified
+//! portions of the data structure are transferred to the hardware engine"
+//! while the data path forwards against the old tables.
+//!
+//! Consequences of the snapshot discipline:
+//!
+//! - Readers are never blocked by updates, and every lookup (or batch)
+//!   sees one internally-consistent engine state.
+//! - A failed update ([`ChiselLpm::announce`] returning an error) is
+//!   atomic: the snapshot is only published on success, so readers never
+//!   observe a partially-applied update.
+//! - Each snapshot carries a [`EngineSnapshot::generation`] counter, so
+//!   external observers can correlate lookups with a specific published
+//!   routing state (the torture tests rely on this).
 
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
 
 use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
-use parking_lot::RwLock;
 
+use crate::snapshot::SnapshotCell;
 use crate::{ChiselConfig, ChiselError, ChiselLpm, UpdateKind, UpdateStats};
+
+/// One published engine state: the engine plus its generation stamp.
+///
+/// Dereferences to [`ChiselLpm`], so snapshot holders can run any
+/// read-only engine method directly.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    generation: u64,
+    engine: ChiselLpm,
+}
+
+impl EngineSnapshot {
+    /// How many updates had been published when this snapshot was taken
+    /// (the freshly-built engine is generation 0).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The engine state itself.
+    pub fn engine(&self) -> &ChiselLpm {
+        &self.engine
+    }
+}
+
+impl Deref for EngineSnapshot {
+    type Target = ChiselLpm;
+
+    fn deref(&self) -> &ChiselLpm {
+        &self.engine
+    }
+}
 
 /// A thread-safe, cloneable handle to a Chisel engine.
 ///
@@ -35,7 +84,15 @@ use crate::{ChiselConfig, ChiselError, ChiselLpm, UpdateKind, UpdateStats};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedChisel {
-    inner: Arc<RwLock<ChiselLpm>>,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cell: SnapshotCell<EngineSnapshot>,
+    /// Serializes writers: clone-apply-publish must be atomic with
+    /// respect to other writers (readers need no lock at all).
+    writer: Mutex<()>,
 }
 
 impl SharedChisel {
@@ -45,60 +102,114 @@ impl SharedChisel {
     ///
     /// Propagates [`ChiselLpm::build`] errors.
     pub fn build(table: &RoutingTable, config: ChiselConfig) -> Result<Self, ChiselError> {
-        Ok(SharedChisel {
-            inner: Arc::new(RwLock::new(ChiselLpm::build(table, config)?)),
-        })
+        Ok(Self::from_engine(ChiselLpm::build(table, config)?))
     }
 
-    /// Wraps an existing engine.
+    /// Wraps an existing engine as generation 0.
     pub fn from_engine(engine: ChiselLpm) -> Self {
         SharedChisel {
-            inner: Arc::new(RwLock::new(engine)),
+            inner: Arc::new(Inner {
+                cell: SnapshotCell::new(Arc::new(EngineSnapshot {
+                    generation: 0,
+                    engine,
+                })),
+                writer: Mutex::new(()),
+            }),
         }
     }
 
-    /// Longest-prefix-match lookup under a shared lock.
+    /// Longest-prefix-match lookup against the current snapshot.
+    ///
+    /// Never blocks on concurrent updates.
     pub fn lookup(&self, key: Key) -> Option<NextHop> {
-        self.inner.read().lookup(key)
+        self.inner.cell.load().lookup(key)
     }
 
-    /// Applies an announce under an exclusive lock.
+    /// Batched lookup against one consistent snapshot (see
+    /// [`ChiselLpm::lookup_batch`]): every key in the batch is resolved
+    /// against the same published generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length.
+    pub fn lookup_batch(&self, keys: &[Key], out: &mut [Option<NextHop>]) {
+        self.inner.cell.load().lookup_batch(keys, out);
+    }
+
+    /// An owned handle on the current snapshot: the engine state plus its
+    /// generation, guaranteed not to change underneath the caller.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.inner.cell.load_owned()
+    }
+
+    /// Generation of the currently-published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.inner.cell.load().generation()
+    }
+
+    /// Applies an announce and publishes the resulting snapshot.
     ///
     /// # Errors
     ///
-    /// Propagates [`ChiselLpm::announce`] errors.
+    /// Propagates [`ChiselLpm::announce`] errors; on error no new
+    /// snapshot is published (the update is atomic).
     pub fn announce(&self, prefix: Prefix, next_hop: NextHop) -> Result<UpdateKind, ChiselError> {
-        self.inner.write().announce(prefix, next_hop)
+        self.update(|e| e.announce(prefix, next_hop))
     }
 
-    /// Applies a withdraw under an exclusive lock.
+    /// Applies a withdraw and publishes the resulting snapshot.
     ///
     /// # Errors
     ///
-    /// Propagates [`ChiselLpm::withdraw`] errors.
+    /// Propagates [`ChiselLpm::withdraw`] errors; on error no new
+    /// snapshot is published.
     pub fn withdraw(&self, prefix: Prefix) -> Result<UpdateKind, ChiselError> {
-        self.inner.write().withdraw(prefix)
+        self.update(|e| e.withdraw(prefix))
     }
 
-    /// Number of routable prefixes.
+    /// Clone-apply-publish under the writer lock.
+    fn update<T>(
+        &self,
+        f: impl FnOnce(&mut ChiselLpm) -> Result<T, ChiselError>,
+    ) -> Result<T, ChiselError> {
+        let _writers = self.inner.writer.lock().expect("writer lock poisoned");
+        let current = self.inner.cell.load_owned();
+        // Cheap: the Filter/Bit-vector/Result tables are chunked
+        // copy-on-write and Index Table partitions are Arc-shared, so
+        // this copies pointers. The update below then deep-copies only
+        // the chunks and partition it touches (`Arc::make_mut`).
+        let mut next = current.engine.clone();
+        let out = f(&mut next)?;
+        self.inner.cell.store(Arc::new(EngineSnapshot {
+            generation: current.generation + 1,
+            engine: next,
+        }));
+        Ok(out)
+    }
+
+    /// Number of routable prefixes in the current snapshot.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.cell.load().len()
     }
 
-    /// Whether the engine holds no routes.
+    /// Whether the current snapshot holds no routes.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.cell.load().is_empty()
     }
 
-    /// Snapshot of the update statistics.
+    /// Update statistics of the current snapshot.
     pub fn update_stats(&self) -> UpdateStats {
-        self.inner.read().update_stats()
+        self.inner.cell.load().update_stats()
     }
 
-    /// Runs a closure with shared access to the engine (batched lookups
-    /// without per-call lock traffic).
+    /// Runs a closure against the current snapshot (batched reads with a
+    /// single snapshot acquisition).
+    ///
+    /// The snapshot is pinned for the closure's duration: long-running
+    /// closures delay reclamation of replaced snapshots (but never block
+    /// updates from publishing).
     pub fn with_engine<T>(&self, f: impl FnOnce(&ChiselLpm) -> T) -> T {
-        f(&self.inner.read())
+        f(&self.inner.cell.load().engine)
     }
 }
 
@@ -172,8 +283,55 @@ mod tests {
     }
 
     #[test]
+    fn generation_counts_published_updates() {
+        let s = shared();
+        assert_eq!(s.generation(), 0);
+        s.announce("11.0.0.0/8".parse().unwrap(), NextHop::new(2))
+            .unwrap();
+        assert_eq!(s.generation(), 1);
+        s.withdraw("11.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(s.generation(), 2);
+        // A rejected update publishes nothing.
+        assert!(s
+            .announce("2001:db8::/32".parse().unwrap(), NextHop::new(3))
+            .is_err());
+        assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_while_engine_moves_on() {
+        let s = shared();
+        let snap = s.snapshot();
+        for i in 0..50u32 {
+            let p = Prefix::new(AddressFamily::V4, 0x0C00 + u128::from(i), 16).unwrap();
+            s.announce(p, NextHop::new(i)).unwrap();
+        }
+        // The held snapshot still answers from generation 0.
+        assert_eq!(snap.generation(), 0);
+        assert_eq!(snap.len(), 1);
+        let probe = Key::from_raw(AddressFamily::V4, 0x0C00_0000);
+        assert_eq!(snap.lookup(probe), None);
+        assert_eq!(s.lookup(probe), Some(NextHop::new(0)));
+        assert_eq!(s.snapshot().generation(), 50);
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_on_shared_handle() {
+        let s = shared();
+        let keys: Vec<Key> = (0..300u128)
+            .map(|i| Key::from_raw(AddressFamily::V4, 0x0A00_0000 | (i * 7919)))
+            .collect();
+        let mut out = vec![None; keys.len()];
+        s.lookup_batch(&keys, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            assert_eq!(*o, s.lookup(*k));
+        }
+    }
+
+    #[test]
     fn send_sync_bounds() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedChisel>();
+        assert_send_sync::<EngineSnapshot>();
     }
 }

@@ -1,0 +1,211 @@
+//! Chunked copy-on-write tables for the snapshot-published engine.
+//!
+//! The concurrent wrapper ([`crate::SharedChisel`]) publishes a fresh
+//! engine snapshot per update, so the per-update cost is the cost of
+//! *cloning whatever the update touches*. The paper's own update story is
+//! that "the modified portions of the data structure are transferred to
+//! the hardware engine" (Section 4.4) — i.e. updates move blocks, not
+//! tables. [`CowTable`] realizes that: a fixed-length table stored as a
+//! two-level radix of `Arc`-shared chunks. Leaf chunks hold [`CHUNK`]
+//! entries; super-chunks hold [`SUPER`] leaf pointers. Cloning the table
+//! copies only the small top-level vector of super-chunk pointers (a few
+//! dozen for a 100k-entry table); mutating entry `i` deep-copies `i`'s
+//! super-chunk (pointer copies) and leaf chunk (entry copies) when they
+//! are still shared. A route flap therefore republishes a handful of
+//! 64-entry blocks — Filter, Bit-vector and Result Table rows — while
+//! every other block stays physically shared with the previous snapshot.
+//!
+//! Two levels matter, not just one: with a flat chunk vector the
+//! *unavoidable* part of every clone is `len / CHUNK` atomic increments
+//! (and as many decrements when the old snapshot retires), which at
+//! backbone table sizes is thousands of scattered RMWs per update — that
+//! was measured to dominate the publication cost. The radix caps the
+//! always-copied portion at `len / (CHUNK * SUPER)` pointers.
+//!
+//! Reads go through plain indexing and stay branch-free on the lookup
+//! path (two shifts and masks).
+
+use std::ops::Index;
+use std::sync::Arc;
+
+/// Entries per leaf chunk. Small enough that a single-slot update copies
+/// a modest block, large enough to amortize the `Arc` headers.
+const CHUNK: usize = 64;
+/// Leaf chunks per super-chunk: a super-chunk spans 4096 entries.
+const SUPER: usize = 64;
+const SHIFT: u32 = CHUNK.trailing_zeros();
+const MASK: usize = CHUNK - 1;
+const SUPER_SHIFT: u32 = SUPER.trailing_zeros();
+const SUPER_MASK: usize = SUPER - 1;
+
+type Leaf<T> = Arc<Vec<T>>;
+
+/// A fixed-length table of `T` stored as a two-level radix of
+/// `Arc`-shared chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct CowTable<T> {
+    supers: Vec<Arc<Vec<Leaf<T>>>>,
+    len: usize,
+}
+
+impl<T: Clone> CowTable<T> {
+    /// Builds a table of `len` entries from an index function.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        let mut leaves = Vec::with_capacity(len.div_ceil(CHUNK));
+        let mut i = 0;
+        while i < len {
+            let n = CHUNK.min(len - i);
+            leaves.push(Arc::new((i..i + n).map(&mut f).collect::<Vec<T>>()));
+            i += n;
+        }
+        let supers = leaves.chunks(SUPER).map(|s| Arc::new(s.to_vec())).collect();
+        CowTable { supers, len }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Shared read access to entry `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            let leaf = i >> SHIFT;
+            Some(&self.supers[leaf >> SUPER_SHIFT][leaf & SUPER_MASK][i & MASK])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to entry `i`, deep-copying only its super-chunk
+    /// (pointers) and leaf chunk (entries) if they are still shared with
+    /// another snapshot.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i < self.len {
+            let leaf = i >> SHIFT;
+            let sup = Arc::make_mut(&mut self.supers[leaf >> SUPER_SHIFT]);
+            Some(&mut Arc::make_mut(&mut sup[leaf & SUPER_MASK])[i & MASK])
+        } else {
+            None
+        }
+    }
+
+    /// Grows the table to `new_len`, filling new entries with `value`.
+    /// Shrinking is not supported (the engine only ever provisions more).
+    pub fn resize(&mut self, new_len: usize, value: T) {
+        assert!(new_len >= self.len, "CowTable cannot shrink");
+        while self.len < new_len {
+            if self.len.is_multiple_of(CHUNK) {
+                // Start a fresh leaf chunk (and a fresh super-chunk when
+                // the previous one is full).
+                let n = CHUNK.min(new_len - self.len);
+                let leaf = Arc::new(vec![value.clone(); n]);
+                let leaves = self.len >> SHIFT;
+                if leaves.is_multiple_of(SUPER) {
+                    self.supers.push(Arc::new(vec![leaf]));
+                } else {
+                    Arc::make_mut(self.supers.last_mut().expect("super exists")).push(leaf);
+                }
+                self.len += n;
+            } else {
+                // Top up the trailing partial leaf chunk.
+                let sup = Arc::make_mut(self.supers.last_mut().expect("super exists"));
+                let last = Arc::make_mut(sup.last_mut().expect("partial chunk exists"));
+                let n = (CHUNK - last.len()).min(new_len - self.len);
+                last.extend(std::iter::repeat_n(value.clone(), n));
+                self.len += n;
+            }
+        }
+    }
+
+    /// Iterates entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.supers
+            .iter()
+            .flat_map(|s| s.iter())
+            .flat_map(|c| c.iter())
+    }
+}
+
+impl<T: Clone> Index<usize> for CowTable<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let leaf = i >> SHIFT;
+        &self.supers[leaf >> SUPER_SHIFT][leaf & SUPER_MASK][i & MASK]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_round_trips() {
+        // Spans multiple super-chunks.
+        let n = CHUNK * SUPER + 3 * CHUNK + 7;
+        let t = CowTable::from_fn(n, |i| i * 3);
+        assert_eq!(t.len(), n);
+        for i in 0..n {
+            assert_eq!(t[i], i * 3);
+            assert_eq!(t.get(i), Some(&(i * 3)));
+        }
+        assert_eq!(t.get(n), None);
+        assert_eq!(t.iter().copied().collect::<Vec<_>>()[777], 777 * 3);
+    }
+
+    #[test]
+    fn mutation_clones_only_the_touched_chunk() {
+        let mut a = CowTable::from_fn(CHUNK * (SUPER + 4), |i| i);
+        let b = a.clone();
+        *a.get_mut(CHUNK + 1).unwrap() = 9999;
+        assert_eq!(a[CHUNK + 1], 9999);
+        assert_eq!(b[CHUNK + 1], CHUNK + 1);
+        // Super-chunk 0 diverged (its pointer vector was copied), but of
+        // its leaves only chunk 1 was deep-copied; super-chunk 1 is still
+        // fully shared.
+        assert!(!Arc::ptr_eq(&a.supers[0], &b.supers[0]));
+        assert!(Arc::ptr_eq(&a.supers[1], &b.supers[1]));
+        for (i, (ca, cb)) in a.supers[0].iter().zip(b.supers[0].iter()).enumerate() {
+            assert_eq!(Arc::ptr_eq(ca, cb), i != 1, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn resize_grows_in_place_and_by_chunks() {
+        let mut t = CowTable::from_fn(10, |i| i);
+        t.resize(CHUNK + 5, 42);
+        assert_eq!(t.len(), CHUNK + 5);
+        assert_eq!(t[9], 9);
+        assert_eq!(t[10], 42);
+        assert_eq!(t[CHUNK + 4], 42);
+        // A shared holder of the short table is unaffected by the growth.
+        let short = t.clone();
+        t.resize(CHUNK * (SUPER + 2), 7);
+        assert_eq!(short.len(), CHUNK + 5);
+        assert_eq!(t.len(), CHUNK * (SUPER + 2));
+        assert_eq!(t[CHUNK * SUPER + 1], 7);
+        assert_eq!(t.supers.len(), 2);
+        assert_eq!(t.iter().count(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn resize_rejects_shrinking() {
+        let mut t = CowTable::from_fn(10, |i| i);
+        t.resize(5, 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: CowTable<u32> = CowTable::from_fn(0, |_| 0);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,6 +1,8 @@
 //! The Chisel LPM engine: sub-cells searched in priority order, a default
 //! route, and the incremental update front-end (paper Sections 4.3–4.4).
 
+use std::sync::Arc;
+
 use chisel_prefix::collapse::StridePlan;
 use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};
 
@@ -34,7 +36,10 @@ use crate::{ChiselConfig, ChiselError};
 pub struct ChiselLpm {
     config: ChiselConfig,
     plan: StridePlan,
-    cells: Vec<SubCell>,
+    /// Sub-cells behind `Arc` so cloning the engine is cheap: the
+    /// concurrent snapshot writer clones the whole engine per update and
+    /// deep-copies (via [`Arc::make_mut`]) only the sub-cell it mutates.
+    cells: Vec<Arc<SubCell>>,
     default_route: Option<NextHop>,
     stats: UpdateStats,
     recent: RecentWithdrawals,
@@ -103,13 +108,13 @@ impl ChiselLpm {
             // succeed.
             let prefixes: usize = cell_groups.values().map(GroupShadow::len).sum();
             let capacity = ((prefixes as f64 * config.slack).ceil() as usize).max(64);
-            cells.push(SubCell::build(
+            cells.push(Arc::new(SubCell::build(
                 plan.cells()[ci],
                 width,
                 params,
                 cell_groups.into_iter().collect(),
                 capacity,
-            )?);
+            )?));
         }
         let flap_window = config.flap_window;
         Ok(ChiselLpm {
@@ -175,6 +180,72 @@ impl ChiselLpm {
         self.default_route
     }
 
+    /// Longest-prefix-match over a batch of keys, software-pipelined.
+    ///
+    /// Produces exactly what per-key [`ChiselLpm::lookup`] would (the
+    /// property suite asserts this), but restructures the memory accesses
+    /// for throughput: keys are processed in small lanes, and within each
+    /// lane every dependent table read (Index → Filter/Bit-vector →
+    /// Result) is prefetched for all keys before any of them is consumed.
+    /// This hides DRAM latency behind the independent probes of the other
+    /// lane members — the software analogue of the hardware pipeline of
+    /// paper Section 5, where successive packets occupy successive
+    /// pipeline stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length, or (debug builds) on
+    /// a key-family mismatch.
+    pub fn lookup_batch(&self, keys: &[Key], out: &mut [Option<NextHop>]) {
+        assert_eq!(
+            keys.len(),
+            out.len(),
+            "lookup_batch requires matching key/output slices"
+        );
+        // Keys in flight at once; sized so a lane's worth of prefetched
+        // cache lines comfortably fits in L1.
+        const LANES: usize = 16;
+        for (kc, oc) in keys.chunks(LANES).zip(out.chunks_mut(LANES)) {
+            let mut done = [false; LANES];
+            // Cells are probed longest-base first, exactly like the
+            // scalar path; a key leaves the lane at its first match.
+            for cell in self.cells.iter().rev() {
+                // Stage 1: kick off the Index Table (Bloomier) probes.
+                for (i, key) in kc.iter().enumerate() {
+                    if !done[i] {
+                        debug_assert_eq!(key.family(), self.config.family);
+                        cell.prefetch_index(key.value());
+                    }
+                }
+                // Stage 2: resolve slots; prefetch Filter/Bit-vector rows.
+                let mut slots = [0u32; LANES];
+                for (i, key) in kc.iter().enumerate() {
+                    if !done[i] {
+                        slots[i] = cell.probe_slot(key.value());
+                        cell.prefetch_row(slots[i]);
+                    }
+                }
+                // Stage 3: validate and read out the next hops.
+                for (i, key) in kc.iter().enumerate() {
+                    if !done[i] {
+                        if let Some(nh) = cell.lookup_at(slots[i], key.value()) {
+                            oc[i] = Some(nh);
+                            done[i] = true;
+                        }
+                    }
+                }
+                if done[..kc.len()].iter().all(|&d| d) {
+                    break;
+                }
+            }
+            for (i, o) in oc.iter_mut().enumerate() {
+                if !done[i] {
+                    *o = self.default_route;
+                }
+            }
+        }
+    }
+
     /// Applies a BGP `announce(p, len, h)`: inserts the prefix or updates
     /// its next hop, classifying how the update was absorbed (Figure 14).
     ///
@@ -212,7 +283,10 @@ impl ChiselLpm {
         let depth = prefix.len() - base;
         let suffix = prefix.suffix_below(base);
         let flap = self.recent.take(&prefix);
-        let outcome = self.cells[ci].announce(collapsed, depth, suffix, next_hop)?;
+        // Copy-on-write: only the touched sub-cell is deep-copied when
+        // this engine shares cells with published snapshots.
+        let outcome =
+            Arc::make_mut(&mut self.cells[ci]).announce(collapsed, depth, suffix, next_hop)?;
         let kind = match outcome {
             AnnounceOutcome::DirtyRestore => UpdateKind::RouteFlap,
             AnnounceOutcome::NextHopOnly => {
@@ -256,7 +330,7 @@ impl ChiselLpm {
                 .cell_for(prefix.len())
                 .ok_or(ChiselError::UnsupportedLength { len: prefix.len() })?;
             let base = self.plan.cells()[ci].base;
-            self.cells[ci].withdraw(
+            Arc::make_mut(&mut self.cells[ci]).withdraw(
                 prefix.truncate(base).bits(),
                 prefix.len() - base,
                 prefix.suffix_below(base),
@@ -282,12 +356,12 @@ impl ChiselLpm {
 
     /// Total spillover TCAM occupancy across sub-cells.
     pub fn spill_len(&self) -> usize {
-        self.cells.iter().map(SubCell::spill_len).sum()
+        self.cells.iter().map(|c| c.spill_len()).sum()
     }
 
     /// Total partition re-setups performed across sub-cells.
     pub fn resetups(&self) -> u64 {
-        self.cells.iter().map(SubCell::resetups).sum()
+        self.cells.iter().map(|c| c.resetups()).sum()
     }
 
     /// Actual on-chip storage of this engine instance, summed over
@@ -310,7 +384,7 @@ impl ChiselLpm {
 
     /// Number of live collapsed groups across sub-cells.
     pub fn groups(&self) -> usize {
-        self.cells.iter().map(SubCell::groups).sum()
+        self.cells.iter().map(|c| c.groups()).sum()
     }
 
     /// Exports every table's raw memory words as a [`crate::HardwareImage`]
@@ -319,7 +393,7 @@ impl ChiselLpm {
     pub fn export_image(&self) -> crate::HardwareImage {
         crate::HardwareImage {
             family: self.config.family,
-            cells: self.cells.iter().map(SubCell::export_image).collect(),
+            cells: self.cells.iter().map(|c| c.export_image()).collect(),
             default_route: self.default_route,
         }
     }

@@ -26,17 +26,19 @@
 mod bitvector;
 mod concurrent;
 mod config;
+mod cow;
 mod engine;
 mod error;
 pub mod image;
 mod result_table;
 mod shadow;
+pub mod snapshot;
 pub mod stats;
 mod subcell;
 mod update;
 
 pub use bitvector::LeafVector;
-pub use concurrent::SharedChisel;
+pub use concurrent::{EngineSnapshot, SharedChisel};
 pub use config::ChiselConfig;
 pub use engine::ChiselLpm;
 pub use error::ChiselError;

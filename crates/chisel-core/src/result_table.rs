@@ -10,6 +10,8 @@
 
 use chisel_prefix::NextHop;
 
+use crate::cow::CowTable;
+
 /// A block handle: base pointer plus size class (`2^class` entries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Block {
@@ -28,9 +30,13 @@ impl Block {
 }
 
 /// The Result Table with its block allocator.
+///
+/// The backing array is a chunked copy-on-write table, so cloning an
+/// engine for snapshot publication shares the next-hop storage and a
+/// block write deep-copies only the touched chunk.
 #[derive(Debug, Clone)]
 pub struct ResultTable {
-    data: Vec<NextHop>,
+    data: CowTable<NextHop>,
     /// `free[class]` holds pointers of freed `2^class`-entry blocks.
     free: Vec<Vec<u32>>,
     /// High-water mark of entries ever carved out.
@@ -43,7 +49,7 @@ impl ResultTable {
     /// Creates an empty Result Table.
     pub fn new() -> Self {
         ResultTable {
-            data: Vec::new(),
+            data: CowTable::from_fn(0, |_| NextHop::new(u32::MAX)),
             free: vec![Vec::new(); MAX_CLASS + 1],
             high_water: 0,
         }
@@ -83,7 +89,10 @@ impl ResultTable {
     #[inline]
     pub fn write(&mut self, block: Block, offset: usize, next_hop: NextHop) {
         assert!(offset < block.capacity(), "offset beyond block");
-        self.data[block.ptr as usize + offset] = next_hop;
+        *self
+            .data
+            .get_mut(block.ptr as usize + offset)
+            .expect("block within table") = next_hop;
     }
 
     /// Reads the next hop at `block.ptr + offset` — the single off-chip

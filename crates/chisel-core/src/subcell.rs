@@ -13,6 +13,7 @@ use chisel_prefix::collapse::CellRange;
 use chisel_prefix::NextHop;
 
 use crate::bitvector::LeafVector;
+use crate::cow::CowTable;
 use crate::result_table::{Block, ResultTable};
 use crate::shadow::GroupShadow;
 use crate::stats::LookupTrace;
@@ -62,16 +63,26 @@ pub(crate) enum AnnounceOutcome {
 }
 
 /// A Chisel sub-cell.
+///
+/// The big tables are chunked copy-on-write ([`CowTable`]) and the Index
+/// Table partitions sit behind `Arc`s, so cloning a sub-cell is cheap and
+/// an update's clone-apply-publish cycle (see [`crate::SharedChisel`])
+/// deep-copies only the blocks the update actually writes — the
+/// software analogue of the paper's "modified portions … are transferred
+/// to the hardware engine" (Section 4.4).
 #[derive(Debug, Clone)]
 pub(crate) struct SubCell {
     range: CellRange,
     width: u8,
     params: CellParams,
     index: PartitionedBloomier,
-    filter: Vec<FilterEntry>,
-    bitvec: Vec<BitVecEntry>,
-    shadows: Vec<GroupShadow>,
-    free_slots: Vec<u32>,
+    filter: CowTable<FilterEntry>,
+    bitvec: CowTable<BitVecEntry>,
+    shadows: CowTable<GroupShadow>,
+    /// Slots `next_fresh..capacity` have never been claimed; `recycled`
+    /// holds purged slots. (An O(1)-clone replacement for a free stack.)
+    next_fresh: u32,
+    recycled: Vec<u32>,
     result: ResultTable,
     /// Spillover TCAM: (collapsed key, slot) pairs, searched before the
     /// Index Table.
@@ -105,21 +116,18 @@ impl SubCell {
                 params.partitions,
                 cell_seed(params.seed, range.base),
             ),
-            filter: (0..capacity)
-                .map(|_| FilterEntry {
-                    key: 0,
-                    valid: false,
-                    dirty: false,
-                })
-                .collect(),
-            bitvec: (0..capacity)
-                .map(|_| BitVecEntry {
-                    vector: LeafVector::new(range.stride),
-                    block: None,
-                })
-                .collect(),
-            shadows: vec![GroupShadow::new(); capacity],
-            free_slots: (0..capacity as u32).rev().collect(),
+            filter: CowTable::from_fn(capacity, |_| FilterEntry {
+                key: 0,
+                valid: false,
+                dirty: false,
+            }),
+            bitvec: CowTable::from_fn(capacity, |_| BitVecEntry {
+                vector: LeafVector::new(range.stride),
+                block: None,
+            }),
+            shadows: CowTable::from_fn(capacity, |_| GroupShadow::new()),
+            next_fresh: 0,
+            recycled: Vec::new(),
             result: ResultTable::new(),
             spill: Vec::new(),
             live_groups: 0,
@@ -135,15 +143,15 @@ impl SubCell {
     fn install_groups(&mut self, groups: Vec<(u128, GroupShadow)>) -> Result<(), ChiselError> {
         let mut keys = Vec::with_capacity(groups.len());
         for (bits, shadow) in groups {
-            let slot = self.free_slots.pop().ok_or(ChiselError::CapacityExceeded {
+            let slot = self.claim_slot().ok_or(ChiselError::CapacityExceeded {
                 cell_base: self.range.base,
             })?;
-            self.filter[slot as usize] = FilterEntry {
+            *self.filter.get_mut(slot as usize).expect("claimed slot") = FilterEntry {
                 key: bits,
                 valid: true,
                 dirty: false,
             };
-            self.shadows[slot as usize] = shadow;
+            *self.shadows.get_mut(slot as usize).expect("claimed slot") = shadow;
             self.regenerate(slot);
             self.live_groups += 1;
             keys.push((bits, slot));
@@ -165,6 +173,25 @@ impl SubCell {
             });
         }
         Ok(())
+    }
+
+    /// Claims a free slot: recycled slots first, then never-used ones.
+    fn claim_slot(&mut self) -> Option<u32> {
+        if let Some(s) = self.recycled.pop() {
+            return Some(s);
+        }
+        if (self.next_fresh as usize) < self.capacity() {
+            let s = self.next_fresh;
+            self.next_fresh += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Whether no free slot remains.
+    fn slots_exhausted(&self) -> bool {
+        self.recycled.is_empty() && self.next_fresh as usize >= self.capacity()
     }
 
     /// The cell's length range.
@@ -254,46 +281,98 @@ impl SubCell {
         Some(self.result.read(block, rank - 1))
     }
 
+    /// Stage 1 of the pipelined batch lookup: prefetch the Index Table
+    /// locations of this key's hash neighborhood.
+    #[inline]
+    pub fn prefetch_index(&self, key_value: u128) {
+        self.index.prefetch(self.collapse_key(key_value));
+    }
+
+    /// Stage 2 of the pipelined batch lookup: resolve the candidate slot
+    /// (spillover TCAM first, then the Index Table) without validating
+    /// it. For keys outside the encoded set the slot is an arbitrary
+    /// value that [`SubCell::lookup_at`] rejects.
+    #[inline]
+    pub fn probe_slot(&self, key_value: u128) -> u32 {
+        let collapsed = self.collapse_key(key_value);
+        if let Some(&(_, s)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+            s
+        } else {
+            self.index.lookup(collapsed)
+        }
+    }
+
+    /// Prefetches the Filter and Bit-vector Table rows of a candidate
+    /// slot (no-op for out-of-range slots from unencoded keys).
+    #[inline]
+    pub fn prefetch_row(&self, slot: u32) {
+        let si = slot as usize;
+        if si < self.filter.len() {
+            chisel_bloomier::prefetch_read(&self.filter[si]);
+            chisel_bloomier::prefetch_read(&self.bitvec[si]);
+        }
+    }
+
+    /// Stage 3 of the pipelined batch lookup: the validate-and-read tail
+    /// of [`SubCell::lookup`] for an already-resolved candidate slot.
+    #[inline]
+    pub fn lookup_at(&self, slot: u32, key_value: u128) -> Option<NextHop> {
+        let entry = self.filter.get(slot as usize)?;
+        if !entry.valid || entry.dirty || entry.key != self.collapse_key(key_value) {
+            return None; // no match or false positive filtered out
+        }
+        let bv = &self.bitvec[slot as usize];
+        let leaf = self.leaf_of(key_value);
+        if !bv.vector.get(leaf) {
+            return None;
+        }
+        let rank = bv.vector.rank(leaf);
+        let block = bv.block.expect("set leaf implies allocated block");
+        Some(self.result.read(block, rank - 1))
+    }
+
     /// Rebuilds slot's bit-vector and Result Table block from its shadow.
     fn regenerate(&mut self, slot: u32) {
         let si = slot as usize;
         let stride = self.range.stride;
         let leaves = 1usize << stride;
+        let shadow = &self.shadows[si];
         let mut hops: Vec<Option<NextHop>> = Vec::with_capacity(leaves);
         for leaf in 0..leaves {
-            hops.push(self.shadows[si].resolve_leaf(leaf, stride));
+            hops.push(shadow.resolve_leaf(leaf, stride));
         }
         let ones = hops.iter().filter(|h| h.is_some()).count();
 
-        let entry = &mut self.bitvec[si];
+        let entry = self.bitvec.get_mut(si).expect("slot in range");
         entry.vector.clear();
         // Keep the old block if it still fits; else swap.
         let need_new = match entry.block {
             Some(b) => b.capacity() < ones,
             None => ones > 0,
         };
-        if need_new {
+        if need_new || ones == 0 {
             if let Some(old) = entry.block.take() {
                 self.result.release(old);
-            }
-            if ones > 0 {
-                entry.block = Some(self.result.alloc(ones));
             }
         }
         if ones == 0 {
-            if let Some(old) = entry.block.take() {
-                self.result.release(old);
-            }
             return;
+        }
+        if need_new {
+            let block = self.result.alloc(ones);
+            self.bitvec.get_mut(si).expect("slot in range").block = Some(block);
         }
         let block = self.bitvec[si].block.expect("allocated above");
         let mut off = 0usize;
-        for (leaf, hop) in hops.into_iter().enumerate() {
-            if let Some(nh) = hop {
-                self.bitvec[si].vector.set(leaf, true);
-                self.result.write(block, off, nh);
-                off += 1;
+        let entry = self.bitvec.get_mut(si).expect("slot in range");
+        for (leaf, hop) in hops.iter().enumerate() {
+            if hop.is_some() {
+                entry.vector.set(leaf, true);
             }
+        }
+        for hop in hops.into_iter().flatten() {
+            self.result.write(block, off, hop);
+            off += 1;
         }
     }
 
@@ -310,11 +389,16 @@ impl SubCell {
             let si = slot as usize;
             let was_dirty = self.filter[si].dirty;
             if was_dirty {
-                self.filter[si].dirty = false;
-                self.shadows[si].clear();
+                self.filter.get_mut(si).expect("resolved slot").dirty = false;
+                self.shadows.get_mut(si).expect("resolved slot").clear();
                 self.live_groups += 1;
             }
-            let existed = self.shadows[si].insert(depth, suffix, next_hop).is_some();
+            let existed = self
+                .shadows
+                .get_mut(si)
+                .expect("resolved slot")
+                .insert(depth, suffix, next_hop)
+                .is_some();
             self.regenerate(slot);
             return Ok(if was_dirty {
                 AnnounceOutcome::DirtyRestore
@@ -326,23 +410,24 @@ impl SubCell {
         }
 
         // New collapsed key: claim a slot (growing if exhausted).
-        let grew = if self.free_slots.is_empty() {
+        let grew = if self.slots_exhausted() {
             self.grow()?;
             true
         } else {
             false
         };
-        let slot = self.free_slots.pop().ok_or(ChiselError::CapacityExceeded {
+        let slot = self.claim_slot().ok_or(ChiselError::CapacityExceeded {
             cell_base: self.range.base,
         })?;
         let si = slot as usize;
-        self.filter[si] = FilterEntry {
+        *self.filter.get_mut(si).expect("claimed slot") = FilterEntry {
             key: collapsed,
             valid: true,
             dirty: false,
         };
-        self.shadows[si].clear();
-        self.shadows[si].insert(depth, suffix, next_hop);
+        let shadow = self.shadows.get_mut(si).expect("claimed slot");
+        shadow.clear();
+        shadow.insert(depth, suffix, next_hop);
         self.regenerate(slot);
         self.live_groups += 1;
 
@@ -369,7 +454,13 @@ impl SubCell {
         if self.filter[si].dirty {
             return false;
         }
-        if self.shadows[si].remove(depth, suffix).is_none() {
+        if self
+            .shadows
+            .get_mut(si)
+            .expect("resolved slot")
+            .remove(depth, suffix)
+            .is_none()
+        {
             return false;
         }
         if self.shadows[si].is_empty() {
@@ -377,16 +468,16 @@ impl SubCell {
                 // All expanded prefixes deleted: mark dirty and retain the
                 // key in the Index Table until the next re-setup
                 // (Section 4.4.1).
-                self.filter[si].dirty = true;
+                self.filter.get_mut(si).expect("resolved slot").dirty = true;
             } else {
                 // Ablation mode: drop the entry outright. The stale Index
                 // Table encoding is harmless (the Filter Table rejects it)
                 // and a re-announce must insert a fresh key.
-                self.filter[si].valid = false;
-                self.free_slots.push(slot);
+                self.filter.get_mut(si).expect("resolved slot").valid = false;
+                self.recycled.push(slot);
             }
             self.live_groups -= 1;
-            let entry = &mut self.bitvec[si];
+            let entry = self.bitvec.get_mut(si).expect("resolved slot");
             entry.vector.clear();
             if let Some(block) = entry.block.take() {
                 self.result.release(block);
@@ -451,15 +542,16 @@ impl SubCell {
     fn purge_slot(&mut self, slot: u32) {
         let si = slot as usize;
         debug_assert!(self.filter[si].dirty);
-        self.filter[si].valid = false;
-        self.filter[si].dirty = false;
-        self.shadows[si].clear();
-        let entry = &mut self.bitvec[si];
+        let f = self.filter.get_mut(si).expect("slot in range");
+        f.valid = false;
+        f.dirty = false;
+        self.shadows.get_mut(si).expect("slot in range").clear();
+        let entry = self.bitvec.get_mut(si).expect("slot in range");
         entry.vector.clear();
         if let Some(block) = entry.block.take() {
             self.result.release(block);
         }
-        self.free_slots.push(slot);
+        self.recycled.push(slot);
     }
 
     /// Doubles capacity by rebuilding the whole cell (a full — but still
@@ -469,7 +561,7 @@ impl SubCell {
         let groups: Vec<(u128, GroupShadow)> = self
             .filter
             .iter()
-            .zip(&self.shadows)
+            .zip(self.shadows.iter())
             .filter(|(e, _)| e.valid && !e.dirty)
             .map(|(e, s)| (e.key, s.clone()))
             .collect();
@@ -525,7 +617,7 @@ impl SubCell {
     pub fn iter_routes(&self) -> impl Iterator<Item = (u128, u8, u128, NextHop)> + '_ {
         self.filter
             .iter()
-            .zip(&self.shadows)
+            .zip(self.shadows.iter())
             .filter(|(e, _)| e.valid && !e.dirty)
             .flat_map(|(e, s)| s.iter().map(move |(d, suf, nh)| (e.key, d, suf, nh)))
     }

@@ -15,6 +15,7 @@ use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use chisel::core::SharedChisel;
 use chisel::prefix::io::read_table;
 use chisel::workloads::{analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent};
 use chisel::{ChiselConfig, ChiselLpm, Key, RoutingTable};
@@ -55,9 +56,16 @@ fn load(path: &str) -> Result<(RoutingTable, ChiselLpm), Box<dyn std::error::Err
 
 fn cmd_lookup(path: &str, addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let (_, engine) = load(path)?;
-    for addr in addrs {
-        let key: Key = addr.parse()?;
-        match engine.lookup(key) {
+    // One software-pipelined batch over all requested addresses: the
+    // prefetch stages overlap the independent probes' memory latency.
+    let keys = addrs
+        .iter()
+        .map(|a| a.parse())
+        .collect::<Result<Vec<Key>, _>>()?;
+    let mut out = vec![None; keys.len()];
+    engine.lookup_batch(&keys, &mut out);
+    for (addr, nh) in addrs.iter().zip(out) {
+        match nh {
             Some(nh) => println!("{addr} -> {nh}"),
             None => println!("{addr} -> no route"),
         }
@@ -99,7 +107,7 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_replay(table_path: &str, mrt_path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let (_, mut engine) = load(table_path)?;
+    let (_, engine) = load(table_path)?;
     let bytes = std::fs::read(mrt_path)?;
     let events = read_mrt(&bytes)?;
     let stats = analyze(&events);
@@ -110,23 +118,27 @@ fn cmd_replay(table_path: &str, mrt_path: &str) -> Result<(), Box<dyn std::error
         stats.withdraws,
         stats.flap_fraction(),
     );
+    // Apply through the shared handle: every update is published as an
+    // immutable snapshot, exactly as a live line card would consume it.
+    let shared = SharedChisel::from_engine(engine);
     let start = Instant::now();
     for ev in &events {
         match *ev {
             UpdateEvent::Announce(p, nh) => {
-                engine.announce(p, nh)?;
+                shared.announce(p, nh)?;
             }
             UpdateEvent::Withdraw(p) => {
-                engine.withdraw(p)?;
+                shared.withdraw(p)?;
             }
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let u = engine.update_stats();
+    let u = shared.update_stats();
     println!(
         "applied in {elapsed:.2}s ({:.0} updates/s): {u:?}",
         events.len() as f64 / elapsed
     );
+    println!("published generation: {}", shared.generation());
     println!("incremental fraction: {:.5}", u.incremental_fraction());
     Ok(())
 }

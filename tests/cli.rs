@@ -92,6 +92,49 @@ fn replay_mrt_trace() {
 }
 
 #[test]
+fn multi_addr_lookup_batches_like_scalar() {
+    let dir = tempdir();
+    let table = dir.join("batch-table.txt");
+    let out = router()
+        .args(["synth", "1000", table.to_str().unwrap(), "7"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    // Addresses from the table plus guaranteed strangers.
+    let text = std::fs::read_to_string(&table).expect("table readable");
+    let mut addrs: Vec<String> = text
+        .lines()
+        .take(40)
+        .map(|l| l.split('/').next().unwrap().to_string())
+        .collect();
+    addrs.push("203.0.113.77".into());
+
+    // One multi-address invocation (batched) vs one invocation per
+    // address (a single-key batch): identical routing answers, in order.
+    let mut batched = router();
+    batched.arg("lookup").arg(table.to_str().unwrap());
+    for a in &addrs {
+        batched.arg(a);
+    }
+    let batched = batched.output().expect("batched lookup runs");
+    assert!(batched.status.success());
+    let batched = String::from_utf8_lossy(&batched.stdout);
+
+    let mut scalar = String::new();
+    for a in &addrs {
+        let out = router()
+            .args(["lookup", table.to_str().unwrap(), a])
+            .output()
+            .expect("scalar lookup runs");
+        assert!(out.status.success());
+        scalar.push_str(&String::from_utf8_lossy(&out.stdout));
+    }
+    assert_eq!(batched, scalar);
+    assert_eq!(batched.lines().count(), addrs.len());
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = router().output().expect("runs");
     assert!(!out.status.success());

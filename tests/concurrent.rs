@@ -1,0 +1,351 @@
+//! Multi-threaded torture tests for the lock-free snapshot read path.
+//!
+//! The central check is *snapshot-granularity linearizability*: every
+//! published generation corresponds to a prefix of the update trace, so a
+//! reader that pins generation `g` must see exactly the routing state the
+//! oracle reaches after replaying the first `g` trace events — for every
+//! probe key, scalar and batched. A bare `lookup` on the shared handle is
+//! weaker only in *which* snapshot it hits: the answer must match one of
+//! the generations published between the call's start and end.
+//!
+//! Everything is deterministic: the trace and probe set come from a
+//! seeded RNG, and the expected answer table is precomputed offline by
+//! replaying the trace through the reference `OracleLpm`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use chisel::core::snapshot::SnapshotCell;
+use chisel::core::SharedChisel;
+use chisel::prefix::oracle::OracleLpm;
+use chisel::workloads::UpdateEvent;
+use chisel::{AddressFamily, ChiselConfig, Key, NextHop, Prefix, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FLAP_PREFIXES: usize = 64;
+const UPDATES: usize = 600;
+const READERS: usize = 4;
+
+/// Base table: a stable /8 plus a fan of /16s under it, and a /16 parent
+/// above every flap /24 so withdraws fall back to a covering route.
+fn base_table() -> RoutingTable {
+    let mut t = RoutingTable::new_v4();
+    t.insert(
+        Prefix::new(AddressFamily::V4, 0x0A, 8).unwrap(),
+        NextHop::new(1),
+    );
+    for i in 0..256u128 {
+        t.insert(
+            Prefix::new(AddressFamily::V4, 0x0A00 | i, 16).unwrap(),
+            NextHop::new(10 + i as u32),
+        );
+    }
+    for i in 0..FLAP_PREFIXES as u128 {
+        t.insert(
+            Prefix::new(AddressFamily::V4, 0xF000 | i, 16).unwrap(),
+            NextHop::new(500 + i as u32),
+        );
+    }
+    t
+}
+
+fn flap_prefix(i: usize) -> Prefix {
+    Prefix::new(AddressFamily::V4, 0xF0_0000 | i as u128, 24).unwrap()
+}
+
+/// A deterministic announce/withdraw flap over the /24 children.
+fn flap_trace(seed: u64) -> Vec<UpdateEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..UPDATES)
+        .map(|ev| {
+            let p = flap_prefix(rng.gen_range(0..FLAP_PREFIXES));
+            if rng.gen_bool(0.7) {
+                UpdateEvent::Announce(p, NextHop::new(1000 + ev as u32))
+            } else {
+                UpdateEvent::Withdraw(p)
+            }
+        })
+        .collect()
+}
+
+/// Probe keys that actually change answers across the trace: one host
+/// inside each flap /24, plus hosts in the stable 10.0.0.0/8 fan.
+fn probe_keys() -> Vec<Key> {
+    let mut keys: Vec<Key> = (0..FLAP_PREFIXES)
+        .map(|i| Key::from_raw(AddressFamily::V4, flap_prefix(i).network() | 0x2A))
+        .collect();
+    keys.extend(
+        (0..16u128).map(|i| Key::from_raw(AddressFamily::V4, ((0x0A00 | (i * 17)) << 16) | 0x0101)),
+    );
+    keys
+}
+
+/// Replays the trace on the oracle, recording the full expected answer
+/// vector after every event: `expected[g]` is the routing state readers
+/// must observe at generation `g`.
+fn expected_by_generation(
+    table: &RoutingTable,
+    trace: &[UpdateEvent],
+    keys: &[Key],
+) -> Vec<Vec<Option<NextHop>>> {
+    let mut oracle = OracleLpm::from_table(table);
+    let snapshot = |o: &OracleLpm| keys.iter().map(|&k| o.lookup(k)).collect::<Vec<_>>();
+    let mut expected = vec![snapshot(&oracle)];
+    for ev in trace {
+        match ev {
+            UpdateEvent::Announce(p, nh) => oracle.insert(*p, *nh),
+            UpdateEvent::Withdraw(p) => {
+                oracle.remove(p);
+            }
+        }
+        expected.push(snapshot(&oracle));
+    }
+    expected
+}
+
+/// N readers differentially check every pinned snapshot against the
+/// oracle's per-generation answers while the writer flaps routes.
+#[test]
+fn readers_see_only_published_generations() {
+    let table = base_table();
+    let trace = flap_trace(0xC0FFEE);
+    let keys = Arc::new(probe_keys());
+    let expected = Arc::new(expected_by_generation(&table, &trace, &keys));
+
+    let shared = SharedChisel::build(&table, ChiselConfig::ipv4().seed(7).slack(3.0))
+        .expect("engine builds");
+    // Sanity: generation 0 already matches the oracle on every probe.
+    for (k, want) in keys.iter().zip(&expected[0]) {
+        assert_eq!(shared.lookup(*k), *want);
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let shared = shared.clone();
+            let keys = Arc::clone(&keys);
+            let expected = Arc::clone(&expected);
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut max_gen = 0u64;
+                let mut rounds = 0usize;
+                let mut out = vec![None; keys.len()];
+                while !done.load(Ordering::SeqCst) || rounds == 0 {
+                    // Pinned snapshot: every probe — scalar and batched —
+                    // must match the oracle at exactly this generation.
+                    let snap = shared.snapshot();
+                    let g = snap.generation() as usize;
+                    let want = &expected[g];
+                    for (j, &k) in keys.iter().enumerate() {
+                        assert_eq!(
+                            snap.lookup(k),
+                            want[j],
+                            "reader {r}: generation {g} scalar diverged on key {j}"
+                        );
+                    }
+                    snap.lookup_batch(&keys, &mut out);
+                    assert_eq!(
+                        &out, want,
+                        "reader {r}: generation {g} batch diverged from oracle"
+                    );
+                    max_gen = max_gen.max(g as u64);
+
+                    // Bare handle lookups: the answer must belong to one
+                    // of the generations published during the call.
+                    let j = rounds % keys.len();
+                    let g0 = shared.generation() as usize;
+                    let got = shared.lookup(keys[j]);
+                    let g1 = shared.generation() as usize;
+                    assert!(
+                        (g0..=g1).any(|g| expected[g][j] == got),
+                        "reader {r}: lookup answer {got:?} for key {j} matches no \
+                         generation in [{g0}, {g1}]"
+                    );
+
+                    // Bare batch: the whole vector must be internally
+                    // consistent — one single generation in the window.
+                    let g0 = shared.generation() as usize;
+                    shared.lookup_batch(&keys, &mut out);
+                    let g1 = shared.generation() as usize;
+                    assert!(
+                        (g0..=g1).any(|g| expected[g] == out),
+                        "reader {r}: batch mixed state from several generations \
+                         (window [{g0}, {g1}])"
+                    );
+                    rounds += 1;
+                }
+                (max_gen, rounds)
+            })
+        })
+        .collect();
+
+    for (i, ev) in trace.iter().enumerate() {
+        match ev {
+            UpdateEvent::Announce(p, nh) => {
+                shared.announce(*p, *nh).expect("announce applies");
+            }
+            UpdateEvent::Withdraw(p) => {
+                shared.withdraw(*p).expect("withdraw applies");
+            }
+        }
+        assert_eq!(shared.generation(), (i + 1) as u64);
+    }
+    done.store(true, Ordering::SeqCst);
+
+    let mut observed_max = 0;
+    for r in readers {
+        let (max_gen, rounds) = r.join().expect("reader panicked");
+        assert!(rounds > 0);
+        observed_max = observed_max.max(max_gen);
+    }
+    // Readers genuinely ran concurrently with (or after) the flap: at
+    // least one saw a late generation, and the final state is exact.
+    assert!(observed_max > 0, "no reader ever saw an update");
+    assert_eq!(shared.generation(), UPDATES as u64);
+    let snap = shared.snapshot();
+    for (k, want) in keys.iter().zip(&expected[UPDATES]) {
+        assert_eq!(snap.lookup(*k), *want);
+    }
+}
+
+/// Writers from several threads: the writer mutex serializes them, every
+/// successful update gets a distinct generation, and the union of all
+/// updates is visible at the end.
+#[test]
+fn concurrent_writers_serialize_cleanly() {
+    let shared = SharedChisel::build(&base_table(), ChiselConfig::ipv4().seed(7).slack(3.0))
+        .expect("engine builds");
+    let writers: Vec<_> = (0..4usize)
+        .map(|w| {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                for i in 0..50u128 {
+                    let p = Prefix::new(AddressFamily::V4, 0xE0_0000 | (w as u128) << 8 | i, 24)
+                        .unwrap();
+                    shared
+                        .announce(p, NextHop::new((w * 100 + i as usize) as u32))
+                        .expect("announce applies");
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    assert_eq!(shared.generation(), 200);
+    for w in 0..4u128 {
+        for i in 0..50u128 {
+            let key = Key::from_raw(AddressFamily::V4, (0xE0_0000 | w << 8 | i) << 8 | 0x7);
+            assert_eq!(shared.lookup(key), Some(NextHop::new((w * 100 + i) as u32)));
+        }
+    }
+}
+
+/// Payload whose invariant would break if a reader ever saw a torn or
+/// reclaimed snapshot: `b` must always be `2 * a + 1`.
+struct Paired {
+    a: u64,
+    b: u64,
+}
+
+/// Raw `SnapshotCell` interleaving stress: two writers storm the cell
+/// while readers pin guards, re-read through them, and hold owned Arcs
+/// across many swaps. Run under TSan/Miri this exercises the epoch
+/// reclamation ordering argument in `chisel_core::snapshot`.
+#[test]
+fn snapshot_cell_swap_storm() {
+    let cell = Arc::new(SnapshotCell::new(Arc::new(Paired { a: 0, b: 1 })));
+    let stop = Arc::new(AtomicBool::new(false));
+    let published = Arc::new(AtomicU64::new(0));
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(w);
+                while !stop.load(Ordering::SeqCst) {
+                    let a = rng.gen::<u32>() as u64;
+                    cell.store(Arc::new(Paired { a, b: 2 * a + 1 }));
+                    published.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut checks = 0usize;
+                while !stop.load(Ordering::SeqCst) || checks == 0 {
+                    // A pinned guard must stay stable across re-reads even
+                    // while the writers retire snapshot after snapshot.
+                    let g = cell.load();
+                    let (a, b) = (g.a, g.b);
+                    assert_eq!(b, 2 * a + 1, "torn or reclaimed snapshot observed");
+                    assert_eq!(g.a, a, "guard target changed under the reader");
+                    assert_eq!(g.b, b, "guard target changed under the reader");
+                    drop(g);
+
+                    // An owned Arc must outlive any number of later swaps.
+                    let own = cell.load_owned();
+                    let (a, b) = (own.a, own.b);
+                    std::hint::black_box(&own);
+                    assert_eq!(own.b, 2 * own.a + 1);
+                    assert_eq!((own.a, own.b), (a, b));
+                    checks += 1;
+                }
+                checks
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    stop.store(true, Ordering::SeqCst);
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    for r in readers {
+        assert!(r.join().expect("reader panicked") > 0);
+    }
+    assert!(published.load(Ordering::SeqCst) > 0);
+    // Quiescent: with no guards pinned, one final store reclaims every
+    // retired snapshot except the one it just replaced.
+    cell.store(Arc::new(Paired { a: 7, b: 15 }));
+    cell.collect();
+    assert_eq!(cell.retired_len(), 0, "quiescent reclamation left garbage");
+    assert_eq!(cell.load().a, 7);
+}
+
+/// An owned snapshot taken before a burst of updates answers from its own
+/// generation even after the shared handle has moved hundreds of
+/// generations ahead and reclaimed the intermediates.
+#[test]
+fn held_snapshot_survives_reclamation_burst() {
+    let shared = SharedChisel::build(&base_table(), ChiselConfig::ipv4().seed(7).slack(3.0))
+        .expect("engine builds");
+    let keys = probe_keys();
+    let snap0 = shared.snapshot();
+    let before: Vec<_> = keys.iter().map(|&k| snap0.lookup(k)).collect();
+
+    for i in 0..300usize {
+        let p = flap_prefix(i % FLAP_PREFIXES);
+        if i % 3 == 0 {
+            shared.withdraw(p).expect("withdraw applies");
+        } else {
+            shared
+                .announce(p, NextHop::new(2000 + i as u32))
+                .expect("announce applies");
+        }
+    }
+
+    assert_eq!(snap0.generation(), 0);
+    let after: Vec<_> = keys.iter().map(|&k| snap0.lookup(k)).collect();
+    assert_eq!(before, after, "held snapshot changed under the holder");
+    assert_eq!(shared.generation(), 300);
+}

@@ -26,6 +26,32 @@ fn arb_table_v4(max: usize) -> impl Strategy<Value = RoutingTable> {
     })
 }
 
+fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
+    (0u8..=64, any::<u64>()).prop_map(|(len, raw)| {
+        Prefix::new(AddressFamily::V6, (raw as u128) & mask(len), len).expect("masked bits fit")
+    })
+}
+
+fn arb_table_v6(max: usize) -> impl Strategy<Value = RoutingTable> {
+    proptest::collection::vec((arb_prefix_v6(), 0u32..64), 0..max).prop_map(|entries| {
+        let mut t = RoutingTable::new_v6();
+        for (p, nh) in entries {
+            t.insert(p, NextHop::new(nh));
+        }
+        t
+    })
+}
+
+/// Asserts `lookup_batch` produces exactly what per-key `lookup` does.
+fn assert_batch_matches_scalar(engine: &ChiselLpm, keys: &[Key]) -> Result<(), TestCaseError> {
+    let mut out = vec![None; keys.len()];
+    engine.lookup_batch(keys, &mut out);
+    for (k, o) in keys.iter().zip(&out) {
+        prop_assert_eq!(*o, engine.lookup(*k), "key {:?}", k);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -187,4 +213,87 @@ proptest! {
         recovered.extend(engine.iter_routes());
         prop_assert_eq!(recovered, table);
     }
+
+    #[test]
+    fn lookup_batch_matches_scalar_v4(
+        table in arb_table_v4(60),
+        probes in proptest::collection::vec(any::<u32>(), 0..96),
+        stride in 1u8..=6,
+    ) {
+        let engine = ChiselLpm::build(&table, ChiselConfig::ipv4().stride(stride)).expect("builds");
+        let keys: Vec<Key> = probes
+            .into_iter()
+            .map(|raw| Key::from_raw(AddressFamily::V4, raw as u128))
+            .collect();
+        assert_batch_matches_scalar(&engine, &keys)?;
+    }
+
+    #[test]
+    fn lookup_batch_matches_scalar_v6(
+        table in arb_table_v6(40),
+        probes in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let engine = ChiselLpm::build(&table, ChiselConfig::ipv6()).expect("builds");
+        let keys: Vec<Key> = probes
+            .into_iter()
+            .map(|raw| Key::from_raw(AddressFamily::V6, raw as u128))
+            .collect();
+        assert_batch_matches_scalar(&engine, &keys)?;
+    }
+
+    #[test]
+    fn lookup_batch_matches_scalar_after_updates(
+        ops in proptest::collection::vec((any::<bool>(), arb_prefix_v4(), 0u32..16), 1..60),
+        probes in proptest::collection::vec(any::<u32>(), 48),
+    ) {
+        let mut engine =
+            ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).expect("builds");
+        for (announce, p, nh) in ops {
+            if announce {
+                engine.announce(p, NextHop::new(nh)).expect("announce");
+            } else {
+                engine.withdraw(p).expect("withdraw");
+            }
+        }
+        let keys: Vec<Key> = probes
+            .into_iter()
+            .map(|raw| Key::from_raw(AddressFamily::V4, raw as u128))
+            .collect();
+        assert_batch_matches_scalar(&engine, &keys)?;
+    }
+}
+
+/// Deterministic edge sizes for the batch pipeline: empty, a single key,
+/// around the internal lane width, and a >1024-key batch spanning many
+/// pipeline chunks.
+#[test]
+fn lookup_batch_edge_sizes() {
+    let mut table = RoutingTable::new_v4();
+    for i in 0u32..48 {
+        let p = Prefix::new(AddressFamily::V4, (0x0A00 + i) as u128, 16).expect("prefix");
+        table.insert(p, NextHop::new(i));
+    }
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("builds");
+    for size in [0usize, 1, 15, 16, 17, 1025, 2048] {
+        let keys: Vec<Key> = (0..size)
+            .map(|i| {
+                let net = (0x0A00 + (i as u32 % 64)) as u128; // some miss the table
+                Key::from_raw(AddressFamily::V4, (net << 16) | (i as u128 & 0xFFFF))
+            })
+            .collect();
+        let mut out = vec![None; keys.len()];
+        engine.lookup_batch(&keys, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            assert_eq!(*o, engine.lookup(*k), "size {size}, key {k:?}");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "lookup_batch requires matching key/output slices")]
+fn lookup_batch_rejects_mismatched_out_len() {
+    let engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).expect("builds");
+    let keys = [Key::from_raw(AddressFamily::V4, 1)];
+    let mut out = vec![None; 2];
+    engine.lookup_batch(&keys, &mut out);
 }

@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benchmarks compile and run against the same `Criterion` /
+//! `BenchmarkGroup` / `Bencher` surface; measurement is a plain
+//! calibrated timing loop (median of N samples) printed as
+//! `ns/iter` plus derived throughput — no statistics machinery, no HTML
+//! reports. Good enough to compare implementations relative to each
+//! other on one machine, which is all this workspace's benches do.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target time per sample once calibrated.
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            sample_target: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.sample_target = t / self.sample_size.max(1) as u32;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let stats = run_bench(self.sample_size, self.sample_target, &mut f);
+        report(name, &stats, None);
+        self
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let stats = run_bench(samples, self.criterion.sample_target, &mut f);
+        report(
+            &format!("{}/{}", self.name, id.into().0),
+            &stats,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the measured section.
+    iters: u64,
+    /// Measured wall time of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    median_ns_per_iter: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, target: Duration, f: &mut F) -> Stats {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= target || iters >= (1 << 30) {
+            break;
+        }
+        let grow = if b.elapsed < target / 16 { 8 } else { 2 };
+        iters = iters.saturating_mul(grow);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Stats {
+        median_ns_per_iter: per_iter[per_iter.len() / 2],
+    }
+}
+
+fn report(name: &str, stats: &Stats, throughput: Option<&Throughput>) {
+    let ns = stats.median_ns_per_iter;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", *n as f64 * 1e3 / ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} MiB/s)", *n as f64 * 1e9 / ns / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<50} {ns:>12.1} ns/iter{extra}");
+}
+
+/// Declares a group of benchmark functions, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        // Fast closure: calibration must terminate and stats be finite.
+        let mut counter = 0u64;
+        c.bench_function("noop", |b| b.iter(|| counter = counter.wrapping_add(1)));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        let input = vec![1u32, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter("sum"), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u32>())
+        });
+        group.finish();
+    }
+}

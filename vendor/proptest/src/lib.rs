@@ -1,0 +1,471 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map`, `any::<T>()`, integer-range strategies, tuple
+//! composition, `collection::{vec, hash_map}`, the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, and `prop_assert!` /
+//! `prop_assert_eq!`. Differences from real proptest: no shrinking (a
+//! failure reports the raw generated inputs and the case seed), and the
+//! run is fully deterministic — the seed is fixed unless `PROPTEST_SEED`
+//! is set in the environment.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Error raised by a failing property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// What a property body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of values for one property input.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuple!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::collections::HashMap;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng as _;
+
+    use crate::{Strategy, TestRng};
+
+    /// A collection size spec: a fixed size or a (half-open) range, as
+    /// real proptest's `SizeRange` accepts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.start + 1 >= self.end {
+                self.start
+            } else {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    /// `vec(element, size)` where `size` is a fixed length or a range.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `hash_map(key, value, size)`. The size bounds the number of
+    /// *attempted* inserts; duplicate keys collapse, matching real
+    /// proptest's behavior of sizes possibly below the minimum only when
+    /// the key domain is tiny.
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy {
+            key,
+            value,
+            len: len.into(),
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash + Debug,
+        V::Value: Debug,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            let mut out = HashMap::with_capacity(n);
+            // A few extra draws compensate for duplicate keys.
+            let mut budget = n * 2 + 8;
+            while out.len() < n && budget > 0 {
+                budget -= 1;
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+/// The base seed: `PROPTEST_SEED` env var when set, a fixed default
+/// otherwise, so CI runs are reproducible by construction.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x0C15_E1_5EED)
+}
+
+/// Runs `cases` deterministic cases of a property. The closure receives a
+/// per-case RNG and returns `Err((inputs_debug, message))` on failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), (String, String)>,
+) {
+    let seed = base_seed();
+    for i in 0..config.cases {
+        // Distinct, reproducible stream per (seed, test, case).
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ u64::from(i)).wrapping_mul(0x100_0000_01b3);
+        let mut rng = TestRng::seed_from_u64(h);
+        if let Err((inputs, msg)) = case(&mut rng) {
+            panic!(
+                "property '{test_name}' failed at case {i}/{} (seed {seed}):\n\
+                 {msg}\ninputs:\n{inputs}\n\
+                 rerun with PROPTEST_SEED={seed} to reproduce",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Mirrors proptest's `prop_assert!`: early-returns a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Mirrors proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Mirrors proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// The `proptest!` block macro: an optional
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(input in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                // Generate into a tuple first: `$pat` is a pattern, not
+                // an expression, so inputs are debug-formatted *before*
+                // being destructured into the property's bindings.
+                let __values = ($($crate::Strategy::generate(&($strategy), __rng),)+);
+                let mut __inputs = String::from("  (");
+                $(
+                    __inputs.push_str(stringify!($pat));
+                    __inputs.push_str(", ");
+                )+
+                __inputs.push_str(") = ");
+                __inputs.push_str(&format!("{:?}\n", &__values));
+                let ($($pat,)+) = __values;
+                #[allow(unused_mut)]
+                let mut __body = move || -> $crate::TestCaseResult { $body Ok(()) };
+                __body().map_err(|e| (__inputs, e.to_string()))
+            });
+        }
+        $crate::__proptest_tests!{ config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_between_runs() {
+        use crate::{ProptestConfig, Strategy, TestRng};
+        use rand::SeedableRng;
+        let strat = (0u8..=32, crate::any::<u32>()).prop_map(|(a, b)| (a, b));
+        let mut r1 = TestRng::seed_from_u64(9);
+        let mut r2 = TestRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+        let _ = ProptestConfig::with_cases(8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..=7, y in 10u32..20) {
+            prop_assert!((3..=7).contains(&x));
+            prop_assert!((10..20).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn hash_map_capped(m in crate::collection::hash_map(any::<u128>(), any::<u32>(), 1..50)) {
+            prop_assert!(m.len() < 50);
+            prop_assert!(!m.is_empty() || m.is_empty()); // smoke
+        }
+
+        #[test]
+        fn early_return_ok_works(flag in any::<bool>()) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert_eq!(flag, false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails'")]
+    fn failure_reports_inputs() {
+        let config = ProptestConfig::with_cases(1);
+        crate::run_cases(&config, "always_fails", |_rng| {
+            Err(("  x = 1\n".to_string(), "boom".to_string()))
+        });
+    }
+}

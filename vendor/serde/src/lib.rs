@@ -1,0 +1,370 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate vendors the
+//! subset of serde's data model that the workspace actually exercises:
+//! `Serialize` / `Serializer` with scalar, string, sequence, tuple and
+//! struct output, and `Deserialize` / `Deserializer` built on a concrete
+//! [`content::Content`] tree instead of serde's visitor machinery. The
+//! trait *signatures* match real serde closely enough that the workspace's
+//! manual `impl Serialize` / `impl Deserialize` blocks compile unchanged;
+//! generic code written against the full serde data model will not.
+
+use std::fmt::Display;
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error produced while serializing.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error produced while deserializing.
+    pub trait Error: Sized + Display {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod content {
+    //! The concrete data-model tree both sides of this stub meet at.
+
+    /// A self-describing value: what a `Deserializer` hands to
+    /// `Deserialize` impls in place of serde's visitor calls.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Content>),
+        Map(Vec<(String, Content)>),
+    }
+
+    impl Content {
+        /// Short label for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Content::Null => "null",
+                Content::Bool(_) => "bool",
+                Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+                Content::Str(_) => "string",
+                Content::Seq(_) => "sequence",
+                Content::Map(_) => "map",
+            }
+        }
+    }
+}
+
+use content::Content;
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sequence sub-serializer returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct sub-serializer returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The output side of the data model.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+
+    fn collect_str<T: Display + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(&value.to_string())
+    }
+
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let iter = iter.into_iter();
+        let mut seq = self.serialize_seq(iter.size_hint().1)?;
+        for item in iter {
+            seq.serialize_element(&item)?;
+        }
+        seq.end()
+    }
+}
+
+/// A data structure that can be deserialized.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// real serde; this stub always deserializes from owned content.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The input side: anything that can produce a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn content(self) -> Result<Content, Self::Error>;
+}
+
+/// Adapter letting a [`Content`] node act as a `Deserializer` so that
+/// container impls can recurse.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+// ---- Serialize impls for std types ----
+
+macro_rules! impl_serialize_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.$m(*self as _)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32,
+    u64 => serialize_u64, usize => serialize_u64,
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32,
+    i64 => serialize_i64, isize => serialize_i64,
+    f32 => serialize_f32, f64 => serialize_f64
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut seq = s.serialize_seq(Some(count!($($t)+)))?;
+                $(SerializeSeq::serialize_element(&mut seq, &self.$n)?;)+
+                seq.end()
+            }
+        }
+    )*};
+}
+macro_rules! count {
+    () => { 0usize };
+    ($head:ident $($tail:ident)*) => { 1usize + count!($($tail)*) };
+}
+impl_serialize_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+// ---- Deserialize impls for std types ----
+
+fn unexpected<E: de::Error>(want: &str, got: &Content) -> E {
+    E::custom(format_args!("expected {want}, found {}", got.kind()))
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let content = d.content()?;
+                let v = match &content {
+                    Content::U64(v) => Some(*v),
+                    Content::I64(v) if *v >= 0 => Some(*v as u64),
+                    _ => None,
+                };
+                v.and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| unexpected(stringify!($t), &content))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let content = d.content()?;
+        match &content {
+            Content::I64(v) => Ok(*v),
+            Content::U64(v) => i64::try_from(*v).map_err(|_| unexpected("i64", &content)),
+            _ => Err(unexpected("i64", &content)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(unexpected("f64", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| T::deserialize(ContentDeserializer::<D::Error>::new(c)))
+                .collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let content = d.content()?;
+                let Content::Seq(items) = content else {
+                    return Err(unexpected("sequence", &content));
+                };
+                if items.len() != $len {
+                    return Err(de::Error::custom(format_args!(
+                        "expected a sequence of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut items = items.into_iter();
+                Ok(($(
+                    $t::deserialize(ContentDeserializer::<__D::Error>::new(
+                        items.next().expect("length checked"),
+                    ))?,
+                )+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple!((1, A) (2, A, B) (3, A, B, C) (4, A, B, C, D));

@@ -1,0 +1,568 @@
+//! Offline stand-in for `serde_json`, paired with the vendored `serde`
+//! stub: a [`Value`] tree, a strict JSON parser, compact and pretty
+//! printers, [`to_string`] / [`from_str`] entry points and the [`json!`]
+//! macro. Object key order is insertion order (like serde_json's
+//! `preserve_order` feature), which keeps snapshot files stable.
+
+mod parse;
+
+use std::fmt;
+
+use serde::content::Content;
+use serde::{ser, ContentDeserializer, Serialize, Serializer};
+
+pub use parse::parse as parse_value;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integers that fit i64/u64 stay exact; everything else is `Float`.
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes a value to its compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_string())
+}
+
+/// Serializes a value to indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    to_value(value)?.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Serializes any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize(ContentDeserializer::<Error>::new(value.into_content()))
+}
+
+/// Shared `Null` for indexing misses (mirrors serde_json, whose `[]`
+/// returns `Null` instead of panicking on absent keys).
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl Value {
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any JSON number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(v) => Some(v),
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key without the `Null` fallback of `[]`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Int(v) => Content::I64(v),
+            Value::UInt(v) => Content::U64(v),
+            Value::Float(v) => Content::F64(v),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(pairs) => Content::Map(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| (k, v.into_content()))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::UInt(v),
+            Content::I64(v) => Value::Int(v),
+            Content::F64(v) => Value::Float(v),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(pairs) => Value::Object(
+                pairs
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::UInt(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    // Keep a trailing ".0" so floats reparse as floats.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    f.write_str("null") // JSON has no NaN/Inf
+                }
+            }
+            Value::String(s) => {
+                let mut buf = String::new();
+                write_json_string(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::new();
+                    write_json_string(&mut buf, k);
+                    write!(f, "{buf}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::Null => s.serialize_none(),
+            Value::Bool(b) => s.serialize_bool(*b),
+            Value::Int(v) => s.serialize_i64(*v),
+            Value::UInt(v) => s.serialize_u64(*v),
+            Value::Float(v) => s.serialize_f64(*v),
+            Value::String(v) => s.serialize_str(v),
+            Value::Array(items) => s.collect_seq(items.iter()),
+            Value::Object(pairs) => {
+                let mut st = s.serialize_struct("Value", pairs.len())?;
+                for (k, v) in pairs {
+                    serde::SerializeStruct::serialize_field(&mut st, k, v)?;
+                }
+                serde::SerializeStruct::end(st)
+            }
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(d.content()?))
+    }
+}
+
+/// Serializer producing a [`Value`] tree; the only serializer this stub
+/// ships, shared by `to_string` and `to_value`.
+struct ValueSerializer;
+
+pub struct ValueSeq(Vec<Value>);
+
+pub struct ValueStruct(Vec<(String, Value)>);
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeq;
+    type SerializeStruct = ValueStruct;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Int(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Float(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeq, Error> {
+        Ok(ValueSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ValueStruct, Error> {
+        Ok(ValueStruct(Vec::with_capacity(len)))
+    }
+}
+
+impl serde::SerializeSeq for ValueSeq {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.0.push(to_value(value)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.0))
+    }
+}
+
+impl serde::SerializeStruct for ValueStruct {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.0.push((key.to_string(), to_value(value)?));
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.0))
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax. Keys must be string
+/// literals; values may be nested `{...}` / `[...]` forms or arbitrary
+/// expressions whose type implements `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_object!([] $($tt)*) };
+    ($other:expr) => {
+        $crate::to_value(&($other)).expect("json! value serializes")
+    };
+}
+
+/// Internal: accumulates array elements. Split on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // End of input: emit.
+    ([ $($elem:expr),* ]) => { $crate::Value::Array(vec![$($elem),*]) };
+    // Nested structures captured whole as a tt.
+    ([ $($elem:expr),* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::json!({ $($inner)* }) ] $($($rest)*)?)
+    };
+    ([ $($elem:expr),* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::json!([ $($inner)* ]) ] $($($rest)*)?)
+    };
+    // A plain expression element.
+    ([ $($elem:expr),* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array!([ $($elem,)* $crate::json!($next) ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulates `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ([ $(($key:expr, $val:expr)),* ]) => {
+        $crate::Value::Object(vec![$(($key.to_string(), $val)),*])
+    };
+    ([ $(($key:expr, $val:expr)),* ] $k:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $(($key, $val),)* ($k, $crate::json!({ $($inner)* })) ] $($($rest)*)?)
+    };
+    ([ $(($key:expr, $val:expr)),* ] $k:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $(($key, $val),)* ($k, $crate::json!([ $($inner)* ])) ] $($($rest)*)?)
+    };
+    ([ $(($key:expr, $val:expr)),* ] $k:literal : $v:expr $(, $($rest:tt)*)?) => {
+        $crate::json_object!([ $(($key, $val),)* ($k, $crate::json!($v)) ] $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        let t = (1u32, "x".to_string());
+        assert_eq!(to_string(&t).unwrap(), "[1,\"x\"]");
+        assert_eq!(from_str::<(u32, String)>("[1,\"x\"]").unwrap(), t);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let rows = vec![json!([1, 2]), json!([3, 4])];
+        let v = json!({
+            "name": "chisel", "n": 3usize,
+            "nested": { "ok": true, "list": [1, 2.5, "s"] },
+            "rows": rows,
+        });
+        let text = v.to_string();
+        assert!(text.starts_with("{\"name\":\"chisel\""));
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let text = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_is_reparsable() {
+        let v = json!({ "a": [1, 2], "b": { "c": "d" }, "empty": [] });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(from_str::<u32>("\"nope\"").is_err());
+        assert!(parse_value("{broken").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("1 trailing").is_err());
+    }
+
+    #[test]
+    fn floats_keep_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+    }
+}
