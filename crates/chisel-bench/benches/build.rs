@@ -1,0 +1,88 @@
+//! Full-build pipeline benchmarks: cold engine builds across table sizes
+//! and worker counts, plus the post-update partition re-setup path the
+//! pipeline shares its per-partition build unit with.
+//!
+//! The build is byte-deterministic for every thread count (see the
+//! `build_determinism` suite), so these runs measure pure wall-clock
+//! scaling. Set `CHISEL_BENCH_QUICK=1` to restrict to the smallest size —
+//! the CI smoke configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chisel_core::{ChiselConfig, ChiselLpm};
+use chisel_workloads::{synthesize, PrefixLenDistribution};
+
+fn quick() -> bool {
+    std::env::var_os("CHISEL_BENCH_QUICK").is_some()
+}
+
+fn sizes() -> &'static [usize] {
+    if quick() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 500_000]
+    }
+}
+
+fn thread_counts() -> &'static [usize] {
+    if quick() {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
+
+fn bench_cold_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cold_build");
+    group.sample_size(10);
+    for &n in sizes() {
+        let table = synthesize(n, &PrefixLenDistribution::bgp_ipv4(), 0xB117D);
+        group.throughput(Throughput::Elements(table.len() as u64));
+        for &threads in thread_counts() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{n}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        ChiselLpm::build(&table, ChiselConfig::ipv4().build_threads(threads))
+                            .expect("builds")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_post_update_resetup(c: &mut Criterion) {
+    // The incremental path the parallel pipeline leaves untouched: one
+    // partition re-setup after an announce that found no singleton. This
+    // guards the update latency bound while the build path evolves.
+    let n = if quick() { 10_000 } else { 100_000 };
+    let table = synthesize(n, &PrefixLenDistribution::bgp_ipv4(), 0x5EED);
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("builds");
+    let fresh: Vec<chisel_prefix::Prefix> = synthesize(256, &PrefixLenDistribution::bgp_ipv4(), 9)
+        .iter()
+        .map(|e| e.prefix)
+        .collect();
+    let mut group = c.benchmark_group("post_update_resetup");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            let mut e = engine.clone();
+            for (i, p) in fresh.iter().enumerate() {
+                e.announce(*p, chisel_prefix::NextHop::new(i as u32))
+                    .expect("announces");
+            }
+            e
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cold_build, bench_post_update_resetup
+}
+criterion_main!(benches);

@@ -2,22 +2,25 @@ use std::collections::HashMap;
 
 use chisel_hash::HashFamily;
 
-use crate::BloomierError;
+use crate::{BloomierError, PackedWords};
 
 /// A collision-free hash table encoding a function `u128 -> u32`.
 ///
 /// The Index Table `data` is set up so that XOR-ing the `k` locations of a
 /// key's hash neighborhood yields exactly the value encoded for that key
-/// (paper Equations 2/4). Occupancy bookkeeping (`counts`, `xorsum`) is
-/// retained after setup to support incremental singleton inserts; in the
-/// hardware realization this bookkeeping lives in the software shadow copy
-/// on the line card, not in the lookup engine.
+/// (paper Equations 2/4). Locations are `w`-bit packed ([`PackedWords`]),
+/// matching the Section 5 storage model where an entry is exactly wide
+/// enough for a Filter/Result Table pointer. Occupancy bookkeeping
+/// (`counts`, `xorsum`) is retained after setup to support incremental
+/// singleton inserts; in the hardware realization this bookkeeping lives
+/// in the software shadow copy on the line card, not in the lookup engine.
 #[derive(Debug, Clone)]
 pub struct BloomierFilter {
     family: HashFamily,
     m: usize,
-    /// The Index Table (Equation 4 encodes Result Table pointers here).
-    data: Vec<u32>,
+    /// The Index Table (Equation 4 encodes Result Table pointers here),
+    /// `w` bits per location.
+    data: PackedWords,
     /// Number of (function, key) incidences per location over live keys.
     counts: Vec<u32>,
     /// XOR of the live keys hashing to each location (once per incidence).
@@ -37,18 +40,29 @@ pub struct Built {
 }
 
 impl BloomierFilter {
-    /// Creates an empty filter with `m` locations and `k` hash functions
-    /// seeded from `seed`.
+    /// Creates an empty filter with `m` full-width (32-bit) locations and
+    /// `k` hash functions seeded from `seed`. See
+    /// [`BloomierFilter::empty_packed`] for the storage-efficient form.
     ///
     /// # Panics
     ///
     /// Panics if `m == 0` or `k == 0`.
     pub fn empty(k: usize, m: usize, seed: u64) -> Self {
+        Self::empty_packed(k, m, 32, seed)
+    }
+
+    /// Creates an empty filter whose `m` locations are packed to
+    /// `value_bits` bits each — every encoded value must fit that width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`, `k == 0`, or `value_bits` is outside `1..=32`.
+    pub fn empty_packed(k: usize, m: usize, value_bits: u32, seed: u64) -> Self {
         assert!(m > 0, "index table must have at least one location");
         BloomierFilter {
             family: HashFamily::new(k, seed),
             m,
-            data: vec![0; m],
+            data: PackedWords::new(m, value_bits),
             counts: vec![0; m],
             xorsum: vec![0; m],
             len: 0,
@@ -69,10 +83,26 @@ impl BloomierFilter {
         seed: u64,
         keys: &[(u128, u32)],
     ) -> Result<Built, BloomierError> {
+        Self::build_packed(k, m, 32, seed, keys)
+    }
+
+    /// [`BloomierFilter::build`] with `value_bits`-bit packed locations.
+    ///
+    /// # Errors
+    ///
+    /// As [`BloomierFilter::build`]; additionally every value must fit in
+    /// `value_bits` bits (asserted).
+    pub fn build_packed(
+        k: usize,
+        m: usize,
+        value_bits: u32,
+        seed: u64,
+        keys: &[(u128, u32)],
+    ) -> Result<Built, BloomierError> {
         if m < k {
             return Err(BloomierError::TableTooSmall { m, k });
         }
-        let mut filter = BloomierFilter::empty(k, m, seed);
+        let mut filter = BloomierFilter::empty_packed(k, m, value_bits, seed);
         let spilled = filter.setup(keys)?;
         Ok(Built { filter, spilled })
     }
@@ -116,7 +146,7 @@ impl BloomierFilter {
     pub fn lookup(&self, key: u128) -> u32 {
         let mut acc = 0u32;
         for i in 0..self.family.k() {
-            acc ^= self.data[self.family.hash_one(i, key, self.m)];
+            acc ^= self.data.get(self.family.hash_one(i, key, self.m));
         }
         acc
     }
@@ -126,7 +156,7 @@ impl BloomierFilter {
     #[inline]
     pub fn prefetch(&self, key: u128) {
         for i in 0..self.family.k() {
-            crate::prefetch_read(&self.data[self.family.hash_one(i, key, self.m)]);
+            self.data.prefetch(self.family.hash_one(i, key, self.m));
         }
     }
 
@@ -176,16 +206,16 @@ impl BloomierFilter {
             if loc == tau && !tau_seen {
                 tau_seen = true; // skip exactly one incidence of τ
             } else {
-                acc ^= self.data[loc];
+                acc ^= self.data.get(loc);
             }
         }
-        self.data[tau] = acc;
+        self.data.set(tau, acc);
     }
 
     /// Runs the full peeling setup over `keys`, replacing current contents.
     /// Returns keys spilled to make setup converge.
     fn setup(&mut self, keys: &[(u128, u32)]) -> Result<Vec<(u128, u32)>, BloomierError> {
-        self.data.iter_mut().for_each(|d| *d = 0);
+        self.data.clear();
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.xorsum.iter_mut().for_each(|x| *x = 0);
         self.len = 0;
@@ -272,11 +302,17 @@ impl BloomierFilter {
         self.counts[loc]
     }
 
-    /// The raw Index Table words — what gets loaded into the hardware
-    /// memory macro. A lookup is fully determined by these words plus the
+    /// The packed Index Table arena — what gets loaded into the hardware
+    /// memory macro. A lookup is fully determined by this arena plus the
     /// hash family.
-    pub fn table_words(&self) -> &[u32] {
+    pub fn packed(&self) -> &PackedWords {
         &self.data
+    }
+
+    /// Entry width `w` of the Index Table in bits.
+    #[inline]
+    pub fn value_bits(&self) -> u32 {
+        self.data.value_bits()
     }
 }
 
@@ -298,6 +334,41 @@ mod tests {
         assert_eq!(built.filter.len(), 1000);
         for &(k, v) in &keys {
             assert_eq!(built.filter.lookup(k), v);
+        }
+    }
+
+    #[test]
+    fn packed_build_matches_full_width() {
+        // Values < 1024 fit in 10 bits: the packed filter must encode the
+        // identical function while charging a third of the storage.
+        let keys = keyset(1000, 7);
+        let wide = BloomierFilter::build(3, 3000, 1, &keys).unwrap().filter;
+        let packed = BloomierFilter::build_packed(3, 3000, 10, 1, &keys)
+            .unwrap()
+            .filter;
+        for &(k, _) in &keys {
+            assert_eq!(wide.lookup(k), packed.lookup(k));
+        }
+        assert_eq!(packed.value_bits(), 10);
+        assert_eq!(packed.packed().logical_bits(), 3000 * 10);
+        assert!(packed.packed().arena_bits() < wide.packed().arena_bits() / 2);
+    }
+
+    #[test]
+    fn packed_incremental_insert() {
+        let keys = keyset(500, 3);
+        let mut f = BloomierFilter::build_packed(3, 4500, 13, 2, &keys)
+            .unwrap()
+            .filter;
+        let mut inserted = Vec::new();
+        for &(k, v) in &keyset(100, 0xABCD_0000_0000) {
+            if f.try_insert(k, v).is_ok() {
+                inserted.push((k, v));
+            }
+        }
+        assert!(!inserted.is_empty());
+        for &(k, v) in keys.iter().chain(&inserted) {
+            assert_eq!(f.lookup(k), v);
         }
     }
 

@@ -35,11 +35,13 @@ pub mod analytics;
 mod checksum;
 mod error;
 mod filter;
+mod packed;
 mod partition;
 
 pub use checksum::ChecksumBloomier;
 pub use error::BloomierError;
 pub use filter::{BloomierFilter, Built};
+pub use packed::PackedWords;
 pub use partition::PartitionedBloomier;
 
 /// Hints the CPU to pull the cache line holding `value` toward L1.

@@ -1,0 +1,265 @@
+//! The bit-packed Index Table arena (paper Section 5 storage model).
+//!
+//! The paper's storage claims rest on Index Table entries being exactly
+//! `w = ceil(log2(n))` bits wide — a pointer into an `n`-deep Filter /
+//! Bit-vector Table — not a machine word. [`PackedWords`] realizes that:
+//! a fixed-length array of `w`-bit values (`1 <= w <= 32`) packed
+//! back-to-back into 64-bit words, backed by cache-line (64-byte) aligned
+//! storage so one Index Table probe touches the minimum number of lines
+//! and hardware-style burst reads stay line-aligned.
+//!
+//! Entries may straddle a word boundary; reads and writes therefore go
+//! through a two-word window folded into a `u128`, which keeps the access
+//! branch-free (the arena always provisions one trailing pad word). The
+//! arena is `Clone + PartialEq` so engine images built from it can be
+//! compared byte-for-byte by the determinism suite.
+
+/// One cache line of packed storage. `repr(C, align(64))` pins both the
+/// layout (eight consecutive `u64`s) and the alignment of the backing
+/// allocation.
+#[repr(C, align(64))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct CacheLine([u64; 8]);
+
+const WORDS_PER_LINE: usize = 8;
+
+/// A fixed-length array of `w`-bit values packed into cache-line aligned
+/// 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedWords {
+    lines: Vec<CacheLine>,
+    /// Number of addressable entries.
+    len: usize,
+    /// Entry width `w` in bits (`1..=32`).
+    value_bits: u32,
+    /// `2^w - 1`, cached for the access paths.
+    mask: u32,
+    /// Number of live (non-pad) backing words.
+    words: usize,
+}
+
+impl PackedWords {
+    /// Creates a zero-filled arena of `len` entries of `value_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= value_bits <= 32`.
+    pub fn new(len: usize, value_bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&value_bits),
+            "entry width {value_bits} out of range 1..=32"
+        );
+        let bits = len * value_bits as usize;
+        let words = bits.div_ceil(64);
+        // One pad word keeps the two-word read window in bounds for the
+        // last entry.
+        let lines = vec![CacheLine::default(); (words + 1).div_ceil(WORDS_PER_LINE)];
+        PackedWords {
+            lines,
+            len,
+            value_bits,
+            mask: if value_bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << value_bits) - 1
+            },
+            words,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entry width in bits (the paper's `w`).
+    #[inline]
+    pub fn value_bits(&self) -> u32 {
+        self.value_bits
+    }
+
+    /// Logical storage in bits: `len * value_bits` — what the Section 5
+    /// storage model charges for the Index Table.
+    #[inline]
+    pub fn logical_bits(&self) -> u64 {
+        self.len as u64 * self.value_bits as u64
+    }
+
+    /// Physical storage in bits: whole 64-bit backing words, excluding
+    /// the alignment tail. The word-packing overhead is at most 63 bits.
+    #[inline]
+    pub fn arena_bits(&self) -> u64 {
+        self.words as u64 * 64
+    }
+
+    /// The live backing words (pad word excluded) — what a hardware image
+    /// serializes.
+    pub fn backing_words(&self) -> &[u64] {
+        &self.flat()[..self.words]
+    }
+
+    #[inline]
+    fn flat(&self) -> &[u64] {
+        // SAFETY: `CacheLine` is `repr(C)` over `[u64; 8]`, so a `Vec` of
+        // lines is one contiguous, properly-aligned run of
+        // `lines.len() * 8` initialized `u64`s.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.lines.as_ptr().cast::<u64>(),
+                self.lines.len() * WORDS_PER_LINE,
+            )
+        }
+    }
+
+    #[inline]
+    fn flat_mut(&mut self) -> &mut [u64] {
+        // SAFETY: as in `flat`, plus `&mut self` guarantees uniqueness.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.lines.as_mut_ptr().cast::<u64>(),
+                self.lines.len() * WORDS_PER_LINE,
+            )
+        }
+    }
+
+    /// Reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "entry {i} out of range {}", self.len);
+        let bit = i * self.value_bits as usize;
+        let (wi, sh) = (bit >> 6, (bit & 63) as u32);
+        let flat = self.flat();
+        let pair = flat[wi] as u128 | ((flat[wi + 1] as u128) << 64);
+        (pair >> sh) as u32 & self.mask
+    }
+
+    /// Writes entry `i`. Bits of `value` above `value_bits` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or the value does not fit the entry width.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u32) {
+        assert!(i < self.len, "entry {i} out of range {}", self.len);
+        assert!(
+            value & !self.mask == 0,
+            "value {value:#x} exceeds {} bits",
+            self.value_bits
+        );
+        let bit = i * self.value_bits as usize;
+        let (wi, sh) = (bit >> 6, (bit & 63) as u32);
+        let clear = !((self.mask as u128) << sh);
+        let flat = self.flat_mut();
+        let pair =
+            (flat[wi] as u128 | ((flat[wi + 1] as u128) << 64)) & clear | ((value as u128) << sh);
+        flat[wi] = pair as u64;
+        flat[wi + 1] = (pair >> 64) as u64;
+    }
+
+    /// Zeroes every entry.
+    pub fn clear(&mut self) {
+        self.lines.fill(CacheLine::default());
+    }
+
+    /// Prefetches the cache line holding entry `i`.
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let wi = (i * self.value_bits as usize) >> 6;
+        crate::prefetch_read(&self.flat()[wi]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for w in 1..=32u32 {
+            let n = 517; // odd length exercises straddling entries
+            let mask = if w == 32 { u32::MAX } else { (1 << w) - 1 };
+            let mut t = PackedWords::new(n, w);
+            for i in 0..n {
+                t.set(i, (i as u32).wrapping_mul(0x9E37_79B9) & mask);
+            }
+            for i in 0..n {
+                assert_eq!(
+                    t.get(i),
+                    (i as u32).wrapping_mul(0x9E37_79B9) & mask,
+                    "w={w} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_do_not_clobber() {
+        let mut t = PackedWords::new(64, 21); // 21 bits straddles words
+        t.set(3, 0x1F_FFFF);
+        t.set(2, 0);
+        t.set(4, 0);
+        assert_eq!(t.get(3), 0x1F_FFFF);
+        t.set(3, 0);
+        assert_eq!((0..64).map(|i| t.get(i)).sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = PackedWords::new(1000, 17);
+        assert_eq!(t.logical_bits(), 17_000);
+        assert_eq!(t.arena_bits(), 17_000u64.div_ceil(64) * 64);
+        assert!(t.arena_bits() - t.logical_bits() < 64);
+        assert_eq!(t.backing_words().len() as u64 * 64, t.arena_bits());
+    }
+
+    #[test]
+    fn backing_is_cache_line_aligned() {
+        for n in [1usize, 63, 64, 1000] {
+            let t = PackedWords::new(n, 13);
+            assert_eq!(t.lines.as_ptr() as usize % 64, 0);
+        }
+    }
+
+    #[test]
+    fn clear_and_equality() {
+        let mut a = PackedWords::new(100, 9);
+        let b = PackedWords::new(100, 9);
+        a.set(57, 0x1FF);
+        assert_ne!(a, b);
+        a.clear();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_rejected() {
+        let mut t = PackedWords::new(8, 4);
+        t.set(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        let _ = PackedWords::new(8, 0);
+    }
+
+    #[test]
+    fn empty_arena() {
+        let t = PackedWords::new(0, 8);
+        assert!(t.is_empty());
+        assert_eq!(t.logical_bits(), 0);
+        assert_eq!(t.backing_words().len(), 0);
+    }
+}

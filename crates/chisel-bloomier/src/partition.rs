@@ -4,6 +4,11 @@ use chisel_hash::HashFamily;
 
 use crate::{BloomierError, BloomierFilter, Built};
 
+/// One built partition: the filter, the keys it spilled, and the seed salt
+/// that produced it — the unit of work the parallel setup pipeline moves
+/// between threads.
+pub type PartitionBuild = (BloomierFilter, Vec<(u128, u32)>, u64);
+
 /// A Bloomier filter logically partitioned into `d` sub-tables
 /// (paper Section 4.4.2).
 ///
@@ -25,6 +30,7 @@ pub struct PartitionedBloomier {
     selector: HashFamily,
     k: usize,
     part_m: usize,
+    value_bits: u32,
     seed: u64,
     /// Per-partition seed salt, bumped when a partition is rebuilt after a
     /// convergence failure so the rebuild tries fresh hash functions.
@@ -32,24 +38,43 @@ pub struct PartitionedBloomier {
 }
 
 impl PartitionedBloomier {
-    /// Creates an empty partitioned filter: `d` sub-tables of
-    /// `ceil(total_m / d)` locations each.
+    /// Creates an empty partitioned filter of full-width (32-bit)
+    /// locations: `d` sub-tables of `ceil(total_m / d)` locations each.
     ///
     /// # Panics
     ///
     /// Panics if `d == 0` or `total_m == 0`.
     pub fn empty(k: usize, total_m: usize, d: usize, seed: u64) -> Self {
+        Self::empty_packed(k, total_m, d, 32, seed)
+    }
+
+    /// [`PartitionedBloomier::empty`] with `value_bits`-bit packed
+    /// locations (the paper's `w`-bit Index Table entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `total_m == 0`, or `value_bits` is outside
+    /// `1..=32`.
+    pub fn empty_packed(k: usize, total_m: usize, d: usize, value_bits: u32, seed: u64) -> Self {
         assert!(d > 0, "need at least one partition");
         assert!(total_m > 0, "index table must be nonempty");
         let part_m = total_m.div_ceil(d).max(k);
         let parts = (0..d)
-            .map(|i| Arc::new(BloomierFilter::empty(k, part_m, part_seed(seed, i, 0))))
+            .map(|i| {
+                Arc::new(BloomierFilter::empty_packed(
+                    k,
+                    part_m,
+                    value_bits,
+                    part_seed(seed, i, 0),
+                ))
+            })
             .collect();
         PartitionedBloomier {
             parts,
             selector: HashFamily::new(1, seed ^ 0x5E1E_C70A),
             k,
             part_m,
+            value_bits,
             seed,
             salts: vec![0; d],
         }
@@ -69,14 +94,93 @@ impl PartitionedBloomier {
         seed: u64,
         keys: &[(u128, u32)],
     ) -> Result<(Self, Vec<(u128, u32)>), BloomierError> {
-        let mut this = Self::empty(k, total_m, d, seed);
+        Self::build_packed(k, total_m, d, 32, seed, keys)
+    }
+
+    /// [`PartitionedBloomier::build`] with `value_bits`-bit packed
+    /// locations.
+    ///
+    /// # Errors
+    ///
+    /// As [`PartitionedBloomier::build`].
+    pub fn build_packed(
+        k: usize,
+        total_m: usize,
+        d: usize,
+        value_bits: u32,
+        seed: u64,
+        keys: &[(u128, u32)],
+    ) -> Result<(Self, Vec<(u128, u32)>), BloomierError> {
+        Self::build_with_threads(k, total_m, d, value_bits, seed, keys, 1)
+    }
+
+    /// Builds over a static key set with the `d` independent partition
+    /// setups fanned out over `threads` scoped worker threads — the
+    /// concurrent realization of Section 4.4.2's observation that logical
+    /// partitions are set up in isolation. The result is identical to the
+    /// serial build for any thread count: partitions are assembled and
+    /// spills concatenated in partition order.
+    ///
+    /// # Errors
+    ///
+    /// As [`PartitionedBloomier::build`]; the first failing partition (in
+    /// partition order) reports its error.
+    pub fn build_with_threads(
+        k: usize,
+        total_m: usize,
+        d: usize,
+        value_bits: u32,
+        seed: u64,
+        keys: &[(u128, u32)],
+        threads: usize,
+    ) -> Result<(Self, Vec<(u128, u32)>), BloomierError> {
+        let mut this = Self::empty_packed(k, total_m, d, value_bits, seed);
         let mut buckets: Vec<Vec<(u128, u32)>> = vec![Vec::new(); d];
         for &(key, value) in keys {
             buckets[this.partition_of(key)].push((key, value));
         }
+        let part_m = this.part_m;
+        let built: Vec<Result<PartitionBuild, BloomierError>> = if threads <= 1 || d == 1 {
+            buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| Self::build_one_partition(k, part_m, value_bits, seed, i, 0, b))
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<_>>> =
+                (0..d).map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(d) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= d {
+                            break;
+                        }
+                        let r = Self::build_one_partition(
+                            k,
+                            part_m,
+                            value_bits,
+                            seed,
+                            i,
+                            0,
+                            &buckets[i],
+                        );
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("result slot poisoned"))
+                .map(|r| r.expect("every partition was built"))
+                .collect()
+        };
         let mut spilled = Vec::new();
-        for (i, bucket) in buckets.iter().enumerate() {
-            spilled.extend(this.rebuild_partition(i, bucket)?);
+        for (i, r) in built.into_iter().enumerate() {
+            let (filter, spill, salt) = r?;
+            this.install_partition(i, filter, salt);
+            spilled.extend(spill);
         }
         Ok((this, spilled))
     }
@@ -179,29 +283,109 @@ impl PartitionedBloomier {
         keys: &[(u128, u32)],
     ) -> Result<Vec<(u128, u32)>, BloomierError> {
         debug_assert!(keys.iter().all(|&(k, _)| self.partition_of(k) == idx));
-        // Up to 4 attempts with fresh seeds; the paper notes repeated
-        // failures have probability 1e-14, 1e-21, ... (Section 4.1).
-        let mut best: Option<(BloomierFilter, Vec<(u128, u32)>)> = None;
+        let (filter, spilled, salt) = Self::build_one_partition(
+            self.k,
+            self.part_m,
+            self.value_bits,
+            self.seed,
+            idx,
+            self.salts[idx],
+            keys,
+        )?;
+        self.install_partition(idx, filter, salt);
+        Ok(spilled)
+    }
+
+    /// Builds partition `idx` in isolation — the unit of work the parallel
+    /// setup pipeline distributes across threads. Retries with salted hash
+    /// seeds (up to 4 attempts; the paper notes repeated failures have
+    /// probability 1e-14, 1e-21, ... — Section 4.1) and returns the
+    /// filter, its spilled keys, and the salt that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-key / sizing errors from the underlying build.
+    pub fn build_one_partition(
+        k: usize,
+        part_m: usize,
+        value_bits: u32,
+        seed: u64,
+        idx: usize,
+        salt_base: u64,
+        keys: &[(u128, u32)],
+    ) -> Result<PartitionBuild, BloomierError> {
+        let mut best: Option<PartitionBuild> = None;
         for attempt in 0..4u64 {
-            let salt = self.salts[idx] + attempt;
-            let built: Built =
-                BloomierFilter::build(self.k, self.part_m, part_seed(self.seed, idx, salt), keys)?;
+            let salt = salt_base + attempt;
+            let built: Built = BloomierFilter::build_packed(
+                k,
+                part_m,
+                value_bits,
+                part_seed(seed, idx, salt),
+                keys,
+            )?;
             let better = match &best {
                 None => true,
-                Some((_, spill)) => built.spilled.len() < spill.len(),
+                Some((_, spill, _)) => built.spilled.len() < spill.len(),
             };
             if better {
                 let done = built.spilled.is_empty();
-                self.salts[idx] = salt;
-                best = Some((built.filter, built.spilled));
+                best = Some((built.filter, built.spilled, salt));
                 if done {
                     break;
                 }
             }
         }
-        let (filter, spilled) = best.expect("at least one attempt ran");
+        Ok(best.expect("at least one attempt ran"))
+    }
+
+    /// Installs an externally-built partition filter (from
+    /// [`PartitionedBloomier::build_one_partition`]) at index `idx`,
+    /// recording the salt its hash seeds were derived with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter's geometry disagrees with the partition
+    /// layout, or `idx >= d`.
+    pub fn install_partition(&mut self, idx: usize, filter: BloomierFilter, salt: u64) {
+        assert_eq!(filter.m(), self.part_m, "partition size mismatch");
+        assert_eq!(filter.k(), self.k, "hash-count mismatch");
+        assert_eq!(filter.value_bits(), self.value_bits, "entry width mismatch");
+        self.salts[idx] = salt;
         self.parts[idx] = Arc::new(filter);
-        Ok(spilled)
+    }
+
+    /// Entry width `w` of the Index Table locations in bits.
+    #[inline]
+    pub fn value_bits(&self) -> u32 {
+        self.value_bits
+    }
+
+    /// Master seed the partition hash functions derive from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current salt of partition `idx` (for externally-orchestrated
+    /// rebuilds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= d`.
+    pub fn salt(&self, idx: usize) -> u64 {
+        self.salts[idx]
+    }
+
+    /// Logical Index Table storage in bits: `total_m * value_bits` — the
+    /// Section 5 storage-model figure for this filter.
+    pub fn logical_bits(&self) -> u64 {
+        self.parts.iter().map(|p| p.packed().logical_bits()).sum()
+    }
+
+    /// Physical arena storage in bits (whole backing words).
+    pub fn arena_bits(&self) -> u64 {
+        self.parts.iter().map(|p| p.packed().arena_bits()).sum()
     }
 }
 
@@ -230,6 +414,44 @@ mod tests {
         for &(k, v) in &keys {
             assert_eq!(f.lookup(k), v);
         }
+    }
+
+    #[test]
+    fn threaded_build_is_byte_identical_to_serial() {
+        let keys = keyset(4000, 5);
+        let (serial, spill_s) =
+            PartitionedBloomier::build_with_threads(3, 12_000, 8, 13, 1, &keys, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let (par, spill_p) =
+                PartitionedBloomier::build_with_threads(3, 12_000, 8, 13, 1, &keys, threads)
+                    .unwrap();
+            assert_eq!(
+                spill_s, spill_p,
+                "spill order diverged at {threads} threads"
+            );
+            for i in 0..8 {
+                assert_eq!(
+                    serial.part(i).packed(),
+                    par.part(i).packed(),
+                    "partition {i} words diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_partitioned_lookup() {
+        let keys = keyset(4000, 9);
+        // Values < 4096 fit 12 bits.
+        let (f, spilled) = PartitionedBloomier::build_packed(3, 12_000, 8, 12, 2, &keys).unwrap();
+        assert!(spilled.is_empty());
+        assert_eq!(f.value_bits(), 12);
+        for &(k, v) in &keys {
+            assert_eq!(f.lookup(k), v);
+        }
+        assert_eq!(f.logical_bits(), f.total_m() as u64 * 12);
+        assert!(f.arena_bits() >= f.logical_bits());
+        assert!(f.arena_bits() - f.logical_bits() < 64 * f.d() as u64);
     }
 
     #[test]

@@ -106,6 +106,13 @@ impl LeafVector {
     pub fn storage_bits(&self) -> usize {
         self.leaves
     }
+
+    /// The raw backing words (LSB-first leaves) — what a hardware image
+    /// serializes.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,10 @@ pub struct ChiselConfig {
     /// Table for cheap route-flap restoration (Section 4.4.1). Disabling
     /// this is the ablation: flaps then cost a fresh key insert.
     pub flap_absorption: bool,
+    /// Worker threads for the full-build pipeline (`0` = the machine's
+    /// available parallelism). The built engine is byte-identical for
+    /// every value — threads only change wall-clock time.
+    pub build_threads: usize,
 }
 
 impl ChiselConfig {
@@ -59,6 +63,7 @@ impl ChiselConfig {
             plan: None,
             flap_window: 1 << 16,
             flap_absorption: true,
+            build_threads: 0,
         }
     }
 
@@ -142,6 +147,12 @@ impl ChiselConfig {
     /// knob; on by default).
     pub fn flap_absorption(mut self, on: bool) -> Self {
         self.flap_absorption = on;
+        self
+    }
+
+    /// Sets the build-pipeline worker count (`0` = available parallelism).
+    pub fn build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
         self
     }
 }

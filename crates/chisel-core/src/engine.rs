@@ -1,9 +1,11 @@
 //! The Chisel LPM engine: sub-cells searched in priority order, a default
 //! route, and the incremental update front-end (paper Sections 4.3–4.4).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use chisel_prefix::collapse::StridePlan;
+use chisel_prefix::parallel::{chunk_ranges, parallel_map, resolve_threads};
 use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};
 
 use crate::shadow::GroupShadow;
@@ -62,6 +64,7 @@ impl ChiselLpm {
             Some(p) => p.clone(),
             None => StridePlan::covering(&table.length_histogram(), config.stride, width),
         };
+        let threads = resolve_threads(config.build_threads);
         let params = CellParams {
             k: config.k,
             m_per_key: config.m_per_key,
@@ -69,36 +72,65 @@ impl ChiselLpm {
             seed: config.seed,
             spill_capacity: config.spill_capacity,
             flap_absorption: config.flap_absorption,
+            build_threads: threads,
         };
 
-        // Group prefixes per cell by collapsed key.
+        // Phase A: group prefixes per cell by collapsed key. Contiguous
+        // chunks of the (deterministically ordered) table are grouped on
+        // worker threads and merged chunk-by-chunk; per-prefix inserts
+        // land in BTreeMaps and each prefix appears in exactly one chunk,
+        // so the merged result is identical for any thread count.
         let ncells = plan.num_cells();
-        let mut groups: Vec<std::collections::HashMap<u128, GroupShadow>> =
-            vec![std::collections::HashMap::new(); ncells];
+        type CellGroups = Vec<BTreeMap<u128, GroupShadow>>;
+        type ChunkGroups = Result<(CellGroups, Option<NextHop>, usize), ChiselError>;
+        let entries: Vec<RouteEntry> = table.iter().collect();
+        let ranges = chunk_ranges(entries.len(), threads);
+        let partials: Vec<ChunkGroups> = parallel_map(threads, &ranges, |_, range| {
+            let mut groups: CellGroups = vec![BTreeMap::new(); ncells];
+            let mut default_route = None;
+            let mut len = 0usize;
+            for e in &entries[range.clone()] {
+                if e.prefix.is_empty() {
+                    default_route = Some(e.next_hop);
+                    len += 1;
+                    continue;
+                }
+                let ci = plan
+                    .cell_for(e.prefix.len())
+                    .ok_or(ChiselError::UnsupportedLength {
+                        len: e.prefix.len(),
+                    })?;
+                let base = plan.cells()[ci].base;
+                let collapsed = e.prefix.truncate(base).bits();
+                let depth = e.prefix.len() - base;
+                let suffix = e.prefix.suffix_below(base);
+                groups[ci]
+                    .entry(collapsed)
+                    .or_default()
+                    .insert(depth, suffix, e.next_hop);
+                len += 1;
+            }
+            Ok((groups, default_route, len))
+        });
+        let mut groups: CellGroups = vec![BTreeMap::new(); ncells];
         let mut default_route = None;
         let mut len = 0usize;
-        for e in table.iter() {
-            if e.prefix.is_empty() {
-                default_route = Some(e.next_hop);
-                len += 1;
-                continue;
+        for partial in partials {
+            let (part_groups, part_default, part_len) = partial?;
+            for (ci, cell) in part_groups.into_iter().enumerate() {
+                for (bits, shadow) in cell {
+                    groups[ci].entry(bits).or_default().absorb(shadow);
+                }
             }
-            let ci = plan
-                .cell_for(e.prefix.len())
-                .ok_or(ChiselError::UnsupportedLength {
-                    len: e.prefix.len(),
-                })?;
-            let base = plan.cells()[ci].base;
-            let collapsed = e.prefix.truncate(base).bits();
-            let depth = e.prefix.len() - base;
-            let suffix = e.prefix.suffix_below(base);
-            groups[ci]
-                .entry(collapsed)
-                .or_default()
-                .insert(depth, suffix, e.next_hop);
-            len += 1;
+            // The table holds at most one length-0 prefix, so at most one
+            // chunk reports a default route.
+            default_route = default_route.or(part_default);
+            len += part_len;
         }
 
+        // Phases B and C run inside each sub-cell build: the per-group
+        // leaf fills and the d Bloomier partition setups fan out over the
+        // same worker budget (see `SubCell::install_groups`).
         let mut cells = Vec::with_capacity(ncells);
         for (ci, cell_groups) in groups.into_iter().enumerate() {
             // Deterministic sizing (Section 4.3.2): provision the Filter /
@@ -371,8 +403,9 @@ impl ChiselLpm {
         let mut s = StorageBreakdown::default();
         for cell in &self.cells {
             let cap = cell.capacity();
-            let ptr = addr_bits(cap) as u64;
-            s.index_bits += cell.index_locations() as u64 * ptr;
+            // Measured off the packed arena: `total_m` entries of
+            // `w = ceil(log2(capacity))` bits each.
+            s.index_bits += cell.index_logical_bits();
             // Filter stores the collapsed key (base bits) + dirty bit; the
             // hardware provisions full key width, which we follow.
             s.filter_bits += cap as u64 * (self.config.family.width() as u64 + 1);
@@ -385,6 +418,23 @@ impl ChiselLpm {
     /// Number of live collapsed groups across sub-cells.
     pub fn groups(&self) -> usize {
         self.cells.iter().map(|c| c.groups()).sum()
+    }
+
+    /// Per-sub-cell packed Index Table geometry: `(locations, entry width
+    /// w, Filter/Bit-vector capacity)` — the quantities of the Section 5
+    /// storage model, where `w = ceil(log2(capacity))`.
+    pub fn index_geometry(&self) -> Vec<(usize, u32, usize)> {
+        self.cells
+            .iter()
+            .map(|c| (c.index_locations(), c.index_value_bits(), c.capacity()))
+            .collect()
+    }
+
+    /// Physical bit-packed Index Table storage across sub-cells: whole
+    /// 64-bit backing words (cache-line aligned), as opposed to the
+    /// logical `m * w` figure reported by [`ChiselLpm::storage`].
+    pub fn index_arena_bits(&self) -> u64 {
+        self.cells.iter().map(|c| c.index_arena_bits()).sum()
     }
 
     /// Exports every table's raw memory words as a [`crate::HardwareImage`]
@@ -606,5 +656,46 @@ mod tests {
         let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
         let s = engine.storage();
         assert!(s.index_bits > 0 && s.filter_bits > 0 && s.bitvec_bits > 0);
+    }
+
+    #[test]
+    fn storage_matches_section5_packed_model() {
+        use chisel_prefix::bits::addr_bits;
+        let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        let geometry = engine.index_geometry();
+        // Section 5 storage model: every Index Table entry is a packed
+        // w = ceil(log2(table depth)) bit pointer, and the reported
+        // storage is exactly m * w per sub-cell.
+        let mut model_bits = 0u64;
+        for &(m, w, capacity) in &geometry {
+            assert_eq!(w, addr_bits(capacity), "w must be ceil(log2(depth))");
+            model_bits += m as u64 * w as u64;
+        }
+        assert_eq!(engine.storage().index_bits, model_bits);
+        // Packing must beat the full-width Vec<u32> layout it replaced.
+        let unpacked: u64 = geometry.iter().map(|&(m, _, _)| m as u64 * 32).sum();
+        assert!(model_bits < unpacked, "{model_bits} !< {unpacked}");
+        // The physical arena rounds up to whole 64-bit words per
+        // partition — bounded overhead, never more.
+        let partitions: u64 = geometry.len() as u64 * engine.config().partitions as u64;
+        let arena = engine.index_arena_bits();
+        assert!(arena >= model_bits);
+        assert!(arena - model_bits < 64 * partitions);
+    }
+
+    #[test]
+    fn build_threads_do_not_change_the_engine_image() {
+        let t = small_table();
+        let baseline = ChiselLpm::build(&t, ChiselConfig::ipv4().build_threads(1))
+            .unwrap()
+            .export_image()
+            .to_bytes();
+        for threads in [2usize, 8] {
+            let image = ChiselLpm::build(&t, ChiselConfig::ipv4().build_threads(threads))
+                .unwrap()
+                .export_image()
+                .to_bytes();
+            assert_eq!(image, baseline, "image diverged at {threads} threads");
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! hardware table layout and proves the image is complete (the test
 //! suite replays lookups against the live engine).
 
+use chisel_bloomier::PackedWords;
 use chisel_hash::HashFamily;
 use chisel_prefix::bits::extract_msb;
 use chisel_prefix::{AddressFamily, Key, NextHop};
@@ -18,8 +19,9 @@ use crate::bitvector::LeafVector;
 /// One Index Table partition: its memory words and its hash unit.
 #[derive(Debug, Clone)]
 pub struct IndexPartImage {
-    /// The XOR-encoded pointer words.
-    pub words: Vec<u32>,
+    /// The XOR-encoded pointer entries, bit-packed at `w` bits each —
+    /// exactly the hardware memory layout of the Section 5 storage model.
+    pub words: PackedWords,
     /// The partition's `k` hash functions.
     pub family: HashFamily,
 }
@@ -94,7 +96,7 @@ impl HardwareImage {
                     let m = part.words.len();
                     let mut acc = 0u32;
                     for i in 0..part.family.k() {
-                        acc ^= part.words[part.family.hash_one(i, collapsed, m)];
+                        acc ^= part.words.get(part.family.hash_one(i, collapsed, m));
                     }
                     acc
                 }
@@ -118,17 +120,17 @@ impl HardwareImage {
     }
 
     /// Total image payload in bits, charging each table its hardware
-    /// word width (index: pointer bits; filter: key + 2 flag bits;
-    /// bit-vector: `2^stride` + pointer bits; result: 32-bit next hops).
+    /// word width (index: `w` packed pointer bits per entry; filter: key +
+    /// 2 flag bits; bit-vector: `2^stride` + pointer bits; result: 32-bit
+    /// next hops).
     pub fn payload_bits(&self) -> u64 {
         use chisel_prefix::bits::addr_bits;
         let mut total = 0u64;
         for cell in &self.cells {
-            let ptr = addr_bits(cell.filter.len().max(2)) as u64;
             total += cell
                 .index_parts
                 .iter()
-                .map(|p| p.words.len() as u64 * ptr)
+                .map(|p| p.words.logical_bits())
                 .sum::<u64>();
             total += cell.filter.len() as u64 * (self.family.width() as u64 + 2);
             let rptr = addr_bits(cell.result.len().max(2)) as u64;
@@ -137,6 +139,70 @@ impl HardwareImage {
         }
         total
     }
+
+    /// Serializes every table word into one canonical little-endian byte
+    /// stream. Two engines whose hardware state is identical produce
+    /// identical bytes — the determinism suite compares parallel and
+    /// serial builds through this.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(match self.family {
+            AddressFamily::V4 => 4u8,
+            AddressFamily::V6 => 6u8,
+        });
+        push_opt_u32(&mut out, self.default_route.map(|nh| nh.id()));
+        out.extend((self.cells.len() as u32).to_le_bytes());
+        for cell in &self.cells {
+            out.push(cell.base);
+            out.push(cell.stride);
+            push_family(&mut out, &cell.selector);
+            out.extend((cell.index_parts.len() as u32).to_le_bytes());
+            for part in &cell.index_parts {
+                push_family(&mut out, &part.family);
+                out.extend(part.words.value_bits().to_le_bytes());
+                out.extend((part.words.len() as u64).to_le_bytes());
+                for w in part.words.backing_words() {
+                    out.extend(w.to_le_bytes());
+                }
+            }
+            out.extend((cell.filter.len() as u64).to_le_bytes());
+            for f in &cell.filter {
+                out.extend(f.key.to_le_bytes());
+                out.push(u8::from(f.valid) | (u8::from(f.dirty) << 1));
+            }
+            for b in &cell.bitvec {
+                push_opt_u32(&mut out, b.pointer);
+                for w in b.vector.words() {
+                    out.extend(w.to_le_bytes());
+                }
+            }
+            out.extend((cell.result.len() as u64).to_le_bytes());
+            for r in &cell.result {
+                out.extend(r.to_le_bytes());
+            }
+            out.extend((cell.spill.len() as u32).to_le_bytes());
+            for &(k, s) in &cell.spill {
+                out.extend(k.to_le_bytes());
+                out.extend(s.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+fn push_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend(v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn push_family(out: &mut Vec<u8>, family: &HashFamily) {
+    out.extend((family.k() as u32).to_le_bytes());
+    out.extend(family.seed().to_le_bytes());
 }
 
 #[cfg(test)]

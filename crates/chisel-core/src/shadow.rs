@@ -77,6 +77,14 @@ impl GroupShadow {
     pub fn clear(&mut self) {
         self.routes.clear();
     }
+
+    /// Merges another shadow's prefixes into this one. Used by the
+    /// parallel build to combine per-chunk partial groups; because the
+    /// routing table holds each prefix once, the same `(depth, suffix)`
+    /// never appears in two partials and the merge is order-independent.
+    pub fn absorb(&mut self, other: GroupShadow) {
+        self.routes.extend(other.routes);
+    }
 }
 
 #[cfg(test)]

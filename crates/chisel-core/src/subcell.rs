@@ -8,8 +8,9 @@
 //! them in parallel (here: in priority order).
 
 use chisel_bloomier::{BloomierError, PartitionedBloomier};
-use chisel_prefix::bits::extract_msb;
+use chisel_prefix::bits::{addr_bits, extract_msb};
 use chisel_prefix::collapse::CellRange;
+use chisel_prefix::parallel::parallel_map;
 use chisel_prefix::NextHop;
 
 use crate::bitvector::LeafVector;
@@ -44,6 +45,9 @@ pub(crate) struct CellParams {
     pub seed: u64,
     pub spill_capacity: usize,
     pub flap_absorption: bool,
+    /// Workers for full builds (initial build and grow-rebuilds). Already
+    /// resolved by the engine: `>= 1`, never the `0 = auto` sentinel.
+    pub build_threads: usize,
 }
 
 /// Outcome of a sub-cell announce, refined by the engine into an
@@ -102,18 +106,26 @@ impl SubCell {
         range: CellRange,
         width: u8,
         params: CellParams,
-        groups: Vec<(u128, GroupShadow)>,
+        mut groups: Vec<(u128, GroupShadow)>,
         capacity: usize,
     ) -> Result<Self, ChiselError> {
         let capacity = capacity.max(groups.len()).max(64);
+        // Collapsed keys are unique, so sorting gives a total order: slot
+        // `i` always holds the i-th smallest key, regardless of the order
+        // the caller grouped in (HashMap drain, parallel merge, ...). This
+        // is what makes the whole build byte-reproducible.
+        groups.sort_unstable_by_key(|&(bits, _)| bits);
         let mut cell = SubCell {
             range,
             width,
             params,
-            index: PartitionedBloomier::empty(
+            // Index Table entries are slot pointers: w = ceil(log2(depth))
+            // bits each (the Section 5 storage model), bit-packed.
+            index: PartitionedBloomier::empty_packed(
                 params.k,
                 ((capacity as f64) * params.m_per_key).ceil() as usize,
                 params.partitions,
+                addr_bits(capacity),
                 cell_seed(params.seed, range.base),
             ),
             filter: CowTable::from_fn(capacity, |_| FilterEntry {
@@ -140,7 +152,16 @@ impl SubCell {
     /// Installs groups into a freshly-initialized cell: claims slots,
     /// writes filter/bit-vector/result state, and runs Bloomier setup over
     /// all keys at once.
+    ///
+    /// The fill and setup phases fan out over `params.build_threads`
+    /// workers, but every ordering that matters — slot claims, Result
+    /// Table block allocation, partition assembly, spill concatenation —
+    /// is fixed in advance, so the cell is byte-identical to a serial
+    /// build.
     fn install_groups(&mut self, groups: Vec<(u128, GroupShadow)>) -> Result<(), ChiselError> {
+        let threads = self.params.build_threads.max(1);
+        // Phase 1 (sequential, cheap): claim slots and write the Filter
+        // Table and shadows. Slot order is the determinism anchor.
         let mut keys = Vec::with_capacity(groups.len());
         for (bits, shadow) in groups {
             let slot = self.claim_slot().ok_or(ChiselError::CapacityExceeded {
@@ -152,20 +173,37 @@ impl SubCell {
                 dirty: false,
             };
             *self.shadows.get_mut(slot as usize).expect("claimed slot") = shadow;
-            self.regenerate(slot);
             self.live_groups += 1;
             keys.push((bits, slot));
         }
-        // Per-partition build.
-        let d = self.index.d();
-        let mut buckets: Vec<Vec<(u128, u32)>> = vec![Vec::new(); d];
-        for &(key, slot) in &keys {
-            buckets[self.index.partition_of(key)].push((key, slot));
+        // Phase 2: resolve each group's per-leaf next hops in parallel
+        // (the LPM-per-leaf scan dominates fill cost), then assemble
+        // bit-vectors and Result Table blocks sequentially in slot order
+        // so block addresses never depend on scheduling.
+        let stride = self.range.stride;
+        let fills = {
+            let shadows = &self.shadows;
+            parallel_map(threads, &keys, |_, &(_, slot)| {
+                leaf_hops(&shadows[slot as usize], stride)
+            })
+        };
+        for (&(_, slot), hops) in keys.iter().zip(fills) {
+            self.apply_fill(slot, hops);
         }
-        for (i, bucket) in buckets.iter().enumerate() {
-            let spilled = self.index.rebuild_partition(i, bucket)?;
-            self.spill.extend(spilled.iter().map(|&(k, v)| (k, v)));
-        }
+        // Phase 3: the d independent Bloomier partition setups run
+        // concurrently (Section 4.4.2); partitions are installed and
+        // spills concatenated in partition order.
+        let (index, spilled) = PartitionedBloomier::build_with_threads(
+            self.params.k,
+            self.index.total_m(),
+            self.index.d(),
+            self.index.value_bits(),
+            self.index.seed(),
+            &keys,
+            threads,
+        )?;
+        self.index = index;
+        self.spill = spilled;
         if self.spill.len() > self.params.spill_capacity {
             return Err(ChiselError::SpilloverOverflow {
                 needed: self.spill.len(),
@@ -212,6 +250,22 @@ impl SubCell {
     /// Index Table locations (across all partitions).
     pub fn index_locations(&self) -> usize {
         self.index.total_m()
+    }
+
+    /// Width `w` of one packed Index Table entry in bits.
+    pub fn index_value_bits(&self) -> u32 {
+        self.index.value_bits()
+    }
+
+    /// Logical Index Table storage: `total_m * w` bits — the Section 5
+    /// storage-model figure, now measured off the real packed arena.
+    pub fn index_logical_bits(&self) -> u64 {
+        self.index.logical_bits()
+    }
+
+    /// Physical Index Table arena storage (whole 64-bit backing words).
+    pub fn index_arena_bits(&self) -> u64 {
+        self.index.arena_bits()
     }
 
     /// Spillover TCAM occupancy.
@@ -333,14 +387,15 @@ impl SubCell {
 
     /// Rebuilds slot's bit-vector and Result Table block from its shadow.
     fn regenerate(&mut self, slot: u32) {
+        let hops = leaf_hops(&self.shadows[slot as usize], self.range.stride);
+        self.apply_fill(slot, hops);
+    }
+
+    /// Writes a precomputed per-leaf fill (from [`leaf_hops`]) into slot's
+    /// bit-vector and Result Table block. Result Table allocation order —
+    /// hence every block address — follows call order exactly.
+    fn apply_fill(&mut self, slot: u32, hops: Vec<Option<NextHop>>) {
         let si = slot as usize;
-        let stride = self.range.stride;
-        let leaves = 1usize << stride;
-        let shadow = &self.shadows[si];
-        let mut hops: Vec<Option<NextHop>> = Vec::with_capacity(leaves);
-        for leaf in 0..leaves {
-            hops.push(shadow.resolve_leaf(leaf, stride));
-        }
         let ones = hops.iter().filter(|h| h.is_some()).count();
 
         let entry = self.bitvec.get_mut(si).expect("slot in range");
@@ -585,7 +640,7 @@ impl SubCell {
                 .map(|i| {
                     let part = self.index.part(i);
                     crate::image::IndexPartImage {
-                        words: part.table_words().to_vec(),
+                        words: part.packed().clone(),
                         family: part.family().clone(),
                     }
                 })
@@ -625,4 +680,16 @@ impl SubCell {
 
 fn cell_seed(seed: u64, base: u8) -> u64 {
     seed ^ ((base as u64) << 32).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Resolves the next hop of every leaf in a group's `stride`-bit subtree —
+/// the pure, slot-independent part of a fill, safe to compute on any
+/// worker thread.
+fn leaf_hops(shadow: &GroupShadow, stride: u8) -> Vec<Option<NextHop>> {
+    let leaves = 1usize << stride;
+    let mut hops = Vec::with_capacity(leaves);
+    for leaf in 0..leaves {
+        hops.push(shadow.resolve_leaf(leaf, stride));
+    }
+    hops
 }

@@ -257,6 +257,68 @@ pub fn collapse_stats(table: &RoutingTable, plan: &StridePlan) -> CollapseStats 
     }
 }
 
+/// [`collapse_stats`] fanned out across `threads` workers (paper Section
+/// 4.3 at full-table scale).
+///
+/// The table is split into contiguous runs of its (deterministically
+/// ordered) entries; each worker counts groups for its run and the
+/// per-cell maps are merged by addition. Because counting is commutative
+/// the result is identical to the serial scan for every thread count.
+pub fn collapse_stats_parallel(
+    table: &RoutingTable,
+    plan: &StridePlan,
+    threads: usize,
+) -> CollapseStats {
+    let threads = threads.max(1);
+    if threads == 1 || table.len() < 2 {
+        return collapse_stats(table, plan);
+    }
+    let entries: Vec<crate::RouteEntry> = table.iter().collect();
+    let ncells = plan.num_cells();
+    let ranges = crate::parallel::chunk_ranges(entries.len(), threads);
+    let partials = crate::parallel::parallel_map(threads, &ranges, |_, range| {
+        let mut groups: Vec<HashMap<u128, usize>> = vec![HashMap::new(); ncells];
+        let mut prefixes = vec![0usize; ncells];
+        let mut uncovered = 0usize;
+        for e in &entries[range.clone()] {
+            match plan.cell_for(e.prefix.len()) {
+                Some(ci) => {
+                    let collapsed = e.prefix.truncate(plan.cells()[ci].base);
+                    *groups[ci].entry(collapsed.bits()).or_insert(0) += 1;
+                    prefixes[ci] += 1;
+                }
+                None => uncovered += 1,
+            }
+        }
+        (groups, prefixes, uncovered)
+    });
+    let mut groups: Vec<HashMap<u128, usize>> = vec![HashMap::new(); ncells];
+    let mut prefixes = vec![0usize; ncells];
+    let mut uncovered = 0usize;
+    for (part_groups, part_prefixes, part_uncovered) in partials {
+        for (ci, m) in part_groups.into_iter().enumerate() {
+            for (bits, n) in m {
+                *groups[ci].entry(bits).or_insert(0) += n;
+            }
+        }
+        for (ci, n) in part_prefixes.into_iter().enumerate() {
+            prefixes[ci] += n;
+        }
+        uncovered += part_uncovered;
+    }
+    let max_group_size = groups
+        .iter()
+        .flat_map(|g| g.values().copied())
+        .max()
+        .unwrap_or(0);
+    CollapseStats {
+        groups_per_cell: groups.iter().map(HashMap::len).collect(),
+        prefixes_per_cell: prefixes,
+        max_group_size,
+        uncovered,
+    }
+}
+
 /// Collapses a single prefix to the base length of its covering cell.
 ///
 /// Returns `None` if no cell covers the prefix length.
@@ -422,6 +484,28 @@ mod tests {
     fn covering_plan_on_empty_histogram_tiles_uniformly() {
         let plan = StridePlan::covering(&RoutingTable::new_v4().length_histogram(), 4, 32);
         assert_eq!(plan, StridePlan::uniform(1, 32, 4));
+    }
+
+    #[test]
+    fn parallel_stats_match_serial() {
+        let mut t = RoutingTable::new_v4();
+        let mut x = 0x2545_F491u64;
+        for _ in 0..4000 {
+            // xorshift keeps the fixture deterministic without rand.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let len = 4 + (x % 28) as u8;
+            let bits = (x >> 8) as u128 & ((1u128 << len) - 1);
+            if let Ok(p) = Prefix::new(AddressFamily::V4, bits, len) {
+                t.insert(p, NextHop::new((x >> 40) as u32));
+            }
+        }
+        let plan = StridePlan::greedy(&t.length_histogram(), 4);
+        let serial = collapse_stats(&t, &plan);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(collapse_stats_parallel(&t, &plan, threads), serial);
+        }
     }
 
     #[test]

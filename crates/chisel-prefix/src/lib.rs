@@ -39,6 +39,7 @@ pub mod io;
 mod key;
 mod nexthop;
 pub mod oracle;
+pub mod parallel;
 mod prefix;
 mod route;
 #[cfg(feature = "serde")]

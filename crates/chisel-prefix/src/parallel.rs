@@ -1,0 +1,133 @@
+//! Deterministic fork-join helpers for the parallel build pipeline.
+//!
+//! All builders in this workspace must produce *byte-identical* output for
+//! any worker count (the determinism suite enforces it), so the only
+//! parallel primitive offered is an order-preserving map: work items are
+//! claimed from an atomic cursor, each result is stored back at its item's
+//! index, and callers merge in index order. Nothing about scheduling can
+//! leak into the output.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested worker count: `0` means "use the machine's
+/// available parallelism", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` using up to `threads` scoped worker threads,
+/// returning results in item order regardless of scheduling.
+///
+/// `f` receives the item index alongside the item so callers can vary
+/// per-item behavior (e.g. seeds) without capturing mutable state. With
+/// `threads <= 1` (or a single item) the map runs inline on the calling
+/// thread — no spawn overhead, identical results.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                gathered.lock().expect("worker result lock").extend(local);
+            });
+        }
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in gathered.into_inner().expect("worker result lock") {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Splits `0..len` into at most `pieces` contiguous, non-empty ranges —
+/// the chunking used to fan a flat scan (e.g. prefix collapsing over a
+/// routing table) out across workers. Deterministic in `len` and `pieces`.
+pub fn chunk_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.clamp(1, len);
+    let chunk = len.div_ceil(pieces);
+    (0..len.div_ceil(chunk))
+        .map(|i| i * chunk..((i + 1) * chunk).min(len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            assert_eq!(parallel_map(threads, &items, |_, &x| x * 3), expect);
+        }
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (100..200).collect();
+        let out = parallel_map(4, &items, |i, &x| (i, x));
+        for (i, (idx, x)) in out.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(x, i + 100);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for (len, pieces) in [(0usize, 4usize), (1, 4), (10, 3), (100, 7), (5, 100)] {
+            let ranges = chunk_ranges(len, pieces);
+            assert!(ranges.len() <= pieces.max(1));
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos, "ranges must be contiguous");
+                assert!(!r.is_empty());
+                pos = r.end;
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(5), 5);
+    }
+}

@@ -1,11 +1,17 @@
 //! `chisel-router` — a command-line front end to the Chisel engine.
 //!
 //! ```text
+//! chisel-router build  <table-file> [--threads N]        timed engine build
 //! chisel-router lookup <table-file> <addr> [<addr>...]   LPM lookups
 //! chisel-router stats  <table-file>                      table + engine stats
-//! chisel-router replay <table-file> <trace.mrt>          apply an MRT update trace
+//! chisel-router replay <table-file> <trace.mrt> [--threads N]
+//!                                                        apply an MRT update trace
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
+//!
+//! `--threads N` sets the build-pipeline worker count (default: the
+//! machine's available parallelism). The engine image is byte-identical
+//! for every value — threads only change build wall-time.
 //!
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
@@ -17,20 +23,30 @@ use std::time::Instant;
 
 use chisel::core::SharedChisel;
 use chisel::prefix::io::read_table;
+use chisel::prefix::parallel::resolve_threads;
 use chisel::workloads::{analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent};
 use chisel::{ChiselConfig, ChiselLpm, Key, RoutingTable};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match take_threads_flag(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
+        Some("build") if args.len() == 2 => cmd_build(&args[1], threads),
         Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..]),
         Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
-        Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2]),
+        Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2], threads),
         Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
         _ => {
             eprintln!(
-                "usage: chisel-router lookup <table> <addr>... | stats <table> | \
-                 replay <table> <trace.mrt> | synth <n> <out> [seed]"
+                "usage: chisel-router build <table> [--threads N] | \
+                 lookup <table> <addr>... | stats <table> | \
+                 replay <table> <trace.mrt> [--threads N] | synth <n> <out> [seed]"
             );
             return ExitCode::FAILURE;
         }
@@ -44,18 +60,83 @@ fn main() -> ExitCode {
     }
 }
 
-fn load(path: &str) -> Result<(RoutingTable, ChiselLpm), Box<dyn std::error::Error>> {
+/// Extracts `--threads N` (or `--threads=N`) from anywhere in the argument
+/// list. Returns `0` (auto: available parallelism) when absent.
+fn take_threads_flag(args: &mut Vec<String>) -> Result<usize, String> {
+    let Some(i) = args
+        .iter()
+        .position(|a| a == "--threads" || a.starts_with("--threads="))
+    else {
+        return Ok(0);
+    };
+    let flag = args.remove(i);
+    let value = match flag.strip_prefix("--threads=") {
+        Some(v) => v.to_string(),
+        None => {
+            if i >= args.len() {
+                return Err("--threads requires a value".into());
+            }
+            args.remove(i)
+        }
+    };
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("invalid --threads value '{value}'"))
+}
+
+fn load(
+    path: &str,
+    threads: usize,
+) -> Result<(RoutingTable, ChiselLpm), Box<dyn std::error::Error>> {
     let table = read_table(File::open(path)?)?;
     let config = match table.family() {
         chisel::AddressFamily::V4 => ChiselConfig::ipv4(),
         chisel::AddressFamily::V6 => ChiselConfig::ipv6(),
-    };
+    }
+    .build_threads(threads);
     let engine = ChiselLpm::build(&table, config)?;
     Ok((table, engine))
 }
 
+fn cmd_build(path: &str, threads: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let table = read_table(File::open(path)?)?;
+    let config = match table.family() {
+        chisel::AddressFamily::V4 => ChiselConfig::ipv4(),
+        chisel::AddressFamily::V6 => ChiselConfig::ipv6(),
+    }
+    .build_threads(threads);
+    let start = Instant::now();
+    let engine = ChiselLpm::build(&table, config)?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let s = engine.storage();
+    let n = table.len().max(1);
+    println!(
+        "built {} prefixes in {:.3}s on {} threads ({:.0} prefixes/s)",
+        table.len(),
+        elapsed,
+        resolve_threads(threads),
+        table.len() as f64 / elapsed,
+    );
+    println!(
+        "on-chip storage: {:.2} Mb, {:.1} bits/prefix \
+         (index {:.1} / filter {:.1} / bit-vector {:.1} bits/prefix)",
+        s.total_mbits(),
+        s.total_bits() as f64 / n as f64,
+        s.index_bits as f64 / n as f64,
+        s.filter_bits as f64 / n as f64,
+        s.bitvec_bits as f64 / n as f64,
+    );
+    let arena = engine.index_arena_bits();
+    println!(
+        "index table: packed entries, {} sub-cells, arena overhead {} bits",
+        engine.index_geometry().len(),
+        arena - s.index_bits,
+    );
+    Ok(())
+}
+
 fn cmd_lookup(path: &str, addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (_, engine) = load(path)?;
+    let (_, engine) = load(path, 0)?;
     // One software-pipelined batch over all requested addresses: the
     // prefetch stages overlap the independent probes' memory latency.
     let keys = addrs
@@ -75,7 +156,7 @@ fn cmd_lookup(path: &str, addrs: &[String]) -> Result<(), Box<dyn std::error::Er
 
 fn cmd_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let start = Instant::now();
-    let (table, engine) = load(path)?;
+    let (table, engine) = load(path, 0)?;
     let hist = table.length_histogram();
     println!("table: {} ({} prefixes)", path, table.len());
     println!(
@@ -106,8 +187,21 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_replay(table_path: &str, mrt_path: &str) -> Result<(), Box<dyn std::error::Error>> {
-    let (_, engine) = load(table_path)?;
+fn cmd_replay(
+    table_path: &str,
+    mrt_path: &str,
+    threads: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let build_start = Instant::now();
+    let (table, engine) = load(table_path, threads)?;
+    let s = engine.storage();
+    println!(
+        "engine: built {} prefixes in {:.3}s on {} threads, {:.1} bits/prefix on-chip",
+        table.len(),
+        build_start.elapsed().as_secs_f64(),
+        resolve_threads(threads),
+        s.total_bits() as f64 / table.len().max(1) as f64,
+    );
     let bytes = std::fs::read(mrt_path)?;
     let events = read_mrt(&bytes)?;
     let stats = analyze(&events);

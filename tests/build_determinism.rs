@@ -1,0 +1,83 @@
+//! Build-determinism suite: the parallel full-build pipeline must produce
+//! an engine whose exported hardware image is *byte-identical* to the
+//! serial build, for any worker count, both address families, and across
+//! configuration corners. This is what licenses defaulting the pipeline
+//! to all available cores: threads can only change wall-clock time, never
+//! a single table word.
+
+use chisel::workloads::ipv6::synthesize_ipv6_from_v4_model;
+use chisel::workloads::{synthesize, PrefixLenDistribution};
+use chisel::{ChiselConfig, ChiselLpm};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn images_for(table: &chisel::RoutingTable, config: &ChiselConfig) -> Vec<Vec<u8>> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            ChiselLpm::build(table, config.clone().build_threads(t))
+                .expect("build succeeds")
+                .export_image()
+                .to_bytes()
+        })
+        .collect()
+}
+
+fn assert_identical(table: &chisel::RoutingTable, config: &ChiselConfig, label: &str) {
+    let images = images_for(table, config);
+    assert!(!images[0].is_empty(), "{label}: image must be non-trivial");
+    for (i, image) in images.iter().enumerate().skip(1) {
+        assert_eq!(
+            image.len(),
+            images[0].len(),
+            "{label}: image size diverged at {} threads",
+            THREAD_COUNTS[i]
+        );
+        assert!(
+            image == &images[0],
+            "{label}: image bytes diverged at {} threads",
+            THREAD_COUNTS[i]
+        );
+    }
+}
+
+#[test]
+fn ipv4_images_are_byte_identical_across_thread_counts() {
+    let table = synthesize(30_000, &PrefixLenDistribution::bgp_ipv4(), 42);
+    assert_identical(&table, &ChiselConfig::ipv4(), "ipv4/default");
+}
+
+#[test]
+fn ipv6_images_are_byte_identical_across_thread_counts() {
+    let v4 = synthesize(8_000, &PrefixLenDistribution::bgp_ipv4(), 43);
+    let table = synthesize_ipv6_from_v4_model(8_000, &v4, 43);
+    assert_identical(&table, &ChiselConfig::ipv6(), "ipv6/default");
+}
+
+#[test]
+fn configuration_corners_are_byte_identical() {
+    let table = synthesize(6_000, &PrefixLenDistribution::bgp_ipv4(), 44);
+    for (config, label) in [
+        (ChiselConfig::ipv4().partitions(1), "d=1"),
+        (ChiselConfig::ipv4().partitions(64), "d=64"),
+        (ChiselConfig::ipv4().stride(6).k(4), "stride6-k4"),
+        (ChiselConfig::ipv4().slack(1.0), "tight-slack"),
+    ] {
+        assert_identical(&table, &config, label);
+    }
+}
+
+#[test]
+fn identical_images_still_answer_lookups() {
+    // Guard against a degenerate serializer: the byte-compared images must
+    // replay real lookups identically to the engines they came from.
+    let table = synthesize(5_000, &PrefixLenDistribution::bgp_ipv4(), 45);
+    let serial = ChiselLpm::build(&table, ChiselConfig::ipv4().build_threads(1)).unwrap();
+    let parallel = ChiselLpm::build(&table, ChiselConfig::ipv4().build_threads(8)).unwrap();
+    let image = parallel.export_image();
+    for e in table.iter() {
+        let key = chisel::Key::from_raw(table.family(), e.prefix.network());
+        assert_eq!(serial.lookup(key), parallel.lookup(key));
+        assert_eq!(image.lookup(key), serial.lookup(key));
+    }
+}
