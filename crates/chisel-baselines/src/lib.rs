@@ -29,6 +29,8 @@
 //! All engines implement LPM over [`chisel_prefix::Key`] and are
 //! differentially tested against [`chisel_prefix::oracle::OracleLpm`].
 
+#![forbid(unsafe_code)]
+
 mod binsearch_lengths;
 mod bloom_lpm;
 mod chained;

@@ -7,6 +7,8 @@
 //! repro all --json out.json # also dump machine-readable results
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use chisel_bench::experiments;

@@ -14,6 +14,8 @@
 //! quick runs; the shipped EXPERIMENTS.md uses the full paper-scale run
 //! (`--divisor 1`).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 
 use serde::{Serialize, SerializeStruct as _, Serializer};

@@ -3,10 +3,17 @@
 //! The paper's storage claims rest on Index Table entries being exactly
 //! `w = ceil(log2(n))` bits wide — a pointer into an `n`-deep Filter /
 //! Bit-vector Table — not a machine word. [`PackedWords`] realizes that:
-//! a fixed-length array of `w`-bit values (`1 <= w <= 32`) packed
+//! a fixed-length array of `w`-bit values (`1 <= w <= 64`) packed
 //! back-to-back into 64-bit words, backed by cache-line (64-byte) aligned
 //! storage so one Index Table probe touches the minimum number of lines
 //! and hardware-style burst reads stay line-aligned.
+//!
+//! The Index Table itself never needs more than 32 pointer bits (a
+//! 4-billion-deep Filter Table is far past any provisioning), so the hot
+//! [`PackedWords::get`]/[`PackedWords::set`] accessors stay `u32`; the
+//! `*_wide` pair exposes the full width for arenas that pack wider
+//! payloads (and for exercising the boundary math at `w = 64`, where an
+//! entry can cover two whole backing words).
 //!
 //! Entries may straddle a word boundary; reads and writes therefore go
 //! through a two-word window folded into a `u128`, which keeps the access
@@ -30,10 +37,10 @@ pub struct PackedWords {
     lines: Vec<CacheLine>,
     /// Number of addressable entries.
     len: usize,
-    /// Entry width `w` in bits (`1..=32`).
+    /// Entry width `w` in bits (`1..=64`).
     value_bits: u32,
     /// `2^w - 1`, cached for the access paths.
-    mask: u32,
+    mask: u64,
     /// Number of live (non-pad) backing words.
     words: usize,
 }
@@ -43,11 +50,11 @@ impl PackedWords {
     ///
     /// # Panics
     ///
-    /// Panics unless `1 <= value_bits <= 32`.
+    /// Panics unless `1 <= value_bits <= 64`.
     pub fn new(len: usize, value_bits: u32) -> Self {
         assert!(
-            (1..=32).contains(&value_bits),
-            "entry width {value_bits} out of range 1..=32"
+            (1..=64).contains(&value_bits),
+            "entry width {value_bits} out of range 1..=64"
         );
         let bits = len * value_bits as usize;
         let words = bits.div_ceil(64);
@@ -58,10 +65,10 @@ impl PackedWords {
             lines,
             len,
             value_bits,
-            mask: if value_bits == 32 {
-                u32::MAX
+            mask: if value_bits == 64 {
+                u64::MAX
             } else {
-                (1u32 << value_bits) - 1
+                (1u64 << value_bits) - 1
             },
             words,
         }
@@ -129,19 +136,20 @@ impl PackedWords {
         }
     }
 
-    /// Reads entry `i`.
+    /// Reads entry `i` (hot-path `u32` accessor for pointer-width
+    /// entries; use [`PackedWords::get_wide`] when `w > 32`).
     ///
     /// # Panics
     ///
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> u32 {
-        assert!(i < self.len, "entry {i} out of range {}", self.len);
-        let bit = i * self.value_bits as usize;
-        let (wi, sh) = (bit >> 6, (bit & 63) as u32);
-        let flat = self.flat();
-        let pair = flat[wi] as u128 | ((flat[wi + 1] as u128) << 64);
-        (pair >> sh) as u32 & self.mask
+        debug_assert!(
+            self.value_bits <= 32,
+            "u32 accessor on a {}-bit arena",
+            self.value_bits
+        );
+        self.get_wide(i) as u32
     }
 
     /// Writes entry `i`. Bits of `value` above `value_bits` must be zero.
@@ -151,6 +159,34 @@ impl PackedWords {
     /// Panics if `i >= len` or the value does not fit the entry width.
     #[inline]
     pub fn set(&mut self, i: usize, value: u32) {
+        self.set_wide(i, value as u64);
+    }
+
+    /// Reads entry `i` at full width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get_wide(&self, i: usize) -> u64 {
+        assert!(i < self.len, "entry {i} out of range {}", self.len);
+        let bit = i * self.value_bits as usize;
+        let (wi, sh) = (bit >> 6, (bit & 63) as u32);
+        let flat = self.flat();
+        // A `w <= 64` entry at any bit offset lives inside this two-word
+        // window (at `w = 64`, `sh = 63` it spans bits 63..127 of it).
+        let pair = flat[wi] as u128 | ((flat[wi + 1] as u128) << 64);
+        (pair >> sh) as u64 & self.mask
+    }
+
+    /// Writes entry `i` at full width. Bits of `value` above
+    /// `value_bits` must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or the value does not fit the entry width.
+    #[inline]
+    pub fn set_wide(&mut self, i: usize, value: u64) {
         assert!(i < self.len, "entry {i} out of range {}", self.len);
         assert!(
             value & !self.mask == 0,
@@ -250,6 +286,74 @@ mod tests {
     }
 
     #[test]
+    fn single_bit_entries() {
+        // w = 1: 64 entries per backing word, every offset a boundary
+        // case of the shift math.
+        let n = 130; // 2 full words + 2 straddling the pad boundary
+        let mut t = PackedWords::new(n, 1);
+        for i in 0..n {
+            t.set(i, (i % 3 == 0) as u32);
+        }
+        for i in 0..n {
+            assert_eq!(t.get(i), (i % 3 == 0) as u32, "i={i}");
+        }
+        assert_eq!(t.logical_bits(), n as u64);
+        assert_eq!(t.arena_bits(), 192); // ceil(130/64) = 3 words
+    }
+
+    #[test]
+    fn full_word_entries() {
+        // w = 64: entries coincide exactly with backing words; the
+        // two-word read window must not pull in a neighbor.
+        let n = 9;
+        let mut t = PackedWords::new(n, 64);
+        for i in 0..n {
+            t.set_wide(i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 << 63);
+        }
+        for i in 0..n {
+            assert_eq!(
+                t.get_wide(i),
+                (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 << 63,
+                "i={i}"
+            );
+        }
+        assert_eq!(t.logical_bits(), 64 * n as u64);
+    }
+
+    #[test]
+    fn wide_straddling_entries() {
+        // w = 63: every entry past the first straddles a word boundary,
+        // sliding one bit further each time — the worst case for the
+        // folded two-word window.
+        let n = 100;
+        let mask = u64::MAX >> 1;
+        let mut t = PackedWords::new(n, 63);
+        for i in 0..n {
+            t.set_wide(i, (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) & mask);
+        }
+        for i in 0..n {
+            assert_eq!(
+                t.get_wide(i),
+                (i as u64).wrapping_mul(0xD134_2543_DE82_EF95) & mask,
+                "i={i}"
+            );
+        }
+        // Overwrite in reverse order; earlier neighbors must survive.
+        for i in (0..n).rev() {
+            t.set_wide(i, !(i as u64) & mask);
+        }
+        for i in 0..n {
+            assert_eq!(t.get_wide(i), !(i as u64) & mask, "i={i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn width_65_rejected() {
+        let _ = PackedWords::new(8, 65);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn zero_width_rejected() {
         let _ = PackedWords::new(8, 0);
@@ -261,5 +365,66 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.logical_bits(), 0);
         assert_eq!(t.backing_words().len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The obviously-correct reference: one `u64` per entry, no packing.
+    struct Naive {
+        values: Vec<u64>,
+        mask: u64,
+    }
+
+    impl Naive {
+        fn new(len: usize, value_bits: u32) -> Self {
+            Naive {
+                values: vec![0; len],
+                mask: if value_bits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << value_bits) - 1
+                },
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn packed_matches_naive_reference(
+            value_bits in 1u32..=64,
+            len in 1usize..200,
+            writes in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..300),
+        ) {
+            let mut packed = PackedWords::new(len, value_bits);
+            let mut naive = Naive::new(len, value_bits);
+            for &(i, v) in &writes {
+                let i = i as usize % len;
+                let v = v & naive.mask;
+                packed.set_wide(i, v);
+                naive.values[i] = v;
+            }
+            for (i, &want) in naive.values.iter().enumerate() {
+                prop_assert_eq!(packed.get_wide(i), want, "w={} i={}", value_bits, i);
+            }
+        }
+
+        #[test]
+        fn clear_resets_every_width(value_bits in 1u32..=64, len in 1usize..128) {
+            let mut packed = PackedWords::new(len, value_bits);
+            let mask = if value_bits == 64 { u64::MAX } else { (1u64 << value_bits) - 1 };
+            for i in 0..len {
+                packed.set_wide(i, mask);
+            }
+            packed.clear();
+            for i in 0..len {
+                prop_assert_eq!(packed.get_wide(i), 0);
+            }
+        }
     }
 }

@@ -20,6 +20,8 @@
 //!
 //! A [`LinearClassifier`] scan oracle backs the differential tests.
 
+#![forbid(unsafe_code)]
+
 mod bv;
 mod classifier;
 pub(crate) mod field;

@@ -448,6 +448,36 @@ impl ChiselLpm {
         }
     }
 
+    /// Re-walks every inserted prefix through all four tables and checks
+    /// the structural invariants the paper's correctness rests on — see
+    /// [`crate::verify`] for the catalogue. Returns a report instead of
+    /// panicking so callers (`chisel-router check`, the test suite) can
+    /// show every violation at once.
+    pub fn verify(&self) -> crate::verify::VerifyReport {
+        let mut report = crate::verify::VerifyReport {
+            cells: self.cells.len(),
+            ..Default::default()
+        };
+        for (ci, cell) in self.cells.iter().enumerate() {
+            cell.verify(ci, &mut report);
+        }
+        if self.default_route.is_some() {
+            report.routes += 1;
+        }
+        // Engine-level reconciliation: the route enumeration used by
+        // serialization must agree with the maintained length counter.
+        let counted = self.iter_routes().count();
+        if counted != self.len {
+            report.push(
+                None,
+                None,
+                "route-count",
+                format!("enumerated {counted} routes but len() is {}", self.len),
+            );
+        }
+        report
+    }
+
     /// Enumerates every routable prefix with its next hop (including the
     /// default route), in no particular order. Used for verification.
     pub fn iter_routes(&self) -> impl Iterator<Item = RouteEntry> + '_ {

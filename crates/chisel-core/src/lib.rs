@@ -36,6 +36,7 @@ pub mod snapshot;
 pub mod stats;
 mod subcell;
 mod update;
+pub mod verify;
 
 pub use bitvector::LeafVector;
 pub use concurrent::{EngineSnapshot, SharedChisel};
@@ -47,3 +48,4 @@ pub use result_table::{Block, ResultTable};
 pub use shadow::GroupShadow;
 pub use stats::{LookupTrace, StorageBreakdown};
 pub use update::{RecentWithdrawals, UpdateKind, UpdateStats};
+pub use verify::{verify_image, VerifyReport, Violation};

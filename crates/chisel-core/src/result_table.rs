@@ -112,6 +112,16 @@ impl ResultTable {
         self.high_water
     }
 
+    /// Current table depth in entries (carved blocks, live or freed).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no block was ever carved out.
+    pub fn is_empty(&self) -> bool {
+        self.data.len() == 0
+    }
+
     /// The raw next-hop words as loaded into commodity DRAM (unused slots
     /// carry `u32::MAX`).
     pub fn words(&self) -> Vec<u32> {

@@ -63,18 +63,44 @@
 //! held only for the duration of one lookup), and a stalled reader only
 //! delays *freeing* old snapshots, never the publication of new ones.
 //!
-//! This scheme is exercised by the loom-style interleaving stress tests
-//! in `tests/concurrent.rs` and the unit tests below.
+//! # Machine-checked counterpart
+//!
+//! The prose ordering argument above is not the only line of defense:
+//! under `RUSTFLAGS="--cfg loom_lite"` this module compiles against the
+//! virtual atomics of the vendored `loom-lite` model checker, and the
+//! model tests in `tests/loom_snapshot.rs` *exhaustively* re-verify the
+//! protocol — no use-after-free, no double-free, no leaked snapshot, no
+//! stale read — across every bounded-preemption interleaving of
+//! 2-reader/1-writer and 1-reader/2-publication schedules. The scheme is
+//! additionally exercised by the interleaving stress tests in
+//! `tests/concurrent.rs` and the unit tests below.
 
 use std::fmt;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+#[cfg(not(loom_lite))]
+use std::sync::{
+    atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst},
+    Mutex,
+};
+
+#[cfg(loom_lite)]
+use loom_lite::sync::{
+    atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst},
+    Mutex,
+};
 
 /// Number of concurrent reader pins supported without spinning. Pins are
 /// held only across one lookup, so 128 concurrently-pinned readers is far
 /// beyond any realistic line-card thread count.
+#[cfg(not(loom_lite))]
 const SLOTS: usize = 128;
+
+/// Under the model checker the schedule space grows with every atomic the
+/// pin loop touches; two slots cover the 2-reader model tests exactly.
+#[cfg(loom_lite)]
+const SLOTS: usize = 2;
 
 /// Sentinel for an unclaimed reader slot. Epochs start at 1 so the
 /// sentinel never collides with a real epoch.
@@ -92,16 +118,23 @@ pub struct SnapshotCell<T> {
     retired: Mutex<Vec<(*mut T, u64)>>,
 }
 
-// The cell hands `&T` / `Arc<T>` to arbitrary threads and drops `T` on
-// whichever thread reclaims, so both bounds are required.
+// SAFETY: the raw pointers in `current` and `retired` are owning
+// `Arc<T>` pointers. The cell hands `&T` / `Arc<T>` to arbitrary threads
+// and drops `T` on whichever thread reclaims, so `T: Send + Sync` is
+// required and sufficient for both bounds.
 unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+// SAFETY: same argument as `Send`; all shared-state mutation goes through
+// atomics or the `retired` mutex.
 unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
 
 impl<T> SnapshotCell<T> {
     /// Creates a cell holding `initial` as the current snapshot.
     pub fn new(initial: Arc<T>) -> Self {
+        let initial = Arc::into_raw(initial).cast_mut();
+        #[cfg(loom_lite)]
+        loom_lite::track::publish(initial as usize);
         SnapshotCell {
-            current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+            current: AtomicPtr::new(initial),
             epoch: AtomicU64::new(1),
             slots: (0..SLOTS).map(|_| AtomicU64::new(IDLE)).collect(),
             retired: Mutex::new(Vec::new()),
@@ -132,6 +165,8 @@ impl<T> SnapshotCell<T> {
         // Safe per the module protocol: pinned, so whatever we load here
         // cannot be reclaimed until the guard drops.
         let ptr = self.current.load(SeqCst);
+        #[cfg(loom_lite)]
+        loom_lite::track::pin(ptr as usize);
         SnapshotGuard {
             cell: self,
             slot,
@@ -162,6 +197,8 @@ impl<T> SnapshotCell<T> {
     /// does) must serialize their stores externally.
     pub fn store(&self, new: Arc<T>) {
         let new_ptr = Arc::into_raw(new).cast_mut();
+        #[cfg(loom_lite)]
+        loom_lite::track::publish(new_ptr as usize);
         // Holding the retired lock across swap+bump keeps concurrent
         // stores' (swap, retire-epoch) pairs consistent with each other.
         let mut retired = self.retired.lock().expect("snapshot retire list poisoned");
@@ -203,6 +240,10 @@ impl<T> SnapshotCell<T> {
             .unwrap_or(u64::MAX);
         retired.retain(|&(ptr, retire_epoch)| {
             if retire_epoch <= min_pinned {
+                // Declared before the real drop so the model checker
+                // catches a protocol bug instead of corrupting memory.
+                #[cfg(loom_lite)]
+                loom_lite::track::free(ptr as usize);
                 // SAFETY: the pointer came from `Arc::into_raw` in
                 // `store`, and per the module-level argument no reader
                 // can reach it any more; this drops the Arc's strong
@@ -219,16 +260,28 @@ impl<T> SnapshotCell<T> {
 impl<T> Drop for SnapshotCell<T> {
     fn drop(&mut self) {
         // Exclusive access: no guards can outlive the cell (they borrow
-        // it), so everything can be released unconditionally.
-        let retired = self
-            .retired
-            .get_mut()
-            .expect("snapshot retire list poisoned");
+        // it), so everything can be released unconditionally. Recover
+        // from poisoning (a writer that panicked mid-`store`): the list
+        // itself is always structurally valid, and panicking here would
+        // abort if the cell is dropped during that very unwind.
+        let retired = match self.retired.get_mut() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         for &(ptr, _) in retired.iter() {
+            #[cfg(loom_lite)]
+            loom_lite::track::free(ptr as usize);
+            // SAFETY: owning `Arc::into_raw` pointers from `store`; the
+            // cell is being dropped, so no guard borrows it any more.
             unsafe { drop(Arc::from_raw(ptr)) };
         }
         retired.clear();
-        unsafe { drop(Arc::from_raw(self.current.load(SeqCst))) };
+        let current = self.current.load(SeqCst);
+        #[cfg(loom_lite)]
+        loom_lite::track::free(current as usize);
+        // SAFETY: `current` always holds the owning pointer of the live
+        // snapshot (`new` / `store` put it there via `Arc::into_raw`).
+        unsafe { drop(Arc::from_raw(current)) };
     }
 }
 
@@ -263,6 +316,11 @@ impl<T> Deref for SnapshotGuard<'_, T> {
 impl<T> Drop for SnapshotGuard<'_, T> {
     fn drop(&mut self) {
         self.cell.slots[self.slot].store(IDLE, SeqCst);
+        // Declared after the slot release (and with no scheduling point
+        // in between under the model checker) so the tracker's pinned
+        // window coincides exactly with the protocol's slot-pin window.
+        #[cfg(loom_lite)]
+        loom_lite::track::unpin(self.ptr as usize);
     }
 }
 

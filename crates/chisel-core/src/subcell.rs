@@ -7,6 +7,8 @@
 //! the engine instantiates one sub-cell per stride-plan cell and searches
 //! them in parallel (here: in priority order).
 
+use std::collections::HashMap;
+
 use chisel_bloomier::{BloomierError, PartitionedBloomier};
 use chisel_prefix::bits::{addr_bits, extract_msb};
 use chisel_prefix::collapse::CellRange;
@@ -18,6 +20,7 @@ use crate::cow::CowTable;
 use crate::result_table::{Block, ResultTable};
 use crate::shadow::GroupShadow;
 use crate::stats::LookupTrace;
+use crate::verify::VerifyReport;
 use crate::ChiselError;
 
 /// One Filter Table entry: the collapsed key, a valid bit, and the dirty
@@ -330,7 +333,8 @@ impl SubCell {
             return None;
         }
         let rank = bv.vector.rank(leaf);
-        let block = bv.block.expect("set leaf implies allocated block");
+        debug_assert!(bv.block.is_some(), "set leaf implies allocated block");
+        let block = bv.block?;
         trace.result_reads += 1;
         Some(self.result.read(block, rank - 1))
     }
@@ -381,7 +385,8 @@ impl SubCell {
             return None;
         }
         let rank = bv.vector.rank(leaf);
-        let block = bv.block.expect("set leaf implies allocated block");
+        debug_assert!(bv.block.is_some(), "set leaf implies allocated block");
+        let block = bv.block?;
         Some(self.result.read(block, rank - 1))
     }
 
@@ -455,6 +460,7 @@ impl SubCell {
                 .insert(depth, suffix, next_hop)
                 .is_some();
             self.regenerate(slot);
+            self.debug_assert_slot(slot);
             return Ok(if was_dirty {
                 AnnounceOutcome::DirtyRestore
             } else if existed {
@@ -486,18 +492,17 @@ impl SubCell {
         self.regenerate(slot);
         self.live_groups += 1;
 
-        match self.index.try_insert(collapsed, slot) {
-            Ok(()) => Ok(if grew {
-                AnnounceOutcome::Resetup
-            } else {
-                AnnounceOutcome::Singleton
-            }),
+        let outcome = match self.index.try_insert(collapsed, slot) {
+            Ok(()) if grew => AnnounceOutcome::Resetup,
+            Ok(()) => AnnounceOutcome::Singleton,
             Err(BloomierError::NoSingleton { .. }) => {
                 self.resetup_partition_with(collapsed, slot)?;
-                Ok(AnnounceOutcome::Resetup)
+                AnnounceOutcome::Resetup
             }
-            Err(e) => Err(e.into()),
-        }
+            Err(e) => return Err(e.into()),
+        };
+        self.debug_assert_slot(slot);
+        Ok(outcome)
     }
 
     /// Applies a withdraw. Returns `true` when the prefix existed.
@@ -527,8 +532,12 @@ impl SubCell {
             } else {
                 // Ablation mode: drop the entry outright. The stale Index
                 // Table encoding is harmless (the Filter Table rejects it)
-                // and a re-announce must insert a fresh key.
+                // and a re-announce must insert a fresh key — but a stale
+                // *spillover* entry is not: the TCAM is searched before the
+                // Index Table, so it would shadow that fresh insert and
+                // blackhole the re-announced key. Drop it with the entry.
                 self.filter.get_mut(si).expect("resolved slot").valid = false;
+                self.spill.retain(|&(k, _)| k != collapsed);
                 self.recycled.push(slot);
             }
             self.live_groups -= 1;
@@ -540,6 +549,7 @@ impl SubCell {
         } else {
             self.regenerate(slot);
         }
+        self.debug_assert_slot(slot);
         true
     }
 
@@ -676,6 +686,326 @@ impl SubCell {
             .filter(|(e, _)| e.valid && !e.dirty)
             .flat_map(|(e, s)| s.iter().map(move |(d, suf, nh)| (e.key, d, suf, nh)))
     }
+
+    /// Re-walks the whole cell against the invariants of
+    /// [`crate::verify`]: collision-free key→slot bindings, pointer
+    /// ranges and packing width, per-leaf rank/Result-Table consistency,
+    /// drained dirty rows, and slot/spill accounting.
+    pub(crate) fn verify(&self, cell: usize, report: &mut VerifyReport) {
+        let cv = Some(cell);
+        let n = self.capacity();
+        if self.index.value_bits() != addr_bits(n) {
+            report.push(
+                cv,
+                None,
+                "index-entry-width",
+                format!(
+                    "index packs {} bits/entry, expected ceil(log2 {n}) = {}",
+                    self.index.value_bits(),
+                    addr_bits(n)
+                ),
+            );
+        }
+        let mut keys: HashMap<u128, u32> = HashMap::new();
+        let mut valid_rows = 0usize;
+        let mut live_rows = 0usize;
+        // (ptr, capacity, slot) of every live Result Table block, for the
+        // overlap check.
+        let mut blocks: Vec<(u32, usize, u32)> = Vec::new();
+        for slot in 0..n as u32 {
+            let f = &self.filter[slot as usize];
+            if f.valid {
+                valid_rows += 1;
+                if let Some(prev) = keys.insert(f.key, slot) {
+                    report.push(
+                        cv,
+                        Some(slot),
+                        "duplicate-key",
+                        format!("key {:#x} also stored at slot {prev} (collision)", f.key),
+                    );
+                }
+                if !f.dirty {
+                    live_rows += 1;
+                }
+            }
+            if let Some(b) = self.bitvec[slot as usize].block {
+                blocks.push((b.ptr, b.capacity(), slot));
+            }
+            self.verify_slot(cell, slot, report);
+        }
+        if live_rows != self.live_groups {
+            report.push(
+                cv,
+                None,
+                "live-group-count",
+                format!(
+                    "live_groups counter {} but {live_rows} live rows",
+                    self.live_groups
+                ),
+            );
+        }
+        // Every non-valid row must be reachable by `claim_slot`: either
+        // never claimed (>= next_fresh) or on the recycled list.
+        let free_expected = self.recycled.len() + (n - (self.next_fresh as usize).min(n));
+        if n - valid_rows != free_expected {
+            report.push(
+                cv,
+                None,
+                "slot-accounting",
+                format!(
+                    "{} free rows but {} recycled + {} fresh",
+                    n - valid_rows,
+                    self.recycled.len(),
+                    n - (self.next_fresh as usize).min(n)
+                ),
+            );
+        }
+        for &s in &self.recycled {
+            if s as usize >= n || self.filter[s as usize].valid || s >= self.next_fresh {
+                report.push(
+                    cv,
+                    Some(s),
+                    "recycled-slot",
+                    "recycled slot is live or was never claimed".into(),
+                );
+            }
+        }
+        let mut spill_keys: HashMap<u128, u32> = HashMap::new();
+        for &(k, s) in &self.spill {
+            if let Some(prev) = spill_keys.insert(k, s) {
+                report.push(
+                    cv,
+                    Some(s),
+                    "duplicate-spill-key",
+                    format!("key {k:#x} also spilled to slot {prev}"),
+                );
+            }
+            if s as usize >= n {
+                report.push(
+                    cv,
+                    Some(s),
+                    "spill-slot-range",
+                    format!("spill slot {s} outside filter depth {n}"),
+                );
+            } else {
+                let f = &self.filter[s as usize];
+                if !f.valid || f.key != k {
+                    report.push(
+                        cv,
+                        Some(s),
+                        "spill-binding",
+                        format!("spilled key {k:#x} not stored at its slot"),
+                    );
+                }
+            }
+        }
+        // Live blocks must be pairwise disjoint and inside the table —
+        // an overlap means the allocator double-handed a region and two
+        // groups are scribbling over each other's next hops.
+        blocks.sort_unstable();
+        for pair in blocks.windows(2) {
+            let ((a_ptr, a_cap, a_slot), (b_ptr, _, b_slot)) = (pair[0], pair[1]);
+            if a_ptr as usize + a_cap > b_ptr as usize {
+                report.push(
+                    cv,
+                    Some(b_slot),
+                    "block-overlap",
+                    format!("block at {b_ptr} overlaps slot {a_slot}'s block [{a_ptr}, {a_ptr}+{a_cap})"),
+                );
+            }
+        }
+        if let Some(&(ptr, cap, slot)) = blocks.last() {
+            if ptr as usize + cap > self.result.len() {
+                report.push(
+                    cv,
+                    Some(slot),
+                    "result-out-of-bounds",
+                    format!(
+                        "block [{ptr}, {ptr}+{cap}) exceeds result table of {}",
+                        self.result.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The per-slot half of [`SubCell::verify`]: data-path binding plus
+    /// shadow ↔ bit-vector ↔ Result Table consistency for one row. Cheap
+    /// enough (`O(2^stride)`) to re-run after every incremental update.
+    pub(crate) fn verify_slot(&self, cell: usize, slot: u32, report: &mut VerifyReport) {
+        let cv = Some(cell);
+        let sv = Some(slot);
+        let si = slot as usize;
+        let f = &self.filter[si];
+        let bv = &self.bitvec[si];
+        let shadow = &self.shadows[si];
+        if f.dirty && !f.valid {
+            report.push(
+                cv,
+                sv,
+                "dirty-invalid",
+                "dirty bit set on an invalid row".into(),
+            );
+        }
+        if f.valid {
+            // Section 4.1/4.2: the full front end (spillover TCAM, then
+            // Index Table decode validated by the Filter Table) must bind
+            // this key back to this very row.
+            match self.slot_of(f.key) {
+                Some(s) if s == slot => {}
+                other => report.push(
+                    cv,
+                    sv,
+                    "data-path-binding",
+                    format!("key {:#x} resolves to {other:?}", f.key),
+                ),
+            }
+            if !self.spill.iter().any(|&(k, _)| k == f.key) {
+                let p = self.index.lookup(f.key);
+                if p as usize >= self.capacity() {
+                    report.push(
+                        cv,
+                        sv,
+                        "index-pointer-range",
+                        format!("decoded pointer {p} outside [0, {})", self.capacity()),
+                    );
+                }
+            }
+        }
+        if f.valid && !f.dirty {
+            report.live_slots += 1;
+            report.routes += shadow.len();
+            if shadow.is_empty() {
+                report.push(
+                    cv,
+                    sv,
+                    "empty-live-group",
+                    "live row has an empty shadow".into(),
+                );
+                return;
+            }
+            // Section 4.3: re-resolve the group's subtree and compare
+            // leaf-by-leaf against the bit-vector and the compacted
+            // Result Table block.
+            let hops = leaf_hops(shadow, self.range.stride);
+            let ones = hops.iter().filter(|h| h.is_some()).count();
+            if bv.vector.count_ones() != ones {
+                report.push(
+                    cv,
+                    sv,
+                    "popcount-mismatch",
+                    format!(
+                        "vector popcount {} but shadow covers {ones} leaves",
+                        bv.vector.count_ones()
+                    ),
+                );
+            }
+            let Some(block) = bv.block else {
+                report.push(
+                    cv,
+                    sv,
+                    "missing-block",
+                    format!("{ones} covered leaves but no result block"),
+                );
+                return;
+            };
+            if block.capacity() < ones {
+                report.push(
+                    cv,
+                    sv,
+                    "block-overflow",
+                    format!("block capacity {} below occupancy {ones}", block.capacity()),
+                );
+                return;
+            }
+            if block.ptr as usize + block.capacity() > self.result.len() {
+                report.push(
+                    cv,
+                    sv,
+                    "result-out-of-bounds",
+                    format!(
+                        "block [{}, {}+{}) exceeds result table of {}",
+                        block.ptr,
+                        block.ptr,
+                        block.capacity(),
+                        self.result.len()
+                    ),
+                );
+                return;
+            }
+            for (leaf, hop) in hops.iter().enumerate() {
+                if bv.vector.get(leaf) != hop.is_some() {
+                    report.push(
+                        cv,
+                        sv,
+                        "leaf-bit-mismatch",
+                        format!("leaf {leaf}: bit {} vs shadow {hop:?}", bv.vector.get(leaf)),
+                    );
+                    continue;
+                }
+                if let Some(expected) = hop {
+                    let rank = bv.vector.rank(leaf);
+                    let stored = self.result.read(block, rank - 1);
+                    if stored != *expected {
+                        report.push(
+                            cv,
+                            sv,
+                            "next-hop-mismatch",
+                            format!("leaf {leaf} rank {rank}: stored {stored}, shadow {expected}"),
+                        );
+                    }
+                }
+            }
+        } else {
+            // Dirty (Section 4.4.1) and free rows must be fully drained:
+            // empty shadow, zero vector, released block.
+            if !shadow.is_empty() {
+                report.push(
+                    cv,
+                    sv,
+                    "stale-shadow",
+                    format!("{} prefixes linger on a non-live row", shadow.len()),
+                );
+            }
+            if !bv.vector.is_zero() {
+                report.push(
+                    cv,
+                    sv,
+                    "stale-vector",
+                    format!(
+                        "{} leaf bit(s) set on a non-live row",
+                        bv.vector.count_ones()
+                    ),
+                );
+            }
+            if bv.block.is_some() {
+                report.push(
+                    cv,
+                    sv,
+                    "stale-block",
+                    "result block held by a non-live row".into(),
+                );
+            }
+        }
+    }
+
+    /// Debug-build hook: re-verifies the slot an incremental update just
+    /// touched, so an update that corrupts a row fails at the update —
+    /// not at some later lookup.
+    #[cfg(debug_assertions)]
+    fn debug_assert_slot(&self, slot: u32) {
+        let mut report = VerifyReport::default();
+        self.verify_slot(self.range.base as usize, slot, &mut report);
+        assert!(
+            report.is_ok(),
+            "update left slot {slot} of cell base {} inconsistent:\n{report}",
+            self.range.base
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn debug_assert_slot(&self, _slot: u32) {}
 }
 
 fn cell_seed(seed: u64, base: u8) -> u64 {

@@ -27,6 +27,8 @@
 //! assert_eq!(out, out2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod family;
 mod mix;
 

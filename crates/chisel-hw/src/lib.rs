@@ -15,6 +15,8 @@
 //!   prototype of Section 7, computing Block-RAM demand exactly from
 //!   table geometry and logic demand from calibrated per-sub-cell costs.
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod edram;
 pub mod fpga;

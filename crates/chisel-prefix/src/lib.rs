@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod collapse;
 pub mod cpe;

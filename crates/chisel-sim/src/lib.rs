@@ -26,6 +26,8 @@
 //! assert!((fpga.throughput_msps() - 12.5).abs() < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod configs;
 mod pipeline;
 mod sim;

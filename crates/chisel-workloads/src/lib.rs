@@ -19,6 +19,8 @@
 //!
 //! Everything is deterministic given a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod ipv6;
 pub mod mrt;

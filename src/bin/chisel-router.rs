@@ -4,10 +4,16 @@
 //! chisel-router build  <table-file> [--threads N]        timed engine build
 //! chisel-router lookup <table-file> <addr> [<addr>...]   LPM lookups
 //! chisel-router stats  <table-file>                      table + engine stats
+//! chisel-router check  <table-file> [--threads N]        invariant verifier
 //! chisel-router replay <table-file> <trace.mrt> [--threads N]
 //!                                                        apply an MRT update trace
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
+//!
+//! `check` builds an engine, re-walks every inserted prefix through all
+//! four tables (engine-side and again from the exported hardware image —
+//! see `chisel::core::verify`), and round-trips the route set against the
+//! input table. Exit status is non-zero on any violation.
 //!
 //! `--threads N` sets the build-pipeline worker count (default: the
 //! machine's available parallelism). The engine image is byte-identical
@@ -16,6 +22,8 @@
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
 //! or by RIS collectors (IPv4 UPDATE subset).
+
+#![forbid(unsafe_code)]
 
 use std::fs::File;
 use std::process::ExitCode;
@@ -40,12 +48,14 @@ fn main() -> ExitCode {
         Some("build") if args.len() == 2 => cmd_build(&args[1], threads),
         Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..]),
         Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
+        Some("check") if args.len() == 2 => cmd_check(&args[1], threads),
         Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2], threads),
         Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
         _ => {
             eprintln!(
                 "usage: chisel-router build <table> [--threads N] | \
                  lookup <table> <addr>... | stats <table> | \
+                 check <table> [--threads N] | \
                  replay <table> <trace.mrt> [--threads N] | synth <n> <out> [seed]"
             );
             return ExitCode::FAILURE;
@@ -184,6 +194,68 @@ fn cmd_stats(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         "estimated power at 200 Msps: {:.2} W (130nm eDRAM model)",
         chisel::hw::chisel_power_watts(s.total_bits(), 200.0)
     );
+    Ok(())
+}
+
+fn cmd_check(path: &str, threads: usize) -> Result<(), Box<dyn std::error::Error>> {
+    use std::collections::BTreeMap;
+
+    let start = Instant::now();
+    let (table, engine) = load(path, threads)?;
+    println!(
+        "built {} prefixes in {:.3}s; verifying...",
+        table.len(),
+        start.elapsed().as_secs_f64()
+    );
+    // Pass 1: the software shadow, with full semantic access (shadows,
+    // block capacities).
+    let engine_report = engine.verify();
+    print!("engine:   {engine_report}");
+    // Pass 2: the exported hardware image, from raw memory words alone.
+    let image_report = chisel::core::verify_image(&engine.export_image());
+    print!("image:    {image_report}");
+    // Pass 3: route-set roundtrip — every input route must enumerate
+    // back out with its next hop, and nothing else may.
+    let key = |p: &chisel::Prefix| (p.len(), p.bits());
+    let want: BTreeMap<(u8, u128), u32> = table
+        .iter()
+        .map(|e| (key(&e.prefix), e.next_hop.id()))
+        .collect();
+    let got: BTreeMap<(u8, u128), u32> = engine
+        .iter_routes()
+        .map(|e| (key(&e.prefix), e.next_hop.id()))
+        .collect();
+    let mut roundtrip_errors = 0usize;
+    for (k, nh) in &want {
+        if got.get(k) != Some(nh) {
+            roundtrip_errors += 1;
+            if roundtrip_errors <= 10 {
+                eprintln!(
+                    "  route {:#x}/{}: expected nh{nh}, engine has {:?}",
+                    k.1,
+                    k.0,
+                    got.get(k)
+                );
+            }
+        }
+    }
+    for k in got.keys() {
+        if !want.contains_key(k) {
+            roundtrip_errors += 1;
+            if roundtrip_errors <= 10 {
+                eprintln!("  route {:#x}/{}: not in the input table", k.1, k.0);
+            }
+        }
+    }
+    println!(
+        "roundtrip: {} routes compared, {roundtrip_errors} mismatch(es)",
+        want.len()
+    );
+    let total = engine_report.violations.len() + image_report.violations.len() + roundtrip_errors;
+    if total > 0 {
+        return Err(format!("{total} invariant violation(s)").into());
+    }
+    println!("check: all invariants hold");
     Ok(())
 }
 

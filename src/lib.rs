@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use chisel_baselines as baselines;
 pub use chisel_bloomier as bloomier;
 pub use chisel_classify as classify;

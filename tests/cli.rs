@@ -147,3 +147,28 @@ fn bad_usage_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 }
+
+#[test]
+fn check_verifies_synthesized_table() {
+    let dir = tempdir();
+    let table = dir.join("check-table.txt");
+    let out = router()
+        .args(["synth", "5000", table.to_str().unwrap(), "11"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    let out = router()
+        .args(["check", table.to_str().unwrap()])
+        .output()
+        .expect("check runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 violation(s)"), "{text}");
+    assert!(text.contains("0 mismatch(es)"), "{text}");
+    assert!(text.contains("all invariants hold"), "{text}");
+}

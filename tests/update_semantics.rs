@@ -1,10 +1,23 @@
 //! Scenario tests for the incremental update machinery of Section 4.4:
 //! withdraw/announce semantics, dirty-bit route flaps, classification,
-//! and the partition-bounded re-setup path.
+//! and the partition-bounded re-setup path. After every scenario the
+//! invariant verifier re-walks the engine and its exported hardware
+//! image — an update sequence must never leave the tables structurally
+//! inconsistent, even when every lookup it was tested with still works.
 
-use chisel::core::UpdateKind;
+use chisel::core::{verify_image, UpdateKind};
 use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
 use chisel_prefix::bits::mask;
+
+/// Runs both verifier passes (engine-side and image-side) and fails the
+/// test with the full violation report on any broken invariant.
+#[track_caller]
+fn assert_verified(e: &ChiselLpm) {
+    let report = e.verify();
+    assert!(report.is_ok(), "engine invariants violated:\n{report}");
+    let image = verify_image(&e.export_image());
+    assert!(image.is_ok(), "image invariants violated:\n{image}");
+}
 
 fn p(s: &str) -> Prefix {
     s.parse().unwrap()
@@ -43,6 +56,7 @@ fn withdraw_falls_back_to_next_longest_cover() {
     assert_eq!(e.lookup(k("10.1.128.1")), Some(nh(2)));
     e.withdraw(p("10.1.0.0/16")).unwrap();
     assert_eq!(e.lookup(k("10.1.128.1")), Some(nh(1)));
+    assert_verified(&e);
 }
 
 #[test]
@@ -90,6 +104,7 @@ fn flap_classification_both_mechanisms() {
         UpdateKind::RouteFlap
     );
     assert_eq!(e.lookup(k("10.1.2.5")), Some(nh(3)));
+    assert_verified(&e);
 }
 
 #[test]
@@ -106,6 +121,7 @@ fn withdraw_then_different_prefix_is_not_flap() {
         None,
         "withdrawn /24 must not resurface"
     );
+    assert_verified(&e);
 }
 
 #[test]
@@ -157,6 +173,7 @@ fn singleton_inserts_into_fresh_regions() {
         let key = Key::from_raw(AddressFamily::V4, ((0x40 + i) << 4) << 20);
         assert_eq!(e.lookup(key), Some(nh(i as u32)), "prefix {i}");
     }
+    assert_verified(&e);
 }
 
 #[test]
@@ -196,6 +213,7 @@ fn resetup_purges_dirty_entries() {
         let key = Key::from_raw(AddressFamily::V4, (0x400 + i) << 12);
         assert_eq!(e.lookup(key), Some(nh(5000 + i as u32)));
     }
+    assert_verified(&e);
 }
 
 #[test]
@@ -228,4 +246,121 @@ fn announce_at_never_populated_length_works() {
     // The /32 announce wins on its exact key.
     let key = Key::from_raw(AddressFamily::V4, 0x5A5A_5A5A);
     assert_eq!(e.lookup(key), Some(nh(132)));
+    assert_verified(&e);
+}
+
+#[test]
+fn verifier_stays_clean_under_random_churn() {
+    // Drive every update path (announce/withdraw/flap/re-setup) from a
+    // seeded random walk and re-verify periodically: structural
+    // invariants must hold at every sampled point, not just at the end.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut t = RoutingTable::new_v4();
+    while t.len() < 600 {
+        let len = rng.gen_range(1..=32u8);
+        let bits = rng.gen::<u128>() & mask(len);
+        t.insert(
+            Prefix::new(AddressFamily::V4, bits, len).unwrap(),
+            nh(rng.gen_range(0..64)),
+        );
+    }
+    let mut e = ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap();
+    assert_verified(&e);
+    for step in 0..1_500u32 {
+        let len = rng.gen_range(1..=32u8);
+        // A narrow bit pool makes withdraws hit live prefixes often.
+        let bits = (rng.gen::<u128>() & mask(len)) & 0x3F3F_3F3F;
+        let prefix = Prefix::new(AddressFamily::V4, bits, len).unwrap();
+        if rng.gen_bool(0.45) {
+            e.withdraw(prefix).unwrap();
+        } else {
+            e.announce(prefix, nh(step)).unwrap();
+        }
+        if step % 250 == 249 {
+            assert_verified(&e);
+        }
+    }
+    assert_verified(&e);
+}
+
+#[test]
+fn verifier_flags_corrupted_images() {
+    // The negative direction: seed single-word corruptions into an
+    // exported hardware image and check each one is caught. A verifier
+    // that can't see planted collisions proves nothing about real ones.
+    let e = engine_with(&[
+        ("10.0.0.0/8", 1),
+        ("10.1.0.0/16", 2),
+        ("172.16.0.0/12", 3),
+        ("192.168.0.0/16", 4),
+        ("192.168.128.0/17", 5),
+    ]);
+    assert_verified(&e);
+    let clean = e.export_image();
+
+    // Corruption 1: duplicate a live key into another live row — the
+    // Bloomier collision the whole design exists to rule out (§4.1).
+    let mut img = clean.clone();
+    let (cell, live): (usize, Vec<usize>) = img
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            (
+                ci,
+                (0..c.filter.len())
+                    .filter(|&s| c.filter[s].valid)
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .find(|(_, live)| live.len() >= 2)
+        .expect("some cell holds two live rows");
+    img.cells[cell].filter[live[1]].key = img.cells[cell].filter[live[0]].key;
+    let report = verify_image(&img);
+    assert!(
+        report.violations.iter().any(|v| v.check == "duplicate-key"),
+        "planted key collision not flagged:\n{report}"
+    );
+
+    // Corruption 2: point a live row's result block past the table.
+    let mut img = clean.clone();
+    let end = img.cells[cell].result.len() as u32;
+    img.cells[cell].bitvec[live[0]].pointer = Some(end);
+    let report = verify_image(&img);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.check == "result-out-of-bounds"),
+        "planted wild pointer not flagged:\n{report}"
+    );
+
+    // Corruption 3: leave leaf bits set on a freed row.
+    let mut img = clean.clone();
+    let free = (0..img.cells[cell].filter.len())
+        .find(|&s| !img.cells[cell].filter[s].valid)
+        .expect("provisioned capacity leaves free rows");
+    img.cells[cell].bitvec[free].vector.set(0, true);
+    let report = verify_image(&img);
+    assert!(
+        report.violations.iter().any(|v| v.check == "stale-vector"),
+        "planted stale vector not flagged:\n{report}"
+    );
+
+    // Corruption 4: break a spilled or indexed binding by invalidating
+    // the row its key decodes to while keeping the key "live" elsewhere:
+    // swap two live rows' keys without re-encoding the Index Table.
+    let mut img = clean;
+    let (a, b) = (live[0], live[1]);
+    let ka = img.cells[cell].filter[a].key;
+    img.cells[cell].filter[a].key = img.cells[cell].filter[b].key;
+    img.cells[cell].filter[b].key = ka;
+    let report = verify_image(&img);
+    assert!(
+        report.violations.iter().any(|v| v.check == "index-replay"),
+        "planted mis-binding not flagged:\n{report}"
+    );
 }

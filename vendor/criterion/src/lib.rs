@@ -7,6 +7,8 @@
 //! reports. Good enough to compare implementations relative to each
 //! other on one machine, which is all this workspace's benches do.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

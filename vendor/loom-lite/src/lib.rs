@@ -1,0 +1,202 @@
+//! loom-lite — a minimal, offline, deterministic concurrency model checker.
+//!
+//! The real [loom](https://github.com/tokio-rs/loom) explores the full C11
+//! memory model. This crate implements the small subset the Chisel
+//! workspace needs to machine-check its one lock-free protocol
+//! (`chisel_core::snapshot::SnapshotCell`, which uses `SeqCst` for every
+//! atomic access):
+//!
+//! - **Virtual atomics** ([`sync::atomic`]): shims over the std types
+//!   whose every access is a *scheduling point*. Because the scheduler
+//!   runs exactly one virtual thread at a time and every access is
+//!   `SeqCst`, the explored executions are precisely the sequentially
+//!   consistent interleavings — sufficient for a protocol that never
+//!   relaxes an ordering.
+//! - **Virtual threads** ([`thread::spawn`]) and a virtual blocking
+//!   [`sync::Mutex`], both driven by the scheduler.
+//! - **An exhaustive DFS scheduler** ([`model`]): executions are replayed
+//!   under a recorded decision trace; after each run the last
+//!   not-yet-exhausted decision is advanced (depth-first search over the
+//!   schedule tree) until the space is exhausted. A *bounded-preemption
+//!   knob* ([`Builder::max_preemptions`]) keeps the space tractable:
+//!   switching away from a runnable thread costs budget, while switches
+//!   forced by blocking or termination are free (the CHESS observation
+//!   that almost all concurrency bugs manifest within two preemptions).
+//! - **A pointer-lifecycle tracker** ([`track`]): protocols under test
+//!   declare publish/pin/unpin/free events; the tracker panics the model
+//!   on use-after-free (freeing a pinned pointer), double-free, and leaks
+//!   (unfreed publications at execution end) *before* any real memory
+//!   operation goes wrong, so even buggy schedules are explored safely.
+//!
+//! # Example
+//!
+//! ```
+//! use loom_lite::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+//! use std::sync::Arc;
+//!
+//! loom_lite::model(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let b = a.clone();
+//!     let t = loom_lite::thread::spawn(move || b.fetch_add(1, SeqCst));
+//!     a.fetch_add(1, SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(SeqCst), 2);
+//! });
+//! ```
+//!
+//! Outside of [`model`], every shim delegates directly to its std
+//! counterpart, so code ported onto the shims behaves identically when
+//! exercised by ordinary unit tests.
+
+#![forbid(unsafe_code)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+pub mod track;
+
+pub use scheduler::Builder;
+
+/// Checks `f` under every schedule the default [`Builder`] explores.
+///
+/// Reads `LOOM_LITE_MAX_PREEMPTIONS` (default 2) and
+/// `LOOM_LITE_MAX_ITERATIONS` (default 1,000,000) from the environment so
+/// CI can widen or narrow the search without code changes.
+///
+/// # Panics
+///
+/// Panics if any explored schedule panics (assertion failure,
+/// use-after-free, double-free, leak or deadlock), reporting the failing
+/// decision trace.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::from_env().check(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use super::sync::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn explores_more_than_one_schedule() {
+        let runs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let runs2 = runs.clone();
+        super::model(move || {
+            runs2.fetch_add(1, SeqCst);
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = a.clone();
+            let t = super::thread::spawn(move || {
+                b.store(1, SeqCst);
+            });
+            let _ = a.load(SeqCst);
+            t.join().unwrap();
+        });
+        assert!(
+            runs.load(SeqCst) > 1,
+            "expected multiple interleavings, got {}",
+            runs.load(SeqCst)
+        );
+    }
+
+    #[test]
+    fn finds_the_classic_lost_update() {
+        // Two unsynchronized load-then-store increments: some schedule
+        // must lose one update, and the model must find it.
+        let result = std::panic::catch_unwind(|| {
+            super::Builder::new().check(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let b = a.clone();
+                let t = super::thread::spawn(move || {
+                    let v = b.load(SeqCst);
+                    b.store(v + 1, SeqCst);
+                });
+                let v = a.load(SeqCst);
+                a.store(v + 1, SeqCst);
+                t.join().unwrap();
+                assert_eq!(a.load(SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "model missed the lost-update schedule");
+    }
+
+    #[test]
+    fn fetch_add_increments_are_never_lost() {
+        super::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = a.clone();
+            let t = super::thread::spawn(move || {
+                b.fetch_add(1, SeqCst);
+            });
+            a.fetch_add(1, SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let m2 = m.clone();
+            let t = super::thread::spawn(move || {
+                let mut g = m2.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            });
+            {
+                let mut g = m.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            }
+            t.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn tracker_catches_free_while_pinned() {
+        let result = std::panic::catch_unwind(|| {
+            super::Builder::new().check(|| {
+                super::track::publish(0x1000);
+                super::track::pin(0x1000);
+                super::track::free(0x1000); // freed while pinned: UAF
+            });
+        });
+        assert!(result.is_err(), "tracker missed a use-after-free");
+    }
+
+    #[test]
+    fn tracker_catches_double_free() {
+        let result = std::panic::catch_unwind(|| {
+            super::Builder::new().check(|| {
+                super::track::publish(0x2000);
+                super::track::free(0x2000);
+                super::track::free(0x2000);
+            });
+        });
+        assert!(result.is_err(), "tracker missed a double free");
+    }
+
+    #[test]
+    fn tracker_catches_leaks() {
+        let result = std::panic::catch_unwind(|| {
+            super::Builder::new().check(|| {
+                super::track::publish(0x3000); // never freed
+            });
+        });
+        assert!(result.is_err(), "tracker missed a leak");
+    }
+
+    #[test]
+    fn shims_work_outside_the_model() {
+        let a = AtomicUsize::new(41);
+        a.fetch_add(1, SeqCst);
+        assert_eq!(a.load(SeqCst), 42);
+        let m = Mutex::new(7);
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+}

@@ -1,0 +1,502 @@
+//! The deterministic DFS scheduler behind [`crate::model`].
+//!
+//! One execution = one schedule: virtual threads are real OS threads, but
+//! exactly one runs at a time; at every scheduling point (each virtual
+//! atomic access, spawn, block or exit) the scheduler consults a recorded
+//! decision trace ([`Path`]). Replaying a prefix and advancing the last
+//! non-exhausted decision enumerates the whole (preemption-bounded)
+//! schedule tree depth-first.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::track::Tracker;
+
+/// Payload used to unwind still-running virtual threads once a failure
+/// has been recorded; never reported as a failure itself.
+pub(crate) struct AbortToken;
+
+/// What a virtual thread blocks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Channel {
+    /// Waiting for a thread to finish.
+    Join(usize),
+    /// Waiting on a lock, identified by its address.
+    Addr(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Channel),
+    Finished,
+}
+
+/// One decision: `chosen`-th of `alternatives` enabled threads.
+#[derive(Debug, Clone, Copy)]
+struct Branch {
+    alternatives: usize,
+    chosen: usize,
+}
+
+/// The DFS decision trace, replayed as a prefix and extended at the
+/// frontier.
+#[derive(Debug, Default)]
+pub(crate) struct Path {
+    branches: Vec<Branch>,
+    pos: usize,
+}
+
+impl Path {
+    /// Returns the choice for the next decision point (replaying if
+    /// recorded, else picking the first alternative and recording it).
+    fn next(&mut self, alternatives: usize) -> usize {
+        debug_assert!(alternatives >= 2);
+        let chosen = if self.pos < self.branches.len() {
+            let b = self.branches[self.pos];
+            assert_eq!(
+                b.alternatives, alternatives,
+                "non-deterministic model: decision {} had {} alternatives on replay, {} before",
+                self.pos, alternatives, b.alternatives
+            );
+            b.chosen
+        } else {
+            self.branches.push(Branch {
+                alternatives,
+                chosen: 0,
+            });
+            0
+        };
+        self.pos += 1;
+        chosen
+    }
+
+    /// Advances to the next unexplored schedule. Returns `false` when the
+    /// space is exhausted.
+    pub(crate) fn step_back(&mut self) -> bool {
+        self.pos = 0;
+        while let Some(last) = self.branches.last_mut() {
+            if last.chosen + 1 < last.alternatives {
+                last.chosen += 1;
+                return true;
+            }
+            self.branches.pop();
+        }
+        false
+    }
+
+    /// The chosen-alternative sequence (for failure reports).
+    fn trace(&self) -> Vec<usize> {
+        self.branches.iter().map(|b| b.chosen).collect()
+    }
+}
+
+struct SchedState {
+    threads: Vec<Run>,
+    active: usize,
+    preemptions: u32,
+    max_preemptions: u32,
+    steps: u64,
+    max_steps: u64,
+    path: Path,
+    abort: bool,
+    failure: Option<String>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Shared per-execution scheduler state.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    pub(crate) tracker: Mutex<Tracker>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler and virtual-thread id of the calling thread, when it is
+/// a virtual thread of a running model.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// A scheduling point for the calling thread (no-op outside a model, and
+/// during panic unwinding so guard drops stay abort-safe).
+pub(crate) fn yield_now() {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.yield_point(tid);
+    }
+}
+
+impl Scheduler {
+    fn new(path: Path, max_preemptions: u32, max_steps: u64) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: Vec::new(),
+                active: 0,
+                preemptions: 0,
+                max_preemptions,
+                steps: 0,
+                max_steps,
+                path,
+                abort: false,
+                failure: None,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            tracker: Mutex::new(Tracker::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        // The state lock is held only across scheduler bookkeeping that
+        // cannot panic; recover from poisoning anyway so one failing
+        // execution cannot wedge the explorer.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records the first failure and unwinds every virtual thread.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut s = self.lock();
+        if s.failure.is_none() {
+            s.failure = Some(msg);
+        }
+        s.abort = true;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Picks the next thread to run. `current_runnable` is false when the
+    /// caller just blocked or finished (a free, non-preemptive switch).
+    /// Returns `None` on deadlock.
+    fn pick(s: &mut SchedState, tid: usize, current_runnable: bool) -> Option<usize> {
+        let mut candidates = Vec::with_capacity(s.threads.len());
+        if current_runnable {
+            candidates.push(tid);
+        }
+        if !current_runnable || s.preemptions < s.max_preemptions {
+            for (i, t) in s.threads.iter().enumerate() {
+                if i != tid && *t == Run::Runnable {
+                    candidates.push(i);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = if candidates.len() == 1 {
+            0
+        } else {
+            s.path.next(candidates.len())
+        };
+        let next = candidates[idx];
+        if current_runnable && next != tid {
+            s.preemptions += 1;
+        }
+        Some(next)
+    }
+
+    /// One scheduling point: possibly hands execution to another thread
+    /// and waits for its own turn to come back.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(AbortToken);
+        }
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            let bound = s.max_steps;
+            drop(s);
+            self.fail(format!(
+                "execution exceeded the per-schedule step bound ({bound}); livelock?"
+            ));
+            std::panic::panic_any(AbortToken);
+        }
+        let next = Self::pick(&mut s, tid, true).expect("runnable caller is a candidate");
+        if next == tid {
+            return;
+        }
+        s.active = next;
+        self.cv.notify_all();
+        self.wait_for_turn_locked(s, tid);
+    }
+
+    /// Blocks the calling thread on `ch` until some thread unblocks it
+    /// *and* the scheduler picks it again.
+    pub(crate) fn block_on(&self, tid: usize, ch: Channel) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            std::panic::panic_any(AbortToken);
+        }
+        s.threads[tid] = Run::Blocked(ch);
+        match Self::pick(&mut s, tid, false) {
+            Some(next) => {
+                s.active = next;
+                self.cv.notify_all();
+            }
+            None => {
+                drop(s);
+                self.fail(format!("deadlock: every live thread is blocked ({ch:?})"));
+                std::panic::panic_any(AbortToken);
+            }
+        }
+        self.wait_for_turn_locked(s, tid);
+    }
+
+    /// Marks every thread blocked on `ch` runnable again.
+    pub(crate) fn unblock_all(&self, ch: Channel) {
+        let mut s = self.lock();
+        for t in &mut s.threads {
+            if *t == Run::Blocked(ch) {
+                *t = Run::Runnable;
+            }
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn_locked(&self, mut s: MutexGuard<'_, SchedState>, tid: usize) {
+        loop {
+            if s.abort {
+                drop(s);
+                std::panic::panic_any(AbortToken);
+            }
+            if s.active == tid && s.threads[tid] == Run::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// First wait of a freshly-spawned virtual thread.
+    fn wait_for_turn(&self, tid: usize) {
+        let s = self.lock();
+        self.wait_for_turn_locked(s, tid);
+    }
+
+    /// Registers a new virtual thread (runnable, not yet scheduled).
+    fn register(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(Run::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// Whether a virtual thread has finished (for `join` fast paths).
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.lock().threads[tid] == Run::Finished
+    }
+
+    fn thread_finished(&self, tid: usize) {
+        let mut s = self.lock();
+        s.threads[tid] = Run::Finished;
+        let join_ch = Channel::Join(tid);
+        for t in &mut s.threads {
+            if *t == Run::Blocked(join_ch) {
+                *t = Run::Runnable;
+            }
+        }
+        let all_finished = s.threads.iter().all(|t| *t == Run::Finished);
+        if !all_finished && !s.abort && s.active == tid {
+            match Self::pick(&mut s, tid, false) {
+                Some(next) => s.active = next,
+                None => {
+                    drop(s);
+                    self.fail("deadlock: every remaining thread is blocked".into());
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Spawns a virtual thread running `body`. Returns its id.
+    pub(crate) fn spawn(self: &Arc<Self>, body: Box<dyn FnOnce() + Send>) -> usize {
+        let tid = self.register();
+        let sched = Arc::clone(self);
+        let handle = std::thread::spawn(move || {
+            set_current(Some((Arc::clone(&sched), tid)));
+            sched.wait_for_turn(tid);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+            if let Err(payload) = result {
+                if !payload.is::<AbortToken>() {
+                    sched.fail(panic_message(payload.as_ref()));
+                }
+            }
+            sched.thread_finished(tid);
+            set_current(None);
+        });
+        self.lock().handles.push(handle);
+        // The spawn itself is a scheduling point: schedules where the
+        // child runs immediately are part of the space.
+        if !std::thread::panicking() {
+            self.yield_point(current().map(|(_, t)| t).expect("spawn inside model"));
+        }
+        tid
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "virtual thread panicked".to_string()
+    }
+}
+
+/// Configures and runs an exhaustive schedule exploration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Preemption budget per execution (switches away from a runnable
+    /// thread); forced switches at blocking or exit are always free.
+    pub max_preemptions: u32,
+    /// Upper bound on explored executions; exceeding it is an error (the
+    /// run would silently not be exhaustive otherwise).
+    pub max_iterations: u64,
+    /// Per-execution scheduling-step bound (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_preemptions: 2,
+            max_iterations: 1_000_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defaults overridden by `LOOM_LITE_MAX_PREEMPTIONS` and
+    /// `LOOM_LITE_MAX_ITERATIONS`.
+    pub fn from_env() -> Self {
+        let mut b = Self::default();
+        if let Some(p) = env_u64("LOOM_LITE_MAX_PREEMPTIONS") {
+            b.max_preemptions = p as u32;
+        }
+        if let Some(i) = env_u64("LOOM_LITE_MAX_ITERATIONS") {
+            b.max_iterations = i;
+        }
+        b
+    }
+
+    /// Sets the preemption budget.
+    pub fn max_preemptions(mut self, n: u32) -> Self {
+        self.max_preemptions = n;
+        self
+    }
+
+    /// Checks `f` under every schedule within the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing schedule, with its decision trace, or
+    /// if the space exceeds `max_iterations`.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut path = Path::default();
+        let mut iterations: u64 = 0;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "schedule space not exhausted after {iterations} executions; \
+                 lower max_preemptions or raise max_iterations"
+            );
+            let (next_path, failure) = run_once(Arc::clone(&f), path, self);
+            path = next_path;
+            if let Some(msg) = failure {
+                panic!(
+                    "loom-lite found a failing schedule on execution {iterations}: {msg}\n\
+                     decision trace: {:?}",
+                    path.trace()
+                );
+            }
+            if !path.step_back() {
+                break;
+            }
+        }
+    }
+}
+
+/// Runs one execution of `f` under `path`, returning the (possibly
+/// extended) path and the failure, if any.
+fn run_once<F>(f: Arc<F>, path: Path, builder: &Builder) -> (Path, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Arc::new(Scheduler::new(
+        path,
+        builder.max_preemptions,
+        builder.max_steps,
+    ));
+    let tid0 = sched.register();
+    debug_assert_eq!(tid0, 0);
+    let root = Arc::clone(&sched);
+    let handle = std::thread::spawn(move || {
+        set_current(Some((Arc::clone(&root), tid0)));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f()));
+        if let Err(payload) = result {
+            if !payload.is::<AbortToken>() {
+                root.fail(panic_message(payload.as_ref()));
+            }
+        }
+        root.thread_finished(tid0);
+        set_current(None);
+    });
+    sched.lock().handles.push(handle);
+
+    // Wait for every virtual thread to finish, then reap the OS threads.
+    {
+        let mut s = sched.lock();
+        while !s.threads.iter().all(|t| *t == Run::Finished) {
+            s = sched.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    loop {
+        let Some(h) = sched.lock().handles.pop() else {
+            break;
+        };
+        let _ = h.join();
+    }
+
+    let mut s = sched.lock();
+    let mut failure = s.failure.take();
+    let path = std::mem::take(&mut s.path);
+    drop(s);
+    if failure.is_none() {
+        failure = sched
+            .tracker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .check_leaks();
+    }
+    (path, failure)
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}

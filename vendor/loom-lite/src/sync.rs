@@ -1,0 +1,335 @@
+//! Virtual synchronization primitives.
+//!
+//! Inside a [`crate::model`] execution every operation on these types is a
+//! scheduling point; all accesses execute with `SeqCst` semantics (the
+//! `Ordering` argument is accepted for signature compatibility and
+//! ignored — the modeled protocol uses `SeqCst` everywhere, so this is
+//! not a weakening). Outside a model, every type delegates directly to
+//! its `std` counterpart.
+
+pub use std::sync::{LockResult, PoisonError};
+
+/// Virtual atomics: std atomics whose every access yields to the
+/// scheduler first.
+pub mod atomic {
+    use crate::scheduler::yield_now;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! int_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub fn new(v: $int) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                /// Loads the value (scheduling point; `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (scheduling point; `SeqCst`).
+                pub fn store(&self, v: $int, _order: Ordering) {
+                    yield_now();
+                    self.inner.store(v, Ordering::SeqCst);
+                }
+
+                /// Swaps the value (scheduling point; `SeqCst`).
+                pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (scheduling point; `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_now();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Weak compare-and-exchange. Delegates to the strong
+                /// version: spurious failures would make schedule replay
+                /// non-deterministic, and a strong CAS is a legal
+                /// implementation of a weak one.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                }
+
+                /// Atomic min, returning the previous value.
+                pub fn fetch_min(&self, v: $int, _order: Ordering) -> $int {
+                    yield_now();
+                    self.inner.fetch_min(v, Ordering::SeqCst)
+                }
+
+                /// Exclusive access to the value (not a scheduling point).
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic (not a scheduling point).
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Virtual `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Virtual `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Virtual `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Virtual `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Loads the value (scheduling point; `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> bool {
+            yield_now();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Stores a value (scheduling point; `SeqCst`).
+        pub fn store(&self, v: bool, _order: Ordering) {
+            yield_now();
+            self.inner.store(v, Ordering::SeqCst);
+        }
+
+        /// Swaps the value (scheduling point; `SeqCst`).
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            yield_now();
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+
+        /// Compare-and-exchange (scheduling point; `SeqCst`).
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            yield_now();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+    }
+
+    /// Virtual `AtomicPtr`.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        pub fn new(p: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// Loads the pointer (scheduling point; `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            yield_now();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Stores a pointer (scheduling point; `SeqCst`).
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            yield_now();
+            self.inner.store(p, Ordering::SeqCst);
+        }
+
+        /// Swaps the pointer (scheduling point; `SeqCst`).
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            yield_now();
+            self.inner.swap(p, Ordering::SeqCst)
+        }
+
+        /// Compare-and-exchange (scheduling point; `SeqCst`).
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            yield_now();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        /// Exclusive access to the pointer (not a scheduling point).
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+
+        /// Consumes the atomic (not a scheduling point).
+        pub fn into_inner(self) -> *mut T {
+            self.inner.into_inner()
+        }
+    }
+}
+
+use crate::scheduler::{self, Channel};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering::SeqCst;
+
+/// A virtual blocking mutex.
+///
+/// Inside a model, contention is expressed to the scheduler: a thread
+/// that loses the acquisition race blocks on the lock's address and is
+/// woken when the holder's guard drops. The payload itself lives in a
+/// `std::sync::Mutex` that is only ever locked by the virtual-lock
+/// holder, so it is uncontended by construction yet still provides
+/// poisoning semantics.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    locked: std::sync::atomic::AtomicBool,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            locked: std::sync::atomic::AtomicBool::new(false),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn channel(&self) -> Channel {
+        Channel::Addr(&self.locked as *const _ as usize)
+    }
+
+    /// Acquires the mutex, blocking the virtual thread until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((sched, tid)) = scheduler::current() {
+            loop {
+                sched.yield_point(tid);
+                if !self.locked.swap(true, SeqCst) {
+                    break;
+                }
+                sched.block_on(tid, self.channel());
+            }
+        }
+        // Only the virtual-lock holder reaches this, so the inner lock
+        // is uncontended; outside a model it is the entire mutex.
+        match self.data.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: Some(poisoned.into_inner()),
+            })),
+        }
+    }
+
+    /// Exclusive access to the payload (not a scheduling point).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.data.get_mut()
+    }
+
+    /// Consumes the mutex, returning the payload.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the inner lock")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the inner lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the virtual one, then wake
+        // waiters. No scheduling point here: yielding inside a drop
+        // would re-enter the scheduler during abort unwinding.
+        self.inner = None;
+        if let Some((sched, _tid)) = scheduler::current() {
+            self.lock.locked.store(false, SeqCst);
+            sched.unblock_all(self.lock.channel());
+        }
+    }
+}

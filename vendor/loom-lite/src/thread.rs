@@ -1,0 +1,68 @@
+//! Virtual threads.
+//!
+//! Inside a [`crate::model`] execution, [`spawn`] registers a new virtual
+//! thread with the scheduler (backed by a real OS thread that only runs
+//! when scheduled) and [`JoinHandle::join`] blocks the joining virtual
+//! thread until the target finishes. Outside a model both delegate to
+//! `std::thread`.
+
+use crate::scheduler::{self, Channel, Scheduler};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+enum Inner<T> {
+    Virtual {
+        sched: Arc<Scheduler>,
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+    Native(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (virtual or native) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+/// Spawns a thread running `f`.
+///
+/// A scheduling point: schedules where the child runs before the parent's
+/// next step are part of the explored space.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((sched, _tid)) = scheduler::current() {
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let tid = sched.spawn(Box::new(move || {
+            let v = f();
+            *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        }));
+        JoinHandle(Inner::Virtual { sched, tid, slot })
+    } else {
+        JoinHandle(Inner::Native(std::thread::spawn(f)))
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Virtual { sched, tid, slot } => {
+                let (cur, my_tid) =
+                    scheduler::current().expect("virtual threads are joined from inside the model");
+                debug_assert!(Arc::ptr_eq(&cur, &sched), "join across model executions");
+                // No window for a missed wakeup: between the finished
+                // check and block_on no other virtual thread runs.
+                while !sched.is_finished(tid) {
+                    sched.block_on(my_tid, Channel::Join(tid));
+                }
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("virtual thread panicked before producing a value")
+                        as Box<dyn std::any::Any + Send>),
+                }
+            }
+            Inner::Native(h) => h.join(),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Pointer-lifecycle tracker.
+//!
+//! Protocols under test declare their ownership transitions —
+//! [`publish`] when a pointer becomes reachable, [`pin`]/[`unpin`]
+//! around reader-side accesses, [`free`] when the protocol believes the
+//! pointer can be reclaimed — and the tracker fails the model on:
+//!
+//! - **use-after-free**: freeing a pointer some reader still has pinned;
+//! - **double-free**: freeing an already-freed pointer;
+//! - **leaks**: publications never freed by the end of the execution.
+//!
+//! Violations are detected at the `free` declaration, *before* the code
+//! under test performs the real reclamation, so exploring a buggy
+//! schedule panics the model instead of corrupting memory.
+//!
+//! Outside a model every function is a no-op.
+
+use crate::scheduler;
+use std::collections::HashMap;
+use std::sync::PoisonError;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pinned: usize,
+    freed: bool,
+}
+
+/// Per-execution lifecycle state, owned by the scheduler.
+#[derive(Debug, Default)]
+pub(crate) struct Tracker {
+    entries: HashMap<usize, Entry>,
+}
+
+impl Tracker {
+    fn publish(&mut self, addr: usize) {
+        match self.entries.get_mut(&addr) {
+            // An address may be legitimately reused after a free.
+            Some(e) if e.freed => {
+                *e = Entry {
+                    pinned: 0,
+                    freed: false,
+                }
+            }
+            Some(_) => panic!("pointer {addr:#x} published twice without an intervening free"),
+            None => {
+                self.entries.insert(
+                    addr,
+                    Entry {
+                        pinned: 0,
+                        freed: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn pin(&mut self, addr: usize) {
+        match self.entries.get_mut(&addr) {
+            Some(e) if e.freed => {
+                panic!("use-after-free: pointer {addr:#x} pinned after being freed")
+            }
+            Some(e) => e.pinned += 1,
+            None => panic!("pointer {addr:#x} pinned before being published"),
+        }
+    }
+
+    fn unpin(&mut self, addr: usize) {
+        match self.entries.get_mut(&addr) {
+            Some(e) if e.pinned > 0 => e.pinned -= 1,
+            Some(_) => panic!("pointer {addr:#x} unpinned more times than pinned"),
+            None => panic!("pointer {addr:#x} unpinned before being published"),
+        }
+    }
+
+    fn free(&mut self, addr: usize) {
+        match self.entries.get_mut(&addr) {
+            Some(e) if e.freed => panic!("double free of pointer {addr:#x}"),
+            Some(e) if e.pinned > 0 => panic!(
+                "use-after-free: pointer {addr:#x} freed while pinned by {} reader(s)",
+                e.pinned
+            ),
+            Some(e) => e.freed = true,
+            None => panic!("pointer {addr:#x} freed before being published"),
+        }
+    }
+
+    /// Unfreed publications at the end of an execution, if any.
+    pub(crate) fn check_leaks(&self) -> Option<String> {
+        let mut leaked: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.freed)
+            .map(|(addr, _)| *addr)
+            .collect();
+        if leaked.is_empty() {
+            return None;
+        }
+        leaked.sort_unstable();
+        let addrs: Vec<String> = leaked.iter().map(|a| format!("{a:#x}")).collect();
+        Some(format!(
+            "leak: {} published pointer(s) never freed: [{}]",
+            leaked.len(),
+            addrs.join(", ")
+        ))
+    }
+}
+
+fn with<R>(f: impl FnOnce(&mut Tracker) -> R) -> Option<R> {
+    // During unwinding (including the scheduler's own abort of a failing
+    // schedule) lifecycle declarations come from cleanup destructors; a
+    // tracker panic there would be a panic-in-drop abort that masks the
+    // original failure, so skip them.
+    if std::thread::panicking() {
+        return None;
+    }
+    let (sched, _tid) = scheduler::current()?;
+    let mut tracker = sched.tracker.lock().unwrap_or_else(PoisonError::into_inner);
+    Some(f(&mut tracker))
+}
+
+/// Declares that a pointer has been made reachable (no-op outside a model).
+pub fn publish(addr: usize) {
+    with(|t| t.publish(addr));
+}
+
+/// Declares a reader-side pin of a published pointer.
+pub fn pin(addr: usize) {
+    with(|t| t.pin(addr));
+}
+
+/// Releases a previous [`pin`].
+pub fn unpin(addr: usize) {
+    with(|t| t.unpin(addr));
+}
+
+/// Declares that the protocol reclaims the pointer. Fails the model if it
+/// is still pinned or already freed.
+pub fn free(addr: usize) {
+    with(|t| t.free(addr));
+}

@@ -9,6 +9,8 @@
 //! run is fully deterministic — the seed is fixed unless `PROPTEST_SEED`
 //! is set in the environment.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 

@@ -7,6 +7,8 @@
 //! generator is deterministic per seed, which is exactly what the seeded
 //! tests and benchmarks rely on; it makes no cryptographic claims.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Types that `Rng::gen` can produce uniformly.

@@ -9,6 +9,8 @@
 //! manual `impl Serialize` / `impl Deserialize` blocks compile unchanged;
 //! generic code written against the full serde data model will not.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 
 pub mod ser {

@@ -4,6 +4,8 @@
 //! macro. Object key order is insertion order (like serde_json's
 //! `preserve_order` feature), which keeps snapshot files stable.
 
+#![forbid(unsafe_code)]
+
 mod parse;
 
 use std::fmt;

@@ -1,0 +1,619 @@
+//! Workspace source lints behind `cargo xtask analyze`.
+//!
+//! Four lints, all operating on a comment-and-string-stripped view of the
+//! source so tokens inside doc comments or string literals never count:
+//!
+//! 1. **`safety-comment`** — every `unsafe` occurrence (block, `fn`,
+//!    `impl`) must have a `SAFETY:` comment within the six lines above it
+//!    (or on the same line).
+//! 2. **`unsafe-allowlist`** — `unsafe` may appear only in the audited
+//!    modules of [`UNSAFE_ALLOWLIST`]; everything else must stay safe.
+//! 3. **`forbid-unsafe`** — every crate root off that allowlist must
+//!    carry `#![forbid(unsafe_code)]`, so a future `unsafe` block cannot
+//!    slip in without showing up in this file's allowlist diff.
+//! 4. **`hot-path-panic`** — no `.unwrap()` / `.expect(` inside the
+//!    lookup hot path ([`HOT_PATHS`]): a malformed table must fail a
+//!    lookup, not take down the forwarding thread.
+//!
+//! The analyzer is deliberately lexical (no rustc plumbing): it runs in
+//! milliseconds, works offline, and the stripping state machine handles
+//! the corner cases that would otherwise cause false positives (nested
+//! block comments, raw strings, char literals vs. lifetimes).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Audited modules where `unsafe` is permitted (lint 2) and crate roots
+/// exempt from `#![forbid(unsafe_code)]` (lint 3).
+///
+/// - `snapshot.rs`: epoch-based reclamation (model-checked by the
+///   loom-lite tests in `crates/chisel-core/tests/loom_snapshot.rs`).
+/// - `packed.rs`: bit-packed arena flat views for hashing.
+/// - `chisel-bloomier/src/lib.rs`: the `_mm_prefetch` intrinsic used by
+///   the pipelined batch lookup.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/chisel-core/src/snapshot.rs",
+    "crates/chisel-bloomier/src/packed.rs",
+    "crates/chisel-bloomier/src/lib.rs",
+];
+
+/// Crates owning an allowlisted module; their roots cannot carry
+/// `#![forbid(unsafe_code)]`.
+const UNSAFE_CRATE_ROOTS: &[&str] = &[
+    "crates/chisel-core/src/lib.rs",
+    "crates/chisel-bloomier/src/lib.rs",
+];
+
+/// Lookup hot-path scopes (lint 4): `None` covers the whole file,
+/// `Some(fns)` only the named functions. Test modules are always exempt.
+pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
+    ("crates/chisel-bloomier/src/packed.rs", None),
+    ("crates/chisel-core/src/bitvector.rs", None),
+    (
+        "crates/chisel-core/src/subcell.rs",
+        Some(&[
+            "lookup",
+            "lookup_at",
+            "probe_slot",
+            "prefetch_index",
+            "prefetch_row",
+            "slot_of",
+        ]),
+    ),
+    (
+        "crates/chisel-core/src/engine.rs",
+        Some(&["lookup", "lookup_traced", "lookup_batch"]),
+    ),
+    ("crates/chisel-core/src/result_table.rs", Some(&["read"])),
+];
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 6;
+
+/// Which lint produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// `unsafe` without a nearby `SAFETY:` comment.
+    SafetyComment,
+    /// `unsafe` outside [`UNSAFE_ALLOWLIST`].
+    UnsafeAllowlist,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// `.unwrap()` / `.expect(` inside a lookup hot-path scope.
+    HotPathPanic,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Lint::SafetyComment => "safety-comment",
+            Lint::UnsafeAllowlist => "unsafe-allowlist",
+            Lint::ForbidUnsafe => "forbid-unsafe",
+            Lint::HotPathPanic => "hot-path-panic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One lint violation: file, 1-based line, lint, human-readable message.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub lint: Lint,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// Replaces every comment, string literal and char literal with spaces,
+/// preserving length and line structure, so token scans and brace
+/// tracking see only real code.
+pub fn strip_source(src: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    // Whether the previous *code* byte could end an identifier (to tell
+    // raw-string prefixes from identifiers ending in `r`/`b`).
+    let mut prev_ident = false;
+    while i < b.len() {
+        let c = b[i];
+        match state {
+            State::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                b'"' => {
+                    state = State::Str;
+                    out.push(b' ');
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                b'r' | b'b' if !prev_ident => {
+                    // Possible raw-string opener: r"", r#""#, br"", b"".
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') && (c == b'r' || j > i + 1 || hashes > 0) {
+                        state = State::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                    if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                        state = State::Str;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                        prev_ident = false;
+                        continue;
+                    }
+                    out.push(c);
+                    i += 1;
+                    prev_ident = true;
+                    continue;
+                }
+                b'\'' => {
+                    // Char literal vs. lifetime: a literal is '\...' or
+                    // 'x' (any single char followed by a closing quote).
+                    let is_escape = b.get(i + 1) == Some(&b'\\');
+                    let closes = b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'');
+                    if is_escape || closes {
+                        state = State::Char;
+                        out.push(b' ');
+                        i += 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                    out.push(c);
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                    prev_ident = c == b'_' || c.is_ascii_alphanumeric();
+                    continue;
+                }
+            },
+            State::LineComment => {
+                if c == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && b.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        out.extend(std::iter::repeat_n(b' ', j - i));
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            State::Char => {
+                if c == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    state = State::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.truncate(src.len());
+    // The byte-wise replacement only ever writes ASCII over ASCII and
+    // leaves multi-byte UTF-8 either intact or inside stripped regions
+    // replaced byte-for-byte with spaces, so this cannot fail.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of every word-boundary occurrence of `word` in `code`.
+fn word_occurrences(code: &str, word: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut found = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        start = at + word.len();
+    }
+    found
+}
+
+/// 1-based line number of a byte offset.
+fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)]`-gated modules.
+fn test_mod_ranges(stripped: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for at in word_occurrences(stripped, "cfg") {
+        let tail = &stripped[at..];
+        if !tail.starts_with("cfg(test)") {
+            continue;
+        }
+        // Find the `{` of the following item (the gated module body).
+        let Some(open_rel) = tail.find('{') else {
+            continue;
+        };
+        let open = at + open_rel;
+        if let Some(close) = matching_brace(stripped, open) {
+            ranges.push((line_of(stripped, open), line_of(stripped, close)));
+        }
+    }
+    ranges
+}
+
+/// Byte offset of the `}` matching the `{` at `open`.
+fn matching_brace(stripped: &str, open: usize) -> Option<usize> {
+    let b = stripped.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(s, e)| line >= s && line <= e)
+}
+
+/// Body line ranges (1-based, inclusive) of the named top-level or
+/// inherent-impl functions, excluding test modules.
+fn function_ranges(
+    stripped: &str,
+    names: &[&str],
+    tests: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for at in word_occurrences(stripped, "fn") {
+        let tail = stripped[at + 2..].trim_start();
+        let name_len = tail.bytes().take_while(|&c| is_ident(c)).count();
+        let name = &tail[..name_len];
+        if !names.contains(&name) {
+            continue;
+        }
+        if in_ranges(line_of(stripped, at), tests) {
+            continue;
+        }
+        // The body opens at the first `{` after the signature; a `;`
+        // first would mean a trait declaration with no body.
+        let rest = &stripped[at..];
+        let open_rel = match (rest.find('{'), rest.find(';')) {
+            (Some(o), Some(s)) if s < o => continue,
+            (Some(o), _) => o,
+            (None, _) => continue,
+        };
+        let open = at + open_rel;
+        if let Some(close) = matching_brace(stripped, open) {
+            ranges.push((line_of(stripped, open), line_of(stripped, close)));
+        }
+    }
+    ranges
+}
+
+/// Runs lints 1, 2 and 4 on one file. `rel` is the workspace-relative
+/// path with `/` separators (used for allowlist and hot-path matching).
+pub fn analyze_file(rel: &str, src: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let stripped = strip_source(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&rel);
+
+    for at in word_occurrences(&stripped, "unsafe") {
+        let line = line_of(&stripped, at);
+        if !allowlisted {
+            violations.push(Violation {
+                file: PathBuf::from(rel),
+                line,
+                lint: Lint::UnsafeAllowlist,
+                message: format!(
+                    "`unsafe` outside the audited-module allowlist ({})",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+        }
+        let from = line.saturating_sub(SAFETY_WINDOW + 1);
+        let documented = lines[from..line.min(lines.len())]
+            .iter()
+            .any(|l| l.contains("SAFETY:"));
+        if !documented {
+            violations.push(Violation {
+                file: PathBuf::from(rel),
+                line,
+                lint: Lint::SafetyComment,
+                message: format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"
+                ),
+            });
+        }
+    }
+
+    if let Some((_, scope)) = HOT_PATHS.iter().find(|(f, _)| *f == rel) {
+        let tests = test_mod_ranges(&stripped);
+        let fn_ranges = scope.map(|names| function_ranges(&stripped, names, &tests));
+        for token in ["unwrap", "expect"] {
+            for at in word_occurrences(&stripped, token) {
+                // Only method calls: `.unwrap()` / `.expect(...)`.
+                if at == 0 || stripped.as_bytes()[at - 1] != b'.' {
+                    continue;
+                }
+                let line = line_of(&stripped, at);
+                if in_ranges(line, &tests) {
+                    continue;
+                }
+                if let Some(ranges) = &fn_ranges {
+                    if !in_ranges(line, ranges) {
+                        continue;
+                    }
+                }
+                violations.push(Violation {
+                    file: PathBuf::from(rel),
+                    line,
+                    lint: Lint::HotPathPanic,
+                    message: format!(
+                        ".{token}() on the lookup hot path; propagate None/Err instead"
+                    ),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Whether `rel` is a crate root that lint 3 requires to carry
+/// `#![forbid(unsafe_code)]`.
+fn requires_forbid(rel: &str) -> bool {
+    if UNSAFE_CRATE_ROOTS.contains(&rel) {
+        return false;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    matches!(
+        parts.as_slice(),
+        ["src", "lib.rs"]
+            | ["src", "bin", _]
+            | ["xtask", "src", "lib.rs"]
+            | ["xtask", "src", "main.rs"]
+            | ["crates", _, "src", "lib.rs"]
+            | ["crates", _, "src", "main.rs"]
+            | ["crates", _, "src", "bin", _]
+            | ["vendor", _, "src", "lib.rs"]
+    )
+}
+
+/// Directories never scanned. `fixtures` holds deliberately-violating
+/// inputs for the analyzer's own tests.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "fixtures" | ".claude")
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rust_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every lint over the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files)?;
+    let mut violations = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        violations.extend(analyze_file(&rel, &src));
+        if requires_forbid(&rel) && !src.contains("#![forbid(unsafe_code)]") {
+            violations.push(Violation {
+                file: PathBuf::from(rel),
+                line: 1,
+                lint: Lint::ForbidUnsafe,
+                message: "crate root missing #![forbid(unsafe_code)] \
+                          (or add the crate to the audited allowlist)"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_preserves_length_and_lines() {
+        let src = "let a = \"un{safe}\"; // unsafe\n/* unsafe */ let b = 'x';\n";
+        let stripped = strip_source(src);
+        assert_eq!(stripped.len(), src.len());
+        assert_eq!(stripped.matches('\n').count(), src.matches('\n').count());
+        assert!(word_occurrences(&stripped, "unsafe").is_empty());
+        assert!(!stripped.contains('{'), "string contents blanked");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let stripped = strip_source(src);
+        assert!(stripped.contains("{ x }"), "body survived: {stripped}");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"unsafe { \"quoted\" }\"#; let t = 1;";
+        let stripped = strip_source(src);
+        assert!(word_occurrences(&stripped, "unsafe").is_empty());
+        assert!(stripped.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn word_boundaries_exclude_unsafe_code_token() {
+        let src = "#![forbid(unsafe_code)]\n";
+        assert!(word_occurrences(&strip_source(src), "unsafe").is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_allowlist_enforced() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = analyze_file("crates/chisel-hash/src/lib.rs", src);
+        assert!(v.iter().any(|v| v.lint == Lint::SafetyComment));
+        assert!(v.iter().any(|v| v.lint == Lint::UnsafeAllowlist));
+    }
+
+    #[test]
+    fn documented_allowlisted_unsafe_passes() {
+        let src =
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller upholds it\n    unsafe { *p }\n}\n";
+        let v = analyze_file("crates/chisel-core/src/snapshot.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hot_path_unwrap_is_flagged_only_in_scoped_functions() {
+        let src = "impl X {\n    pub fn lookup(&self) -> u32 {\n        self.v.get(0).unwrap()\n    }\n    pub fn build(&self) -> u32 {\n        self.v.get(0).unwrap()\n    }\n}\n";
+        let v = analyze_file("crates/chisel-core/src/subcell.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::HotPathPanic);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_hot_path_lint() {
+        let src = "pub fn get(&self) -> u32 { 0 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        let v = analyze_file("crates/chisel-core/src/bitvector.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,58 @@
+//! `cargo xtask` — workspace automation. Currently one task: `analyze`,
+//! the static-analysis gate described in the library crate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // Under `cargo xtask ...` the manifest dir is `<root>/xtask`.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let dir = PathBuf::from(dir);
+        if let Some(parent) = dir.parent() {
+            return parent.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            eprintln!("usage: cargo xtask analyze");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask analyze");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    match xtask::analyze_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "xtask analyze: clean (allowlist: {} audited modules)",
+                xtask::UNSAFE_ALLOWLIST.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask analyze: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: i/o error walking {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The analyzer's acceptance gate, in both directions:
+//!
+//! - the seeded-violation fixture MUST be flagged (the lints detect what
+//!   they claim to detect), and
+//! - the real workspace MUST be clean (the tree satisfies its own gate —
+//!   the same check `cargo xtask analyze` performs in CI).
+
+use std::path::Path;
+use xtask::{analyze_file, analyze_workspace, Lint};
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name)).expect("fixture exists")
+}
+
+#[test]
+fn seeded_violation_fixture_is_flagged() {
+    let src = fixture("seeded_violation.rs");
+    // Analyzed as if it lived at a non-allowlisted hot-path location.
+    let violations = analyze_file("crates/chisel-core/src/subcell.rs", &src);
+    assert!(
+        violations.iter().any(|v| v.lint == Lint::SafetyComment),
+        "undocumented unsafe not flagged: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.lint == Lint::UnsafeAllowlist),
+        "unsafe outside allowlist not flagged: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.lint == Lint::HotPathPanic),
+        "hot-path unwrap not flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let src = fixture("clean.rs");
+    let violations = analyze_file("crates/chisel-core/src/snapshot.rs", &src);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level below the workspace root");
+    let violations = analyze_workspace(root).expect("workspace walk");
+    assert!(
+        violations.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: documented `unsafe` in an allowlisted path, no
+//! hot-path panics. Never compiled.
+
+#[allow(dead_code)]
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer derived from a live reference.
+    unsafe { *p }
+}

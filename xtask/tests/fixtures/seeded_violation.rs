@@ -1,0 +1,12 @@
+//! Deliberately-violating fixture for the analyzer's own tests: an
+//! `unsafe` block with no SAFETY comment, in a non-allowlisted path,
+//! plus a hot-path unwrap. Never compiled; never scanned by the real
+//! `cargo xtask analyze` run (the walker skips `fixtures/` directories).
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn lookup(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
