@@ -1,37 +1,47 @@
 //! Lookup-throughput benchmarks: Chisel vs. every baseline over the same
-//! BGP-shaped table and key stream. The paper's hardware sustains
-//! 200 Msps; software numbers here only establish relative cost and the
-//! O(1) shape (Chisel's lookup cost is independent of key width).
+//! BGP-shaped table and key stream, plus the hot-path matrix behind
+//! `BENCH_lookup.json` — scalar vs. batched lookups under uniform and
+//! Zipf flow arrivals, with and without a [`FlowCache`] in front. The
+//! paper's hardware sustains 200 Msps; software numbers here only
+//! establish relative cost and the O(1) shape (Chisel's lookup cost is
+//! independent of key width). Set `CHISEL_BENCH_QUICK=1` for the CI
+//! smoke configuration (small table, short streams).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use chisel_baselines::{ChainedHashLpm, EbfCpeLpm, TreeBitmap};
-use chisel_core::{ChiselConfig, ChiselLpm};
-use chisel_prefix::{Key, RoutingTable};
+use chisel_core::{ChiselConfig, ChiselLpm, FlowCache};
+use chisel_prefix::Key;
 use chisel_workloads::ipv6::synthesize_ipv6_from_v4_model;
-use chisel_workloads::{synthesize, PrefixLenDistribution};
+use chisel_workloads::{flow_pool, synthesize, uniform_stream, zipf_stream, PrefixLenDistribution};
 
-const TABLE_SIZE: usize = 50_000;
-const KEYS: usize = 10_000;
-
-fn covered_keys(table: &RoutingTable, n: usize, seed: u64) -> Vec<Key> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let prefixes: Vec<_> = table.iter().map(|e| e.prefix).collect();
-    let width = table.family().width();
-    (0..n)
-        .map(|_| {
-            let p = prefixes[rng.gen_range(0..prefixes.len())];
-            let host = rng.gen::<u128>() & chisel_prefix::bits::mask(width - p.len());
-            Key::from_raw(table.family(), p.network() | host)
-        })
-        .collect()
+fn quick() -> bool {
+    std::env::var_os("CHISEL_BENCH_QUICK").is_some()
 }
 
+fn table_size() -> usize {
+    if quick() {
+        10_000
+    } else {
+        50_000
+    }
+}
+
+fn stream_len() -> usize {
+    if quick() {
+        1 << 14
+    } else {
+        1 << 17
+    }
+}
+
+const FLOWS: usize = 16_384;
+const CACHE_SLOTS: usize = 64 * 1024;
+
 fn bench_lookup(c: &mut Criterion) {
-    let table = synthesize(TABLE_SIZE, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
-    let keys = covered_keys(&table, KEYS, 0x5EED);
+    let table = synthesize(table_size(), &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let pool = flow_pool(&table, FLOWS, 0xF10A);
+    let keys = uniform_stream(&pool, 10_000.min(stream_len()), 0x5EED);
 
     let chisel = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("chisel builds");
     let treebitmap = TreeBitmap::from_table(&table, 4);
@@ -39,7 +49,7 @@ fn bench_lookup(c: &mut Criterion) {
     let ebf_cpe = EbfCpeLpm::build(&table, 7, 12.0, 3, 1).expect("ebf builds");
 
     let mut group = c.benchmark_group("lookup_ipv4");
-    group.throughput(Throughput::Elements(KEYS as u64));
+    group.throughput(Throughput::Elements(keys.len() as u64));
     group.bench_function("chisel", |b| {
         b.iter(|| {
             let mut hits = 0u64;
@@ -78,13 +88,67 @@ fn bench_lookup(c: &mut Criterion) {
     });
     group.finish();
 
+    // The hot-path matrix: {scalar, batch} × {uniform, zipf} × {cold
+    // path, flow cache}. The Zipf/cached cell is the headline — it is
+    // where a skewed key stream collapses most lookups to one cache read.
+    let uniform = uniform_stream(&pool, stream_len(), 0x5EED);
+    let zipf = zipf_stream(&pool, 1.0, stream_len(), 0x21FF);
+    let mut out = vec![None; stream_len()];
+    let mut group = c.benchmark_group("lookup_streams");
+    group.throughput(Throughput::Elements(stream_len() as u64));
+    for (shape, stream) in [("uniform", &uniform), ("zipf", &zipf)] {
+        group.bench_with_input(BenchmarkId::new("scalar", shape), stream, |b, keys| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &k in keys {
+                    hits += chisel.lookup(k).is_some() as u64;
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch", shape), stream, |b, keys| {
+            b.iter(|| {
+                chisel.lookup_batch(keys, &mut out);
+                out.iter().filter(|o| o.is_some()).count()
+            })
+        });
+        // The cache persists across iterations: steady-state hit rate.
+        let mut cache = FlowCache::new(CACHE_SLOTS);
+        group.bench_with_input(
+            BenchmarkId::new("cached_scalar", shape),
+            stream,
+            |b, keys| {
+                b.iter(|| {
+                    let mut hits = 0u64;
+                    for &k in keys {
+                        hits += cache.lookup(&chisel, k).is_some() as u64;
+                    }
+                    hits
+                })
+            },
+        );
+        let mut cache = FlowCache::new(CACHE_SLOTS);
+        group.bench_with_input(
+            BenchmarkId::new("cached_batch", shape),
+            stream,
+            |b, keys| {
+                b.iter(|| {
+                    cache.lookup_batch(&chisel, keys, &mut out);
+                    out.iter().filter(|o| o.is_some()).count()
+                })
+            },
+        );
+    }
+    group.finish();
+
     // Key-width independence: IPv6 lookups on a same-size table.
-    let v6 = synthesize_ipv6_from_v4_model(TABLE_SIZE, &table, 0xB14C);
-    let keys6 = covered_keys(&v6, KEYS, 0x5EED);
+    let v6 = synthesize_ipv6_from_v4_model(table_size(), &table, 0xB14C);
+    let pool6 = flow_pool(&v6, FLOWS, 0xF10A);
+    let keys6 = uniform_stream(&pool6, keys.len(), 0x5EED);
     let chisel6 = ChiselLpm::build(&v6, ChiselConfig::ipv6()).expect("v6 builds");
     let tb6 = TreeBitmap::from_table(&v6, 4);
     let mut group = c.benchmark_group("lookup_ipv6");
-    group.throughput(Throughput::Elements(KEYS as u64));
+    group.throughput(Throughput::Elements(keys6.len() as u64));
     for (name, f) in [
         (
             "chisel",

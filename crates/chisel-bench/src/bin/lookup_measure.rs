@@ -1,0 +1,124 @@
+//! Records the lookup-throughput numbers behind `BENCH_lookup.json`.
+//!
+//! Drives the scalar and batched lookup paths — with and without a
+//! [`FlowCache`] in front — using uniform and Zipf-distributed key
+//! streams over a BGP-shaped table, and prints one JSON object with
+//! nanoseconds-per-lookup for every configuration. The stream is drawn
+//! from a fixed pool of distinct flows (exact keys), so the Zipf run
+//! exercises the traffic locality the flow cache exploits while the
+//! uniform run measures the cold data path.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use chisel_core::{ChiselConfig, ChiselLpm, FlowCache};
+use chisel_prefix::{Key, NextHop};
+use chisel_workloads::{flow_pool, synthesize, uniform_stream, zipf_stream, PrefixLenDistribution};
+
+const TABLE_SIZE: usize = 50_000;
+const FLOWS: usize = 65_536;
+const STREAM: usize = 1 << 20;
+const REPS: usize = 5;
+const CACHE_SLOTS: usize = 64 * 1024;
+
+/// Best-of-`REPS` nanoseconds per key for a closure consuming the stream.
+fn measure(label: &str, keys: &[Key], mut f: impl FnMut(&[Key]) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f(keys));
+        let ns = t.elapsed().as_nanos() as f64 / keys.len() as f64;
+        best = best.min(ns);
+    }
+    eprintln!("  {label}: {best:.1} ns/key (sink {sink})");
+    best
+}
+
+fn scalar(engine: &ChiselLpm, keys: &[Key]) -> u64 {
+    let mut hits = 0u64;
+    for &k in keys {
+        hits += engine.lookup(k).is_some() as u64;
+    }
+    hits
+}
+
+fn batch(engine: &ChiselLpm, keys: &[Key], out: &mut [Option<NextHop>]) -> u64 {
+    engine.lookup_batch(keys, out);
+    out.iter().filter(|o| o.is_some()).count() as u64
+}
+
+fn cached_scalar(cache: &mut FlowCache, engine: &ChiselLpm, keys: &[Key]) -> u64 {
+    let mut hits = 0u64;
+    for &k in keys {
+        hits += cache.lookup(engine, k).is_some() as u64;
+    }
+    hits
+}
+
+fn cached_batch(
+    cache: &mut FlowCache,
+    engine: &ChiselLpm,
+    keys: &[Key],
+    out: &mut [Option<NextHop>],
+) -> u64 {
+    cache.lookup_batch(engine, keys, out);
+    out.iter().filter(|o| o.is_some()).count() as u64
+}
+
+fn hit_rate(cache: &FlowCache) -> f64 {
+    cache.hits() as f64 / (cache.hits() + cache.misses()).max(1) as f64
+}
+
+fn main() {
+    let table = synthesize(TABLE_SIZE, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let engine = ChiselLpm::build(&table, ChiselConfig::ipv4()).expect("engine builds");
+    let pool = flow_pool(&table, FLOWS, 0xF10A);
+    let uniform = uniform_stream(&pool, STREAM, 0x5EED);
+    let zipf = zipf_stream(&pool, 1.0, STREAM, 0x21FF);
+
+    eprintln!(
+        "table={TABLE_SIZE} flows={FLOWS} stream={STREAM} reps={REPS} cache_slots={CACHE_SLOTS}"
+    );
+    let mut out = vec![None; STREAM];
+
+    let scalar_uniform = measure("scalar/uniform", &uniform, |k| scalar(&engine, k));
+    let scalar_zipf = measure("scalar/zipf", &zipf, |k| scalar(&engine, k));
+    let batch_uniform = measure("batch/uniform", &uniform, |k| batch(&engine, k, &mut out));
+    let batch_zipf = measure("batch/zipf", &zipf, |k| batch(&engine, k, &mut out));
+
+    // Cached runs: the cache persists across reps (steady-state hit rate),
+    // one fresh cache per configuration.
+    let mut cache = FlowCache::new(CACHE_SLOTS);
+    let cached_scalar_uniform = measure("cached-scalar/uniform", &uniform, |k| {
+        cached_scalar(&mut cache, &engine, k)
+    });
+    let scalar_uniform_hit_rate = hit_rate(&cache);
+    cache = FlowCache::new(CACHE_SLOTS);
+    let cached_scalar_zipf = measure("cached-scalar/zipf", &zipf, |k| {
+        cached_scalar(&mut cache, &engine, k)
+    });
+    let scalar_zipf_hit_rate = hit_rate(&cache);
+    cache = FlowCache::new(CACHE_SLOTS);
+    let cached_batch_uniform = measure("cached-batch/uniform", &uniform, |k| {
+        cached_batch(&mut cache, &engine, k, &mut out)
+    });
+    cache = FlowCache::new(CACHE_SLOTS);
+    let cached_batch_zipf = measure("cached-batch/zipf", &zipf, |k| {
+        cached_batch(&mut cache, &engine, k, &mut out)
+    });
+
+    println!(
+        "{{\n  \"table_size\": {TABLE_SIZE},\n  \"flows\": {FLOWS},\n  \"stream\": {STREAM},\n  \
+         \"cache_slots\": {CACHE_SLOTS},\n  \
+         \"scalar_uniform_ns\": {scalar_uniform:.1},\n  \"scalar_zipf_ns\": {scalar_zipf:.1},\n  \
+         \"batch_uniform_ns\": {batch_uniform:.1},\n  \"batch_zipf_ns\": {batch_zipf:.1},\n  \
+         \"cached_scalar_uniform_ns\": {cached_scalar_uniform:.1},\n  \
+         \"cached_scalar_zipf_ns\": {cached_scalar_zipf:.1},\n  \
+         \"cached_batch_uniform_ns\": {cached_batch_uniform:.1},\n  \
+         \"cached_batch_zipf_ns\": {cached_batch_zipf:.1},\n  \
+         \"cache_hit_rate_uniform\": {scalar_uniform_hit_rate:.3},\n  \
+         \"cache_hit_rate_zipf\": {scalar_zipf_hit_rate:.3}\n}}"
+    );
+}

@@ -93,10 +93,11 @@ mod tests {
 
     #[test]
     fn updates_are_overwhelmingly_incremental() {
-        // Divisor 16: the smallest scale at which the paper's >=99.9%
-        // incremental claim is meaningful — shrinking the table further
-        // inflates the per-insert re-setup probability past the bound.
-        let (_, engine, events) = replay(Scale { divisor: 16 }, 0);
+        // Divisor 8: the smallest scale at which the paper's >=99.9%
+        // incremental claim is stable — re-setups are rare events (tens
+        // per run), so fewer events than this leaves the measured
+        // fraction hostage to per-seed luck around the bound.
+        let (_, engine, events) = replay(Scale { divisor: 8 }, 0);
         let s = engine.update_stats();
         assert_eq!(s.total(), events);
         assert!(

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use chisel_hash::HashFamily;
+use chisel_hash::{HashFamily, KeyDigest};
 
 use crate::{BloomierError, PackedWords};
 
@@ -58,9 +58,21 @@ impl BloomierFilter {
     ///
     /// Panics if `m == 0`, `k == 0`, or `value_bits` is outside `1..=32`.
     pub fn empty_packed(k: usize, m: usize, value_bits: u32, seed: u64) -> Self {
+        Self::empty_packed_with_family(HashFamily::new(k, seed), m, value_bits)
+    }
+
+    /// Creates an empty packed filter around a pre-built hash family —
+    /// the shared-digest form: a partitioned Index Table hands every
+    /// partition a family built with the same digest seed so one key
+    /// digest serves them all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `value_bits` is outside `1..=32`.
+    pub fn empty_packed_with_family(family: HashFamily, m: usize, value_bits: u32) -> Self {
         assert!(m > 0, "index table must have at least one location");
         BloomierFilter {
-            family: HashFamily::new(k, seed),
+            family,
             m,
             data: PackedWords::new(m, value_bits),
             counts: vec![0; m],
@@ -107,6 +119,26 @@ impl BloomierFilter {
         Ok(Built { filter, spilled })
     }
 
+    /// [`BloomierFilter::build_packed`] around a pre-built hash family
+    /// (see [`BloomierFilter::empty_packed_with_family`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BloomierFilter::build_packed`].
+    pub fn build_packed_with_family(
+        family: HashFamily,
+        m: usize,
+        value_bits: u32,
+        keys: &[(u128, u32)],
+    ) -> Result<Built, BloomierError> {
+        if m < family.k() {
+            return Err(BloomierError::TableTooSmall { m, k: family.k() });
+        }
+        let mut filter = BloomierFilter::empty_packed_with_family(family, m, value_bits);
+        let spilled = filter.setup(keys)?;
+        Ok(Built { filter, spilled })
+    }
+
     /// Number of hash functions.
     #[inline]
     pub fn k(&self) -> usize {
@@ -137,6 +169,15 @@ impl BloomierFilter {
         &self.family
     }
 
+    /// The one-pass digest of `key` under this filter's hash family; feed
+    /// it to [`BloomierFilter::lookup_digest`] /
+    /// [`BloomierFilter::prefetch_digest`] to avoid re-hashing the key per
+    /// probe.
+    #[inline]
+    pub fn digest(&self, key: u128) -> KeyDigest {
+        self.family.digest(key)
+    }
+
     /// Looks up the value encoded for `key` — a single XOR across the hash
     /// neighborhood (Equation 2), exactly `k` memory reads.
     ///
@@ -144,9 +185,16 @@ impl BloomierFilter {
     /// (the caller must filter false positives).
     #[inline]
     pub fn lookup(&self, key: u128) -> u32 {
+        self.lookup_digest(self.digest(key))
+    }
+
+    /// [`BloomierFilter::lookup`] from an already-computed digest: the key
+    /// is not re-hashed, each of the `k` locations costs two multiplies.
+    #[inline]
+    pub fn lookup_digest(&self, d: KeyDigest) -> u32 {
         let mut acc = 0u32;
         for i in 0..self.family.k() {
-            acc ^= self.data.get(self.family.hash_one(i, key, self.m));
+            acc ^= self.data.get(self.family.hash_one_digest(i, d, self.m));
         }
         acc
     }
@@ -155,8 +203,15 @@ impl BloomierFilter {
     /// neighborhood, so a following [`BloomierFilter::lookup`] hits cache.
     #[inline]
     pub fn prefetch(&self, key: u128) {
+        self.prefetch_digest(self.digest(key));
+    }
+
+    /// [`BloomierFilter::prefetch`] from an already-computed digest.
+    #[inline]
+    pub fn prefetch_digest(&self, d: KeyDigest) {
         for i in 0..self.family.k() {
-            self.data.prefetch(self.family.hash_one(i, key, self.m));
+            self.data
+                .prefetch(self.family.hash_one_digest(i, d, self.m));
         }
     }
 
@@ -464,6 +519,17 @@ mod tests {
             let predicted = f.has_singleton(k);
             let actual = f.try_insert(k, 1).is_ok();
             assert_eq!(predicted, actual, "prediction mismatch for {k:#x}");
+        }
+    }
+
+    #[test]
+    fn lookup_digest_matches_lookup() {
+        let keys = keyset(500, 21);
+        let f = BloomierFilter::build(3, 1500, 6, &keys).unwrap().filter;
+        for &(k, v) in &keys {
+            let d = f.digest(k);
+            assert_eq!(f.lookup_digest(d), v);
+            assert_eq!(f.lookup_digest(d), f.lookup(k));
         }
     }
 

@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use chisel_hash::HashFamily;
+use chisel_hash::{HashFamily, KeyDigest};
 
 use crate::{BloomierError, BloomierFilter, Built};
 
@@ -24,6 +24,12 @@ pub type PartitionBuild = (BloomierFilter, Vec<(u128, u32)>, u64);
 /// is what keeps snapshot publication (the clone-apply-publish update
 /// path) proportional to the *modified* Index Table group rather than the
 /// full table.
+///
+/// The selector and every partition share one digest seed (the master
+/// `seed`), so a lookup hashes the key exactly once: the
+/// [`KeyDigest`] from [`PartitionedBloomier::digest`] selects the
+/// partition *and* drives its `k` probes. Rebuild retries only re-salt
+/// the cheap derived mixers, never the digest front end.
 #[derive(Debug, Clone)]
 pub struct PartitionedBloomier {
     parts: Vec<Arc<BloomierFilter>>,
@@ -61,17 +67,16 @@ impl PartitionedBloomier {
         let part_m = total_m.div_ceil(d).max(k);
         let parts = (0..d)
             .map(|i| {
-                Arc::new(BloomierFilter::empty_packed(
-                    k,
+                Arc::new(BloomierFilter::empty_packed_with_family(
+                    part_family(k, seed, i, 0),
                     part_m,
                     value_bits,
-                    part_seed(seed, i, 0),
                 ))
             })
             .collect();
         PartitionedBloomier {
             parts,
-            selector: HashFamily::new(1, seed ^ 0x5E1E_C70A),
+            selector: HashFamily::with_shared_digest(1, seed, seed ^ 0x5E1E_C70A),
             k,
             part_m,
             value_bits,
@@ -213,10 +218,25 @@ impl PartitionedBloomier {
         self.parts.iter().all(|p| p.is_empty())
     }
 
+    /// The one-pass digest of `key`, valid for the selector *and* every
+    /// partition (they share the digest seed). Compute it once, then use
+    /// the `*_digest` methods.
+    #[inline]
+    pub fn digest(&self, key: u128) -> KeyDigest {
+        self.selector.digest(key)
+    }
+
     /// The partition a key belongs to (the paper's hash checksum).
     #[inline]
     pub fn partition_of(&self, key: u128) -> usize {
-        self.selector.hash_one(0, key, self.parts.len())
+        self.partition_of_digest(self.digest(key))
+    }
+
+    /// [`PartitionedBloomier::partition_of`] from an already-computed
+    /// digest.
+    #[inline]
+    pub fn partition_of_digest(&self, d: KeyDigest) -> usize {
+        self.selector.hash_one_digest(0, d, self.parts.len())
     }
 
     /// The partition-selector hash family (needed to replay lookups from
@@ -235,18 +255,31 @@ impl PartitionedBloomier {
         &self.parts[i]
     }
 
-    /// Collision-free lookup: selects the partition, then XORs its `k`
-    /// locations.
+    /// Collision-free lookup: one digest of the key selects the partition
+    /// and drives its `k` XOR probes.
     #[inline]
     pub fn lookup(&self, key: u128) -> u32 {
-        self.parts[self.partition_of(key)].lookup(key)
+        self.lookup_digest(self.digest(key))
+    }
+
+    /// [`PartitionedBloomier::lookup`] from an already-computed digest —
+    /// the key itself is never re-read.
+    #[inline]
+    pub fn lookup_digest(&self, d: KeyDigest) -> u32 {
+        self.parts[self.partition_of_digest(d)].lookup_digest(d)
     }
 
     /// Prefetches the key's hash neighborhood in its partition (see
     /// [`BloomierFilter::prefetch`]).
     #[inline]
     pub fn prefetch(&self, key: u128) {
-        self.parts[self.partition_of(key)].prefetch(key);
+        self.prefetch_digest(self.digest(key));
+    }
+
+    /// [`PartitionedBloomier::prefetch`] from an already-computed digest.
+    #[inline]
+    pub fn prefetch_digest(&self, d: KeyDigest) {
+        self.parts[self.partition_of_digest(d)].prefetch_digest(d);
     }
 
     /// Incremental singleton insert into the key's partition.
@@ -317,11 +350,10 @@ impl PartitionedBloomier {
         let mut best: Option<PartitionBuild> = None;
         for attempt in 0..4u64 {
             let salt = salt_base + attempt;
-            let built: Built = BloomierFilter::build_packed(
-                k,
+            let built: Built = BloomierFilter::build_packed_with_family(
+                part_family(k, seed, idx, salt),
                 part_m,
                 value_bits,
-                part_seed(seed, idx, salt),
                 keys,
             )?;
             let better = match &best {
@@ -351,6 +383,11 @@ impl PartitionedBloomier {
         assert_eq!(filter.m(), self.part_m, "partition size mismatch");
         assert_eq!(filter.k(), self.k, "hash-count mismatch");
         assert_eq!(filter.value_bits(), self.value_bits, "entry width mismatch");
+        assert_eq!(
+            filter.family().digest_seed(),
+            self.seed,
+            "partition digest seed mismatch: one digest must serve every partition"
+        );
         self.salts[idx] = salt;
         self.parts[idx] = Arc::new(filter);
     }
@@ -392,6 +429,14 @@ impl PartitionedBloomier {
 fn part_seed(seed: u64, idx: usize, salt: u64) -> u64 {
     seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ salt.wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+/// The hash family of partition `idx` at rebuild salt `salt`: the derived
+/// mixers come from the salted per-partition seed, while the digest front
+/// end always comes from the master `seed` so every partition (and the
+/// selector) accepts one shared digest.
+fn part_family(k: usize, seed: u64, idx: usize, salt: u64) -> HashFamily {
+    HashFamily::with_shared_digest(k, seed, part_seed(seed, idx, salt))
 }
 
 #[cfg(test)]
@@ -495,6 +540,39 @@ mod tests {
         // Everything (old keys in all partitions, new keys in p2) resolves.
         for &(k, v) in keys.iter().chain(&extra) {
             assert_eq!(f.lookup(k), v, "key {k:#x}");
+        }
+    }
+
+    #[test]
+    fn one_digest_serves_selector_and_partitions() {
+        let keys = keyset(2000, 13);
+        let (f, _) = PartitionedBloomier::build(3, 6000, 8, 4, &keys).unwrap();
+        for &(k, v) in &keys {
+            let d = f.digest(k);
+            assert_eq!(f.partition_of_digest(d), f.partition_of(k));
+            assert_eq!(f.lookup_digest(d), v);
+            // The partition's own digest of the key is the shared one.
+            assert_eq!(f.part(f.partition_of(k)).digest(k), d);
+        }
+    }
+
+    #[test]
+    fn rebuild_salt_keeps_digest_front_end() {
+        // A salted rebuild changes hash placements but not the digest, so
+        // digests computed before the rebuild stay valid after it.
+        let keys = keyset(2000, 1);
+        let (mut f, _) = PartitionedBloomier::build(3, 6000, 4, 7, &keys).unwrap();
+        let probe = keys[17].0;
+        let before = f.digest(probe);
+        let p2: Vec<(u128, u32)> = keys
+            .iter()
+            .copied()
+            .filter(|&(k, _)| f.partition_of(k) == 2)
+            .collect();
+        f.rebuild_partition(2, &p2).unwrap();
+        assert_eq!(f.digest(probe), before);
+        for &(k, v) in &keys {
+            assert_eq!(f.lookup_digest(f.digest(k)), v);
         }
     }
 

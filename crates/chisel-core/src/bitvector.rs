@@ -5,13 +5,20 @@
 //! original prefix in the group covers leaf `i` of the collapsed subtree;
 //! the *rank* (number of ones up to and including `i`) added to the
 //! group's Result Table pointer addresses the leaf's next hop. Hardware
-//! implements rank as a popcount tree ("Count 1's" in Figure 6); here it
-//! is a word-wise `count_ones` loop.
+//! implements rank as a single-cycle popcount tree ("Count 1's" in
+//! Figure 6); here the same O(1) behaviour comes from per-word prefix
+//! popcounts maintained on update, so a lookup never loops over the
+//! vector no matter the stride.
 
-/// A fixed-width bit-vector with rank, as stored in the Bit-vector Table.
+/// A fixed-width bit-vector with O(1) rank, as stored in the Bit-vector
+/// Table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeafVector {
     words: Vec<u64>,
+    /// `sums[w]` = number of ones in `words[..w]` — the superblock prefix
+    /// popcounts behind O(1) rank. Updates maintain it incrementally;
+    /// lookups never recompute it.
+    sums: Vec<u32>,
     leaves: usize,
 }
 
@@ -25,8 +32,10 @@ impl LeafVector {
     pub fn new(stride: u8) -> Self {
         assert!(stride <= 24, "stride {stride} unreasonably large");
         let leaves = 1usize << stride;
+        let nwords = leaves.div_ceil(64);
         LeafVector {
-            words: vec![0; leaves.div_ceil(64)],
+            words: vec![0; nwords],
+            sums: vec![0; nwords],
             leaves,
         }
     }
@@ -48,7 +57,7 @@ impl LeafVector {
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
-    /// Sets leaf `i` to `value`.
+    /// Sets leaf `i` to `value`, maintaining the rank prefix sums.
     ///
     /// # Panics
     ///
@@ -56,15 +65,27 @@ impl LeafVector {
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
+        let w = i / 64;
         let mask = 1u64 << (i % 64);
+        let was = self.words[w] & mask != 0;
+        if was == value {
+            return;
+        }
         if value {
-            self.words[i / 64] |= mask;
+            self.words[w] |= mask;
+            for s in &mut self.sums[w + 1..] {
+                *s += 1;
+            }
         } else {
-            self.words[i / 64] &= !mask;
+            self.words[w] &= !mask;
+            for s in &mut self.sums[w + 1..] {
+                *s -= 1;
+            }
         }
     }
 
     /// Number of ones in leaves `0..=i` — the hardware "Count 1's" unit.
+    /// One prefix-sum read plus one masked popcount, regardless of stride.
     ///
     /// # Panics
     ///
@@ -72,20 +93,18 @@ impl LeafVector {
     #[inline]
     pub fn rank(&self, i: usize) -> usize {
         assert!(i < self.leaves);
-        let full_words = i / 64;
-        let mut ones = 0usize;
-        for w in &self.words[..full_words] {
-            ones += w.count_ones() as usize;
-        }
+        let w = i / 64;
         let partial_bits = (i % 64) + 1;
-        let masked = self.words[full_words] & (u64::MAX >> (64 - partial_bits));
-        ones + masked.count_ones() as usize
+        let masked = self.words[w] & (u64::MAX >> (64 - partial_bits));
+        self.sums[w] as usize + masked.count_ones() as usize
     }
 
     /// Total number of ones — the size of the group's Result Table block.
     #[inline]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        // The last prefix sum covers all but the final word.
+        let last = self.words.len() - 1;
+        self.sums[last] as usize + self.words[last].count_ones() as usize
     }
 
     /// Whether every leaf is zero (the group is empty and its collapsed
@@ -98,10 +117,12 @@ impl LeafVector {
     /// Clears every leaf.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+        self.sums.iter_mut().for_each(|s| *s = 0);
     }
 
     /// Storage footprint in bits (the Bit-vector Table provisions exactly
-    /// `2^stride` bits per entry).
+    /// `2^stride` bits per entry; the prefix sums model the popcount tree
+    /// wiring, not stored table bits).
     #[inline]
     pub fn storage_bits(&self) -> usize {
         self.leaves
@@ -153,6 +174,31 @@ mod tests {
             }
             assert_eq!(v.rank(i), ones, "rank({i})");
         }
+    }
+
+    #[test]
+    fn rank_sums_survive_mutation_storms() {
+        // Interleave sets, redundant sets, and clears across word
+        // boundaries; rank must track a naive recount throughout.
+        let mut v = LeafVector::new(9); // 512 leaves, 8 words
+        let mut state = vec![false; 512];
+        let mut x = 0x1234_5678_9ABC_DEFFu64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 512) as usize;
+            let val = x & (1 << 20) != 0;
+            v.set(i, val);
+            state[i] = val;
+            let probe = (x >> 32) as usize % 512;
+            let naive = state[..=probe].iter().filter(|&&b| b).count();
+            assert_eq!(v.rank(probe), naive, "rank({probe}) drifted");
+        }
+        assert_eq!(v.count_ones(), state.iter().filter(|&&b| b).count());
+        v.clear();
+        assert_eq!(v.rank(511), 0);
+        assert_eq!(v.count_ones(), 0);
     }
 
     #[test]

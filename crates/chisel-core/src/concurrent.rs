@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
 
 use crate::snapshot::SnapshotCell;
-use crate::{ChiselConfig, ChiselError, ChiselLpm, UpdateKind, UpdateStats};
+use crate::{ChiselConfig, ChiselError, ChiselLpm, FlowCache, UpdateKind, UpdateStats};
 
 /// One published engine state: the engine plus its generation stamp.
 ///
@@ -211,6 +211,77 @@ impl SharedChisel {
     pub fn with_engine<T>(&self, f: impl FnOnce(&ChiselLpm) -> T) -> T {
         f(&self.inner.cell.load().engine)
     }
+
+    /// A per-thread reader handle with a private [`FlowCache`] of
+    /// [`FlowCache::DEFAULT_CAPACITY`] slots in front of the snapshot
+    /// path.
+    pub fn reader(&self) -> CachedReader {
+        self.reader_with_capacity(FlowCache::DEFAULT_CAPACITY)
+    }
+
+    /// A per-thread reader handle with a private [`FlowCache`] of at
+    /// least `capacity` slots.
+    pub fn reader_with_capacity(&self, capacity: usize) -> CachedReader {
+        CachedReader {
+            shared: self.clone(),
+            cache: FlowCache::new(capacity),
+        }
+    }
+}
+
+/// A reader handle that fronts [`SharedChisel`] lookups with a private,
+/// exclusively-owned [`FlowCache`].
+///
+/// The cache is owned by this handle (`&mut self` methods), never shared,
+/// so the lock-free reader story is untouched: each lookup pins the
+/// current snapshot exactly as [`SharedChisel::lookup`] does, and the
+/// cache revalidates every entry against that snapshot's engine version.
+/// A writer publishing an update bumps the version, which invalidates
+/// every reader's cache wholesale on their next lookup — no writer ever
+/// touches reader state.
+///
+/// Spawn one per forwarding thread via [`SharedChisel::reader`].
+#[derive(Debug, Clone)]
+pub struct CachedReader {
+    shared: SharedChisel,
+    cache: FlowCache,
+}
+
+impl CachedReader {
+    /// Cached longest-prefix-match lookup against the current snapshot.
+    /// Agrees with [`SharedChisel::lookup`] on every key at every
+    /// generation.
+    pub fn lookup(&mut self, key: Key) -> Option<NextHop> {
+        let snap = self.shared.inner.cell.load();
+        self.cache.lookup(snap.engine(), key)
+    }
+
+    /// Cached batch lookup against one consistent snapshot: hits are
+    /// served from the cache, the missing lanes go through the engine's
+    /// software-pipelined batch path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length.
+    pub fn lookup_batch(&mut self, keys: &[Key], out: &mut [Option<NextHop>]) {
+        let snap = self.shared.inner.cell.load();
+        self.cache.lookup_batch(snap.engine(), keys, out);
+    }
+
+    /// The cache fronting this reader (hit/miss counters live here).
+    pub fn cache(&self) -> &FlowCache {
+        &self.cache
+    }
+
+    /// Empties the cache and zeroes its counters.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The shared engine handle this reader draws snapshots from.
+    pub fn shared(&self) -> &SharedChisel {
+        &self.shared
+    }
 }
 
 #[cfg(test)]
@@ -333,5 +404,80 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedChisel>();
         assert_send_sync::<EngineSnapshot>();
+        assert_send_sync::<CachedReader>();
+    }
+
+    #[test]
+    fn cached_reader_agrees_across_updates() {
+        let s = shared();
+        let mut r = s.reader_with_capacity(256);
+        let probe = Key::from_raw(AddressFamily::V4, 0x0B00_0001);
+        assert_eq!(r.lookup(probe), None);
+        s.announce("11.0.0.0/8".parse().unwrap(), NextHop::new(4))
+            .unwrap();
+        // The cached miss is stale now; the version stamp must force a
+        // revalidation against the new snapshot.
+        assert_eq!(r.lookup(probe), Some(NextHop::new(4)));
+        s.withdraw("11.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(r.lookup(probe), None);
+        assert_eq!(r.cache().hits(), 0);
+    }
+
+    #[test]
+    fn cached_reader_hits_on_stable_snapshot() {
+        let s = shared();
+        let mut r = s.reader();
+        let key = Key::from_raw(AddressFamily::V4, 0x0A01_0203);
+        for _ in 0..10 {
+            assert_eq!(r.lookup(key), Some(NextHop::new(1)));
+        }
+        assert_eq!(r.cache().misses(), 1);
+        assert_eq!(r.cache().hits(), 9);
+    }
+
+    #[test]
+    fn cached_reader_batch_matches_uncached() {
+        let s = shared();
+        let mut r = s.reader_with_capacity(64);
+        let keys: Vec<Key> = (0..400u128)
+            .map(|i| Key::from_raw(AddressFamily::V4, 0x0A00_0000 | (i * 131)))
+            .collect();
+        let mut cached = vec![None; keys.len()];
+        let mut plain = vec![None; keys.len()];
+        // Twice: the second pass exercises the hit path of every lane.
+        for _ in 0..2 {
+            r.lookup_batch(&keys, &mut cached);
+            s.lookup_batch(&keys, &mut plain);
+            assert_eq!(cached, plain);
+        }
+        assert!(r.cache().hits() > 0);
+    }
+
+    #[test]
+    fn cached_readers_on_many_threads_interleaved_with_updates() {
+        let s = shared();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let h = s.clone();
+                std::thread::spawn(move || {
+                    let mut r = h.reader_with_capacity(512);
+                    for i in 0..10_000u128 {
+                        let key = Key::from_raw(AddressFamily::V4, 0x0A00_0000 | (i & 0x3FF));
+                        // The /8 is never withdrawn, so a cached reader
+                        // must always resolve it (to *some* hop).
+                        assert!(r.lookup(key).is_some());
+                    }
+                    (r.cache().hits(), r.cache().misses())
+                })
+            })
+            .collect();
+        for i in 0..200u32 {
+            let p = Prefix::new(AddressFamily::V4, 0x0B00 + u128::from(i), 16).unwrap();
+            s.announce(p, NextHop::new(i)).unwrap();
+        }
+        for t in readers {
+            let (hits, misses) = t.join().unwrap();
+            assert_eq!(hits + misses, 10_000);
+        }
     }
 }

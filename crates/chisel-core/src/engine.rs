@@ -10,7 +10,7 @@ use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTabl
 
 use crate::shadow::GroupShadow;
 use crate::stats::{LookupTrace, StorageBreakdown};
-use crate::subcell::{AnnounceOutcome, CellParams, SubCell};
+use crate::subcell::{AnnounceOutcome, CellParams, PreparedKey, SubCell};
 use crate::update::{RecentWithdrawals, UpdateKind, UpdateStats};
 use crate::{ChiselConfig, ChiselError};
 
@@ -46,6 +46,11 @@ pub struct ChiselLpm {
     stats: UpdateStats,
     recent: RecentWithdrawals,
     len: usize,
+    /// Monotonic update counter, bumped at the top of every announce and
+    /// withdraw (before any table is touched). A flow cache stamps its
+    /// entries with this and treats any mismatch as a miss, so cached
+    /// results can never survive an update — see [`crate::FlowCache`].
+    version: u64,
 }
 
 impl ChiselLpm {
@@ -157,7 +162,17 @@ impl ChiselLpm {
             stats: UpdateStats::default(),
             recent: RecentWithdrawals::new(flap_window),
             len,
+            version: 0,
         })
+    }
+
+    /// The engine's update version: bumped by every announce/withdraw. Two
+    /// reads of the same version are guaranteed to see identical lookup
+    /// results, which is the coherence contract [`crate::FlowCache`]
+    /// builds on.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The engine's configuration.
@@ -205,6 +220,11 @@ impl ChiselLpm {
     pub fn lookup_traced(&self, key: Key, trace: &mut LookupTrace) -> Option<NextHop> {
         debug_assert_eq!(key.family(), self.config.family);
         for cell in self.cells.iter().rev() {
+            // Only live groups can match: branch past drained cells
+            // without touching their tables.
+            if cell.is_empty() {
+                continue;
+            }
             if let Some(nh) = cell.lookup(key.value(), trace) {
                 return Some(nh);
             }
@@ -242,25 +262,32 @@ impl ChiselLpm {
             // Cells are probed longest-base first, exactly like the
             // scalar path; a key leaves the lane at its first match.
             for cell in self.cells.iter().rev() {
-                // Stage 1: kick off the Index Table (Bloomier) probes.
+                if cell.is_empty() {
+                    continue; // no live group can match — skip the cell
+                }
+                // Stage 1: collapse + hash each lane key once for this
+                // cell, then kick off the Index Table (Bloomier) probes.
+                // The prepared digest is reused by every later stage.
+                let mut prep = [PreparedKey::default(); LANES];
                 for (i, key) in kc.iter().enumerate() {
                     if !done[i] {
                         debug_assert_eq!(key.family(), self.config.family);
-                        cell.prefetch_index(key.value());
+                        prep[i] = cell.prepare(key.value());
+                        cell.prefetch_index(&prep[i]);
                     }
                 }
                 // Stage 2: resolve slots; prefetch Filter/Bit-vector rows.
                 let mut slots = [0u32; LANES];
-                for (i, key) in kc.iter().enumerate() {
+                for i in 0..kc.len() {
                     if !done[i] {
-                        slots[i] = cell.probe_slot(key.value());
+                        slots[i] = cell.probe_slot(&prep[i]);
                         cell.prefetch_row(slots[i]);
                     }
                 }
                 // Stage 3: validate and read out the next hops.
-                for (i, key) in kc.iter().enumerate() {
+                for i in 0..kc.len() {
                     if !done[i] {
-                        if let Some(nh) = cell.lookup_at(slots[i], key.value()) {
+                        if let Some(nh) = cell.lookup_at(slots[i], &prep[i]) {
                             oc[i] = Some(nh);
                             done[i] = true;
                         }
@@ -293,6 +320,9 @@ impl ChiselLpm {
         if prefix.family() != self.config.family {
             return Err(ChiselError::FamilyMismatch);
         }
+        // Conservative cache invalidation: any update that may change any
+        // lookup result gets a fresh version, even if it turns out a no-op.
+        self.version += 1;
         if prefix.is_empty() {
             let kind = if self.recent.take(&prefix) {
                 UpdateKind::RouteFlap
@@ -354,6 +384,7 @@ impl ChiselLpm {
         if prefix.family() != self.config.family {
             return Err(ChiselError::FamilyMismatch);
         }
+        self.version += 1;
         let existed = if prefix.is_empty() {
             self.default_route.take().is_some()
         } else {

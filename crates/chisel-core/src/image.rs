@@ -91,12 +91,16 @@ impl HardwareImage {
             let slot = match cell.spill.iter().find(|&&(k, _)| k == collapsed) {
                 Some(&(_, s)) => s,
                 None => {
+                    // One pass of the hash unit: the selector and every
+                    // partition share the digest front end, so the key is
+                    // digested once and each probe is a cheap derivation.
                     let d = cell.index_parts.len();
-                    let part = &cell.index_parts[cell.selector.hash_one(0, collapsed, d)];
+                    let digest = cell.selector.digest(collapsed);
+                    let part = &cell.index_parts[cell.selector.hash_one_digest(0, digest, d)];
                     let m = part.words.len();
                     let mut acc = 0u32;
                     for i in 0..part.family.k() {
-                        acc ^= part.words.get(part.family.hash_one(i, collapsed, m));
+                        acc ^= part.words.get(part.family.hash_one_digest(i, digest, m));
                     }
                     acc
                 }
@@ -203,6 +207,10 @@ fn push_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
 fn push_family(out: &mut Vec<u8>, family: &HashFamily) {
     out.extend((family.k() as u32).to_le_bytes());
     out.extend(family.seed().to_le_bytes());
+    // The digest front end is configured independently of the derived
+    // mixers (shared across a cell's partitions), so it is part of the
+    // hash unit's state and must be in the canonical stream.
+    out.extend(family.digest_seed().to_le_bytes());
 }
 
 #[cfg(test)]

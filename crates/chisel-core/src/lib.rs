@@ -29,6 +29,7 @@ mod config;
 mod cow;
 mod engine;
 mod error;
+mod flowcache;
 pub mod image;
 mod result_table;
 mod shadow;
@@ -39,10 +40,11 @@ mod update;
 pub mod verify;
 
 pub use bitvector::LeafVector;
-pub use concurrent::{EngineSnapshot, SharedChisel};
+pub use concurrent::{CachedReader, EngineSnapshot, SharedChisel};
 pub use config::ChiselConfig;
 pub use engine::ChiselLpm;
 pub use error::ChiselError;
+pub use flowcache::FlowCache;
 pub use image::HardwareImage;
 pub use result_table::{Block, ResultTable};
 pub use shadow::GroupShadow;

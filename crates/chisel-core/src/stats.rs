@@ -23,6 +23,12 @@ pub struct LookupTrace {
     pub result_reads: usize,
     /// Spillover TCAM hits.
     pub spill_hits: usize,
+    /// Flow-cache hits: the whole data path was skipped and the next hop
+    /// served from one exact-match cache read.
+    pub cache_hits: usize,
+    /// Flow-cache misses: the lookup went through the full data path and
+    /// its result was installed in the cache.
+    pub cache_misses: usize,
 }
 
 impl LookupTrace {
@@ -198,6 +204,8 @@ mod tests {
             bitvec_reads: 1,
             result_reads: 1,
             spill_hits: 0,
+            cache_hits: 0,
+            cache_misses: 1,
         };
         assert_eq!(t.total_reads(), 10);
         assert_eq!(LookupTrace::SEQUENTIAL_DEPTH, 4);

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use chisel_bloomier::{BloomierError, PartitionedBloomier};
+use chisel_hash::KeyDigest;
 use chisel_prefix::bits::{addr_bits, extract_msb};
 use chisel_prefix::collapse::CellRange;
 use chisel_prefix::parallel::parallel_map;
@@ -37,6 +38,18 @@ struct FilterEntry {
 struct BitVecEntry {
     vector: LeafVector,
     block: Option<Block>,
+}
+
+/// A lookup key pre-processed for one sub-cell: the collapsed key, its
+/// one-pass hash digest (valid for the cell's selector and every Index
+/// Table partition), and the bit-vector leaf index. Computed once per
+/// (key, cell) by [`SubCell::prepare`] and threaded through every pipeline
+/// stage, so no stage re-collapses or re-hashes the key.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PreparedKey {
+    collapsed: u128,
+    digest: KeyDigest,
+    leaf: usize,
 }
 
 /// Geometry and hashing parameters a sub-cell is built with.
@@ -207,6 +220,7 @@ impl SubCell {
         )?;
         self.index = index;
         self.spill = spilled;
+        self.sort_spill();
         if self.spill.len() > self.params.spill_capacity {
             return Err(ChiselError::SpilloverOverflow {
                 needed: self.spill.len(),
@@ -298,11 +312,40 @@ impl SubCell {
         extract_msb(key_value, self.width, self.range.base, self.range.stride) as usize
     }
 
+    /// Whether the cell holds no live groups. Only `valid && !dirty` rows
+    /// can produce a match, so an empty cell answers every lookup with
+    /// `None` — the engine branches past it without touching its tables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live_groups == 0
+    }
+
+    /// Searches the spillover TCAM for a collapsed key. The spill vector
+    /// is kept sorted by key (every rebuild re-sorts it), so the common
+    /// empty case is one branch and the rest is a binary search — never a
+    /// linear scan on the hot path.
+    #[inline]
+    fn spill_slot(&self, collapsed: u128) -> Option<u32> {
+        if self.spill.is_empty() {
+            return None;
+        }
+        self.spill
+            .binary_search_by_key(&collapsed, |&(k, _)| k)
+            .ok()
+            .map(|i| self.spill[i].1)
+    }
+
+    /// Restores the sorted-by-key invariant [`SubCell::spill_slot`] relies
+    /// on after a rebuild appended spilled keys.
+    fn sort_spill(&mut self) {
+        self.spill.sort_unstable_by_key(|&(k, _)| k);
+    }
+
     /// Finds the slot bound to a collapsed key: spillover TCAM first, then
     /// the Index Table, validated against the Filter Table. Returns the
     /// slot even for dirty entries (callers distinguish).
     fn slot_of(&self, collapsed: u128) -> Option<u32> {
-        if let Some(&(_, slot)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+        if let Some(slot) = self.spill_slot(collapsed) {
             return Some(slot);
         }
         let p = self.index.lookup(collapsed);
@@ -310,12 +353,26 @@ impl SubCell {
         (entry.valid && entry.key == collapsed).then_some(p)
     }
 
+    /// Pre-processes a full-width lookup value for this cell: collapse,
+    /// one-pass hash digest, leaf index. The digest is shared by the
+    /// partition selector and all `k` Index Table probes, so this is the
+    /// only time the key is hashed for this cell.
+    #[inline]
+    pub fn prepare(&self, key_value: u128) -> PreparedKey {
+        let collapsed = self.collapse_key(key_value);
+        PreparedKey {
+            collapsed,
+            digest: self.index.digest(collapsed),
+            leaf: self.leaf_of(key_value),
+        }
+    }
+
     /// Full data-path lookup for a key, tracing memory accesses.
     pub fn lookup(&self, key_value: u128, trace: &mut LookupTrace) -> Option<NextHop> {
         let collapsed = self.collapse_key(key_value);
         // Hardware reads the k index segments in parallel: one access.
         trace.index_reads += 1;
-        let slot = if let Some(&(_, s)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+        let slot = if let Some(s) = self.spill_slot(collapsed) {
             trace.spill_hits += 1;
             s
         } else {
@@ -342,8 +399,8 @@ impl SubCell {
     /// Stage 1 of the pipelined batch lookup: prefetch the Index Table
     /// locations of this key's hash neighborhood.
     #[inline]
-    pub fn prefetch_index(&self, key_value: u128) {
-        self.index.prefetch(self.collapse_key(key_value));
+    pub fn prefetch_index(&self, p: &PreparedKey) {
+        self.index.prefetch_digest(p.digest);
     }
 
     /// Stage 2 of the pipelined batch lookup: resolve the candidate slot
@@ -351,12 +408,11 @@ impl SubCell {
     /// it. For keys outside the encoded set the slot is an arbitrary
     /// value that [`SubCell::lookup_at`] rejects.
     #[inline]
-    pub fn probe_slot(&self, key_value: u128) -> u32 {
-        let collapsed = self.collapse_key(key_value);
-        if let Some(&(_, s)) = self.spill.iter().find(|&&(k, _)| k == collapsed) {
+    pub fn probe_slot(&self, p: &PreparedKey) -> u32 {
+        if let Some(s) = self.spill_slot(p.collapsed) {
             s
         } else {
-            self.index.lookup(collapsed)
+            self.index.lookup_digest(p.digest)
         }
     }
 
@@ -374,17 +430,16 @@ impl SubCell {
     /// Stage 3 of the pipelined batch lookup: the validate-and-read tail
     /// of [`SubCell::lookup`] for an already-resolved candidate slot.
     #[inline]
-    pub fn lookup_at(&self, slot: u32, key_value: u128) -> Option<NextHop> {
+    pub fn lookup_at(&self, slot: u32, p: &PreparedKey) -> Option<NextHop> {
         let entry = self.filter.get(slot as usize)?;
-        if !entry.valid || entry.dirty || entry.key != self.collapse_key(key_value) {
+        if !entry.valid || entry.dirty || entry.key != p.collapsed {
             return None; // no match or false positive filtered out
         }
         let bv = &self.bitvec[slot as usize];
-        let leaf = self.leaf_of(key_value);
-        if !bv.vector.get(leaf) {
+        if !bv.vector.get(p.leaf) {
             return None;
         }
-        let rank = bv.vector.rank(leaf);
+        let rank = bv.vector.rank(p.leaf);
         debug_assert!(bv.block.is_some(), "set leaf implies allocated block");
         let block = bv.block?;
         Some(self.result.read(block, rank - 1))
@@ -594,6 +649,7 @@ impl SubCell {
         self.spill = kept;
         let spilled = self.index.rebuild_partition(part, &keys)?;
         self.spill.extend(spilled);
+        self.sort_spill();
         if self.spill.len() > self.params.spill_capacity {
             return Err(ChiselError::SpilloverOverflow {
                 needed: self.spill.len(),

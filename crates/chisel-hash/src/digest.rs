@@ -1,0 +1,222 @@
+//! One-pass key digests.
+//!
+//! The hot lookup path probes several Bloomier structures per key — the
+//! partition selector plus `k` neighborhood functions per sub-cell — and
+//! paying a full 128-bit mixing pass for each probe is pure waste: the
+//! hardware hash unit reads the key register once. [`Digester`] performs
+//! that single pass, producing a 128-bit [`KeyDigest`] (two independently
+//! seeded [`MixHasher`] outputs), and [`DerivedHasher`] turns the digest
+//! into any number of (empirically independent) hash values with two
+//! multiplies each — no further touches of the key.
+//!
+//! Families that must agree on probe locations (all partitions of one
+//! Index Table, plus its selector) share one digester seed, so a single
+//! digest computed per key serves every probe of that table.
+
+use crate::{MixHasher, SplitMix64};
+
+/// Seed-stream tag separating digester constants from derived-hasher
+/// constants drawn from the same master seed.
+const DIGEST_TAG: u64 = 0xD16E_57ED_5EED_0001;
+
+/// The 128-bit one-pass digest of a key: two independent 64-bit universal
+/// hashes. All per-table hash values are derived from this pair without
+/// re-reading the key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyDigest {
+    /// First 64-bit universal hash of the key.
+    pub lo: u64,
+    /// Second, independently-seeded 64-bit universal hash of the key.
+    pub hi: u64,
+}
+
+/// The one-pass front end: hashes a 128-bit key into a [`KeyDigest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digester {
+    a: MixHasher,
+    b: MixHasher,
+    seed: u64,
+}
+
+impl Digester {
+    /// Creates a digester from a seed. Two digesters with equal seeds
+    /// produce identical digests.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ DIGEST_TAG);
+        Digester {
+            a: MixHasher::from_rng(&mut rng),
+            b: MixHasher::from_rng(&mut rng),
+            seed,
+        }
+    }
+
+    /// The seed this digester was derived from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The one-pass digest of `key`.
+    #[inline]
+    pub fn digest(&self, key: u128) -> KeyDigest {
+        KeyDigest {
+            lo: self.a.hash_u64(key),
+            hi: self.b.hash_u64(key),
+        }
+    }
+}
+
+/// A cheap mixer from a [`KeyDigest`] to one hash value: an xor/rotate
+/// combine of the digest halves followed by a two-multiply finalizer, all
+/// constants drawn per function. The digest is already fully avalanched,
+/// so two multiplies restore pairwise independence between functions at a
+/// fraction of a full 128-bit key pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedHasher {
+    xor: u64,
+    rot: u32,
+    m1: u64,
+    m2: u64,
+}
+
+impl DerivedHasher {
+    /// Draws a derived hasher's constants from a seed generator.
+    pub fn from_rng(rng: &mut SplitMix64) -> Self {
+        DerivedHasher {
+            xor: rng.next_u64(),
+            // 1..=63: rotation 0 would let `lo ^ hi` structure leak
+            // identically into every function.
+            rot: (rng.next_u64() % 63) as u32 + 1,
+            m1: rng.next_odd(),
+            m2: rng.next_odd(),
+        }
+    }
+
+    /// Hashes a digest to a full 64-bit value.
+    #[inline]
+    pub fn hash_u64(&self, d: KeyDigest) -> u64 {
+        let mut z = d.lo ^ d.hi.rotate_left(self.rot) ^ self.xor;
+        z = (z ^ (z >> 33)).wrapping_mul(self.m1);
+        z = (z ^ (z >> 29)).wrapping_mul(self.m2);
+        z ^ (z >> 32)
+    }
+
+    /// Hashes a digest into `0..m` via the unbiased multiply-high range
+    /// reduction (same reduction as [`MixHasher::hash_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `m == 0`.
+    #[inline]
+    pub fn hash_range(&self, d: KeyDigest, m: usize) -> usize {
+        debug_assert!(m > 0, "range must be nonzero");
+        ((self.hash_u64(d) as u128 * m as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = Digester::new(42);
+        let b = Digester::new(42);
+        for key in [0u128, 1, u128::MAX, 0xDEAD_BEEF] {
+            assert_eq!(a.digest(key), b.digest(key));
+        }
+        assert_ne!(
+            Digester::new(1).digest(7),
+            Digester::new(2).digest(7),
+            "different seeds should digest differently"
+        );
+    }
+
+    #[test]
+    fn digest_halves_are_independent() {
+        // lo and hi disagree on key ordering: equal-lo keys should not
+        // systematically share hi.
+        let d = Digester::new(9);
+        let mut agree = 0usize;
+        for key in 0..10_000u128 {
+            let x = d.digest(key);
+            if x.lo % 16 == x.hi % 16 {
+                agree += 1;
+            }
+        }
+        let expected = 10_000 / 16;
+        assert!(
+            (agree as i64 - expected as i64).unsigned_abs() < 200,
+            "lo/hi correlated: {agree} agreements vs ~{expected}"
+        );
+    }
+
+    #[test]
+    fn derived_hashers_differ() {
+        let dig = Digester::new(3);
+        let mut rng = SplitMix64::new(11);
+        let h1 = DerivedHasher::from_rng(&mut rng);
+        let h2 = DerivedHasher::from_rng(&mut rng);
+        let same = (0..1000u128)
+            .filter(|&k| {
+                let d = dig.digest(k);
+                h1.hash_range(d, 1 << 20) == h2.hash_range(d, 1 << 20)
+            })
+            .count();
+        assert!(same < 10, "two derived hashers nearly identical: {same}");
+    }
+
+    #[test]
+    fn derived_avalanche_on_key_bits() {
+        // End to end (digest + derive), flipping any key bit should flip
+        // about half of the output bits.
+        let dig = Digester::new(99);
+        let mut rng = SplitMix64::new(5);
+        let h = DerivedHasher::from_rng(&mut rng);
+        let key = 0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128;
+        let base = h.hash_u64(dig.digest(key));
+        let mut total = 0u32;
+        for bit in 0..128 {
+            let flipped = h.hash_u64(dig.digest(key ^ (1u128 << bit)));
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total as f64 / 128.0;
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "weak avalanche: {avg} bits flipped on average"
+        );
+    }
+
+    #[test]
+    fn derived_uniformity_chi_square() {
+        let dig = Digester::new(3);
+        let mut rng = SplitMix64::new(7);
+        let h = DerivedHasher::from_rng(&mut rng);
+        let mut counts = [0u32; 256];
+        let n = 65_536u128;
+        for k in 0..n {
+            counts[h.hash_range(dig.digest(k), 256)] += 1;
+        }
+        let expected = n as f64 / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let e = c as f64 - expected;
+                e * e / expected
+            })
+            .sum();
+        assert!(chi2 < 400.0, "chi-square too high: {chi2}");
+    }
+
+    #[test]
+    fn derived_range_bounds() {
+        let dig = Digester::new(1);
+        let mut rng = SplitMix64::new(2);
+        let h = DerivedHasher::from_rng(&mut rng);
+        for m in [1usize, 2, 3, 1000, 1 << 20] {
+            for key in 0..200u128 {
+                assert!(h.hash_range(dig.digest(key), m) < m);
+            }
+        }
+    }
+}

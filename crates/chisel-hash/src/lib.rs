@@ -6,10 +6,17 @@
 //!
 //! - [`MixHasher`]: one hardware-style hash function over 128-bit keys —
 //!   two 64-bit odd multipliers plus an xorshift finalizer.
-//! - [`HashFamily`]: `k` independently-seeded [`MixHasher`]s mapping a key
-//!   into a table of `m` locations (a key's *hash neighborhood* in Bloomier
-//!   filter terms), plus the partition-selector checksum used for the
-//!   paper's `d`-way logical Index Table partitioning (Section 4.4.2).
+//! - [`Digester`] / [`KeyDigest`] / [`DerivedHasher`]: the one-pass front
+//!   end — the key is read and fully mixed once into a 128-bit digest, and
+//!   any number of hash values are derived from it with two multiplies
+//!   each, mirroring a hardware hash unit that fans one key register out
+//!   to many cheap mixing networks.
+//! - [`HashFamily`]: `k` derived functions mapping a key into a table of
+//!   `m` locations (a key's *hash neighborhood* in Bloomier filter terms),
+//!   plus the partition-selector checksum used for the paper's `d`-way
+//!   logical Index Table partitioning (Section 4.4.2). Families sharing a
+//!   digest seed ([`HashFamily::with_shared_digest`]) replay one digest
+//!   through all of their functions via the `*_digest` methods.
 //!
 //! All hashing is deterministic given a seed, so every engine in the
 //! workspace is reproducible.
@@ -29,8 +36,10 @@
 
 #![forbid(unsafe_code)]
 
+mod digest;
 mod family;
 mod mix;
 
+pub use digest::{DerivedHasher, Digester, KeyDigest};
 pub use family::HashFamily;
 pub use mix::{MixHasher, SplitMix64};

@@ -1,0 +1,141 @@
+//! Lookup key streams: flow pools and uniform / Zipf arrival orders.
+//!
+//! The paper's throughput claims are about the data path, but *which*
+//! keys arrive matters as soon as a flow cache sits in front of it: real
+//! traffic is dominated by a small set of heavy-hitter flows. This module
+//! gives every benchmark and measurement binary the same two stream
+//! shapes over the same flow pool — a uniform order (every flow equally
+//! likely, the cache-hostile cold-path measurement) and a Zipf order
+//! (flow `i` weighted `1/(i+1)^s`, the locality a cache exploits).
+//!
+//! Everything is deterministic given a seed, like the rest of the crate.
+
+use chisel_prefix::{Key, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool of distinct covered keys (flows): one random host under a
+/// uniformly-drawn prefix of `table` each.
+///
+/// # Panics
+///
+/// Panics if `table` is empty.
+pub fn flow_pool(table: &RoutingTable, flows: usize, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prefixes: Vec<_> = table.iter().map(|e| e.prefix).collect();
+    assert!(!prefixes.is_empty(), "flow_pool needs a nonempty table");
+    let width = table.family().width();
+    (0..flows)
+        .map(|_| {
+            let p = prefixes[rng.gen_range(0..prefixes.len())];
+            let host = rng.gen::<u128>() & chisel_prefix::bits::mask(width - p.len());
+            Key::from_raw(table.family(), p.network() | host)
+        })
+        .collect()
+}
+
+/// `n` stream entries drawn uniformly from the flow pool.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn uniform_stream(pool: &[Key], n: usize, seed: u64) -> Vec<Key> {
+    assert!(!pool.is_empty(), "uniform_stream needs a nonempty pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+}
+
+/// `n` stream entries drawn Zipf(`s`)-distributed over the flow pool:
+/// flow `i` has weight `1 / (i+1)^s`, so a few flows dominate the stream
+/// the way heavy-hitter flows dominate real traffic.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+pub fn zipf_stream(pool: &[Key], s: f64, n: usize, seed: u64) -> Vec<Key> {
+    assert!(!pool.is_empty(), "zipf_stream needs a nonempty pool");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cumulative = Vec::with_capacity(pool.len());
+    let mut acc = 0.0f64;
+    for i in 0..pool.len() {
+        acc += 1.0 / ((i + 1) as f64).powf(s);
+        cumulative.push(acc);
+    }
+    let total = acc;
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0.0..total);
+            let idx = cumulative.partition_point(|&c| c <= x);
+            pool[idx.min(pool.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, PrefixLenDistribution};
+    use std::collections::HashMap;
+
+    fn pool() -> Vec<Key> {
+        let table = synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+        flow_pool(&table, 1_024, 0xF10A)
+    }
+
+    #[test]
+    fn flows_are_covered_and_deterministic() {
+        let table = synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+        let a = flow_pool(&table, 256, 7);
+        let b = flow_pool(&table, 256, 7);
+        assert_eq!(a, b);
+        // Every flow is covered by some prefix of the table.
+        for k in &a {
+            assert!(
+                table.iter().any(|e| e.prefix.matches(*k)),
+                "uncovered flow {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_touches_most_of_the_pool() {
+        let p = pool();
+        let s = uniform_stream(&p, 1 << 14, 0x5EED);
+        let distinct: std::collections::HashSet<_> = s.iter().map(|k| k.value()).collect();
+        assert!(
+            distinct.len() > p.len() * 9 / 10,
+            "uniform stream covered only {} of {} flows",
+            distinct.len(),
+            p.len()
+        );
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let p = pool();
+        let s = zipf_stream(&p, 1.0, 1 << 14, 0x21FF);
+        let mut counts: HashMap<u128, usize> = HashMap::new();
+        for k in &s {
+            *counts.entry(k.value()).or_default() += 1;
+        }
+        let mut by_count: Vec<usize> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top16: usize = by_count.iter().take(16).sum();
+        // With s=1 over 1024 flows, the 16 hottest flows carry ~44% of
+        // the stream (H_16/H_1024); uniform would give them ~1.6%.
+        assert!(
+            top16 * 100 / s.len() > 30,
+            "zipf head too light: top-16 flows carry {}/{}",
+            top16,
+            s.len()
+        );
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let p = pool();
+        assert_eq!(uniform_stream(&p, 1000, 3), uniform_stream(&p, 1000, 3));
+        assert_eq!(zipf_stream(&p, 1.0, 1000, 4), zipf_stream(&p, 1.0, 1000, 4));
+        assert_ne!(uniform_stream(&p, 1000, 3), uniform_stream(&p, 1000, 5));
+    }
+}

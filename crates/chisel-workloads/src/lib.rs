@@ -11,6 +11,8 @@
 //!   more-specific/sibling structure.
 //! - [`ipv6`]: IPv6 table synthesis from IPv4 models, exactly the method
 //!   the paper itself uses for its IPv6 experiments (Section 6.4.2).
+//! - [`keystream`]: flow pools with uniform and Zipf arrival orders, so
+//!   every lookup benchmark drives the same traffic shapes.
 //! - [`mrt`]: an MRT / BGP UPDATE codec so synthetic traces can be
 //!   exported and real RIS dumps replayed.
 //! - [`updates`]: update-trace generation with per-trace mixes of
@@ -23,12 +25,14 @@
 
 pub mod distribution;
 pub mod ipv6;
+pub mod keystream;
 pub mod mrt;
 pub mod stats;
 pub mod synth;
 pub mod updates;
 
 pub use distribution::{as_profiles, AsProfile, PrefixLenDistribution};
+pub use keystream::{flow_pool, uniform_stream, zipf_stream};
 pub use mrt::{read_mrt, write_mrt, MrtError};
 pub use stats::{analyze, TraceStats};
 pub use synth::synthesize;

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! chisel-router build  <table-file> [--threads N]        timed engine build
-//! chisel-router lookup <table-file> <addr> [<addr>...]   LPM lookups
+//! chisel-router lookup <table-file> <addr> [<addr>...] [--cache[=SLOTS]]
+//!                                                        LPM lookups
 //! chisel-router stats  <table-file>                      table + engine stats
 //! chisel-router check  <table-file> [--threads N]        invariant verifier
 //! chisel-router replay <table-file> <trace.mrt> [--threads N]
@@ -19,6 +20,11 @@
 //! machine's available parallelism). The engine image is byte-identical
 //! for every value — threads only change build wall-time.
 //!
+//! `--cache[=SLOTS]` puts a generation-stamped flow cache in front of the
+//! lookups (default slot count: `FlowCache::DEFAULT_CAPACITY`) and
+//! reports its hit/miss counters — repeated addresses are answered from
+//! the cache without re-walking the data path.
+//!
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
 //! or by RIS collectors (IPv4 UPDATE subset).
@@ -29,7 +35,7 @@ use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use chisel::core::SharedChisel;
+use chisel::core::{FlowCache, SharedChisel};
 use chisel::prefix::io::read_table;
 use chisel::prefix::parallel::resolve_threads;
 use chisel::workloads::{analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent};
@@ -44,9 +50,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let cache = match take_cache_flag(&mut args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("build") if args.len() == 2 => cmd_build(&args[1], threads),
-        Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..]),
+        Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..], cache),
         Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
         Some("check") if args.len() == 2 => cmd_check(&args[1], threads),
         Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2], threads),
@@ -54,7 +67,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: chisel-router build <table> [--threads N] | \
-                 lookup <table> <addr>... | stats <table> | \
+                 lookup <table> <addr>... [--cache[=SLOTS]] | stats <table> | \
                  check <table> [--threads N] | \
                  replay <table> <trace.mrt> [--threads N] | synth <n> <out> [seed]"
             );
@@ -92,6 +105,25 @@ fn take_threads_flag(args: &mut Vec<String>) -> Result<usize, String> {
     value
         .parse::<usize>()
         .map_err(|_| format!("invalid --threads value '{value}'"))
+}
+
+/// Extracts `--cache` (default slot count) or `--cache=SLOTS` from
+/// anywhere in the argument list. Returns `None` when absent.
+fn take_cache_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(i) = args
+        .iter()
+        .position(|a| a == "--cache" || a.starts_with("--cache="))
+    else {
+        return Ok(None);
+    };
+    let flag = args.remove(i);
+    match flag.strip_prefix("--cache=") {
+        None => Ok(Some(FlowCache::DEFAULT_CAPACITY)),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("invalid --cache value '{v}'")),
+    }
 }
 
 fn load(
@@ -145,16 +177,35 @@ fn cmd_build(path: &str, threads: usize) -> Result<(), Box<dyn std::error::Error
     Ok(())
 }
 
-fn cmd_lookup(path: &str, addrs: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_lookup(
+    path: &str,
+    addrs: &[String],
+    cache_slots: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let (_, engine) = load(path, 0)?;
-    // One software-pipelined batch over all requested addresses: the
-    // prefetch stages overlap the independent probes' memory latency.
     let keys = addrs
         .iter()
         .map(|a| a.parse())
         .collect::<Result<Vec<Key>, _>>()?;
     let mut out = vec![None; keys.len()];
-    engine.lookup_batch(&keys, &mut out);
+    if let Some(slots) = cache_slots {
+        // Scalar through the flow cache: repeated addresses hit and skip
+        // the data path entirely.
+        let mut cache = FlowCache::new(slots);
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            *slot = cache.lookup(&engine, *key);
+        }
+        eprintln!(
+            "cache: {} hit(s) / {} miss(es) over {} slots",
+            cache.hits(),
+            cache.misses(),
+            cache.capacity(),
+        );
+    } else {
+        // One software-pipelined batch over all requested addresses: the
+        // prefetch stages overlap the independent probes' memory latency.
+        engine.lookup_batch(&keys, &mut out);
+    }
     for (addr, nh) in addrs.iter().zip(out) {
         match nh {
             Some(nh) => println!("{addr} -> {nh}"),

@@ -6,7 +6,7 @@ use chisel::prefix::collapse::StridePlan;
 use chisel::prefix::cpe::{expand_to_levels, optimal_levels};
 use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
 use chisel_bloomier::BloomierFilter;
-use chisel_core::LeafVector;
+use chisel_core::{FlowCache, LeafVector};
 use chisel_prefix::oracle::OracleLpm;
 use proptest::prelude::*;
 
@@ -42,12 +42,37 @@ fn arb_table_v6(max: usize) -> impl Strategy<Value = RoutingTable> {
     })
 }
 
-/// Asserts `lookup_batch` produces exactly what per-key `lookup` does.
+/// Asserts `lookup_batch` produces exactly what per-key `lookup` does —
+/// uncached, and again through a deliberately tiny [`FlowCache`] (both
+/// its scalar and batch paths), twice each so the second pass replays
+/// from warm cache slots.
 fn assert_batch_matches_scalar(engine: &ChiselLpm, keys: &[Key]) -> Result<(), TestCaseError> {
     let mut out = vec![None; keys.len()];
     engine.lookup_batch(keys, &mut out);
     for (k, o) in keys.iter().zip(&out) {
         prop_assert_eq!(*o, engine.lookup(*k), "key {:?}", k);
+    }
+    let mut cache = FlowCache::new(8);
+    for pass in 0..2 {
+        for k in keys {
+            prop_assert_eq!(
+                cache.lookup(engine, *k),
+                engine.lookup(*k),
+                "cached scalar pass {}, key {:?}",
+                pass,
+                k
+            );
+        }
+        cache.lookup_batch(engine, keys, &mut out);
+        for (k, o) in keys.iter().zip(&out) {
+            prop_assert_eq!(
+                *o,
+                engine.lookup(*k),
+                "cached batch pass {}, key {:?}",
+                pass,
+                k
+            );
+        }
     }
     Ok(())
 }
@@ -260,6 +285,34 @@ proptest! {
             .map(|raw| Key::from_raw(AddressFamily::V4, raw as u128))
             .collect();
         assert_batch_matches_scalar(&engine, &keys)?;
+    }
+
+    #[test]
+    fn flow_cache_matches_uncached_across_updates(
+        ops in proptest::collection::vec((any::<bool>(), arb_prefix_v4(), 0u32..16), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 24),
+    ) {
+        // One cache surviving a whole update schedule: every announce or
+        // withdraw must invalidate whatever it made stale (the probe set
+        // is fixed, so earlier answers sit in the cache when later
+        // updates change them).
+        let mut engine =
+            ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).expect("builds");
+        let mut cache = FlowCache::new(32);
+        let keys: Vec<Key> = probes
+            .into_iter()
+            .map(|raw| Key::from_raw(AddressFamily::V4, raw as u128))
+            .collect();
+        for (announce, p, nh) in ops {
+            if announce {
+                engine.announce(p, NextHop::new(nh)).expect("announce");
+            } else {
+                engine.withdraw(p).expect("withdraw");
+            }
+            for k in &keys {
+                prop_assert_eq!(cache.lookup(&engine, *k), engine.lookup(*k), "key {:?}", k);
+            }
+        }
     }
 }
 

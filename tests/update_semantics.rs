@@ -5,7 +5,7 @@
 //! image — an update sequence must never leave the tables structurally
 //! inconsistent, even when every lookup it was tested with still works.
 
-use chisel::core::{verify_image, UpdateKind};
+use chisel::core::{verify_image, FlowCache, SharedChisel, UpdateKind};
 use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
 use chisel_prefix::bits::mask;
 
@@ -284,6 +284,94 @@ fn verifier_stays_clean_under_random_churn() {
         }
     }
     assert_verified(&e);
+}
+
+#[test]
+fn flow_cache_coherent_across_1024_interleaved_schedules() {
+    // The flow cache's only correctness claim: cached == uncached on
+    // every key at every point of every update schedule. Each schedule
+    // interleaves announces, withdraws and deliberate flaps
+    // (withdraw-then-reannounce of a live prefix) with probe rounds; the
+    // cache and a CachedReader both persist across the whole schedule, so
+    // any missed invalidation — a stale positive after a withdraw, a
+    // stale negative after an announce, a stale next hop after a flap —
+    // shows up as a divergence. Probes repeat within a round to drive the
+    // hit path, not just the fill path.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut total_hits = 0u64;
+    for schedule in 0..1024u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E ^ schedule);
+        let mut t = RoutingTable::new_v4();
+        for _ in 0..rng.gen_range(0..12) {
+            let len = rng.gen_range(1..=32u8);
+            let bits = (rng.gen::<u128>() & mask(len)) & 0x1F1F_1F1F;
+            t.insert(
+                Prefix::new(AddressFamily::V4, bits, len).unwrap(),
+                nh(rng.gen_range(0..16)),
+            );
+        }
+        let mut engine = ChiselLpm::build(&t, ChiselConfig::ipv4()).unwrap();
+        let shared = SharedChisel::from_engine(engine.clone());
+        // Tiny cache: index collisions and evictions every few probes.
+        let mut cache = FlowCache::new(16);
+        let mut reader = shared.reader_with_capacity(16);
+        let mut live: Vec<Prefix> = t.iter().map(|e| e.prefix).collect();
+
+        for step in 0..rng.gen_range(8..24usize) {
+            // One update against both the bare engine and the shared
+            // handle, keeping the two lineages identical.
+            let flap = !live.is_empty() && rng.gen_bool(0.25);
+            if flap {
+                let p = live[rng.gen_range(0..live.len())];
+                let hop = nh(rng.gen_range(16..32));
+                engine.withdraw(p).unwrap();
+                shared.withdraw(p).unwrap();
+                engine.announce(p, hop).unwrap();
+                shared.announce(p, hop).unwrap();
+            } else {
+                let len = rng.gen_range(1..=32u8);
+                let bits = (rng.gen::<u128>() & mask(len)) & 0x1F1F_1F1F;
+                let p = Prefix::new(AddressFamily::V4, bits, len).unwrap();
+                if rng.gen_bool(0.4) {
+                    engine.withdraw(p).unwrap();
+                    shared.withdraw(p).unwrap();
+                    live.retain(|&q| q != p);
+                } else {
+                    let hop = nh(step as u32);
+                    engine.announce(p, hop).unwrap();
+                    shared.announce(p, hop).unwrap();
+                    if !live.contains(&p) {
+                        live.push(p);
+                    }
+                }
+            }
+            // Probe round: a handful of keys, each twice (fill, then hit).
+            for _ in 0..4 {
+                let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128 & 0x1F1F_1FFF);
+                let want = engine.lookup(key);
+                for pass in 0..2 {
+                    assert_eq!(
+                        cache.lookup(&engine, key),
+                        want,
+                        "schedule {schedule} step {step} pass {pass}: cache diverged at {key}"
+                    );
+                    assert_eq!(
+                        reader.lookup(key),
+                        want,
+                        "schedule {schedule} step {step} pass {pass}: reader diverged at {key}"
+                    );
+                }
+            }
+        }
+        total_hits += cache.hits() + reader.cache().hits();
+    }
+    // The schedules must actually have exercised the hit path.
+    assert!(
+        total_hits > 10_000,
+        "only {total_hits} cache hits across all schedules"
+    );
 }
 
 #[test]

@@ -51,15 +51,19 @@ const UNSAFE_CRATE_ROOTS: &[&str] = &[
 pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
     ("crates/chisel-bloomier/src/packed.rs", None),
     ("crates/chisel-core/src/bitvector.rs", None),
+    ("crates/chisel-core/src/flowcache.rs", None),
+    ("crates/chisel-hash/src/digest.rs", None),
     (
         "crates/chisel-core/src/subcell.rs",
         Some(&[
             "lookup",
             "lookup_at",
+            "prepare",
             "probe_slot",
             "prefetch_index",
             "prefetch_row",
             "slot_of",
+            "spill_slot",
         ]),
     ),
     (
