@@ -42,7 +42,7 @@ pub use checksum::ChecksumBloomier;
 pub use error::BloomierError;
 pub use filter::{BloomierFilter, Built};
 pub use packed::PackedWords;
-pub use partition::PartitionedBloomier;
+pub use partition::{PartitionedBloomier, RebuildCandidate};
 
 /// Hints the CPU to pull the cache line holding `value` toward L1.
 ///

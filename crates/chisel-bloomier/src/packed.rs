@@ -74,6 +74,30 @@ impl PackedWords {
         }
     }
 
+    /// Reconstructs an arena from its raw backing words (the
+    /// [`PackedWords::backing_words`] serialization). Returns `None` —
+    /// instead of panicking — when the words cannot describe `len`
+    /// entries of `value_bits` bits: width out of range, wrong word
+    /// count, overflowing geometry, or set bits in the tail beyond
+    /// `len * value_bits`. The image loader uses this to reject corrupt
+    /// bytes.
+    pub fn from_backing_words(len: usize, value_bits: u32, words: &[u64]) -> Option<Self> {
+        if !(1..=64).contains(&value_bits) {
+            return None;
+        }
+        let bits = len.checked_mul(value_bits as usize)?;
+        if words.len() != bits.div_ceil(64) {
+            return None;
+        }
+        let tail_bits = bits % 64;
+        if tail_bits != 0 && words[words.len() - 1] >> tail_bits != 0 {
+            return None;
+        }
+        let mut arena = Self::new(len, value_bits);
+        arena.flat_mut()[..words.len()].copy_from_slice(words);
+        Some(arena)
+    }
+
     /// Number of entries.
     #[inline]
     pub fn len(&self) -> usize {

@@ -9,6 +9,24 @@ use crate::{BloomierError, BloomierFilter, Built};
 /// between threads.
 pub type PartitionBuild = (BloomierFilter, Vec<(u128, u32)>, u64);
 
+/// A candidate encoding for one partition, built but **not installed**.
+///
+/// Produced by [`PartitionedBloomier::build_partition_candidate`]; the
+/// caller inspects `spilled` (does it fit the spillover TCAM?) before
+/// committing via [`PartitionedBloomier::install_partition`]. `attempts`
+/// records how many salted setup attempts the retry schedule consumed.
+#[derive(Debug, Clone)]
+pub struct RebuildCandidate {
+    /// The freshly built partition filter.
+    pub filter: BloomierFilter,
+    /// Keys the best attempt still failed to encode.
+    pub spilled: Vec<(u128, u32)>,
+    /// Seed salt of the best attempt (pass to `install_partition`).
+    pub salt: u64,
+    /// Salted setup attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+}
+
 /// A Bloomier filter logically partitioned into `d` sub-tables
 /// (paper Section 4.4.2).
 ///
@@ -315,18 +333,47 @@ impl PartitionedBloomier {
         idx: usize,
         keys: &[(u128, u32)],
     ) -> Result<Vec<(u128, u32)>, BloomierError> {
+        let candidate = self.build_partition_candidate(idx, keys, 4)?;
+        let spilled = candidate.spilled.clone();
+        self.install_partition(idx, candidate.filter, candidate.salt);
+        Ok(spilled)
+    }
+
+    /// Builds a replacement encoding for partition `idx` over `keys`
+    /// **without installing it**: the live partition is untouched until
+    /// the caller decides the candidate is acceptable (e.g. its spill fits
+    /// the spillover TCAM) and passes it to
+    /// [`PartitionedBloomier::install_partition`]. This is the
+    /// build-then-commit half of the re-setup recovery policy: a rejected
+    /// or failed candidate leaves readers on the pre-update encoding.
+    ///
+    /// Retries up to `attempts` times on an exponential salt schedule
+    /// (see [`PartitionedBloomier::build_one_partition_with_retries`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-key / sizing errors from the underlying build.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a key does not belong to partition `idx`.
+    pub fn build_partition_candidate(
+        &self,
+        idx: usize,
+        keys: &[(u128, u32)],
+        attempts: u32,
+    ) -> Result<RebuildCandidate, BloomierError> {
         debug_assert!(keys.iter().all(|&(k, _)| self.partition_of(k) == idx));
-        let (filter, spilled, salt) = Self::build_one_partition(
+        Self::build_one_partition_with_retries(
             self.k,
             self.part_m,
             self.value_bits,
             self.seed,
             idx,
             self.salts[idx],
+            attempts,
             keys,
-        )?;
-        self.install_partition(idx, filter, salt);
-        Ok(spilled)
+        )
     }
 
     /// Builds partition `idx` in isolation — the unit of work the parallel
@@ -347,9 +394,41 @@ impl PartitionedBloomier {
         salt_base: u64,
         keys: &[(u128, u32)],
     ) -> Result<PartitionBuild, BloomierError> {
-        let mut best: Option<PartitionBuild> = None;
-        for attempt in 0..4u64 {
-            let salt = salt_base + attempt;
+        let c = Self::build_one_partition_with_retries(
+            k, part_m, value_bits, seed, idx, salt_base, 4, keys,
+        )?;
+        Ok((c.filter, c.spilled, c.salt))
+    }
+
+    /// [`PartitionedBloomier::build_one_partition`] with an explicit retry
+    /// budget and an exponential seed schedule: attempt `i` uses salt
+    /// `salt_base + offset(i)` with offsets `0, 1, 2, 4, 8, ...`, so the
+    /// first attempt reproduces the installed encoding's salt exactly and
+    /// later retries jump to ever more distant seed families. Keeps the
+    /// attempt with the fewest spilled keys, stopping early at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duplicate-key / sizing errors from the underlying build.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_one_partition_with_retries(
+        k: usize,
+        part_m: usize,
+        value_bits: u32,
+        seed: u64,
+        idx: usize,
+        salt_base: u64,
+        attempts: u32,
+        keys: &[(u128, u32)],
+    ) -> Result<RebuildCandidate, BloomierError> {
+        let mut best: Option<RebuildCandidate> = None;
+        for attempt in 0..attempts.max(1) {
+            let offset = if attempt == 0 {
+                0
+            } else {
+                1u64 << (attempt - 1).min(62)
+            };
+            let salt = salt_base.wrapping_add(offset);
             let built: Built = BloomierFilter::build_packed_with_family(
                 part_family(k, seed, idx, salt),
                 part_m,
@@ -358,14 +437,21 @@ impl PartitionedBloomier {
             )?;
             let better = match &best {
                 None => true,
-                Some((_, spill, _)) => built.spilled.len() < spill.len(),
+                Some(c) => built.spilled.len() < c.spilled.len(),
             };
             if better {
                 let done = built.spilled.is_empty();
-                best = Some((built.filter, built.spilled, salt));
+                best = Some(RebuildCandidate {
+                    filter: built.filter,
+                    spilled: built.spilled,
+                    salt,
+                    attempts: attempt + 1,
+                });
                 if done {
                     break;
                 }
+            } else if let Some(c) = &mut best {
+                c.attempts = attempt + 1;
             }
         }
         Ok(best.expect("at least one attempt ran"))

@@ -40,6 +40,36 @@ impl LeafVector {
         }
     }
 
+    /// Reconstructs a vector from its raw hardware words (the
+    /// [`LeafVector::words`] serialization), rebuilding the rank prefix
+    /// sums. Returns `None` — instead of panicking — when the words do not
+    /// describe a valid `2^stride`-leaf vector: wrong word count, a
+    /// stride past the provisioning bound, or set bits beyond the leaf
+    /// count. The image loader uses this to reject corrupt bytes.
+    pub fn from_words(stride: u8, words: &[u64]) -> Option<Self> {
+        if stride > 24 {
+            return None;
+        }
+        let leaves = 1usize << stride;
+        let nwords = leaves.div_ceil(64);
+        if words.len() != nwords {
+            return None;
+        }
+        let tail_bits = leaves % 64;
+        if tail_bits != 0 && words[nwords - 1] >> tail_bits != 0 {
+            return None;
+        }
+        let mut sums = vec![0u32; nwords];
+        for w in 1..nwords {
+            sums[w] = sums[w - 1] + words[w - 1].count_ones();
+        }
+        Some(LeafVector {
+            words: words.to_vec(),
+            sums,
+            leaves,
+        })
+    }
+
     /// Number of leaves (bits).
     #[inline]
     pub fn leaves(&self) -> usize {

@@ -31,7 +31,9 @@ use std::sync::{Arc, Mutex};
 use chisel_prefix::{Key, NextHop, Prefix, RoutingTable};
 
 use crate::snapshot::SnapshotCell;
-use crate::{ChiselConfig, ChiselError, ChiselLpm, FlowCache, UpdateKind, UpdateStats};
+use crate::{
+    ChiselConfig, ChiselError, ChiselLpm, EngineStats, FlowCache, UpdateKind, UpdateStats,
+};
 
 /// One published engine state: the engine plus its generation stamp.
 ///
@@ -200,6 +202,12 @@ impl SharedChisel {
     /// Update statistics of the current snapshot.
     pub fn update_stats(&self) -> UpdateStats {
         self.inner.cell.load().update_stats()
+    }
+
+    /// Consolidated health snapshot (recovery counters, degraded mode,
+    /// spillover occupancy) of the current snapshot.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.inner.cell.load().engine.engine_stats()
     }
 
     /// Runs a closure against the current snapshot (batched reads with a

@@ -46,6 +46,11 @@ pub struct ChiselConfig {
     /// available parallelism). The built engine is byte-identical for
     /// every value — threads only change wall-clock time.
     pub build_threads: usize,
+    /// Salted setup attempts per partition re-setup before the update
+    /// degrades into the spillover TCAM (exponential seed-schedule
+    /// backoff; the paper's Section 4.1 failure-probability analysis makes
+    /// a handful of retries sufficient).
+    pub resetup_retries: u32,
 }
 
 impl ChiselConfig {
@@ -64,6 +69,7 @@ impl ChiselConfig {
             flap_window: 1 << 16,
             flap_absorption: true,
             build_threads: 0,
+            resetup_retries: 4,
         }
     }
 
@@ -153,6 +159,18 @@ impl ChiselConfig {
     /// Sets the build-pipeline worker count (`0` = available parallelism).
     pub fn build_threads(mut self, build_threads: usize) -> Self {
         self.build_threads = build_threads;
+        self
+    }
+
+    /// Sets the re-setup retry budget (salted setup attempts per
+    /// partition rebuild before degrading into the spillover TCAM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resetup_retries == 0`.
+    pub fn resetup_retries(mut self, resetup_retries: u32) -> Self {
+        assert!(resetup_retries > 0);
+        self.resetup_retries = resetup_retries;
         self
     }
 }

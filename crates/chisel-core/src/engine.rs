@@ -8,8 +8,9 @@ use chisel_prefix::collapse::StridePlan;
 use chisel_prefix::parallel::{chunk_ranges, parallel_map, resolve_threads};
 use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};
 
+use crate::faultpoint;
 use crate::shadow::GroupShadow;
-use crate::stats::{LookupTrace, StorageBreakdown};
+use crate::stats::{DegradedMode, EngineStats, LookupTrace, RecoveryStats, StorageBreakdown};
 use crate::subcell::{AnnounceOutcome, CellParams, PreparedKey, SubCell};
 use crate::update::{RecentWithdrawals, UpdateKind, UpdateStats};
 use crate::{ChiselConfig, ChiselError};
@@ -78,6 +79,7 @@ impl ChiselLpm {
             spill_capacity: config.spill_capacity,
             flap_absorption: config.flap_absorption,
             build_threads: threads,
+            resetup_retries: config.resetup_retries,
         };
 
         // Phase A: group prefixes per cell by collapsed key. Contiguous
@@ -367,7 +369,19 @@ impl ChiselLpm {
             }
             AnnounceOutcome::Singleton => UpdateKind::AddSingleton,
             AnnounceOutcome::Resetup => UpdateKind::Resetup,
+            AnnounceOutcome::DegradedSpill => UpdateKind::DegradedSpill,
         };
+        // PARTIAL_UPDATE models the control plane dying between the
+        // sub-cell mutation and the bookkeeping: *this* engine value is
+        // deliberately torn (cell updated, len/stats not). The snapshot
+        // path clones before mutating and publishes only on `Ok`, so
+        // `SharedChisel` readers never observe the tear — exactly the
+        // invariant the fault suite pins down.
+        if faultpoint::fire(faultpoint::PARTIAL_UPDATE) {
+            return Err(ChiselError::FaultInjected {
+                site: faultpoint::PARTIAL_UPDATE,
+            });
+        }
         if !matches!(outcome, AnnounceOutcome::NextHopOnly) {
             self.len += 1;
         }
@@ -399,6 +413,13 @@ impl ChiselLpm {
                 prefix.suffix_below(base),
             )
         };
+        // See `announce`: tears the bare engine between mutation and
+        // bookkeeping; the snapshot path discards the torn clone.
+        if faultpoint::fire(faultpoint::PARTIAL_UPDATE) {
+            return Err(ChiselError::FaultInjected {
+                site: faultpoint::PARTIAL_UPDATE,
+            });
+        }
         if existed {
             self.len -= 1;
             self.recent.record(prefix);
@@ -425,6 +446,34 @@ impl ChiselLpm {
     /// Total partition re-setups performed across sub-cells.
     pub fn resetups(&self) -> u64 {
         self.cells.iter().map(|c| c.resetups()).sum()
+    }
+
+    /// A consolidated health snapshot: update tallies, re-setup recovery
+    /// counters, degraded-mode status and spillover occupancy, merged
+    /// across all sub-cells.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut recovery = RecoveryStats::default();
+        let mut parked = 0usize;
+        for cell in self.cells.iter() {
+            recovery.merge(&cell.recovery());
+            parked += cell.degraded_len();
+        }
+        EngineStats {
+            updates: self.stats,
+            recovery,
+            degraded: if parked > 0 {
+                DegradedMode::Degraded {
+                    parked_keys: parked,
+                }
+            } else {
+                DegradedMode::Normal
+            },
+            routes: self.len,
+            groups: self.groups(),
+            spill_len: self.spill_len(),
+            spill_capacity: self.config.spill_capacity * self.cells.len(),
+            resetups: self.resetups(),
+        }
     }
 
     /// Actual on-chip storage of this engine instance, summed over

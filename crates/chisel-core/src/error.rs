@@ -28,6 +28,17 @@ pub enum ChiselError {
         /// Base length of the full sub-cell.
         cell_base: u8,
     },
+    /// An internal invariant the update path relies on was violated; the
+    /// update was rolled back instead of panicking.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
+    /// A [`crate::faultpoint`] site fired (fault-injection builds only).
+    FaultInjected {
+        /// The fault-point site name.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for ChiselError {
@@ -46,6 +57,12 @@ impl fmt::Display for ChiselError {
             ChiselError::FamilyMismatch => write!(f, "address family mismatch"),
             ChiselError::CapacityExceeded { cell_base } => {
                 write!(f, "sub-cell at base length {cell_base} is full")
+            }
+            ChiselError::Internal { what } => {
+                write!(f, "internal update invariant violated: {what}")
+            }
+            ChiselError::FaultInjected { site } => {
+                write!(f, "injected fault fired at site `{site}`")
             }
         }
     }

@@ -1,0 +1,254 @@
+//! Deterministic fault injection for the update pipeline.
+//!
+//! The control plane's robustness story — salted re-setup with bounded
+//! retry, graceful degradation into the spillover TCAM, snapshot-atomic
+//! publication — only matters on paths that are essentially unreachable
+//! under a healthy Bloomier setup. This module makes those paths testable:
+//! named *fault points* are compiled into the update pipeline, and a test
+//! build (`RUSTFLAGS="--cfg faultpoint"`, mirroring the `loom_lite` cfg)
+//! can arm a seeded `FaultPlan` that forces them to fire with a chosen
+//! per-site probability.
+//!
+//! Design constraints, shared with the loom-lite harness:
+//!
+//! - **Deterministic.** Whether an occurrence of a site fires depends only
+//!   on the plan seed, the site name, and how many times that site has
+//!   been reached — never on wall-clock time or global RNG state. A
+//!   failing seed replays exactly.
+//! - **Zero cost when disabled.** Without `--cfg faultpoint`, [`fire`]
+//!   is an `#[inline(always)]` constant `false` and the whole harness
+//!   compiles away; production builds carry no branches beyond a
+//!   trivially predictable one per site.
+//! - **Serialized.** Arming returns a guard holding a global test lock so
+//!   concurrent `#[test]`s cannot observe each other's plans; the guard
+//!   disarms on drop even if the test panics.
+
+/// Bloomier re-setup convergence failure: the salted retry schedule is
+/// treated as exhausted without producing a usable partition encoding.
+pub const SETUP_FAIL: &str = "setup-fail";
+
+/// Spillover-TCAM overflow: the capacity check after a successful
+/// partition rebuild is forced to fail, as if every retry spilled more
+/// keys than the TCAM can hold.
+pub const SPILL_OVERFLOW: &str = "spill-overflow";
+
+/// Partial update application: the engine-level update aborts *after* the
+/// sub-cell mutation but *before* length/statistics bookkeeping, tearing
+/// a bare engine. The snapshot path must discard the torn clone.
+pub const PARTIAL_UPDATE: &str = "partial-update";
+
+/// Allocation pressure: growing a sub-cell's group arena fails before any
+/// state is touched, as a failed large allocation would.
+pub const ALLOC_PRESSURE: &str = "alloc-pressure";
+
+/// Forced singleton-insert failure: an incremental Index Table insert is
+/// treated as `NoSingleton`, driving the announce down the partition
+/// re-setup path (paper §4.4.2) regardless of the actual encoding.
+pub const NO_SINGLETON: &str = "no-singleton";
+
+/// Returns whether the named fault point fires at this occurrence.
+///
+/// Always `false` unless the crate is built with `--cfg faultpoint` and a
+/// `FaultPlan` is armed with a rule for `site`.
+#[cfg(not(faultpoint))]
+#[inline(always)]
+pub fn fire(_site: &'static str) -> bool {
+    false
+}
+
+#[cfg(faultpoint)]
+pub use armed::{arm, fire, hits, ArmGuard, FaultPlan};
+
+#[cfg(faultpoint)]
+mod armed {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Seeded per-site firing rules.
+    #[derive(Debug, Clone)]
+    pub struct FaultPlan {
+        seed: u64,
+        rules: Vec<(&'static str, f64)>,
+    }
+
+    impl FaultPlan {
+        /// A plan with no rules: nothing fires until [`FaultPlan::with`]
+        /// adds a site.
+        pub fn new(seed: u64) -> Self {
+            FaultPlan {
+                seed,
+                rules: Vec::new(),
+            }
+        }
+
+        /// Adds (or replaces) a rule: `site` fires with probability
+        /// `rate` per occurrence; `rate >= 1.0` fires every time.
+        pub fn with(mut self, site: &'static str, rate: f64) -> Self {
+            self.rules.retain(|&(s, _)| s != site);
+            self.rules.push((site, rate.clamp(0.0, 1.0)));
+            self
+        }
+
+        fn rate(&self, site: &str) -> Option<f64> {
+            self.rules
+                .iter()
+                .find(|&&(s, _)| s == site)
+                .map(|&(_, r)| r)
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct State {
+        plan: Option<FaultPlan>,
+        /// Per-site occurrence counts (every time the site is reached).
+        counts: Vec<(&'static str, u64)>,
+        /// Per-site fire counts (occurrences where the site fired).
+        hits: Vec<(&'static str, u64)>,
+    }
+
+    fn bump(table: &mut Vec<(&'static str, u64)>, site: &'static str) -> u64 {
+        if let Some(entry) = table.iter_mut().find(|(s, _)| *s == site) {
+            entry.1 += 1;
+            entry.1 - 1
+        } else {
+            table.push((site, 1));
+            0
+        }
+    }
+
+    static ACTIVE: Mutex<State> = Mutex::new(State {
+        plan: None,
+        counts: Vec::new(),
+        hits: Vec::new(),
+    });
+
+    /// Serializes tests that arm plans; held by [`ArmGuard`].
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn active() -> MutexGuard<'static, State> {
+        // A panicking test poisons the lock; the state itself is always
+        // consistent (plain counters), so recover the guard.
+        ACTIVE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Disarms the plan when dropped, even on panic.
+    #[must_use = "dropping the guard disarms the plan immediately"]
+    pub struct ArmGuard {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            let mut st = active();
+            st.plan = None;
+            st.counts.clear();
+            st.hits.clear();
+        }
+    }
+
+    /// Arms `plan` process-wide and returns a guard that disarms it on
+    /// drop. Holding the guard also holds a global test lock, so two
+    /// tests can never have plans armed concurrently.
+    pub fn arm(plan: FaultPlan) -> ArmGuard {
+        let serial = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = active();
+        st.plan = Some(plan);
+        st.counts.clear();
+        st.hits.clear();
+        drop(st);
+        ArmGuard { _serial: serial }
+    }
+
+    /// How many times `site` has fired under the currently armed plan.
+    pub fn hits(site: &'static str) -> u64 {
+        active()
+            .hits
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// splitmix64 finalizer: decorrelates (seed, site, occurrence).
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn site_hash(site: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in site.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Returns whether the named fault point fires at this occurrence.
+    pub fn fire(site: &'static str) -> bool {
+        let mut st = active();
+        let Some(rate) = st.plan.as_ref().and_then(|p| p.rate(site)) else {
+            return false;
+        };
+        let seed = st.plan.as_ref().map(|p| p.seed).unwrap_or(0);
+        let occurrence = bump(&mut st.counts, site);
+        let fired = if rate >= 1.0 {
+            true
+        } else {
+            let h = mix(seed ^ site_hash(site).wrapping_add(occurrence));
+            ((h >> 32) as f64) < rate * 4_294_967_296.0
+        };
+        if fired {
+            bump(&mut st.hits, site);
+        }
+        fired
+    }
+}
+
+#[cfg(all(test, faultpoint))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_never_fires() {
+        for _ in 0..64 {
+            assert!(!fire(SETUP_FAIL));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_counts() {
+        let _guard = arm(FaultPlan::new(1).with(SETUP_FAIL, 1.0));
+        for _ in 0..10 {
+            assert!(fire(SETUP_FAIL));
+        }
+        assert!(!fire(SPILL_OVERFLOW), "sites without a rule stay dormant");
+        assert_eq!(hits(SETUP_FAIL), 10);
+        assert_eq!(hits(SPILL_OVERFLOW), 0);
+    }
+
+    #[test]
+    fn fractional_rate_is_deterministic_per_seed() {
+        let run = |seed| {
+            let _guard = arm(FaultPlan::new(seed).with(PARTIAL_UPDATE, 0.5));
+            (0..256).map(|_| fire(PARTIAL_UPDATE)).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed replays identically");
+        assert_ne!(a, c, "different seeds diverge");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((64..192).contains(&fired), "rate 0.5 fired {fired}/256");
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _guard = arm(FaultPlan::new(3).with(ALLOC_PRESSURE, 1.0));
+            assert!(fire(ALLOC_PRESSURE));
+        }
+        assert!(!fire(ALLOC_PRESSURE));
+    }
+}

@@ -29,6 +29,7 @@ mod config;
 mod cow;
 mod engine;
 mod error;
+pub mod faultpoint;
 mod flowcache;
 pub mod image;
 mod result_table;
@@ -45,9 +46,9 @@ pub use config::ChiselConfig;
 pub use engine::ChiselLpm;
 pub use error::ChiselError;
 pub use flowcache::FlowCache;
-pub use image::HardwareImage;
+pub use image::{HardwareImage, ImageError};
 pub use result_table::{Block, ResultTable};
 pub use shadow::GroupShadow;
-pub use stats::{LookupTrace, StorageBreakdown};
+pub use stats::{DegradedMode, EngineStats, LookupTrace, RecoveryStats, StorageBreakdown};
 pub use update::{RecentWithdrawals, UpdateKind, UpdateStats};
 pub use verify::{verify_image, VerifyReport, Violation};

@@ -29,6 +29,10 @@ pub struct LookupTrace {
     /// Flow-cache misses: the lookup went through the full data path and
     /// its result was installed in the cache.
     pub cache_misses: usize,
+    /// Spillover TCAM hits on *degraded* keys — keys parked in the TCAM
+    /// because a partition re-setup exhausted its retry budget
+    /// (Section 4.4.2 failure path). A subset of `spill_hits`.
+    pub degraded_hits: usize,
 }
 
 impl LookupTrace {
@@ -43,6 +47,90 @@ impl LookupTrace {
     pub fn total_reads(&self) -> usize {
         self.index_reads + self.filter_reads + self.bitvec_reads + self.result_reads
     }
+}
+
+/// Counters for the re-setup recovery policy (Section 4.4.2 failure
+/// handling): salted retries, degradation into the spillover TCAM, and
+/// rollbacks of updates that could not complete.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Salted Bloomier setup attempts consumed by partition re-setups
+    /// (1 per first try + 1 per retry).
+    pub resetup_attempts: u64,
+    /// Setup attempts beyond the first of each re-setup (the retry tail
+    /// of the exponential seed schedule).
+    pub resetup_retries: u64,
+    /// Re-setups whose whole retry budget failed to produce an encoding
+    /// that fits the spillover TCAM.
+    pub resetup_failures: u64,
+    /// Keys parked in the spillover TCAM after a failed re-setup
+    /// (degraded mode entries).
+    pub degraded_parks: u64,
+    /// Parked keys later re-encoded by a successful re-setup, re-absorbed
+    /// by an arena regrow, or withdrawn.
+    pub degraded_reclaims: u64,
+    /// Announces fully rolled back because recovery was impossible (the
+    /// TCAM had no room to park the key).
+    pub rollbacks: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates `other` into `self` (used to merge per-cell counters
+    /// into engine-wide totals).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.resetup_attempts += other.resetup_attempts;
+        self.resetup_retries += other.resetup_retries;
+        self.resetup_failures += other.resetup_failures;
+        self.degraded_parks += other.degraded_parks;
+        self.degraded_reclaims += other.degraded_reclaims;
+        self.rollbacks += other.rollbacks;
+    }
+}
+
+/// Whether the engine is serving any routes from the degraded (parked in
+/// spillover TCAM) path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Every route has a healthy Index Table encoding (or is a regular
+    /// setup-time spill).
+    #[default]
+    Normal,
+    /// Some routes are served only because they were parked in the
+    /// spillover TCAM after a failed re-setup. Lookups remain correct but
+    /// the TCAM headroom for future setup failures is reduced.
+    Degraded {
+        /// Number of parked keys across all sub-cells.
+        parked_keys: usize,
+    },
+}
+
+impl DegradedMode {
+    /// Whether any key is parked.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DegradedMode::Degraded { .. })
+    }
+}
+
+/// A consolidated health snapshot of one engine: update classification,
+/// recovery counters, degraded-mode status and spillover occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Incremental-update classification counters.
+    pub updates: crate::update::UpdateStats,
+    /// Re-setup retry / degradation / rollback counters.
+    pub recovery: RecoveryStats,
+    /// Degraded-mode status.
+    pub degraded: DegradedMode,
+    /// Routes currently installed.
+    pub routes: usize,
+    /// Live collapsed groups across all sub-cells.
+    pub groups: usize,
+    /// Spillover TCAM entries in use (regular spills + degraded parks).
+    pub spill_len: usize,
+    /// Total spillover TCAM capacity across all sub-cells.
+    pub spill_capacity: usize,
+    /// Partition re-setups performed since build.
+    pub resetups: u64,
 }
 
 /// On-chip storage of one Chisel instance, broken down by table.
@@ -206,6 +294,7 @@ mod tests {
             spill_hits: 0,
             cache_hits: 0,
             cache_misses: 1,
+            degraded_hits: 0,
         };
         assert_eq!(t.total_reads(), 10);
         assert_eq!(LookupTrace::SEQUENTIAL_DEPTH, 4);

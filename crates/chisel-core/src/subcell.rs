@@ -18,9 +18,10 @@ use chisel_prefix::NextHop;
 
 use crate::bitvector::LeafVector;
 use crate::cow::CowTable;
+use crate::faultpoint;
 use crate::result_table::{Block, ResultTable};
 use crate::shadow::GroupShadow;
-use crate::stats::LookupTrace;
+use crate::stats::{LookupTrace, RecoveryStats};
 use crate::verify::VerifyReport;
 use crate::ChiselError;
 
@@ -64,6 +65,9 @@ pub(crate) struct CellParams {
     /// Workers for full builds (initial build and grow-rebuilds). Already
     /// resolved by the engine: `>= 1`, never the `0 = auto` sentinel.
     pub build_threads: usize,
+    /// Salted setup attempts per partition re-setup before the update
+    /// degrades into the spillover TCAM.
+    pub resetup_retries: u32,
 }
 
 /// Outcome of a sub-cell announce, refined by the engine into an
@@ -80,6 +84,9 @@ pub(crate) enum AnnounceOutcome {
     Singleton,
     /// New collapsed key forced a partition re-setup.
     Resetup,
+    /// The re-setup exhausted its retry budget; the key was parked in the
+    /// spillover TCAM instead (degraded mode).
+    DegradedSpill,
 }
 
 /// A Chisel sub-cell.
@@ -107,8 +114,14 @@ pub(crate) struct SubCell {
     /// Spillover TCAM: (collapsed key, slot) pairs, searched before the
     /// Index Table.
     spill: Vec<(u128, u32)>,
+    /// Collapsed keys parked in the spillover TCAM because their partition
+    /// re-setup exhausted its retry budget (degraded mode). Sorted; always
+    /// a subset of `spill`'s keys.
+    degraded: Vec<u128>,
     live_groups: usize,
     resetups: u64,
+    /// Re-setup retry / degradation / rollback counters.
+    recovery: RecoveryStats,
 }
 
 impl SubCell {
@@ -158,8 +171,10 @@ impl SubCell {
             recycled: Vec::new(),
             result: ResultTable::new(),
             spill: Vec::new(),
+            degraded: Vec::new(),
             live_groups: 0,
             resetups: 0,
+            recovery: RecoveryStats::default(),
         };
         cell.install_groups(groups)?;
         Ok(cell)
@@ -290,6 +305,16 @@ impl SubCell {
         self.spill.len()
     }
 
+    /// Keys currently parked in the spillover TCAM by failed re-setups.
+    pub fn degraded_len(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// Re-setup recovery counters for this cell.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
     /// Number of partition re-setups this cell has performed.
     pub fn resetups(&self) -> u64 {
         self.resetups
@@ -374,6 +399,9 @@ impl SubCell {
         trace.index_reads += 1;
         let slot = if let Some(s) = self.spill_slot(collapsed) {
             trace.spill_hits += 1;
+            if self.degraded.binary_search(&collapsed).is_ok() {
+                trace.degraded_hits += 1;
+            }
             s
         } else {
             self.index.lookup(collapsed)
@@ -547,17 +575,58 @@ impl SubCell {
         self.regenerate(slot);
         self.live_groups += 1;
 
-        let outcome = match self.index.try_insert(collapsed, slot) {
-            Ok(()) if grew => AnnounceOutcome::Resetup,
-            Ok(()) => AnnounceOutcome::Singleton,
-            Err(BloomierError::NoSingleton { .. }) => {
-                self.resetup_partition_with(collapsed, slot)?;
-                AnnounceOutcome::Resetup
+        // NO_SINGLETON forces the re-setup path even when the encoding
+        // would have accepted an incremental insert.
+        let inserted = if faultpoint::fire(faultpoint::NO_SINGLETON) {
+            Err(BloomierError::NoSingleton { key: collapsed })
+        } else {
+            self.index.try_insert(collapsed, slot)
+        };
+        let outcome = match inserted {
+            Ok(()) if grew => Ok(AnnounceOutcome::Resetup),
+            Ok(()) => Ok(AnnounceOutcome::Singleton),
+            Err(BloomierError::NoSingleton { .. }) => self.resetup_partition_with(collapsed, slot),
+            Err(e) => Err(e.into()),
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                // Recovery was impossible (e.g. no TCAM room to park the
+                // key): roll the new group back so the cell answers
+                // exactly as before the announce.
+                self.rollback_new_group(collapsed, slot);
+                return Err(e);
             }
-            Err(e) => return Err(e.into()),
         };
         self.debug_assert_slot(slot);
         Ok(outcome)
+    }
+
+    /// Undoes the group state [`SubCell::announce`] writes for a new
+    /// collapsed key, restoring the cell to its pre-announce answers. Only
+    /// valid for a slot whose key never obtained an Index Table encoding.
+    fn rollback_new_group(&mut self, collapsed: u128, slot: u32) {
+        let si = slot as usize;
+        if let Some(f) = self.filter.get_mut(si) {
+            f.valid = false;
+            f.dirty = false;
+        }
+        if let Some(s) = self.shadows.get_mut(si) {
+            s.clear();
+        }
+        if let Some(entry) = self.bitvec.get_mut(si) {
+            entry.vector.clear();
+            if let Some(block) = entry.block.take() {
+                self.result.release(block);
+            }
+        }
+        self.spill.retain(|&(k, _)| k != collapsed);
+        if let Ok(i) = self.degraded.binary_search(&collapsed) {
+            self.degraded.remove(i);
+        }
+        self.recycled.push(slot);
+        self.live_groups -= 1;
+        self.recovery.rollbacks += 1;
     }
 
     /// Applies a withdraw. Returns `true` when the prefix existed.
@@ -579,20 +648,30 @@ impl SubCell {
             return false;
         }
         if self.shadows[si].is_empty() {
-            if self.params.flap_absorption {
+            let spilled = self.spill_slot(collapsed).is_some();
+            if self.params.flap_absorption && !spilled {
                 // All expanded prefixes deleted: mark dirty and retain the
                 // key in the Index Table until the next re-setup
                 // (Section 4.4.1).
                 self.filter.get_mut(si).expect("resolved slot").dirty = true;
             } else {
-                // Ablation mode: drop the entry outright. The stale Index
-                // Table encoding is harmless (the Filter Table rejects it)
-                // and a re-announce must insert a fresh key — but a stale
-                // *spillover* entry is not: the TCAM is searched before the
-                // Index Table, so it would shadow that fresh insert and
-                // blackhole the re-announced key. Drop it with the entry.
+                // Drop the entry outright — in ablation mode always, and
+                // for *spillover* keys even with flap absorption on. The
+                // stale Index Table encoding of a dropped key is harmless
+                // (the Filter Table rejects it), but a retained spillover
+                // entry is not: it pins scarce TCAM capacity for a key
+                // with no partition encoding behind it (a key parked by a
+                // failed re-setup may never be reclaimed by a later
+                // rebuild), and the TCAM is searched before the Index
+                // Table, so it would shadow a fresh re-announce of the
+                // same key. Drop row, spill entry and degraded park
+                // together, reclaiming the capacity immediately.
                 self.filter.get_mut(si).expect("resolved slot").valid = false;
                 self.spill.retain(|&(k, _)| k != collapsed);
+                if let Ok(i) = self.degraded.binary_search(&collapsed) {
+                    self.degraded.remove(i);
+                    self.recovery.degraded_reclaims += 1;
+                }
                 self.recycled.push(slot);
             }
             self.live_groups -= 1;
@@ -608,13 +687,32 @@ impl SubCell {
         true
     }
 
-    /// Re-sets-up the partition of `new_key` (Section 4.4.2): gathers the
-    /// partition's live keys from the Filter Table, purges its dirty
-    /// entries, reclaims its spillover keys, and rebuilds.
-    fn resetup_partition_with(&mut self, new_key: u128, new_slot: u32) -> Result<(), ChiselError> {
+    /// Re-sets-up the partition of `new_key` (Section 4.4.2) under the
+    /// recovery policy: gather the partition's live keys *without mutating
+    /// anything*, build a candidate encoding with the bounded salted retry
+    /// schedule, and commit it only if its spill fits the spillover TCAM.
+    /// When the retry budget fails to produce an acceptable encoding, the
+    /// update degrades gracefully: the new key alone is parked in the TCAM
+    /// (it still serves lookups — the TCAM is searched before the Index
+    /// Table) and the partition keeps its pre-update encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`ChiselError::SpilloverOverflow`] when recovery is impossible
+    /// because the TCAM has no room to park the key; the caller must roll
+    /// the new group back. Structural Bloomier errors propagate.
+    fn resetup_partition_with(
+        &mut self,
+        new_key: u128,
+        new_slot: u32,
+    ) -> Result<AnnounceOutcome, ChiselError> {
         self.resetups += 1;
         let part = self.index.partition_of(new_key);
+        // Phase 1 — pure gather. Dirty rows are only *scheduled* for
+        // purging: destroying them before the rebuild is known to succeed
+        // would tear the cell on the failure path.
         let mut keys: Vec<(u128, u32)> = vec![(new_key, new_slot)];
+        let mut purges: Vec<u32> = Vec::new();
         for slot in 0..self.filter.len() as u32 {
             let e = &self.filter[slot as usize];
             if !e.valid || e.key == new_key {
@@ -627,18 +725,17 @@ impl SubCell {
                 continue; // handled below
             }
             if e.dirty {
-                self.purge_slot(slot);
+                purges.push(slot);
             } else {
                 keys.push((e.key, slot));
             }
         }
         // Spilled keys of this partition get another chance to be placed.
-        let spill = std::mem::take(&mut self.spill);
-        let mut kept = Vec::with_capacity(spill.len());
-        for &(k, s) in &spill {
+        let mut kept = Vec::with_capacity(self.spill.len());
+        for &(k, s) in &self.spill {
             if self.index.partition_of(k) == part {
                 if self.filter[s as usize].dirty {
-                    self.purge_slot(s);
+                    purges.push(s);
                 } else {
                     keys.push((k, s));
                 }
@@ -646,17 +743,62 @@ impl SubCell {
                 kept.push((k, s));
             }
         }
-        self.spill = kept;
-        let spilled = self.index.rebuild_partition(part, &keys)?;
-        self.spill.extend(spilled);
-        self.sort_spill();
-        if self.spill.len() > self.params.spill_capacity {
+        // Phase 2 — build a candidate without installing it. SETUP_FAIL
+        // models a retry schedule that never converges.
+        let attempts = self.params.resetup_retries.max(1);
+        let candidate = if faultpoint::fire(faultpoint::SETUP_FAIL) {
+            self.recovery.resetup_attempts += attempts as u64;
+            self.recovery.resetup_retries += (attempts - 1) as u64;
+            None
+        } else {
+            let c = self
+                .index
+                .build_partition_candidate(part, &keys, attempts)?;
+            self.recovery.resetup_attempts += c.attempts as u64;
+            self.recovery.resetup_retries += c.attempts.saturating_sub(1) as u64;
+            Some(c)
+        };
+        // Phase 3 — commit or degrade. SPILL_OVERFLOW models every retry
+        // spilling more keys than the TCAM holds.
+        let acceptable = candidate.as_ref().is_some_and(|c| {
+            kept.len() + c.spilled.len() <= self.params.spill_capacity
+                && !faultpoint::fire(faultpoint::SPILL_OVERFLOW)
+        });
+        if let (true, Some(c)) = (acceptable, candidate) {
+            for &s in &purges {
+                self.purge_slot(s);
+            }
+            self.index.install_partition(part, c.filter, c.salt);
+            self.spill = kept;
+            self.spill.extend(c.spilled);
+            self.sort_spill();
+            // Every previously-degraded key of this partition was handed
+            // to the rebuild, so it now has a healthy encoding (or is a
+            // regular spill): its park is reclaimed.
+            if !self.degraded.is_empty() {
+                let before = self.degraded.len();
+                let index = &self.index;
+                self.degraded.retain(|&k| index.partition_of(k) != part);
+                self.recovery.degraded_reclaims += (before - self.degraded.len()) as u64;
+            }
+            return Ok(AnnounceOutcome::Resetup);
+        }
+        // Degraded path: the partition keeps its pre-update encoding and
+        // only the new key is parked — if the TCAM has room for it.
+        self.recovery.resetup_failures += 1;
+        if self.spill.len() >= self.params.spill_capacity {
             return Err(ChiselError::SpilloverOverflow {
-                needed: self.spill.len(),
+                needed: self.spill.len() + 1,
                 capacity: self.params.spill_capacity,
             });
         }
-        Ok(())
+        self.spill.push((new_key, new_slot));
+        self.sort_spill();
+        if let Err(i) = self.degraded.binary_search(&new_key) {
+            self.degraded.insert(i, new_key);
+        }
+        self.recovery.degraded_parks += 1;
+        Ok(AnnounceOutcome::DegradedSpill)
     }
 
     /// Frees a dirty slot entirely (purge at re-setup time).
@@ -678,6 +820,13 @@ impl SubCell {
     /// Doubles capacity by rebuilding the whole cell (a full — but still
     /// cell-local — re-setup). Dirty entries are purged in passing.
     fn grow(&mut self) -> Result<(), ChiselError> {
+        // ALLOC_PRESSURE models the doubled-arena allocation failing —
+        // before any state is touched, so the announce aborts cleanly.
+        if faultpoint::fire(faultpoint::ALLOC_PRESSURE) {
+            return Err(ChiselError::FaultInjected {
+                site: faultpoint::ALLOC_PRESSURE,
+            });
+        }
         self.resetups += 1;
         let groups: Vec<(u128, GroupShadow)> = self
             .filter
@@ -688,8 +837,14 @@ impl SubCell {
             .collect();
         let new_capacity = (self.capacity() * 2).max(64);
         let rebuilt = SubCell::build(self.range, self.width, self.params, groups, new_capacity)?;
+        // The full rebuild runs setup over every live key, so previously
+        // parked (degraded) keys come out with healthy encodings — or as
+        // regular setup-time spills — either way their parks are gone.
+        let mut recovery = self.recovery;
+        recovery.degraded_reclaims += self.degraded.len() as u64;
         *self = SubCell {
             resetups: self.resetups,
+            recovery,
             ..rebuilt
         };
         Ok(())
@@ -853,6 +1008,39 @@ impl SubCell {
                         format!("spilled key {k:#x} not stored at its slot"),
                     );
                 }
+            }
+        }
+        if self.spill.len() > self.params.spill_capacity {
+            report.push(
+                cv,
+                None,
+                "spill-capacity",
+                format!(
+                    "spillover TCAM holds {} entries, capacity {}",
+                    self.spill.len(),
+                    self.params.spill_capacity
+                ),
+            );
+        }
+        // Degraded parks are spill entries by construction: a parked key
+        // with no TCAM entry would be unreachable (its partition has no
+        // encoding for it), i.e. a silently-dropped route.
+        if !self.degraded.windows(2).all(|w| w[0] < w[1]) {
+            report.push(
+                cv,
+                None,
+                "degraded-order",
+                "degraded key list is not sorted/deduplicated".into(),
+            );
+        }
+        for &k in &self.degraded {
+            if !spill_keys.contains_key(&k) {
+                report.push(
+                    cv,
+                    None,
+                    "degraded-not-spilled",
+                    format!("degraded key {k:#x} has no spillover TCAM entry"),
+                );
             }
         }
         // Live blocks must be pairwise disjoint and inside the table —

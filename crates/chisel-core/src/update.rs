@@ -28,6 +28,9 @@ pub enum UpdateKind {
     /// An `announce` that forced a (partition-bounded) Index Table
     /// re-setup.
     Resetup,
+    /// An `announce` whose re-setup exhausted its retry budget; the key
+    /// was parked in the spillover TCAM instead (degraded mode).
+    DegradedSpill,
 }
 
 impl fmt::Display for UpdateKind {
@@ -39,6 +42,7 @@ impl fmt::Display for UpdateKind {
             UpdateKind::AddCollapsed => "add-pc",
             UpdateKind::AddSingleton => "singleton",
             UpdateKind::Resetup => "resetup",
+            UpdateKind::DegradedSpill => "degraded-spill",
         };
         f.write_str(s)
     }
@@ -59,6 +63,8 @@ pub struct UpdateStats {
     pub add_singleton: usize,
     /// Partition re-setups.
     pub resetups: usize,
+    /// Announces degraded into the spillover TCAM after re-setup failure.
+    pub degraded_spills: usize,
 }
 
 impl UpdateStats {
@@ -71,6 +77,7 @@ impl UpdateStats {
             UpdateKind::AddCollapsed => self.add_collapsed += 1,
             UpdateKind::AddSingleton => self.add_singleton += 1,
             UpdateKind::Resetup => self.resetups += 1,
+            UpdateKind::DegradedSpill => self.degraded_spills += 1,
         }
     }
 
@@ -82,6 +89,7 @@ impl UpdateStats {
             + self.add_collapsed
             + self.add_singleton
             + self.resetups
+            + self.degraded_spills
     }
 
     /// Fraction of updates applied without touching the Index Table
@@ -93,7 +101,7 @@ impl UpdateStats {
         if total == 0 {
             return 1.0;
         }
-        1.0 - (self.resetups as f64 / total as f64)
+        1.0 - ((self.resetups + self.degraded_spills) as f64 / total as f64)
     }
 }
 
@@ -122,7 +130,9 @@ impl RecentWithdrawals {
         *self.set.entry(prefix).or_insert(0) += 1;
         self.fifo.push_back(prefix);
         while self.fifo.len() > self.capacity {
-            let old = self.fifo.pop_front().expect("fifo nonempty");
+            let Some(old) = self.fifo.pop_front() else {
+                break;
+            };
             if let Some(c) = self.set.get_mut(&old) {
                 *c -= 1;
                 if *c == 0 {

@@ -1,0 +1,188 @@
+//! Adversarial update streams for control-plane hardening.
+//!
+//! Where [`crate::updates`] models *realistic* RIS collector mixes, this
+//! module generates the traffic an update pipeline must merely survive:
+//! duplicate announces, withdraws of prefixes that were never announced,
+//! tight flap bursts on a single prefix, maximum-length host routes, and
+//! double withdraws. The fault-injection suite replays these against the
+//! engine (with a linear-scan oracle alongside) and `chisel-router
+//! replay --adversarial` drives them interactively; both rely on the
+//! stream being deterministic for a given seed.
+
+use crate::updates::UpdateEvent;
+use chisel_prefix::bits::mask;
+use chisel_prefix::{NextHop, Prefix, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `events` adversarial updates against (a model of) `table`.
+///
+/// The stream mixes, in deterministic seeded proportions:
+///
+/// - **duplicate announces** — a live prefix re-announced with its
+///   current next hop (must be a no-op or cheap overwrite);
+/// - **withdraw-before-announce** — withdraws of prefixes never in the
+///   table (must not underflow bookkeeping);
+/// - **flap bursts** — one live prefix withdrawn and re-announced 3–8
+///   times back-to-back (the Section 4.4.1 dirty-bit stress);
+/// - **maximum-length prefixes** — `/width` host routes, the deepest
+///   sub-cell and the longest collapsed keys;
+/// - **next-hop churn** — a live prefix re-announced with a run of
+///   different next hops;
+/// - **double withdraws** — a live prefix withdrawn twice in a row.
+///
+/// # Panics
+///
+/// Panics if `table` is empty (there is nothing to abuse).
+pub fn adversarial_trace(table: &RoutingTable, events: usize, seed: u64) -> Vec<UpdateEvent> {
+    assert!(
+        !table.is_empty(),
+        "cannot generate adversarial updates for an empty table"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let family = table.family();
+    let width = family.width();
+    let mut live: Vec<(Prefix, NextHop)> = table.iter().map(|e| (e.prefix, e.next_hop)).collect();
+    let mut out = Vec::with_capacity(events);
+
+    while out.len() < events {
+        let shape = rng.gen_range(0..6u8);
+        // Shapes that abuse a live prefix fall back to host-route
+        // announces when double withdraws have drained the table.
+        let shape = if live.is_empty() && matches!(shape, 0 | 2 | 4 | 5) {
+            3
+        } else {
+            shape
+        };
+        match shape {
+            0 => {
+                // Duplicate announce: same prefix, same next hop.
+                let (p, nh) = live[rng.gen_range(0..live.len())];
+                out.push(UpdateEvent::Announce(p, nh));
+            }
+            1 => {
+                // Withdraw of a prefix that was never announced.
+                let len = rng.gen_range(1..=width);
+                let p = Prefix::new(family, rng.gen::<u128>() & mask(len), len)
+                    .expect("masked bits fit");
+                if live.iter().any(|&(q, _)| q == p) {
+                    continue;
+                }
+                out.push(UpdateEvent::Withdraw(p));
+            }
+            2 => {
+                // Flap burst: withdraw/re-announce one prefix 3..=8
+                // times, ending announced so the prefix stays live.
+                let i = rng.gen_range(0..live.len());
+                let (p, nh) = live[i];
+                for _ in 0..rng.gen_range(3..=8u32) {
+                    out.push(UpdateEvent::Withdraw(p));
+                    out.push(UpdateEvent::Announce(p, nh));
+                }
+            }
+            3 => {
+                // Maximum-length host route.
+                let p = Prefix::new(family, rng.gen::<u128>() & mask(width), width)
+                    .expect("masked bits fit");
+                let nh = NextHop::new(rng.gen_range(0..64));
+                out.push(UpdateEvent::Announce(p, nh));
+                if live.iter().all(|&(q, _)| q != p) {
+                    live.push((p, nh));
+                }
+            }
+            4 => {
+                // Next-hop churn on one live prefix.
+                let i = rng.gen_range(0..live.len());
+                let p = live[i].0;
+                for _ in 0..rng.gen_range(2..=4u32) {
+                    let nh = NextHop::new(rng.gen_range(0..64));
+                    live[i].1 = nh;
+                    out.push(UpdateEvent::Announce(p, nh));
+                }
+            }
+            _ => {
+                // Double withdraw: the second targets an absent prefix.
+                let i = rng.gen_range(0..live.len());
+                let (p, _) = live.swap_remove(i);
+                out.push(UpdateEvent::Withdraw(p));
+                out.push(UpdateEvent::Withdraw(p));
+            }
+        }
+    }
+    out.truncate(events);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, PrefixLenDistribution};
+    use std::collections::HashSet;
+
+    fn base_table() -> RoutingTable {
+        synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 23)
+    }
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let t = base_table();
+        let a = adversarial_trace(&t, 5_000, 7);
+        let b = adversarial_trace(&t, 5_000, 7);
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(a, b);
+        assert_ne!(a, adversarial_trace(&t, 5_000, 8), "seed must matter");
+    }
+
+    #[test]
+    fn stream_contains_every_adversarial_shape() {
+        let t = base_table();
+        let trace = adversarial_trace(&t, 20_000, 1);
+        let width = t.family().width();
+        let mut live: HashSet<Prefix> = t.iter().map(|e| e.prefix).collect();
+        let mut dup_announce = 0usize;
+        let mut absent_withdraw = 0usize;
+        let mut host_routes = 0usize;
+        let mut hops: std::collections::HashMap<Prefix, NextHop> =
+            t.iter().map(|e| (e.prefix, e.next_hop)).collect();
+        for ev in &trace {
+            match *ev {
+                UpdateEvent::Announce(p, nh) => {
+                    if !live.insert(p) && hops.get(&p) == Some(&nh) {
+                        dup_announce += 1;
+                    }
+                    if p.len() == width {
+                        host_routes += 1;
+                    }
+                    hops.insert(p, nh);
+                }
+                UpdateEvent::Withdraw(p) => {
+                    if !live.remove(&p) {
+                        absent_withdraw += 1;
+                    }
+                }
+            }
+        }
+        assert!(dup_announce > 0, "no duplicate announces generated");
+        assert!(absent_withdraw > 0, "no absent withdraws generated");
+        assert!(host_routes > 0, "no maximum-length prefixes generated");
+    }
+
+    #[test]
+    fn flap_bursts_present() {
+        let trace = adversarial_trace(&base_table(), 20_000, 3);
+        // A burst leaves >= 3 adjacent withdraw/announce pairs of one
+        // prefix; find at least one.
+        let mut found = false;
+        for w in trace.windows(6) {
+            if let [UpdateEvent::Withdraw(a), UpdateEvent::Announce(b, _), UpdateEvent::Withdraw(c), UpdateEvent::Announce(d, _), UpdateEvent::Withdraw(e), UpdateEvent::Announce(f, _)] =
+                w
+            {
+                if a == b && b == c && c == d && d == e && e == f {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        assert!(found, "no flap burst found in 20k events");
+    }
+}

@@ -18,11 +18,15 @@
 //! - [`updates`]: update-trace generation with per-trace mixes of
 //!   withdraws, route flaps, next-hop changes and adds, one profile per
 //!   RIS collector the paper uses (rrc00, rrc01, rrc11, rrc08, rrc06).
+//! - [`adversarial`]: hostile update streams (duplicate announces,
+//!   withdraw-before-announce, flap bursts, host routes) for the
+//!   control-plane hardening and fault-injection suites.
 //!
 //! Everything is deterministic given a seed.
 
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod distribution;
 pub mod ipv6;
 pub mod keystream;
@@ -31,6 +35,7 @@ pub mod stats;
 pub mod synth;
 pub mod updates;
 
+pub use adversarial::adversarial_trace;
 pub use distribution::{as_profiles, AsProfile, PrefixLenDistribution};
 pub use keystream::{flow_pool, uniform_stream, zipf_stream};
 pub use mrt::{read_mrt, write_mrt, MrtError};

@@ -6,7 +6,7 @@
 //!                                                        LPM lookups
 //! chisel-router stats  <table-file>                      table + engine stats
 //! chisel-router check  <table-file> [--threads N]        invariant verifier
-//! chisel-router replay <table-file> <trace.mrt> [--threads N]
+//! chisel-router replay <table-file> [<trace.mrt>] [--threads N] [--adversarial[=N]]
 //!                                                        apply an MRT update trace
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
@@ -25,6 +25,13 @@
 //! reports its hit/miss counters — repeated addresses are answered from
 //! the cache without re-walking the data path.
 //!
+//! `replay --adversarial[=N]` appends a seeded hostile update stream
+//! (duplicate announces, withdraw-before-announce, flap bursts, host
+//! routes — see `chisel::workloads::adversarial_trace`; default 20000
+//! events) after the optional MRT trace, tolerates typed rejections
+//! instead of aborting, and reports the engine's recovery counters and
+//! degraded-mode status afterwards.
+//!
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
 //! or by RIS collectors (IPv4 UPDATE subset).
@@ -35,10 +42,12 @@ use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use chisel::core::{FlowCache, SharedChisel};
+use chisel::core::{DegradedMode, FlowCache, SharedChisel};
 use chisel::prefix::io::read_table;
 use chisel::prefix::parallel::resolve_threads;
-use chisel::workloads::{analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent};
+use chisel::workloads::{
+    adversarial_trace, analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent,
+};
 use chisel::{ChiselConfig, ChiselLpm, Key, RoutingTable};
 
 fn main() -> ExitCode {
@@ -57,19 +66,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let adversarial = match take_adversarial_flag(&mut args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("build") if args.len() == 2 => cmd_build(&args[1], threads),
         Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..], cache),
         Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
         Some("check") if args.len() == 2 => cmd_check(&args[1], threads),
-        Some("replay") if args.len() == 3 => cmd_replay(&args[1], &args[2], threads),
+        Some("replay") if args.len() == 3 => {
+            cmd_replay(&args[1], Some(&args[2]), threads, adversarial)
+        }
+        Some("replay") if args.len() == 2 && adversarial.is_some() => {
+            cmd_replay(&args[1], None, threads, adversarial)
+        }
         Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
         _ => {
             eprintln!(
                 "usage: chisel-router build <table> [--threads N] | \
                  lookup <table> <addr>... [--cache[=SLOTS]] | stats <table> | \
                  check <table> [--threads N] | \
-                 replay <table> <trace.mrt> [--threads N] | synth <n> <out> [seed]"
+                 replay <table> [<trace.mrt>] [--threads N] [--adversarial[=N]] | \
+                 synth <n> <out> [seed]"
             );
             return ExitCode::FAILURE;
         }
@@ -105,6 +127,25 @@ fn take_threads_flag(args: &mut Vec<String>) -> Result<usize, String> {
     value
         .parse::<usize>()
         .map_err(|_| format!("invalid --threads value '{value}'"))
+}
+
+/// Extracts `--adversarial` (default event count) or `--adversarial=N`
+/// from anywhere in the argument list. Returns `None` when absent.
+fn take_adversarial_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(i) = args
+        .iter()
+        .position(|a| a == "--adversarial" || a.starts_with("--adversarial="))
+    else {
+        return Ok(None);
+    };
+    let flag = args.remove(i);
+    match flag.strip_prefix("--adversarial=") {
+        None => Ok(Some(20_000)),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("invalid --adversarial value '{v}'")),
+    }
 }
 
 /// Extracts `--cache` (default slot count) or `--cache=SLOTS` from
@@ -312,8 +353,9 @@ fn cmd_check(path: &str, threads: usize) -> Result<(), Box<dyn std::error::Error
 
 fn cmd_replay(
     table_path: &str,
-    mrt_path: &str,
+    mrt_path: Option<&str>,
     threads: usize,
+    adversarial: Option<usize>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let build_start = Instant::now();
     let (table, engine) = load(table_path, threads)?;
@@ -325,8 +367,16 @@ fn cmd_replay(
         resolve_threads(threads),
         s.total_bits() as f64 / table.len().max(1) as f64,
     );
-    let bytes = std::fs::read(mrt_path)?;
-    let events = read_mrt(&bytes)?;
+    let mut events = match mrt_path {
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            read_mrt(&bytes)?
+        }
+        None => Vec::new(),
+    };
+    if let Some(n) = adversarial {
+        events.extend(adversarial_trace(&table, n, 0x00AD_5EED));
+    }
     let stats = analyze(&events);
     println!(
         "trace: {} events ({} announces / {} withdraws, flap fraction {:.2})",
@@ -337,16 +387,25 @@ fn cmd_replay(
     );
     // Apply through the shared handle: every update is published as an
     // immutable snapshot, exactly as a live line card would consume it.
+    // Under --adversarial, typed rejections (e.g. spillover exhaustion)
+    // are the expected graceful-degradation outcome: count and continue.
     let shared = SharedChisel::from_engine(engine);
     let start = Instant::now();
+    let mut rejected = 0usize;
     for ev in &events {
-        match *ev {
-            UpdateEvent::Announce(p, nh) => {
-                shared.announce(p, nh)?;
+        let outcome = match *ev {
+            UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
+            UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {}
+            Err(e) if adversarial.is_some() => {
+                rejected += 1;
+                if rejected <= 5 {
+                    eprintln!("  rejected update: {e}");
+                }
             }
-            UpdateEvent::Withdraw(p) => {
-                shared.withdraw(p)?;
-            }
+            Err(e) => return Err(e.into()),
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -355,8 +414,33 @@ fn cmd_replay(
         "applied in {elapsed:.2}s ({:.0} updates/s): {u:?}",
         events.len() as f64 / elapsed
     );
+    if adversarial.is_some() {
+        println!("rejected updates: {rejected} (state unchanged by each)");
+    }
     println!("published generation: {}", shared.generation());
     println!("incremental fraction: {:.5}", u.incremental_fraction());
+    let es = shared.engine_stats();
+    println!(
+        "recovery: {} re-setup attempts ({} retries, {} failures), \
+         {} degraded parks / {} reclaims, {} rollbacks",
+        es.recovery.resetup_attempts,
+        es.recovery.resetup_retries,
+        es.recovery.resetup_failures,
+        es.recovery.degraded_parks,
+        es.recovery.degraded_reclaims,
+        es.recovery.rollbacks,
+    );
+    match es.degraded {
+        DegradedMode::Normal => println!(
+            "degraded mode: normal ({} spillover entries of {} capacity)",
+            es.spill_len, es.spill_capacity
+        ),
+        DegradedMode::Degraded { parked_keys } => println!(
+            "degraded mode: DEGRADED — {parked_keys} key(s) parked in the spillover TCAM \
+             ({} of {} entries used)",
+            es.spill_len, es.spill_capacity
+        ),
+    }
     Ok(())
 }
 

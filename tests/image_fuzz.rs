@@ -1,0 +1,201 @@
+//! Corruption fuzzing for the hardware-image loader.
+//!
+//! The loader's contract (ISSUE 5): loading a serialized image must
+//! *never* panic, and must never yield an engine that passes the image
+//! verifier yet answers lookups differently from the image the bytes
+//! came from. This suite drives that contract three ways — a
+//! deterministic 10k-bit-flip sweep, an exhaustive truncation sweep, and
+//! proptest-generated garbage/mutations — against a small engine so the
+//! whole file stays fast in debug tier-1 runs.
+
+use std::sync::OnceLock;
+
+use chisel::core::{verify_image, HardwareImage, ImageError};
+use chisel::prefix::bits::mask;
+use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One small engine (≈300 prefixes), its canonical bytes, and a probe
+/// set with expected answers — built once for the whole suite.
+struct Baseline {
+    bytes: Vec<u8>,
+    probes: Vec<(Key, Option<NextHop>)>,
+}
+
+fn baseline() -> &'static Baseline {
+    static CELL: OnceLock<Baseline> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x1A6E);
+        let mut t = RoutingTable::new_v4();
+        while t.len() < 300 {
+            let len = rng.gen_range(1..=32u8);
+            let bits = rng.gen::<u128>() & mask(len);
+            t.insert(
+                Prefix::new(AddressFamily::V4, bits, len).expect("masked bits fit"),
+                NextHop::new(rng.gen_range(0..64)),
+            );
+        }
+        let engine = ChiselLpm::build(&t, ChiselConfig::ipv4()).expect("build");
+        let image = engine.export_image();
+        let bytes = image.to_bytes();
+        let probes = (0..2_000)
+            .map(|_| {
+                let key = Key::from_raw(AddressFamily::V4, rng.gen::<u32>() as u128);
+                (key, image.lookup(key))
+            })
+            .collect();
+        Baseline { bytes, probes }
+    })
+}
+
+/// The load-side contract check for one (possibly corrupted) byte
+/// stream: loading must not panic, and if the loader accepts the bytes
+/// AND the structural verifier passes, every probe must still answer
+/// exactly as the original image did.
+fn assert_contract(bytes: &[u8], what: &str) {
+    match HardwareImage::from_bytes(bytes) {
+        Err(_) => {} // typed rejection is always acceptable
+        Ok(img) => {
+            if verify_image(&img).is_ok() {
+                for &(key, want) in &baseline().probes {
+                    assert_eq!(
+                        img.lookup(key),
+                        want,
+                        "{what}: verifier-passing image answers {key} differently"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_bytes_round_trip() {
+    let b = baseline();
+    let img = HardwareImage::from_bytes(&b.bytes).expect("canonical bytes load");
+    let report = verify_image(&img);
+    assert!(report.is_ok(), "{report}");
+    assert_eq!(img.to_bytes(), b.bytes, "round trip must be byte-exact");
+    for &(key, want) in &b.probes {
+        assert_eq!(img.lookup(key), want);
+    }
+}
+
+#[test]
+fn truncations_are_rejected_without_panic() {
+    let b = baseline();
+    // Every short length near the front (where the frame fields live),
+    // then stepped through the body.
+    for len in (0..200.min(b.bytes.len())).chain((200..b.bytes.len()).step_by(97)) {
+        let got = HardwareImage::from_bytes(&b.bytes[..len]);
+        assert!(got.is_err(), "truncation to {len} bytes was accepted");
+    }
+}
+
+#[test]
+fn ten_thousand_bit_flips_never_panic_or_lie() {
+    let b = baseline();
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    let mut accepted = 0usize;
+    for round in 0..10_000 {
+        // xorshift64*: deterministic byte/bit choices, no clock, no env.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let byte = (r as usize >> 8) % b.bytes.len();
+        let bit = (r & 7) as u8;
+        let mut mutated = b.bytes.clone();
+        mutated[byte] ^= 1 << bit;
+        if HardwareImage::from_bytes(&mutated).is_ok() {
+            accepted += 1;
+        }
+        assert_contract(
+            &mutated,
+            &format!("bit flip #{round} (byte {byte} bit {bit})"),
+        );
+    }
+    // The checksums make single-bit acceptance astronomically unlikely;
+    // if flips start passing, the framing has regressed.
+    assert_eq!(accepted, 0, "single-bit flips slipped past the checksums");
+}
+
+#[test]
+fn typed_rejections_name_the_damage() {
+    let b = baseline();
+    let mut magic = b.bytes.clone();
+    magic[2] = b'X';
+    assert_eq!(
+        HardwareImage::from_bytes(&magic).unwrap_err(),
+        ImageError::BadMagic
+    );
+
+    let mut version = b.bytes.clone();
+    version[4] = 0x39;
+    version[5] = 0x05;
+    assert_eq!(
+        HardwareImage::from_bytes(&version).unwrap_err(),
+        ImageError::UnsupportedVersion { version: 0x0539 }
+    );
+
+    // Magic(4) + version(2) + header frame(12) = header body at 18.
+    let mut checksum = b.bytes.clone();
+    checksum[18] ^= 0x01;
+    assert_eq!(
+        HardwareImage::from_bytes(&checksum).unwrap_err(),
+        ImageError::ChecksumMismatch { section: "header" }
+    );
+
+    let mut trailing = b.bytes.clone();
+    trailing.extend_from_slice(&[0, 0, 0]);
+    assert_eq!(
+        HardwareImage::from_bytes(&trailing).unwrap_err(),
+        ImageError::Malformed { what: "image" }
+    );
+
+    assert_eq!(
+        HardwareImage::from_bytes(&[]).unwrap_err(),
+        ImageError::Truncated { what: "magic" }
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary garbage never panics the loader.
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let _ = HardwareImage::from_bytes(&bytes);
+    }
+
+    /// Garbage wearing the right magic and version still cannot panic
+    /// or smuggle in a wrong-but-verifying engine.
+    #[test]
+    fn framed_garbage_never_panics(body in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let mut bytes = Vec::with_capacity(body.len() + 6);
+        bytes.extend(*b"CHSL");
+        bytes.extend(2u16.to_le_bytes());
+        bytes.extend(&body);
+        assert_contract(&bytes, "framed garbage");
+    }
+
+    /// Multi-byte splices into the canonical stream (a harsher model
+    /// than single-bit flips) keep the load contract.
+    #[test]
+    fn spliced_corruption_keeps_contract(
+        offset in any::<u32>(),
+        splice in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let b = baseline();
+        let at = offset as usize % b.bytes.len();
+        let mut mutated = b.bytes.clone();
+        for (i, &v) in splice.iter().enumerate() {
+            if at + i < mutated.len() {
+                mutated[at + i] = v;
+            }
+        }
+        assert_contract(&mutated, "splice");
+    }
+}

@@ -1,6 +1,6 @@
 //! Workspace source lints behind `cargo xtask analyze`.
 //!
-//! Four lints, all operating on a comment-and-string-stripped view of the
+//! Five lints, all operating on a comment-and-string-stripped view of the
 //! source so tokens inside doc comments or string literals never count:
 //!
 //! 1. **`safety-comment`** — every `unsafe` occurrence (block, `fn`,
@@ -14,6 +14,12 @@
 //! 4. **`hot-path-panic`** — no `.unwrap()` / `.expect(` inside the
 //!    lookup hot path ([`HOT_PATHS`]): a malformed table must fail a
 //!    lookup, not take down the forwarding thread.
+//! 5. **`update-path-panic`** — no `.unwrap()` / `.expect(` anywhere in
+//!    the control-plane files of [`NO_PANIC_PATHS`] outside test
+//!    modules: a failed update or a corrupt image must surface as a
+//!    typed error, never a panic. A deliberate exception needs a
+//!    `// PANIC-OK:` justification comment within the same window a
+//!    `SAFETY:` comment gets.
 //!
 //! The analyzer is deliberately lexical (no rustc plumbing): it runs in
 //! milliseconds, works offline, and the stripping state machine handles
@@ -73,6 +79,17 @@ pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
     ("crates/chisel-core/src/result_table.rs", Some(&["read"])),
 ];
 
+/// Control-plane files where `.unwrap()` / `.expect(` is banned outside
+/// test modules (lint 5). These are the update pipeline and the image
+/// loader — the code that handles untrusted or failing input and must
+/// degrade into the `ChiselError` / `ImageError` taxonomies instead of
+/// panicking. A deliberate panic needs a `// PANIC-OK:` justification
+/// within `SAFETY_WINDOW` lines above it (or on the same line).
+pub const NO_PANIC_PATHS: &[&str] = &[
+    "crates/chisel-core/src/update.rs",
+    "crates/chisel-core/src/image.rs",
+];
+
 /// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 6;
 
@@ -87,6 +104,8 @@ pub enum Lint {
     ForbidUnsafe,
     /// `.unwrap()` / `.expect(` inside a lookup hot-path scope.
     HotPathPanic,
+    /// Unjustified `.unwrap()` / `.expect(` in a control-plane file.
+    UpdatePathPanic,
 }
 
 impl fmt::Display for Lint {
@@ -96,6 +115,7 @@ impl fmt::Display for Lint {
             Lint::UnsafeAllowlist => "unsafe-allowlist",
             Lint::ForbidUnsafe => "forbid-unsafe",
             Lint::HotPathPanic => "hot-path-panic",
+            Lint::UpdatePathPanic => "update-path-panic",
         };
         f.write_str(name)
     }
@@ -478,6 +498,38 @@ pub fn analyze_file(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    if NO_PANIC_PATHS.contains(&rel) {
+        let tests = test_mod_ranges(&stripped);
+        for token in ["unwrap", "expect"] {
+            for at in word_occurrences(&stripped, token) {
+                // Only method calls: `.unwrap()` / `.expect(...)`.
+                if at == 0 || stripped.as_bytes()[at - 1] != b'.' {
+                    continue;
+                }
+                let line = line_of(&stripped, at);
+                if in_ranges(line, &tests) {
+                    continue;
+                }
+                let from = line.saturating_sub(SAFETY_WINDOW + 1);
+                let justified = lines[from..line.min(lines.len())]
+                    .iter()
+                    .any(|l| l.contains("PANIC-OK:"));
+                if justified {
+                    continue;
+                }
+                violations.push(Violation {
+                    file: PathBuf::from(rel),
+                    line,
+                    lint: Lint::UpdatePathPanic,
+                    message: format!(
+                        ".{token}() on the update/image control path; return a typed \
+                         error or justify with a `// PANIC-OK:` comment"
+                    ),
+                });
+            }
+        }
+    }
+
     violations
 }
 
@@ -612,6 +664,36 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].lint, Lint::HotPathPanic);
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn update_path_unwrap_is_flagged() {
+        let src = "pub fn apply(&mut self) {\n    self.fifo.pop_front().unwrap();\n}\n";
+        let v = analyze_file("crates/chisel-core/src/update.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::UpdatePathPanic);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn panic_ok_justification_is_honoured() {
+        let src = "pub fn apply(&mut self) {\n    // PANIC-OK: fifo checked non-empty above\n    self.fifo.pop_front().unwrap();\n}\n";
+        let v = analyze_file("crates/chisel-core/src/image.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn update_path_test_modules_are_exempt() {
+        let src = "pub fn apply(&mut self) {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        let v = analyze_file("crates/chisel-core/src/update.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unjustified_expect_in_non_listed_file_passes() {
+        let src = "pub fn apply(&mut self) {\n    self.fifo.pop_front().expect(\"x\");\n}\n";
+        let v = analyze_file("crates/chisel-core/src/config.rs", src);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

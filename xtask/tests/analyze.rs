@@ -33,6 +33,18 @@ fn seeded_violation_fixture_is_flagged() {
 }
 
 #[test]
+fn update_path_panic_is_flagged_in_fixture() {
+    let src = fixture("seeded_violation.rs");
+    // The same seeded unwraps, analyzed as if they lived in the update
+    // pipeline: every non-test, unjustified one must trip lint 5.
+    let violations = analyze_file("crates/chisel-core/src/update.rs", &src);
+    assert!(
+        violations.iter().any(|v| v.lint == Lint::UpdatePathPanic),
+        "update-path unwrap not flagged: {violations:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_passes() {
     let src = fixture("clean.rs");
     let violations = analyze_file("crates/chisel-core/src/snapshot.rs", &src);
