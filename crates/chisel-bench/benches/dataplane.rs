@@ -1,0 +1,122 @@
+//! Dataplane shard-scaling benchmarks behind `BENCH_dataplane.json`:
+//! aggregate throughput of the sharded daemon at 1/2/4/8 shards over a
+//! Zipf keystream, quiescent and under an adversarial update storm (the
+//! saturation scenario). On a single-core host the shard curve measures
+//! the daemon's dispatch + queue overhead, not parallel speedup — record
+//! the host's core count next to the numbers. Set `CHISEL_BENCH_QUICK=1`
+//! for the CI smoke configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chisel_core::ChiselConfig;
+use chisel_core::SharedChisel;
+use chisel_dataplane::{Dataplane, DataplaneConfig, RunOptions};
+use chisel_workloads::{
+    adversarial_trace, flow_pool, synthesize, zipf_stream, PrefixLenDistribution,
+};
+
+fn quick() -> bool {
+    std::env::var_os("CHISEL_BENCH_QUICK").is_some()
+}
+
+fn table_size() -> usize {
+    if quick() {
+        5_000
+    } else {
+        50_000
+    }
+}
+
+fn stream_len() -> usize {
+    if quick() {
+        1 << 13
+    } else {
+        1 << 16
+    }
+}
+
+fn storm_len() -> usize {
+    if quick() {
+        500
+    } else {
+        5_000
+    }
+}
+
+const FLOWS: usize = 16_384;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_dataplane(c: &mut Criterion) {
+    let table = synthesize(table_size(), &PrefixLenDistribution::bgp_ipv4(), 0xB14C);
+    let pool = flow_pool(&table, FLOWS, 0xF10A);
+    let stream = zipf_stream(&pool, 1.0, stream_len(), 0x21FF);
+    let shared = SharedChisel::build(&table, ChiselConfig::ipv4()).expect("engine builds");
+
+    // Quiescent shard scaling: one full pass of the stream, no updates.
+    // Each iteration spawns, runs and drains the whole daemon, so the
+    // number includes dispatch, queueing and shutdown — the honest
+    // deployment cost, not just the per-key walk.
+    let mut group = c.benchmark_group("dataplane_scaling");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for shards in SHARD_COUNTS {
+        let dp = Dataplane::new(
+            shared.clone(),
+            DataplaneConfig {
+                shards,
+                ..DataplaneConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("quiescent", shards), &dp, |b, dp| {
+            b.iter(|| {
+                let report = dp.run(&stream, &RunOptions::default());
+                assert!(report.aggregate.is_balanced());
+                report.aggregate.matched
+            })
+        });
+    }
+    group.finish();
+
+    // The saturation scenario: same pass, but the control plane replays
+    // an adversarial storm concurrently. The engine is long-lived across
+    // iterations (the idiom of benches/concurrent.rs): the first replay
+    // drives it into its spillover-saturated steady state, later replays
+    // measure steady-state churn — rejections are the tolerated,
+    // expected outcome there.
+    let storm = adversarial_trace(&table, storm_len(), 0x00AD_5EED);
+    let storm_shared = SharedChisel::build(&table, ChiselConfig::ipv4()).expect("engine builds");
+    let mut group = c.benchmark_group("dataplane_storm");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let dp = Dataplane::new(
+            storm_shared.clone(),
+            DataplaneConfig {
+                shards,
+                ..DataplaneConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("storm", shards), &dp, |b, dp| {
+            b.iter(|| {
+                let report = dp.run(
+                    &stream,
+                    &RunOptions {
+                        updates: storm.clone(),
+                        tolerate_rejections: true,
+                        ..RunOptions::default()
+                    },
+                );
+                assert!(report.aggregate.is_balanced());
+                assert!(report.control.failed.is_none());
+                report.aggregate.matched
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dataplane
+}
+criterion_main!(benches);

@@ -276,6 +276,41 @@ impl CachedReader {
         self.cache.lookup_batch(snap.engine(), keys, out);
     }
 
+    /// Like [`lookup_batch`](CachedReader::lookup_batch), additionally
+    /// returning the generation of the snapshot the whole batch was
+    /// answered against — the dataplane shards stamp every batch with it
+    /// so answers can be differentially checked against a reference at
+    /// the exact same generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length.
+    pub fn lookup_batch_pinned(&mut self, keys: &[Key], out: &mut [Option<NextHop>]) -> u64 {
+        let snap = self.shared.inner.cell.load();
+        self.cache.lookup_batch(snap.engine(), keys, out);
+        snap.generation()
+    }
+
+    /// Like [`lookup_batch_pinned`](CachedReader::lookup_batch_pinned),
+    /// accumulating per-table read counts (including `degraded_hits`)
+    /// into `trace`. Misses walk the scalar traced data path — a
+    /// diagnostic mode, not the throughput path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length.
+    pub fn lookup_batch_traced(
+        &mut self,
+        keys: &[Key],
+        out: &mut [Option<NextHop>],
+        trace: &mut crate::LookupTrace,
+    ) -> u64 {
+        let snap = self.shared.inner.cell.load();
+        self.cache
+            .lookup_batch_traced(snap.engine(), keys, out, trace);
+        snap.generation()
+    }
+
     /// The cache fronting this reader (hit/miss counters live here).
     pub fn cache(&self) -> &FlowCache {
         &self.cache
@@ -459,6 +494,29 @@ mod tests {
             assert_eq!(cached, plain);
         }
         assert!(r.cache().hits() > 0);
+    }
+
+    #[test]
+    fn pinned_batch_reports_the_answering_generation() {
+        let s = shared();
+        let mut r = s.reader_with_capacity(64);
+        let keys: Vec<Key> = (0..32u128)
+            .map(|i| Key::from_raw(AddressFamily::V4, 0x0A00_0000 | i))
+            .collect();
+        let mut out = vec![None; keys.len()];
+        assert_eq!(r.lookup_batch_pinned(&keys, &mut out), 0);
+        s.announce("11.0.0.0/8".parse().unwrap(), NextHop::new(9))
+            .unwrap();
+        assert_eq!(r.lookup_batch_pinned(&keys, &mut out), 1);
+        let mut trace = crate::LookupTrace::default();
+        let mut traced_out = vec![None; keys.len()];
+        assert_eq!(r.lookup_batch_traced(&keys, &mut traced_out, &mut trace), 1);
+        assert_eq!(traced_out, out);
+        assert_eq!(
+            trace.cache_hits + trace.cache_misses,
+            keys.len(),
+            "every lane accounted"
+        );
     }
 
     #[test]

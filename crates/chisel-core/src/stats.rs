@@ -47,6 +47,19 @@ impl LookupTrace {
     pub fn total_reads(&self) -> usize {
         self.index_reads + self.filter_reads + self.bitvec_reads + self.result_reads
     }
+
+    /// Accumulates `other` into `self` (used to fold per-shard traces
+    /// into a dataplane-wide total).
+    pub fn merge(&mut self, other: &LookupTrace) {
+        self.index_reads += other.index_reads;
+        self.filter_reads += other.filter_reads;
+        self.bitvec_reads += other.bitvec_reads;
+        self.result_reads += other.result_reads;
+        self.spill_hits += other.spill_hits;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.degraded_hits += other.degraded_hits;
+    }
 }
 
 /// Counters for the re-setup recovery policy (Section 4.4.2 failure
@@ -298,5 +311,48 @@ mod tests {
         };
         assert_eq!(t.total_reads(), 10);
         assert_eq!(LookupTrace::SEQUENTIAL_DEPTH, 4);
+    }
+
+    #[test]
+    fn trace_merge_sums_every_field() {
+        let a = LookupTrace {
+            index_reads: 1,
+            filter_reads: 2,
+            bitvec_reads: 3,
+            result_reads: 4,
+            spill_hits: 5,
+            cache_hits: 6,
+            cache_misses: 7,
+            degraded_hits: 8,
+        };
+        let b = LookupTrace {
+            index_reads: 10,
+            filter_reads: 20,
+            bitvec_reads: 30,
+            result_reads: 40,
+            spill_hits: 50,
+            cache_hits: 60,
+            cache_misses: 70,
+            degraded_hits: 80,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(
+            m,
+            LookupTrace {
+                index_reads: 11,
+                filter_reads: 22,
+                bitvec_reads: 33,
+                result_reads: 44,
+                spill_hits: 55,
+                cache_hits: 66,
+                cache_misses: 77,
+                degraded_hits: 88,
+            }
+        );
+        // Merging the default is the identity.
+        let mut id = a;
+        id.merge(&LookupTrace::default());
+        assert_eq!(id, a);
     }
 }

@@ -1,0 +1,566 @@
+//! The sharded run-to-completion daemon.
+//!
+//! Topology (the capsule-style per-core pipeline, in software):
+//!
+//! ```text
+//!                       ┌─▶ shard 0: CachedReader(snapshot pin + FlowCache) ─▶ ShardStats
+//! keystream ─▶ dispatch ┼─▶ shard 1: ...                                    ─▶ ShardStats
+//!  (batches)  (RSS hash)└─▶ shard N-1: ...                                  ─▶ ShardStats
+//!                                       ▲ snapshots
+//!              control plane ───────────┘ (announce/withdraw ─▶ publish)
+//! ```
+//!
+//! - The **dispatcher** (caller's thread) walks the key stream in batches
+//!   ([`BatchSource`](chisel_workloads::keystream::BatchSource)), buckets
+//!   keys by [`FlowDispatcher`] flow hash, and feeds each shard through a
+//!   bounded queue (backpressure, no unbounded buffering).
+//! - Each **worker shard** is run-to-completion: pull a batch, pin one
+//!   snapshot, answer every key (flow-cache hits first, pipelined engine
+//!   batch for the misses), fold into shard-owned counters. No locks, no
+//!   shared mutable state on the forwarding path.
+//! - The **control plane** is one thread applying an update trace through
+//!   [`SharedChisel`]; each accepted update publishes a fresh snapshot
+//!   that every shard picks up on its next batch — and implicitly
+//!   invalidates all per-shard flow caches via the engine version stamp.
+//! - **Shutdown/drain**: the dispatcher flushes partial buckets, drops
+//!   the queue senders (the drain signal), and raises a stop flag for the
+//!   control plane. Shards drain their queues to empty, finalize their
+//!   counters, and exit; nothing in flight is dropped, so the post-drain
+//!   roll-up balances exactly (`cache_hits + cache_misses == lookups`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chisel_core::{CachedReader, FlowCache, LookupTrace, SharedChisel};
+use chisel_prefix::{Key, NextHop};
+use chisel_workloads::keystream::BatchSource;
+use chisel_workloads::UpdateEvent;
+
+use crate::dispatch::FlowDispatcher;
+use crate::stats::{DataplaneStats, ShardStats};
+
+/// Static shape of the daemon: how many shards, how they are fed.
+#[derive(Debug, Clone)]
+pub struct DataplaneConfig {
+    /// Worker shard count (≥ 1).
+    pub shards: usize,
+    /// Keys per batch handed to a shard.
+    pub batch: usize,
+    /// Flow-cache slots per shard.
+    pub cache_slots: usize,
+    /// Bounded queue depth per shard, in batches (dispatcher
+    /// backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig {
+            shards: 1,
+            batch: 64,
+            cache_slots: FlowCache::DEFAULT_CAPACITY,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Per-run knobs: how long to feed, what the control plane replays.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// `None`: one pass over the key stream. `Some(d)`: loop the stream
+    /// until the deadline (checked at batch granularity).
+    pub duration: Option<Duration>,
+    /// Update trace the control-plane thread applies concurrently (in
+    /// order, once).
+    pub updates: Vec<UpdateEvent>,
+    /// Count typed update rejections instead of halting the control
+    /// plane (the adversarial-storm mode).
+    pub tolerate_rejections: bool,
+    /// Record every batch's `(generation, keys, answers)` per shard —
+    /// the shard-equivalence differential tests replay these against an
+    /// oracle. Test-sized runs only.
+    pub record: bool,
+    /// Accumulate a per-shard [`LookupTrace`] (table reads,
+    /// `degraded_hits`). Misses walk the scalar traced path, so leave
+    /// this off when measuring throughput.
+    pub traced: bool,
+}
+
+/// One recorded shard batch: the snapshot generation it was answered at,
+/// the keys, and the answers — enough to differentially re-check the
+/// answer against any reference at the exact same generation.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Generation of the snapshot the whole batch was answered against.
+    pub generation: u64,
+    /// The batch's keys, in dispatch order.
+    pub keys: Vec<Key>,
+    /// The shard's answers, parallel to `keys`.
+    pub answers: Vec<Option<NextHop>>,
+}
+
+/// What the control-plane thread did.
+#[derive(Debug, Clone, Default)]
+pub struct ControlReport {
+    /// Updates accepted (each published one snapshot generation).
+    pub applied: usize,
+    /// Typed rejections tolerated (adversarial mode only).
+    pub rejected: usize,
+    /// First non-tolerated error, if the control plane halted on one.
+    pub failed: Option<String>,
+    /// Whether the stop flag cut the trace short at shutdown.
+    pub halted: bool,
+    /// Generation published when the control plane finished.
+    pub final_generation: u64,
+    /// The accepted events in application order (recorded runs only):
+    /// generation `g` is the state after `accepted[..g]`.
+    pub accepted: Vec<UpdateEvent>,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct DataplaneReport {
+    /// Final counters of every shard, indexed by shard id.
+    pub per_shard: Vec<ShardStats>,
+    /// The order-independent roll-up of `per_shard`.
+    pub aggregate: DataplaneStats,
+    /// Control-plane outcome.
+    pub control: ControlReport,
+    /// Wall time from first dispatch to full drain.
+    pub elapsed: Duration,
+    /// Recorded batches per shard (empty unless [`RunOptions::record`]).
+    pub records: Vec<Vec<BatchRecord>>,
+}
+
+impl DataplaneReport {
+    /// Aggregate throughput in million searches per second.
+    pub fn aggregate_msps(&self) -> f64 {
+        self.aggregate.aggregate_msps(self.elapsed.as_secs_f64())
+    }
+}
+
+/// The sharded forwarding daemon over one shared engine.
+#[derive(Debug, Clone)]
+pub struct Dataplane {
+    shared: SharedChisel,
+    config: DataplaneConfig,
+}
+
+impl Dataplane {
+    /// A daemon over `shared` with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards`, `batch` or `queue_depth` is zero.
+    pub fn new(shared: SharedChisel, config: DataplaneConfig) -> Self {
+        assert!(config.shards > 0, "Dataplane needs at least one shard");
+        assert!(config.batch > 0, "Dataplane batch size must be nonzero");
+        assert!(
+            config.queue_depth > 0,
+            "Dataplane queue depth must be nonzero"
+        );
+        Dataplane { shared, config }
+    }
+
+    /// The shared engine handle (the control plane's write side).
+    pub fn shared(&self) -> &SharedChisel {
+        &self.shared
+    }
+
+    /// The daemon's shape.
+    pub fn config(&self) -> &DataplaneConfig {
+        &self.config
+    }
+
+    /// Runs the daemon over `keys`: spawns the shards (and the control
+    /// plane if `opts.updates` is nonempty), dispatches from the calling
+    /// thread, then drains and joins everything before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty, or if a worker thread panicked.
+    pub fn run(&self, keys: &[Key], opts: &RunOptions) -> DataplaneReport {
+        assert!(
+            !keys.is_empty(),
+            "Dataplane::run needs a nonempty key stream"
+        );
+        let n = self.config.shards;
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatcher = FlowDispatcher::new(n);
+
+        std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(n);
+            let mut shard_handles = Vec::with_capacity(n);
+            for shard in 0..n {
+                let (tx, rx) = sync_channel::<Vec<Key>>(self.config.queue_depth);
+                txs.push(tx);
+                let reader = self.shared.reader_with_capacity(self.config.cache_slots);
+                let record = opts.record;
+                let traced = opts.traced;
+                shard_handles
+                    .push(scope.spawn(move || shard_main(shard, reader, rx, record, traced)));
+            }
+            let control_handle = (!opts.updates.is_empty()).then(|| {
+                let shared = self.shared.clone();
+                let stop = Arc::clone(&stop);
+                let updates = &opts.updates[..];
+                let tolerate = opts.tolerate_rejections;
+                let record = opts.record;
+                scope.spawn(move || control_main(&shared, updates, &stop, tolerate, record))
+            });
+
+            // Dispatch until the pass (or the clock) runs out.
+            let start = Instant::now();
+            let deadline = opts.duration.map(|d| start + d);
+            let mut source = BatchSource::new(keys);
+            let mut buckets: Vec<Vec<Key>> = (0..n)
+                .map(|_| Vec::with_capacity(self.config.batch))
+                .collect();
+            'feed: loop {
+                let chunk = source.next_batch(self.config.batch);
+                for &key in chunk {
+                    let s = dispatcher.shard_of(key);
+                    buckets[s].push(key);
+                    if buckets[s].len() >= self.config.batch {
+                        let full = std::mem::replace(
+                            &mut buckets[s],
+                            Vec::with_capacity(self.config.batch),
+                        );
+                        if txs[s].send(full).is_err() {
+                            break 'feed; // a shard died; drain what's left
+                        }
+                    }
+                }
+                match deadline {
+                    None if source.laps() > 0 => break,
+                    Some(d) if Instant::now() >= d => break,
+                    _ => {}
+                }
+            }
+            // Drain protocol: flush partial buckets, close the queues,
+            // wind down the control plane, then join in any order.
+            for (s, bucket) in buckets.into_iter().enumerate() {
+                if !bucket.is_empty() {
+                    let _ = txs[s].send(bucket);
+                }
+            }
+            drop(txs);
+            stop.store(true, Ordering::Release);
+
+            let mut per_shard = Vec::with_capacity(n);
+            let mut records = Vec::with_capacity(n);
+            for h in shard_handles {
+                let (stats, recs) = h.join().expect("dataplane shard panicked");
+                per_shard.push(stats);
+                records.push(recs);
+            }
+            let elapsed = start.elapsed();
+            per_shard.sort_by_key(|s| s.shard);
+            let control = match control_handle {
+                Some(h) => h.join().expect("dataplane control plane panicked"),
+                None => ControlReport {
+                    final_generation: self.shared.generation(),
+                    ..ControlReport::default()
+                },
+            };
+            let aggregate = DataplaneStats::roll_up(per_shard.iter());
+            DataplaneReport {
+                per_shard,
+                aggregate,
+                control,
+                elapsed,
+                records,
+            }
+        })
+    }
+}
+
+/// One run-to-completion worker: pull batches until the queue closes and
+/// drains, answering each batch against a single pinned snapshot.
+fn shard_main(
+    shard: usize,
+    mut reader: CachedReader,
+    rx: Receiver<Vec<Key>>,
+    record: bool,
+    traced: bool,
+) -> (ShardStats, Vec<BatchRecord>) {
+    let mut stats = ShardStats::new(shard);
+    let mut records = Vec::new();
+    let mut trace = LookupTrace::default();
+    let mut out: Vec<Option<NextHop>> = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        out.clear();
+        out.resize(batch.len(), None);
+        let generation = if traced {
+            reader.lookup_batch_traced(&batch, &mut out, &mut trace)
+        } else {
+            reader.lookup_batch_pinned(&batch, &mut out)
+        };
+        stats.batches += 1;
+        stats.lookups += batch.len() as u64;
+        let matched = out.iter().filter(|o| o.is_some()).count() as u64;
+        stats.matched += matched;
+        stats.no_route += batch.len() as u64 - matched;
+        stats.observe_generation(generation);
+        if record {
+            records.push(BatchRecord {
+                generation,
+                keys: batch,
+                answers: out.clone(),
+            });
+        }
+    }
+    // The queue is closed and empty: finalize. Cache counters are read
+    // once here so nothing is lost between last batch and shutdown.
+    stats.cache_hits = reader.cache().hits();
+    stats.cache_misses = reader.cache().misses();
+    stats.trace = trace;
+    (stats, records)
+}
+
+/// The control plane: replay the trace through the shared handle, one
+/// published snapshot per accepted update, until done or told to stop.
+fn control_main(
+    shared: &SharedChisel,
+    updates: &[UpdateEvent],
+    stop: &AtomicBool,
+    tolerate_rejections: bool,
+    record: bool,
+) -> ControlReport {
+    let mut report = ControlReport::default();
+    for ev in updates {
+        if stop.load(Ordering::Acquire) {
+            report.halted = true;
+            break;
+        }
+        let outcome = match *ev {
+            UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
+            UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {
+                report.applied += 1;
+                if record {
+                    report.accepted.push(*ev);
+                }
+            }
+            Err(_) if tolerate_rejections => report.rejected += 1,
+            Err(e) => {
+                report.failed = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    report.final_generation = shared.generation();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_core::ChiselConfig;
+    use chisel_prefix::{AddressFamily, NextHop, Prefix, RoutingTable};
+
+    fn shared() -> SharedChisel {
+        let mut t = RoutingTable::new_v4();
+        t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+        for i in 0..32u128 {
+            t.insert(
+                Prefix::new(AddressFamily::V4, 0x0A00 | i, 16).unwrap(),
+                NextHop::new(10 + i as u32),
+            );
+        }
+        SharedChisel::build(&t, ChiselConfig::ipv4()).unwrap()
+    }
+
+    fn keys(n: usize) -> Vec<Key> {
+        (0..n as u128)
+            .map(|i| {
+                Key::from_raw(
+                    AddressFamily::V4,
+                    0x0A00_0000 | (i * 2654435761 % 0x0020_0000),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_pass_answers_every_key_once() {
+        let s = shared();
+        for shards in [1usize, 3, 4] {
+            let dp = Dataplane::new(
+                s.clone(),
+                DataplaneConfig {
+                    shards,
+                    batch: 16,
+                    ..DataplaneConfig::default()
+                },
+            );
+            let stream = keys(4_000);
+            let report = dp.run(&stream, &RunOptions::default());
+            assert_eq!(report.aggregate.lookups, stream.len() as u64);
+            assert_eq!(report.aggregate.matched, stream.len() as u64);
+            assert_eq!(report.aggregate.shards, shards);
+            assert!(report.aggregate.is_balanced(), "{:?}", report.aggregate);
+            for sh in &report.per_shard {
+                assert!(sh.is_balanced(), "shard {} unbalanced: {sh:?}", sh.shard);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_survive_shutdown_without_loss() {
+        // Aggregate == sum over per-shard after drain: nothing dropped in
+        // shutdown, and a traced run carries trace counters through too.
+        let s = shared();
+        let dp = Dataplane::new(
+            s.clone(),
+            DataplaneConfig {
+                shards: 4,
+                batch: 8,
+                ..DataplaneConfig::default()
+            },
+        );
+        let stream = keys(2_048);
+        let report = dp.run(
+            &stream,
+            &RunOptions {
+                traced: true,
+                ..RunOptions::default()
+            },
+        );
+        let agg = &report.aggregate;
+        assert_eq!(
+            agg.cache_hits,
+            report.per_shard.iter().map(|s| s.cache_hits).sum::<u64>()
+        );
+        assert_eq!(
+            agg.trace.cache_hits + agg.trace.cache_misses,
+            agg.lookups as usize,
+            "traced counters lost in shutdown"
+        );
+        assert_eq!(
+            agg.trace.degraded_hits,
+            report
+                .per_shard
+                .iter()
+                .map(|s| s.trace.degraded_hits)
+                .sum::<usize>()
+        );
+        assert!(agg.is_balanced());
+    }
+
+    #[test]
+    fn duration_mode_loops_the_stream() {
+        let s = shared();
+        let dp = Dataplane::new(s, DataplaneConfig::default());
+        let stream = keys(256);
+        let report = dp.run(
+            &stream,
+            &RunOptions {
+                duration: Some(Duration::from_millis(50)),
+                ..RunOptions::default()
+            },
+        );
+        assert!(
+            report.aggregate.lookups > stream.len() as u64,
+            "duration mode should loop: only {} lookups",
+            report.aggregate.lookups
+        );
+        assert!(report.aggregate.is_balanced());
+        assert!(report.aggregate_msps() > 0.0);
+    }
+
+    #[test]
+    fn control_plane_publishes_while_shards_serve() {
+        let s = shared();
+        let dp = Dataplane::new(
+            s.clone(),
+            DataplaneConfig {
+                shards: 2,
+                ..DataplaneConfig::default()
+            },
+        );
+        let updates: Vec<UpdateEvent> = (0..64u32)
+            .map(|i| {
+                UpdateEvent::Announce(
+                    Prefix::new(AddressFamily::V4, 0x0B00 | u128::from(i), 16).unwrap(),
+                    NextHop::new(100 + i),
+                )
+            })
+            .collect();
+        let report = dp.run(
+            &keys(20_000),
+            &RunOptions {
+                updates: updates.clone(),
+                record: true,
+                ..RunOptions::default()
+            },
+        );
+        assert!(report.control.failed.is_none());
+        assert!(report.control.applied <= updates.len());
+        if !report.control.halted {
+            assert_eq!(report.control.applied, updates.len());
+        }
+        assert_eq!(report.control.rejected, 0);
+        assert_eq!(report.control.accepted.len(), report.control.applied);
+        assert_eq!(
+            report.control.final_generation,
+            report.control.applied as u64
+        );
+        assert_eq!(s.generation(), report.control.final_generation);
+        // Every shard's observed generation window sits inside what the
+        // control plane published.
+        for sh in &report.per_shard {
+            if sh.batches > 0 {
+                assert!(sh.max_generation <= report.control.final_generation);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_batches_cover_the_whole_stream() {
+        let s = shared();
+        let dp = Dataplane::new(
+            s,
+            DataplaneConfig {
+                shards: 2,
+                batch: 32,
+                ..DataplaneConfig::default()
+            },
+        );
+        let stream = keys(1_000);
+        let report = dp.run(
+            &stream,
+            &RunOptions {
+                record: true,
+                ..RunOptions::default()
+            },
+        );
+        let recorded: u64 = report
+            .records
+            .iter()
+            .flatten()
+            .map(|r| r.keys.len() as u64)
+            .sum();
+        assert_eq!(recorded, stream.len() as u64);
+        // Recorded answers are exactly what the shard reported.
+        for (sh, recs) in report.per_shard.iter().zip(&report.records) {
+            let matched: u64 = recs
+                .iter()
+                .flat_map(|r| &r.answers)
+                .filter(|a| a.is_some())
+                .count() as u64;
+            assert_eq!(matched, sh.matched);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty key stream")]
+    fn empty_stream_is_rejected() {
+        let s = shared();
+        Dataplane::new(s, DataplaneConfig::default()).run(&[], &RunOptions::default());
+    }
+}

@@ -1,0 +1,121 @@
+//! RSS-style flow dispatch: a fixed-seed hash from key to worker shard.
+//!
+//! Real NICs spread packets across receive queues with Receive Side
+//! Scaling: a hash over the flow tuple picks the queue, so every packet
+//! of one flow lands on the same core and per-core state (here: the
+//! per-shard [`FlowCache`](chisel_core::FlowCache)) stays coherent
+//! without sharing. This module is the software analogue for the
+//! dataplane daemon: [`FlowDispatcher::shard_of`] maps a lookup key to a
+//! shard index with a multiply-shift range reduction, so any shard count
+//! works (not just powers of two) and the assignment is stable for the
+//! life of the daemon.
+//!
+//! The seed is fixed: dispatch is a load-balancing layer, not a
+//! correctness layer (a skewed key set degrades balance, never answers),
+//! and a fixed seed keeps every run — and the shard-equivalence
+//! differential tests — reproducible.
+
+use chisel_hash::{MixHasher, SplitMix64};
+use chisel_prefix::Key;
+
+/// Seed of the fixed dispatch hash. Deliberately distinct from the flow
+/// cache's slot seed so cache-slot collisions and shard assignment are
+/// uncorrelated.
+const DISPATCH_SEED: u64 = 0xD15B_A7C4_0F10_3A9D;
+
+/// Maps keys to worker shards with a fixed RSS-style flow hash.
+#[derive(Debug, Clone)]
+pub struct FlowDispatcher {
+    hasher: MixHasher,
+    shards: usize,
+}
+
+impl FlowDispatcher {
+    /// A dispatcher over `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "FlowDispatcher needs at least one shard");
+        let mut rng = SplitMix64::new(DISPATCH_SEED);
+        FlowDispatcher {
+            hasher: MixHasher::from_rng(&mut rng),
+            shards,
+        }
+    }
+
+    /// Number of shards keys are spread over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard this key (flow) always lands on: stable across calls,
+    /// uniform across shards for hash-distributed keys.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        self.hasher.hash_range(key.value(), self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chisel_prefix::AddressFamily;
+
+    fn key(v: u128) -> Key {
+        Key::from_raw(AddressFamily::V4, v)
+    }
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let d = FlowDispatcher::new(shards);
+            for i in 0..1_000u128 {
+                let k = key((i * 2654435761) & 0xFFFF_FFFF);
+                let s = d.shard_of(k);
+                assert!(s < shards, "shard {s} out of range for {shards}");
+                assert_eq!(s, d.shard_of(k), "unstable assignment");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let shards = 4;
+        let d = FlowDispatcher::new(shards);
+        let mut counts = vec![0usize; shards];
+        let n = 40_000u128;
+        for i in 0..n {
+            counts[d.shard_of(key(i))] += 1;
+        }
+        let expect = n as usize / shards;
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "shard {s} got {c} of {n} keys (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatchers_agree_across_instances() {
+        // The seed is a constant: two daemons (or a daemon and a test
+        // oracle) agree on every assignment.
+        let a = FlowDispatcher::new(8);
+        let b = FlowDispatcher::new(8);
+        for i in 0..500u128 {
+            let k = key((i * 7919) & 0xFFFF_FFFF);
+            assert_eq!(a.shard_of(k), b.shard_of(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = FlowDispatcher::new(0);
+    }
+}

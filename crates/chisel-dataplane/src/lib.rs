@@ -1,0 +1,54 @@
+//! A sharded, multi-core forwarding daemon over the Chisel LPM engine.
+//!
+//! `chisel-core` gives one engine with lock-free snapshot reads; this
+//! crate scales it horizontally the way a line card does: N
+//! run-to-completion worker shards, each owning a
+//! [`CachedReader`](chisel_core::CachedReader) (snapshot pin plus a
+//! private flow cache), fed by an RSS-style flow-hash
+//! [`FlowDispatcher`] over a batch-oriented key source, with one
+//! control-plane thread applying update streams and publishing
+//! snapshots that all shards observe. Per-shard counters roll up into a
+//! [`DataplaneStats`] whose fold is commutative and associative, so the
+//! report never depends on shard join order.
+//!
+//! The correctness story is *shard equivalence*: because every shard
+//! answers every batch against one pinned snapshot, a shard's answer for
+//! any key must equal a single-engine reference's answer at the same
+//! snapshot generation — regardless of shard count, dispatch hash, or
+//! update concurrency. `tests/dataplane.rs` (workspace root) holds the
+//! daemon to that differentially, against a replayed oracle, under an
+//! adversarial update storm.
+//!
+//! ```
+//! use chisel_core::{ChiselConfig, SharedChisel};
+//! use chisel_dataplane::{Dataplane, DataplaneConfig, RunOptions};
+//! use chisel_prefix::{Key, NextHop, RoutingTable};
+//!
+//! # fn main() -> Result<(), chisel_core::ChiselError> {
+//! let mut table = RoutingTable::new_v4();
+//! table.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+//! let shared = SharedChisel::build(&table, ChiselConfig::ipv4())?;
+//!
+//! let dataplane = Dataplane::new(shared, DataplaneConfig { shards: 2, ..Default::default() });
+//! let keys: Vec<Key> = (0..1024u32)
+//!     .map(|i| format!("10.1.{}.{}", i / 256, i % 256).parse().unwrap())
+//!     .collect();
+//! let report = dataplane.run(&keys, &RunOptions::default());
+//! assert_eq!(report.aggregate.lookups, 1024);
+//! assert_eq!(report.aggregate.matched, 1024);
+//! assert!(report.aggregate.is_balanced());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod daemon;
+mod dispatch;
+mod stats;
+
+pub use daemon::{
+    BatchRecord, ControlReport, Dataplane, DataplaneConfig, DataplaneReport, RunOptions,
+};
+pub use dispatch::FlowDispatcher;
+pub use stats::{DataplaneStats, ShardStats};

@@ -1,0 +1,318 @@
+//! Per-shard counters and the daemon-wide roll-up.
+//!
+//! Every worker shard owns its counters outright (no shared atomics on
+//! the forwarding path); at drain time each shard's final [`ShardStats`]
+//! is moved into the report and folded into one [`DataplaneStats`]. The
+//! fold is a commutative, associative monoid ([`DataplaneStats::merge`]
+//! with [`DataplaneStats::default`] as identity), so the roll-up is
+//! independent of shard join order — the stats-aggregation unit tests
+//! hold the algebra to that.
+
+use chisel_core::LookupTrace;
+
+/// Counters owned by one worker shard, finalized at drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index of the shard these counters belong to.
+    pub shard: usize,
+    /// Keys looked up (every key of every batch, exactly once).
+    pub lookups: u64,
+    /// Batches pulled off the shard's queue.
+    pub batches: u64,
+    /// Lookups that resolved to a next hop.
+    pub matched: u64,
+    /// Lookups that resolved to no route.
+    pub no_route: u64,
+    /// Flow-cache hits of the shard's private cache.
+    pub cache_hits: u64,
+    /// Flow-cache misses (lookups that walked the data path).
+    pub cache_misses: u64,
+    /// Lowest snapshot generation any batch was answered at
+    /// (`u64::MAX` while no batch has been processed).
+    pub min_generation: u64,
+    /// Highest snapshot generation any batch was answered at.
+    pub max_generation: u64,
+    /// Accumulated per-table read counts (only populated in traced
+    /// runs; carries `degraded_hits` through shutdown).
+    pub trace: LookupTrace,
+}
+
+impl ShardStats {
+    /// Fresh counters for shard `shard`.
+    pub fn new(shard: usize) -> Self {
+        ShardStats {
+            shard,
+            min_generation: u64::MAX,
+            ..ShardStats::default()
+        }
+    }
+
+    /// Records that a batch was answered at snapshot generation `g`.
+    pub fn observe_generation(&mut self, g: u64) {
+        self.min_generation = self.min_generation.min(g);
+        self.max_generation = self.max_generation.max(g);
+    }
+
+    /// Whether the cache counters account for every lookup issued:
+    /// `cache_hits + cache_misses == lookups`. Always true after a clean
+    /// drain — a violation means counters were lost in shutdown.
+    pub fn is_balanced(&self) -> bool {
+        self.cache_hits + self.cache_misses == self.lookups
+    }
+}
+
+/// The daemon-wide roll-up of every shard's counters.
+///
+/// `merge` (over roll-ups) and `absorb` (of one shard) form a
+/// commutative, associative fold with [`DataplaneStats::default`] as the
+/// identity, so aggregation order never changes the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataplaneStats {
+    /// Shards folded into this roll-up.
+    pub shards: usize,
+    /// Total keys looked up across all shards.
+    pub lookups: u64,
+    /// Total batches processed.
+    pub batches: u64,
+    /// Total lookups that resolved to a next hop.
+    pub matched: u64,
+    /// Total lookups that resolved to no route.
+    pub no_route: u64,
+    /// Total flow-cache hits.
+    pub cache_hits: u64,
+    /// Total flow-cache misses.
+    pub cache_misses: u64,
+    /// Lowest generation observed by any shard (`u64::MAX` if none).
+    pub min_generation: u64,
+    /// Highest generation observed by any shard.
+    pub max_generation: u64,
+    /// Summed per-table read counts (traced runs only).
+    pub trace: LookupTrace,
+}
+
+impl Default for DataplaneStats {
+    fn default() -> Self {
+        DataplaneStats {
+            shards: 0,
+            lookups: 0,
+            batches: 0,
+            matched: 0,
+            no_route: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            min_generation: u64::MAX,
+            max_generation: 0,
+            trace: LookupTrace::default(),
+        }
+    }
+}
+
+impl DataplaneStats {
+    /// Folds one shard's final counters into the roll-up.
+    pub fn absorb(&mut self, s: &ShardStats) {
+        self.shards += 1;
+        self.lookups += s.lookups;
+        self.batches += s.batches;
+        self.matched += s.matched;
+        self.no_route += s.no_route;
+        self.cache_hits += s.cache_hits;
+        self.cache_misses += s.cache_misses;
+        self.min_generation = self.min_generation.min(s.min_generation);
+        self.max_generation = self.max_generation.max(s.max_generation);
+        self.trace.merge(&s.trace);
+    }
+
+    /// Merges another roll-up into this one (commutative, associative,
+    /// identity [`DataplaneStats::default`]).
+    pub fn merge(&mut self, other: &DataplaneStats) {
+        self.shards += other.shards;
+        self.lookups += other.lookups;
+        self.batches += other.batches;
+        self.matched += other.matched;
+        self.no_route += other.no_route;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.min_generation = self.min_generation.min(other.min_generation);
+        self.max_generation = self.max_generation.max(other.max_generation);
+        self.trace.merge(&other.trace);
+    }
+
+    /// The roll-up of `shards`, independent of iteration order.
+    pub fn roll_up<'a>(shards: impl IntoIterator<Item = &'a ShardStats>) -> Self {
+        let mut agg = DataplaneStats::default();
+        for s in shards {
+            agg.absorb(s);
+        }
+        agg
+    }
+
+    /// Whether the aggregated cache counters account for every lookup:
+    /// `cache_hits + cache_misses == lookups`.
+    pub fn is_balanced(&self) -> bool {
+        self.cache_hits + self.cache_misses == self.lookups
+    }
+
+    /// Aggregate cache hit rate in `[0, 1]` (0 when no lookups ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.lookups as f64
+    }
+
+    /// Aggregate throughput in million searches per second over
+    /// `elapsed_secs` of wall time.
+    pub fn aggregate_msps(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.lookups as f64 / elapsed_secs / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic, "interesting" shard: distinct counters per field
+    /// so a mis-summed field cannot cancel out.
+    fn shard(i: usize) -> ShardStats {
+        let b = (i as u64 + 1) * 10;
+        ShardStats {
+            shard: i,
+            lookups: b + 7,
+            batches: b / 10,
+            matched: b + 3,
+            no_route: 4,
+            cache_hits: b,
+            cache_misses: 7,
+            min_generation: 5 + i as u64,
+            max_generation: 50 - i as u64,
+            trace: LookupTrace {
+                index_reads: i + 1,
+                filter_reads: i + 2,
+                bitvec_reads: i + 3,
+                result_reads: i + 4,
+                spill_hits: i,
+                cache_hits: i * 10,
+                cache_misses: 7,
+                degraded_hits: i * 2 + 1,
+            },
+        }
+    }
+
+    #[test]
+    fn roll_up_is_commutative_over_shard_order() {
+        let shards: Vec<ShardStats> = (0..6).map(shard).collect();
+        let forward = DataplaneStats::roll_up(&shards);
+        let mut reversed: Vec<ShardStats> = shards.clone();
+        reversed.reverse();
+        assert_eq!(forward, DataplaneStats::roll_up(&reversed));
+        // An arbitrary interleaving too.
+        let shuffled = [3usize, 0, 5, 1, 4, 2].map(|i| shards[i].clone());
+        assert_eq!(forward, DataplaneStats::roll_up(&shuffled));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let parts: Vec<DataplaneStats> = (0..4)
+            .map(|i| {
+                let mut d = DataplaneStats::default();
+                d.absorb(&shard(i));
+                d
+            })
+            .collect();
+        // ((a ⊕ b) ⊕ c) ⊕ d
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        left.merge(&parts[3]);
+        // a ⊕ (b ⊕ (c ⊕ d))
+        let mut cd = parts[2].clone();
+        cd.merge(&parts[3]);
+        let mut bcd = parts[1].clone();
+        bcd.merge(&cd);
+        let mut right = parts[0].clone();
+        right.merge(&bcd);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn default_is_the_merge_identity() {
+        let mut d = DataplaneStats::default();
+        d.absorb(&shard(2));
+        let mut with_id = d.clone();
+        with_id.merge(&DataplaneStats::default());
+        assert_eq!(with_id, d);
+        let mut id_first = DataplaneStats::default();
+        id_first.merge(&d);
+        assert_eq!(id_first, d);
+    }
+
+    #[test]
+    fn degraded_and_cache_counters_sum_exactly() {
+        let shards: Vec<ShardStats> = (0..5).map(shard).collect();
+        let agg = DataplaneStats::roll_up(&shards);
+        assert_eq!(
+            agg.cache_hits,
+            shards.iter().map(|s| s.cache_hits).sum::<u64>()
+        );
+        assert_eq!(
+            agg.trace.degraded_hits,
+            shards.iter().map(|s| s.trace.degraded_hits).sum::<usize>()
+        );
+        assert_eq!(
+            agg.trace.cache_hits,
+            shards.iter().map(|s| s.trace.cache_hits).sum::<usize>()
+        );
+        assert_eq!(agg.shards, shards.len());
+    }
+
+    #[test]
+    fn generation_window_is_min_max() {
+        let mut a = ShardStats::new(0);
+        a.observe_generation(9);
+        a.observe_generation(3);
+        let mut b = ShardStats::new(1);
+        b.observe_generation(12);
+        let agg = DataplaneStats::roll_up([&a, &b].map(|s| s.clone()).iter());
+        assert_eq!((agg.min_generation, agg.max_generation), (3, 12));
+        // An idle shard (no batches) never narrows the window.
+        let idle = ShardStats::new(2);
+        let mut with_idle = agg.clone();
+        with_idle.absorb(&idle);
+        assert_eq!(
+            (with_idle.min_generation, with_idle.max_generation),
+            (3, 12)
+        );
+    }
+
+    #[test]
+    fn balance_checks() {
+        let mut s = ShardStats::new(0);
+        s.lookups = 10;
+        s.cache_hits = 6;
+        s.cache_misses = 4;
+        assert!(s.is_balanced());
+        s.cache_misses = 3;
+        assert!(!s.is_balanced());
+        let mut d = DataplaneStats::default();
+        assert!(d.is_balanced());
+        d.lookups = 1;
+        assert!(!d.is_balanced());
+    }
+
+    #[test]
+    fn msps_and_hit_rate() {
+        let d = DataplaneStats {
+            lookups: 2_000_000,
+            cache_hits: 1_500_000,
+            cache_misses: 500_000,
+            ..DataplaneStats::default()
+        };
+        assert!((d.aggregate_msps(2.0) - 1.0).abs() < 1e-9);
+        assert!((d.cache_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(DataplaneStats::default().aggregate_msps(1.0), 0.0);
+        assert_eq!(d.aggregate_msps(0.0), 0.0);
+    }
+}

@@ -71,6 +71,63 @@ pub fn zipf_stream(pool: &[Key], s: f64, n: usize, seed: u64) -> Vec<Key> {
         .collect()
 }
 
+/// A batch-oriented, cyclic packet source over a fixed key stream: the
+/// software stand-in for a NIC receive ring. [`next_batch`] hands out
+/// consecutive slices of up to `max` keys; at the end of the stream it
+/// wraps to the start and bumps [`laps`], so callers can either stop
+/// after one pass (`laps() > 0`) or loop until a deadline. Zero-copy:
+/// batches borrow the underlying stream.
+///
+/// [`next_batch`]: BatchSource::next_batch
+/// [`laps`]: BatchSource::laps
+#[derive(Debug, Clone)]
+pub struct BatchSource<'a> {
+    stream: &'a [Key],
+    pos: usize,
+    laps: u64,
+}
+
+impl<'a> BatchSource<'a> {
+    /// A source cycling over `stream`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is empty.
+    pub fn new(stream: &'a [Key]) -> Self {
+        assert!(!stream.is_empty(), "BatchSource needs a nonempty stream");
+        BatchSource {
+            stream,
+            pos: 0,
+            laps: 0,
+        }
+    }
+
+    /// The next up-to-`max` keys. A batch never crosses the wrap point,
+    /// so the tail batch of a pass may be shorter than `max`; the next
+    /// call starts a fresh lap from the beginning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn next_batch(&mut self, max: usize) -> &'a [Key] {
+        assert!(max > 0, "BatchSource batch size must be nonzero");
+        let end = (self.pos + max).min(self.stream.len());
+        let batch = &self.stream[self.pos..end];
+        if end == self.stream.len() {
+            self.pos = 0;
+            self.laps += 1;
+        } else {
+            self.pos = end;
+        }
+        batch
+    }
+
+    /// Completed passes over the stream.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +186,28 @@ mod tests {
             top16,
             s.len()
         );
+    }
+
+    #[test]
+    fn batch_source_covers_each_pass_exactly_once() {
+        let p = pool();
+        let mut src = BatchSource::new(&p);
+        let mut seen = Vec::new();
+        while src.laps() == 0 {
+            seen.extend_from_slice(src.next_batch(100));
+        }
+        assert_eq!(seen, p, "one lap must replay the stream in order");
+        // The tail batch is short (1024 % 100 != 0), never wrapping.
+        let mut src = BatchSource::new(&p);
+        let mut sizes = Vec::new();
+        while src.laps() == 0 {
+            sizes.push(src.next_batch(100).len());
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), p.len());
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 100));
+        // Second lap starts from the beginning.
+        assert_eq!(src.next_batch(100), &p[..100]);
+        assert_eq!(src.laps(), 1);
     }
 
     #[test]

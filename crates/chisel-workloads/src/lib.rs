@@ -37,7 +37,7 @@ pub mod updates;
 
 pub use adversarial::adversarial_trace;
 pub use distribution::{as_profiles, AsProfile, PrefixLenDistribution};
-pub use keystream::{flow_pool, uniform_stream, zipf_stream};
+pub use keystream::{flow_pool, uniform_stream, zipf_stream, BatchSource};
 pub use mrt::{read_mrt, write_mrt, MrtError};
 pub use stats::{analyze, TraceStats};
 pub use synth::synthesize;

@@ -8,6 +8,9 @@
 //! chisel-router check  <table-file> [--threads N]        invariant verifier
 //! chisel-router replay <table-file> [<trace.mrt>] [--threads N] [--adversarial[=N]]
 //!                                                        apply an MRT update trace
+//! chisel-router serve  <table-file> [--shards N] [--duration S] [--batch B]
+//!                      [--cache[=SLOTS]] [--adversarial[=N]] [--threads N]
+//!                                                        sharded dataplane daemon
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
 //!
@@ -30,7 +33,17 @@
 //! routes — see `chisel::workloads::adversarial_trace`; default 20000
 //! events) after the optional MRT trace, tolerates typed rejections
 //! instead of aborting, and reports the engine's recovery counters and
-//! degraded-mode status afterwards.
+//! degraded-mode status afterwards. A `replay` with no trace at all is
+//! a no-op that still prints the (zeroed) counter summary and exits 0.
+//!
+//! `serve` runs the saturation scenario of the sharded dataplane daemon
+//! (`chisel::dataplane`): `--shards N` run-to-completion workers, each
+//! with a private flow cache, fed by an RSS-style flow hash over a
+//! Zipf-ordered key stream synthesized from the table, while the
+//! control plane replays an adversarial update storm (`--adversarial=N`
+//! events, default 20000) at full rate. Runs for `--duration S` seconds
+//! (default 1.0), then drains and prints per-shard counters and the
+//! aggregate Msps.
 //!
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
@@ -43,10 +56,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use chisel::core::{DegradedMode, FlowCache, SharedChisel};
+use chisel::dataplane::{Dataplane, DataplaneConfig, RunOptions};
 use chisel::prefix::io::read_table;
 use chisel::prefix::parallel::resolve_threads;
 use chisel::workloads::{
-    adversarial_trace, analyze, read_mrt, synthesize, PrefixLenDistribution, UpdateEvent,
+    adversarial_trace, analyze, flow_pool, read_mrt, synthesize, zipf_stream,
+    PrefixLenDistribution, UpdateEvent,
 };
 use chisel::{ChiselConfig, ChiselLpm, Key, RoutingTable};
 
@@ -81,8 +96,23 @@ fn main() -> ExitCode {
         Some("replay") if args.len() == 3 => {
             cmd_replay(&args[1], Some(&args[2]), threads, adversarial)
         }
-        Some("replay") if args.len() == 2 && adversarial.is_some() => {
-            cmd_replay(&args[1], None, threads, adversarial)
+        // An empty trace (no MRT file, no adversarial stream) is a valid
+        // no-op replay: print the zeroed counter summary and exit 0.
+        Some("replay") if args.len() == 2 => cmd_replay(&args[1], None, threads, adversarial),
+        Some("serve") if args.len() >= 2 => {
+            match ServeFlags::take(&mut args).and_then(|f| {
+                if args.len() == 2 {
+                    Ok(f)
+                } else {
+                    Err("serve takes one table file".to_string())
+                }
+            }) {
+                Ok(flags) => cmd_serve(&args[1], threads, cache, adversarial, flags),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
         _ => {
@@ -91,6 +121,8 @@ fn main() -> ExitCode {
                  lookup <table> <addr>... [--cache[=SLOTS]] | stats <table> | \
                  check <table> [--threads N] | \
                  replay <table> [<trace.mrt>] [--threads N] [--adversarial[=N]] | \
+                 serve <table> [--shards N] [--duration S] [--batch B] \
+                 [--cache[=SLOTS]] [--adversarial[=N]] [--threads N] | \
                  synth <n> <out> [seed]"
             );
             return ExitCode::FAILURE;
@@ -127,6 +159,62 @@ fn take_threads_flag(args: &mut Vec<String>) -> Result<usize, String> {
     value
         .parse::<usize>()
         .map_err(|_| format!("invalid --threads value '{value}'"))
+}
+
+/// Extracts `--<name> V` (or `--<name>=V`) from anywhere in the argument
+/// list. Returns `None` when absent.
+fn take_value_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+) -> Result<Option<T>, String> {
+    let eq = format!("--{name}=");
+    let bare = format!("--{name}");
+    let Some(i) = args.iter().position(|a| *a == bare || a.starts_with(&eq)) else {
+        return Ok(None);
+    };
+    let flag = args.remove(i);
+    let value = match flag.strip_prefix(&eq) {
+        Some(v) => v.to_string(),
+        None => {
+            if i >= args.len() {
+                return Err(format!("--{name} requires a value"));
+            }
+            args.remove(i)
+        }
+    };
+    value
+        .parse::<T>()
+        .map(Some)
+        .map_err(|_| format!("invalid --{name} value '{value}'"))
+}
+
+/// The `serve` subcommand's own flags (shard count, run length, batch).
+struct ServeFlags {
+    shards: usize,
+    duration_secs: f64,
+    batch: usize,
+}
+
+impl ServeFlags {
+    fn take(args: &mut Vec<String>) -> Result<ServeFlags, String> {
+        let shards = take_value_flag::<usize>(args, "shards")?.unwrap_or(1);
+        let duration_secs = take_value_flag::<f64>(args, "duration")?.unwrap_or(1.0);
+        let batch = take_value_flag::<usize>(args, "batch")?.unwrap_or(64);
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        if batch == 0 {
+            return Err("--batch must be at least 1".into());
+        }
+        if !duration_secs.is_finite() || duration_secs <= 0.0 {
+            return Err(format!("invalid --duration value '{duration_secs}'"));
+        }
+        Ok(ServeFlags {
+            shards,
+            duration_secs,
+            batch,
+        })
+    }
 }
 
 /// Extracts `--adversarial` (default event count) or `--adversarial=N`
@@ -410,10 +498,13 @@ fn cmd_replay(
     }
     let elapsed = start.elapsed().as_secs_f64();
     let u = shared.update_stats();
-    println!(
-        "applied in {elapsed:.2}s ({:.0} updates/s): {u:?}",
+    // An empty trace divides 0 by ~0: report a clean zero rate instead.
+    let rate = if events.is_empty() {
+        0.0
+    } else {
         events.len() as f64 / elapsed
-    );
+    };
+    println!("applied in {elapsed:.2}s ({rate:.0} updates/s): {u:?}");
     if adversarial.is_some() {
         println!("rejected updates: {rejected} (state unchanged by each)");
     }
@@ -440,6 +531,129 @@ fn cmd_replay(
              ({} of {} entries used)",
             es.spill_len, es.spill_capacity
         ),
+    }
+    Ok(())
+}
+
+/// The saturation scenario: N shards serving a Zipf keystream at full
+/// rate while the control plane storms the engine with adversarial
+/// updates, then a graceful drain and the counter roll-up.
+fn cmd_serve(
+    table_path: &str,
+    threads: usize,
+    cache_slots: Option<usize>,
+    adversarial: Option<usize>,
+    flags: ServeFlags,
+) -> Result<(), Box<dyn std::error::Error>> {
+    const FLOWS: usize = 16_384;
+    const STREAM: usize = 1 << 17;
+
+    let build_start = Instant::now();
+    let (table, engine) = load(table_path, threads)?;
+    println!(
+        "engine: built {} prefixes in {:.3}s on {} threads",
+        table.len(),
+        build_start.elapsed().as_secs_f64(),
+        resolve_threads(threads),
+    );
+    let pool = flow_pool(&table, FLOWS, 0xF10A);
+    let stream = zipf_stream(&pool, 1.0, STREAM, 0x21FF);
+    let updates = adversarial_trace(&table, adversarial.unwrap_or(20_000), 0x00AD_5EED);
+    let slots = cache_slots.unwrap_or(FlowCache::DEFAULT_CAPACITY);
+
+    let shared = SharedChisel::from_engine(engine);
+    let dataplane = Dataplane::new(
+        shared.clone(),
+        DataplaneConfig {
+            shards: flags.shards,
+            batch: flags.batch,
+            cache_slots: slots,
+            ..DataplaneConfig::default()
+        },
+    );
+    println!(
+        "dataplane: {} shard(s), batch {}, {} cache slots/shard, \
+         {} flows (zipf s=1.0), {} adversarial updates",
+        flags.shards,
+        flags.batch,
+        slots,
+        FLOWS,
+        updates.len(),
+    );
+    let report = dataplane.run(
+        &stream,
+        &RunOptions {
+            duration: Some(std::time::Duration::from_secs_f64(flags.duration_secs)),
+            updates,
+            tolerate_rejections: true,
+            ..RunOptions::default()
+        },
+    );
+
+    for s in &report.per_shard {
+        println!(
+            "shard {}: {} lookups in {} batches ({} matched / {} no-route), \
+             cache {} hits / {} misses, generations [{}, {}]{}",
+            s.shard,
+            s.lookups,
+            s.batches,
+            s.matched,
+            s.no_route,
+            s.cache_hits,
+            s.cache_misses,
+            if s.min_generation == u64::MAX {
+                0
+            } else {
+                s.min_generation
+            },
+            s.max_generation,
+            if s.is_balanced() {
+                ""
+            } else {
+                "  COUNTER IMBALANCE"
+            },
+        );
+    }
+    let c = &report.control;
+    println!(
+        "control: {} updates applied, {} rejected (tolerated), final generation {}{}",
+        c.applied,
+        c.rejected,
+        c.final_generation,
+        if c.halted { ", halted at drain" } else { "" },
+    );
+    let agg = &report.aggregate;
+    println!(
+        "aggregate: {} lookups in {:.3}s -> {:.3} Msps ({:.3} Msps/shard), \
+         cache hit rate {:.3}, counters {}",
+        agg.lookups,
+        report.elapsed.as_secs_f64(),
+        report.aggregate_msps(),
+        report.aggregate_msps() / flags.shards as f64,
+        agg.cache_hit_rate(),
+        if agg.is_balanced() {
+            "balanced (hits + misses == lookups)"
+        } else {
+            "IMBALANCED"
+        },
+    );
+    let es = shared.engine_stats();
+    println!(
+        "recovery: {} re-setup attempts ({} retries, {} failures), \
+         {} degraded parks / {} reclaims, {} rollbacks; degraded mode: {}",
+        es.recovery.resetup_attempts,
+        es.recovery.resetup_retries,
+        es.recovery.resetup_failures,
+        es.recovery.degraded_parks,
+        es.recovery.degraded_reclaims,
+        es.recovery.rollbacks,
+        match es.degraded {
+            DegradedMode::Normal => "normal".to_string(),
+            DegradedMode::Degraded { parked_keys } => format!("DEGRADED ({parked_keys} parked)"),
+        },
+    );
+    if !agg.is_balanced() {
+        return Err("dataplane counters failed to balance after drain".into());
     }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! - [`baselines`] — EBF, Tree Bitmap, tries, TCAM comparators.
 //! - [`hw`] — eDRAM/TCAM power and storage models, FPGA estimator.
 //! - [`workloads`] — synthetic routing tables and BGP update traces.
+//! - [`dataplane`] — the sharded multi-core forwarding daemon.
 //! - [`sim`] — cycle-level pipeline simulator (paper Section 5/7).
 //! - [`classify`] — packet classification from LPM building blocks (Section 8).
 //!
@@ -41,6 +42,7 @@ pub use chisel_baselines as baselines;
 pub use chisel_bloomier as bloomier;
 pub use chisel_classify as classify;
 pub use chisel_core as core;
+pub use chisel_dataplane as dataplane;
 pub use chisel_hash as hash;
 pub use chisel_hw as hw;
 pub use chisel_prefix as prefix;

@@ -149,6 +149,76 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
+fn replay_with_no_trace_is_a_clean_noop() {
+    // Regression: an empty replay (no MRT file, no adversarial stream)
+    // used to die on the rate division; it must print the zeroed
+    // counter summary and exit 0.
+    let dir = tempdir();
+    let table = dir.join("noop-table.txt");
+    let out = router()
+        .args(["synth", "500", table.to_str().unwrap(), "3"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    let out = router()
+        .args(["replay", table.to_str().unwrap()])
+        .output()
+        .expect("empty replay runs");
+    assert!(
+        out.status.success(),
+        "empty replay must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 events"), "{text}");
+    assert!(text.contains("(0 updates/s)"), "{text}");
+    assert!(text.contains("published generation: 0"), "{text}");
+    assert!(text.contains("recovery: 0 re-setup attempts"), "{text}");
+    assert!(text.contains("degraded mode: normal"), "{text}");
+}
+
+#[test]
+fn serve_runs_the_sharded_daemon_to_a_balanced_drain() {
+    let dir = tempdir();
+    let table = dir.join("serve-table.txt");
+    let out = router()
+        .args(["synth", "2000", table.to_str().unwrap(), "13"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    let out = router()
+        .args([
+            "serve",
+            table.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--duration",
+            "0.3",
+            "--adversarial=2000",
+        ])
+        .output()
+        .expect("serve runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dataplane: 2 shard(s)"), "{text}");
+    assert!(text.contains("shard 0:"), "{text}");
+    assert!(text.contains("shard 1:"), "{text}");
+    assert!(text.contains("control:"), "{text}");
+    assert!(text.contains("Msps"), "{text}");
+    assert!(
+        text.contains("counters balanced (hits + misses == lookups)"),
+        "{text}"
+    );
+    assert!(!text.contains("IMBALANCE"), "{text}");
+}
+
+#[test]
 fn check_verifies_synthesized_table() {
     let dir = tempdir();
     let table = dir.join("check-table.txt");
