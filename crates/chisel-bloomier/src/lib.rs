@@ -37,11 +37,12 @@ mod error;
 mod filter;
 mod packed;
 mod partition;
+pub mod simd;
 
 pub use checksum::ChecksumBloomier;
 pub use error::BloomierError;
-pub use filter::{BloomierFilter, Built};
-pub use packed::PackedWords;
+pub use filter::{index_xor_lookup, BloomierFilter, Built};
+pub use packed::{entries_per_line, IndexLayout, PackedWords};
 pub use partition::{PartitionedBloomier, RebuildCandidate};
 
 /// Hints the CPU to pull the cache line holding `value` toward L1.
@@ -49,8 +50,8 @@ pub use partition::{PartitionedBloomier, RebuildCandidate};
 /// Used by the software-pipelined batch lookup to overlap the dependent
 /// Index → Filter → Result table reads of one key with the independent
 /// probes of its lane neighbors. Compiles to `prefetcht0` on x86-64 and
-/// to nothing elsewhere — it is purely a scheduling hint, never required
-/// for correctness.
+/// `prfm pldl1keep` on aarch64, and to nothing elsewhere — it is purely a
+/// scheduling hint, never required for correctness.
 #[inline(always)]
 pub fn prefetch_read<T>(value: &T) {
     #[cfg(target_arch = "x86_64")]
@@ -62,6 +63,18 @@ pub fn prefetch_read<T>(value: &T) {
             core::arch::x86_64::_MM_HINT_T0,
         );
     }
-    #[cfg(not(target_arch = "x86_64"))]
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: `prfm` is architecturally a hint: it cannot fault, cannot
+    // trap, and touches no registers beyond reading the address operand
+    // (`core::arch::aarch64::_prefetch` is nightly-only, hence inline
+    // asm on stable). Any address is permissible, valid or not.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{addr}]",
+            addr = in(reg) std::ptr::from_ref(value),
+            options(readonly, nostack, preserves_flags)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
     let _ = value;
 }

@@ -80,6 +80,7 @@ impl ChiselLpm {
             flap_absorption: config.flap_absorption,
             build_threads: threads,
             resetup_retries: config.resetup_retries,
+            blocked_index: config.blocked_index,
         };
 
         // Phase A: group prefixes per cell by collapsed key. Contiguous
@@ -251,48 +252,71 @@ impl ChiselLpm {
     /// Panics if `keys` and `out` differ in length, or (debug builds) on
     /// a key-family mismatch.
     pub fn lookup_batch(&self, keys: &[Key], out: &mut [Option<NextHop>]) {
+        // Full-depth lanes: with d-partitioned cells a wave needs several
+        // keys *per partition* to fill 4-wide gather groups, and the
+        // lane-depth sweep in `chisel-bench` measures 64 fastest on both
+        // uniform and Zipf streams; `lookup_batch_lanes` exposes the knob.
+        self.lookup_batch_lanes(keys, out, 64);
+    }
+
+    /// [`ChiselLpm::lookup_batch`] with an explicit lane depth.
+    ///
+    /// `lanes` is the number of keys in flight at once (clamped to
+    /// `1..=64`); deeper lanes hide more DRAM latency per prefetch wave
+    /// and give the vectorized Index Table probe more lanes per gather,
+    /// at the cost of more prefetched lines resident at once. The
+    /// access-budget sweep in `chisel-bench` measures this trade-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length, or (debug builds) on
+    /// a key-family mismatch.
+    pub fn lookup_batch_lanes(&self, keys: &[Key], out: &mut [Option<NextHop>], lanes: usize) {
         assert_eq!(
             keys.len(),
             out.len(),
             "lookup_batch requires matching key/output slices"
         );
-        // Keys in flight at once; sized so a lane's worth of prefetched
-        // cache lines comfortably fits in L1.
-        const LANES: usize = 16;
-        for (kc, oc) in keys.chunks(LANES).zip(out.chunks_mut(LANES)) {
-            let mut done = [false; LANES];
+        const MAX_LANES: usize = 64;
+        let lanes = lanes.clamp(1, MAX_LANES);
+        for (kc, oc) in keys.chunks(lanes).zip(out.chunks_mut(lanes)) {
+            let mut done = [false; MAX_LANES];
             // Cells are probed longest-base first, exactly like the
             // scalar path; a key leaves the lane at its first match.
             for cell in self.cells.iter().rev() {
                 if cell.is_empty() {
                     continue; // no live group can match — skip the cell
                 }
-                // Stage 1: collapse + hash each lane key once for this
-                // cell, then kick off the Index Table (Bloomier) probes.
-                // The prepared digest is reused by every later stage.
-                let mut prep = [PreparedKey::default(); LANES];
+                // Stage 1: collapse + hash each still-live lane key once
+                // for this cell, then kick off the Index Table (Bloomier)
+                // probes. Live lanes are compacted to the front so the
+                // batched slot resolver sees a dense digest array; the
+                // prepared digest is reused by every later stage.
+                let mut prep = [PreparedKey::default(); MAX_LANES];
+                let mut lane_of = [0usize; MAX_LANES];
+                let mut live = 0usize;
                 for (i, key) in kc.iter().enumerate() {
                     if !done[i] {
                         debug_assert_eq!(key.family(), self.config.family);
-                        prep[i] = cell.prepare(key.value());
-                        cell.prefetch_index(&prep[i]);
+                        prep[live] = cell.prepare(key.value());
+                        cell.prefetch_index(&prep[live]);
+                        lane_of[live] = i;
+                        live += 1;
                     }
                 }
-                // Stage 2: resolve slots; prefetch Filter/Bit-vector rows.
-                let mut slots = [0u32; LANES];
-                for i in 0..kc.len() {
-                    if !done[i] {
-                        slots[i] = cell.probe_slot(&prep[i]);
-                        cell.prefetch_row(slots[i]);
-                    }
+                // Stage 2: resolve every live slot in one call (AVX2
+                // gather lanes when available, scalar otherwise); prefetch
+                // the Filter/Bit-vector rows they name.
+                let mut slots = [0u32; MAX_LANES];
+                cell.probe_slots(&prep[..live], &mut slots[..live]);
+                for &slot in &slots[..live] {
+                    cell.prefetch_row(slot);
                 }
                 // Stage 3: validate and read out the next hops.
-                for i in 0..kc.len() {
-                    if !done[i] {
-                        if let Some(nh) = cell.lookup_at(slots[i], &prep[i]) {
-                            oc[i] = Some(nh);
-                            done[i] = true;
-                        }
+                for j in 0..live {
+                    if let Some(nh) = cell.lookup_at(slots[j], &prep[j]) {
+                        oc[lane_of[j]] = Some(nh);
+                        done[lane_of[j]] = true;
                     }
                 }
                 if done[..kc.len()].iter().all(|&d| d) {
@@ -771,7 +795,10 @@ mod tests {
     #[test]
     fn storage_matches_section5_packed_model() {
         use chisel_prefix::bits::addr_bits;
-        let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        // The flat layout is the exact Section 5 model; the blocked
+        // default adds per-line padding, covered by the test below.
+        let engine =
+            ChiselLpm::build(&small_table(), ChiselConfig::ipv4().blocked_index(false)).unwrap();
         let geometry = engine.index_geometry();
         // Section 5 storage model: every Index Table entry is a packed
         // w = ceil(log2(table depth)) bit pointer, and the reported
@@ -791,6 +818,29 @@ mod tests {
         let arena = engine.index_arena_bits();
         assert!(arena >= model_bits);
         assert!(arena - model_bits < 64 * partitions);
+    }
+
+    #[test]
+    fn blocked_arena_rounds_to_whole_lines() {
+        use chisel_prefix::bits::addr_bits;
+        let engine = ChiselLpm::build(&small_table(), ChiselConfig::ipv4()).unwrap();
+        let geometry = engine.index_geometry();
+        // Blocking rounds m itself up to whole cache-line blocks, so the
+        // logical m * w model still prices every entry exactly...
+        let mut model_bits = 0u64;
+        let mut line_bits = 0u64;
+        for &(m, w, capacity) in &geometry {
+            assert_eq!(w, addr_bits(capacity), "w must be ceil(log2(depth))");
+            let epl = 512 / w as usize;
+            assert_eq!(m % epl, 0, "blocked m must be whole 64-byte lines");
+            model_bits += m as u64 * w as u64;
+            line_bits += (m / epl) as u64 * 512;
+        }
+        assert_eq!(engine.storage().index_bits, model_bits);
+        // ...and the physical arena is exactly whole 64-byte lines: the
+        // per-line pad of 512 - epl * w (< w) bits is the storage price
+        // of the one-cache-line-per-lookup guarantee.
+        assert_eq!(engine.index_arena_bits(), line_bits);
     }
 
     #[test]

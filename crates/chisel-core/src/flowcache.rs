@@ -199,6 +199,22 @@ impl FlowCache {
     ///
     /// Panics if `keys` and `out` differ in length.
     pub fn lookup_batch(&mut self, engine: &ChiselLpm, keys: &[Key], out: &mut [Option<NextHop>]) {
+        self.lookup_batch_lanes(engine, keys, out, 64);
+    }
+
+    /// [`FlowCache::lookup_batch`] with an explicit lane depth for the
+    /// miss sweep (see [`ChiselLpm::lookup_batch_lanes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `out` differ in length.
+    pub fn lookup_batch_lanes(
+        &mut self,
+        engine: &ChiselLpm,
+        keys: &[Key],
+        out: &mut [Option<NextHop>],
+        lanes: usize,
+    ) {
         assert_eq!(
             keys.len(),
             out.len(),
@@ -223,7 +239,7 @@ impl FlowCache {
         }
         self.miss_out.clear();
         self.miss_out.resize(self.miss_keys.len(), None);
-        engine.lookup_batch(&self.miss_keys, &mut self.miss_out);
+        engine.lookup_batch_lanes(&self.miss_keys, &mut self.miss_out, lanes);
         for j in 0..self.miss_keys.len() {
             let key = self.miss_keys[j];
             let hop = self.miss_out[j];

@@ -33,6 +33,12 @@ pub struct LookupTrace {
     /// because a partition re-setup exhausted its retry budget
     /// (Section 4.4.2 failure path). A subset of `spill_hits`.
     pub degraded_hits: usize,
+    /// Modeled 64-byte cache lines a cold pass over the data path touches:
+    /// one per Index Table probe group (1 line blocked, `k` lines flat),
+    /// one each for the Filter and Bit-vector rows, one per Result Table
+    /// read. Flow-cache hits and spillover-TCAM index hits add nothing —
+    /// this is the software analogue of the DESIGN.md §11 access budget.
+    pub cache_lines_touched: u64,
 }
 
 impl LookupTrace {
@@ -59,6 +65,7 @@ impl LookupTrace {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.degraded_hits += other.degraded_hits;
+        self.cache_lines_touched += other.cache_lines_touched;
     }
 }
 
@@ -308,6 +315,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 1,
             degraded_hits: 0,
+            cache_lines_touched: 6,
         };
         assert_eq!(t.total_reads(), 10);
         assert_eq!(LookupTrace::SEQUENTIAL_DEPTH, 4);
@@ -324,6 +332,7 @@ mod tests {
             cache_hits: 6,
             cache_misses: 7,
             degraded_hits: 8,
+            cache_lines_touched: 9,
         };
         let b = LookupTrace {
             index_reads: 10,
@@ -334,6 +343,7 @@ mod tests {
             cache_hits: 60,
             cache_misses: 70,
             degraded_hits: 80,
+            cache_lines_touched: 90,
         };
         let mut m = a;
         m.merge(&b);
@@ -348,6 +358,7 @@ mod tests {
                 cache_hits: 66,
                 cache_misses: 77,
                 degraded_hits: 88,
+                cache_lines_touched: 99,
             }
         );
         // Merging the default is the identity.

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use chisel_bloomier::{BloomierError, PartitionedBloomier};
+use chisel_bloomier::{BloomierError, IndexLayout, PartitionedBloomier};
 use chisel_hash::KeyDigest;
 use chisel_prefix::bits::{addr_bits, extract_msb};
 use chisel_prefix::collapse::CellRange;
@@ -68,6 +68,9 @@ pub(crate) struct CellParams {
     /// Salted setup attempts per partition re-setup before the update
     /// degrades into the spillover TCAM.
     pub resetup_retries: u32,
+    /// Whether Index Table partitions use the cache-line-blocked layout
+    /// (one 64-byte line per cold lookup instead of `k`).
+    pub blocked_index: bool,
 }
 
 /// Outcome of a sub-cell announce, refined by the engine into an
@@ -150,11 +153,16 @@ impl SubCell {
             params,
             // Index Table entries are slot pointers: w = ceil(log2(depth))
             // bits each (the Section 5 storage model), bit-packed.
-            index: PartitionedBloomier::empty_packed(
+            index: PartitionedBloomier::empty_packed_layout(
                 params.k,
                 ((capacity as f64) * params.m_per_key).ceil() as usize,
                 params.partitions,
                 addr_bits(capacity),
+                if params.blocked_index {
+                    IndexLayout::Blocked
+                } else {
+                    IndexLayout::Flat
+                },
                 cell_seed(params.seed, range.base),
             ),
             filter: CowTable::from_fn(capacity, |_| FilterEntry {
@@ -224,14 +232,16 @@ impl SubCell {
         // Phase 3: the d independent Bloomier partition setups run
         // concurrently (Section 4.4.2); partitions are installed and
         // spills concatenated in partition order.
-        let (index, spilled) = PartitionedBloomier::build_with_threads(
+        let (index, spilled) = PartitionedBloomier::build_with_threads_layout(
             self.params.k,
             self.index.total_m(),
             self.index.d(),
             self.index.value_bits(),
+            self.index.layout(),
             self.index.seed(),
             &keys,
             threads,
+            self.params.resetup_retries.max(1),
         )?;
         self.index = index;
         self.spill = spilled;
@@ -392,6 +402,18 @@ impl SubCell {
         }
     }
 
+    /// Modeled cold-cache lines one Index Table probe costs: one 64-byte
+    /// line under the blocked layout (all `k` probes share it), `k` lines
+    /// under the flat layout (each probe may land on a distinct line) —
+    /// the quantity the DESIGN.md §11 access budget is written against.
+    #[inline]
+    fn index_probe_lines(&self) -> u64 {
+        match self.index.layout() {
+            IndexLayout::Blocked => 1,
+            IndexLayout::Flat => self.params.k as u64,
+        }
+    }
+
     /// Full data-path lookup for a key, tracing memory accesses.
     pub fn lookup(&self, key_value: u128, trace: &mut LookupTrace) -> Option<NextHop> {
         let collapsed = self.collapse_key(key_value);
@@ -404,11 +426,13 @@ impl SubCell {
             }
             s
         } else {
+            trace.cache_lines_touched += self.index_probe_lines();
             self.index.lookup(collapsed)
         };
         let entry = self.filter.get(slot as usize)?;
         trace.filter_reads += 1;
         trace.bitvec_reads += 1; // read in parallel with the filter check
+        trace.cache_lines_touched += 2; // one line each: filter row, bit-vector row
         if !entry.valid || entry.dirty || entry.key != collapsed {
             return None; // no match or false positive filtered out
         }
@@ -421,6 +445,7 @@ impl SubCell {
         debug_assert!(bv.block.is_some(), "set leaf implies allocated block");
         let block = bv.block?;
         trace.result_reads += 1;
+        trace.cache_lines_touched += 1;
         Some(self.result.read(block, rank - 1))
     }
 
@@ -441,6 +466,36 @@ impl SubCell {
             s
         } else {
             self.index.lookup_digest(p.digest)
+        }
+    }
+
+    /// Lane-granular stage 2 of the batch pipeline: resolves candidate
+    /// slots for a whole group of prepared keys at once. The Index Table
+    /// probes go through the partition-bucketed SIMD batch kernel
+    /// ([`PartitionedBloomier::lookup_digest_batch`]); spillover-TCAM hits
+    /// then override their lanes, preserving the TCAM-before-Index search
+    /// order of [`SubCell::probe_slot`] exactly.
+    pub fn probe_slots(&self, prepared: &[PreparedKey], slots: &mut [u32]) {
+        debug_assert_eq!(prepared.len(), slots.len());
+        const MAX: usize = 64;
+        if prepared.len() > MAX {
+            for (s, p) in slots.iter_mut().zip(prepared) {
+                *s = self.probe_slot(p);
+            }
+            return;
+        }
+        let mut digests = [KeyDigest::default(); MAX];
+        for (d, p) in digests.iter_mut().zip(prepared) {
+            *d = p.digest;
+        }
+        self.index
+            .lookup_digest_batch(&digests[..prepared.len()], slots);
+        if !self.spill.is_empty() {
+            for (s, p) in slots.iter_mut().zip(prepared) {
+                if let Some(sp) = self.spill_slot(p.collapsed) {
+                    *s = sp;
+                }
+            }
         }
     }
 

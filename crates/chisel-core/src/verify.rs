@@ -187,13 +187,11 @@ pub fn verify_image(image: &HardwareImage) -> VerifyReport {
                     Some(&(_, s)) => s,
                     None => {
                         let d = cell.index_parts.len();
-                        let part = &cell.index_parts[cell.selector.hash_one(0, fw.key, d)];
-                        let m = part.words.len();
-                        let mut acc = 0u32;
-                        for i in 0..part.family.k() {
-                            acc ^= part.words.get(part.family.hash_one(i, fw.key, m));
-                        }
-                        acc
+                        let digest = cell.selector.digest(fw.key);
+                        let part = &cell.index_parts[cell.selector.hash_one_digest(0, digest, d)];
+                        // Layout-dispatching shared datapath: flat probes
+                        // or one blocked line, same as the live engine.
+                        chisel_bloomier::index_xor_lookup(&part.family, &part.words, digest) as u32
                     }
                 };
                 if replayed != slot {

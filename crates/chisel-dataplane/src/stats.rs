@@ -197,6 +197,7 @@ mod tests {
                 cache_hits: i * 10,
                 cache_misses: 7,
                 degraded_hits: i * 2 + 1,
+                cache_lines_touched: (i as u64 + 1) * 4,
             },
         }
     }

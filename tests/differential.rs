@@ -123,6 +123,80 @@ fn chisel_agrees_across_seeds() {
     }
 }
 
+/// The full batch matrix for the vectorized cold path: uniform and
+/// zipf-skewed streams, both address families, before and after an
+/// update storm, compared lane-for-lane against the scalar per-key
+/// path on both the blocked (default) and flat Index Table layouts.
+/// With the `simd` feature on (the default) the batch side exercises
+/// the AVX2 gather lanes wherever the host supports them; built with
+/// `--no-default-features` the same test pins the scalar fallback —
+/// CI runs both, so a divergence in either path fails the suite.
+#[test]
+fn batch_lanes_agree_with_scalar_across_matrix() {
+    use chisel::workloads::keystream::{flow_pool, uniform_stream, zipf_stream};
+    let quick = std::env::var_os("CHISEL_BENCH_QUICK").is_some();
+    let (nkeys, depths): (usize, &[usize]) = if quick {
+        (2_000, &[16])
+    } else {
+        (8_000, &[1, 4, 16, 64])
+    };
+    for family in [AddressFamily::V4, AddressFamily::V6] {
+        let (table, base_config) = match family {
+            AddressFamily::V4 => (
+                synthesize(3_000, &PrefixLenDistribution::bgp_ipv4(), 61),
+                ChiselConfig::ipv4(),
+            ),
+            AddressFamily::V6 => {
+                let v4 = synthesize(2_000, &PrefixLenDistribution::bgp_ipv4(), 62);
+                (
+                    chisel::workloads::ipv6::synthesize_ipv6_from_v4_model(2_000, &v4, 62),
+                    ChiselConfig::ipv6(),
+                )
+            }
+        };
+        for blocked in [true, false] {
+            let mut engine =
+                ChiselLpm::build(&table, base_config.clone().blocked_index(blocked)).unwrap();
+            // Two passes: the freshly built engine, then the same engine
+            // after a random announce/withdraw storm (spill entries,
+            // dirty slots, rebuilt partitions all in play).
+            for pass in 0..2 {
+                if pass == 1 {
+                    let mut rng = StdRng::seed_from_u64(63);
+                    let live: Vec<chisel::Prefix> = table.iter().map(|e| e.prefix).collect();
+                    for round in 0..500 {
+                        if rng.gen_bool(0.4) && !live.is_empty() {
+                            let p = live[rng.gen_range(0..live.len())];
+                            let _ = engine.withdraw(p);
+                        } else {
+                            let len = rng.gen_range(1..=family.width());
+                            let bits = rng.gen::<u128>() & chisel_prefix::bits::mask(len);
+                            let p = chisel::Prefix::new(family, bits, len).unwrap();
+                            engine.announce(p, chisel::NextHop::new(round)).unwrap();
+                        }
+                    }
+                }
+                let pool = flow_pool(&table, 1 << 12, 64 + pass as u64);
+                for (name, stream) in [
+                    ("uniform", uniform_stream(&pool, nkeys, 65)),
+                    ("zipf", zipf_stream(&pool, 1.1, nkeys, 66)),
+                ] {
+                    let scalar: Vec<_> = stream.iter().map(|&k| engine.lookup(k)).collect();
+                    for &lanes in depths {
+                        let mut batched = vec![None; stream.len()];
+                        engine.lookup_batch_lanes(&stream, &mut batched, lanes);
+                        assert_eq!(
+                            batched, scalar,
+                            "{family:?} blocked={blocked} pass={pass} \
+                             {name} lanes={lanes} diverged from scalar"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn engines_agree_after_update_storm() {
     // Apply the same random announce/withdraw storm to chisel, treebitmap,

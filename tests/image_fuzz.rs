@@ -161,6 +161,42 @@ fn typed_rejections_name_the_damage() {
     );
 }
 
+/// A cell section that lies about its blocked Index Table geometry —
+/// with the frame checksum recomputed so the lie is *internally
+/// consistent* — must still be rejected with the typed geometry error.
+/// This is the case integrity checking alone cannot catch: the loader
+/// has to cross-check the declared block size against the entry width.
+#[test]
+fn consistent_blocked_geometry_lie_is_rejected() {
+    let b = baseline();
+    let hlen = u64::from_le_bytes(b.bytes[6..14].try_into().unwrap()) as usize;
+    let cell = 18 + hlen;
+    let clen = u64::from_le_bytes(b.bytes[cell..cell + 8].try_into().unwrap()) as usize;
+    let mut body = b.bytes[cell + 12..cell + 12 + clen].to_vec();
+    // Cell body: base 1 + stride 1 + selector 20 + part count 4 + part
+    // family 20 + entry width 4 puts the layout tag at 50.
+    assert_eq!(body[50], 1, "default engine images use the blocked layout");
+    let declared = u32::from_le_bytes(body[51..55].try_into().unwrap());
+    body[51..55].copy_from_slice(&(declared + 1).to_le_bytes());
+    let mut forged = b.bytes[..cell].to_vec();
+    forged.extend((body.len() as u64).to_le_bytes());
+    let mut sum = 0x811C_9DC5u32; // FNV-1a, same as the wire format
+    for &byte in &body {
+        sum ^= u32::from(byte);
+        sum = sum.wrapping_mul(0x0100_0193);
+    }
+    forged.extend(sum.to_le_bytes());
+    forged.extend_from_slice(&body);
+    forged.extend_from_slice(&b.bytes[cell + 12 + clen..]);
+    assert_eq!(
+        HardwareImage::from_bytes(&forged).unwrap_err(),
+        ImageError::BlockGeometryMismatch {
+            declared: declared + 1,
+            expected: declared,
+        }
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 

@@ -37,12 +37,15 @@ use std::path::{Path, PathBuf};
 /// - `snapshot.rs`: epoch-based reclamation (model-checked by the
 ///   loom-lite tests in `crates/chisel-core/tests/loom_snapshot.rs`).
 /// - `packed.rs`: bit-packed arena flat views for hashing.
-/// - `chisel-bloomier/src/lib.rs`: the `_mm_prefetch` intrinsic used by
-///   the pipelined batch lookup.
+/// - `chisel-bloomier/src/lib.rs`: the `_mm_prefetch` / `prfm` prefetch
+///   intrinsics used by the pipelined batch lookup.
+/// - `chisel-bloomier/src/simd.rs`: the AVX2 gather kernel behind the
+///   `simd` feature (runtime-detected; bit-identical scalar fallback).
 pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/chisel-core/src/snapshot.rs",
     "crates/chisel-bloomier/src/packed.rs",
     "crates/chisel-bloomier/src/lib.rs",
+    "crates/chisel-bloomier/src/simd.rs",
 ];
 
 /// Crates owning an allowlisted module; their roots cannot carry
@@ -56,6 +59,7 @@ const UNSAFE_CRATE_ROOTS: &[&str] = &[
 /// `Some(fns)` only the named functions. Test modules are always exempt.
 pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
     ("crates/chisel-bloomier/src/packed.rs", None),
+    ("crates/chisel-bloomier/src/simd.rs", None),
     ("crates/chisel-core/src/bitvector.rs", None),
     ("crates/chisel-core/src/flowcache.rs", None),
     ("crates/chisel-hash/src/digest.rs", None),
@@ -66,6 +70,7 @@ pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
             "lookup_at",
             "prepare",
             "probe_slot",
+            "probe_slots",
             "prefetch_index",
             "prefetch_row",
             "slot_of",
@@ -74,7 +79,20 @@ pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
     ),
     (
         "crates/chisel-core/src/engine.rs",
-        Some(&["lookup", "lookup_traced", "lookup_batch"]),
+        Some(&[
+            "lookup",
+            "lookup_traced",
+            "lookup_batch",
+            "lookup_batch_lanes",
+        ]),
+    ),
+    (
+        "crates/chisel-bloomier/src/partition.rs",
+        Some(&["lookup_digest", "lookup_digest_batch"]),
+    ),
+    (
+        "crates/chisel-bloomier/src/filter.rs",
+        Some(&["index_xor_lookup", "lookup_digest", "probe_bits_into"]),
     ),
     ("crates/chisel-core/src/result_table.rs", Some(&["read"])),
 ];
