@@ -54,6 +54,8 @@ fn flap_writer(shared: SharedChisel, stop: Arc<AtomicBool>, applied: Arc<AtomicU
     let period = Duration::from_micros(1_000_000 / FLAP_UPDATES_PER_S);
     let start = Instant::now();
     let mut i = 0u64;
+    // ORDERING: pure stop-flag poll — the flag guards no data the
+    // writer publishes; the writer's final state is ordered by join().
     while !stop.load(Ordering::Relaxed) {
         let p = flap_prefix(i / 2);
         if i.is_multiple_of(2) {
@@ -64,6 +66,7 @@ fn flap_writer(shared: SharedChisel, stop: Arc<AtomicBool>, applied: Arc<AtomicU
                 .expect("flap announce applies");
         }
         i += 1;
+        // ORDERING: throughput counter, read only after join() below.
         applied.fetch_add(1, Ordering::Relaxed);
         // Pace to the target update rate, applying updates in small
         // bursts (as a router draining its RIB->FIB queue would) and
@@ -125,9 +128,13 @@ fn bench_reader_under_flap(c: &mut Criterion) {
             hits
         })
     });
+    // ORDERING: flag-only stop; the join on the next line is the real
+    // happens-before edge, and the counter loads in the summary below
+    // read strictly after it.
     stop.store(true, Ordering::Relaxed);
     writer.join().expect("flap writer exits cleanly");
     let secs = flap_start.elapsed().as_secs_f64();
+    // ORDERING: both counter loads happen after the writer joined.
     println!(
         "flap writer applied {} updates in {:.1}s ({:.0}/s), final generation {}",
         applied.load(Ordering::Relaxed),

@@ -32,6 +32,9 @@ pub fn index_xor_lookup(family: &HashFamily, words: &PackedWords, d: KeyDigest) 
             let epl = words.line_entries();
             let line = family.block_digest(d, words.len() / epl);
             let mut buf = [0usize; STACK_K];
+            // ALLOC-OK: Vec::new allocates nothing; the heap spill only
+            // materializes for k > STACK_K geometries, off the common
+            // stack-buffer path.
             let mut heap = Vec::new();
             let slots = if family.k() <= STACK_K {
                 &mut buf[..family.k()]
@@ -317,6 +320,8 @@ impl BloomierFilter {
     /// Panics if `out.len() != k`.
     #[inline]
     pub fn probe_bits_into(&self, d: KeyDigest, out: &mut [usize]) {
+        // ASSERT-OK: documented `# Panics` contract, and the length gate
+        // for the SIMD gather that consumes `out`; must hold in release.
         assert_eq!(
             out.len(),
             self.family.k(),

@@ -54,6 +54,7 @@ pub enum IndexLayout {
 /// Panics unless `1 <= value_bits <= 64`.
 #[inline]
 pub fn entries_per_line(value_bits: u32) -> usize {
+    // ASSERT-OK: documented `# Panics` contract on a setup-time helper.
     assert!(
         (1..=64).contains(&value_bits),
         "entry width {value_bits} out of range 1..=64"
@@ -300,6 +301,8 @@ impl PackedWords {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get_wide(&self, i: usize) -> u64 {
+        // ASSERT-OK: documented `# Panics` bounds contract; the bit
+        // arithmetic below is unchecked, so it must hold in release.
         assert!(i < self.len, "entry {i} out of range {}", self.len);
         let bit = self.bit_of(i);
         let (wi, sh) = (bit >> 6, (bit & 63) as u32);
@@ -322,6 +325,8 @@ impl PackedWords {
     pub fn get_in_line(&self, line: usize, slot: usize) -> u64 {
         debug_assert_eq!(self.layout, Blocked, "get_in_line on a flat arena");
         debug_assert!(slot < self.epl, "slot {slot} exceeds line capacity");
+        // ASSERT-OK: documented `# Panics` bounds contract; must hold in
+        // release to keep the in-line read inside the arena.
         assert!(
             line * self.epl + slot < self.len,
             "entry out of range {}",
@@ -342,6 +347,8 @@ impl PackedWords {
     /// Panics if `i >= len` or the value does not fit the entry width.
     #[inline]
     pub fn set_wide(&mut self, i: usize, value: u64) {
+        // ASSERT-OK: documented `# Panics` bounds/width contract; both
+        // checks keep the packed write in range in release builds.
         assert!(i < self.len, "entry {i} out of range {}", self.len);
         assert!(
             value & !self.mask == 0,

@@ -251,6 +251,9 @@ impl PartitionedBloomier {
             std::thread::scope(|scope| {
                 for _ in 0..threads.min(d) {
                     scope.spawn(|| loop {
+                        // ORDERING: work-queue ticket only; each result
+                        // is published through its Mutex slot and the
+                        // scope join orders the final reads.
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= d {
                             break;
@@ -380,6 +383,8 @@ impl PartitionedBloomier {
     ///
     /// Panics if `digests.len() != out.len()`.
     pub fn lookup_digest_batch(&self, digests: &[KeyDigest], out: &mut [u32]) {
+        // ASSERT-OK: documented `# Panics` lane-count contract, checked
+        // once per batch, amortized over every lane.
         assert_eq!(digests.len(), out.len(), "lane count mismatch");
         const MAX_GROUP: usize = 64;
         const MAX_K: usize = 8;

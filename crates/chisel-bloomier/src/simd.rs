@@ -38,11 +38,15 @@ pub fn simd_active() -> bool {
         use std::sync::atomic::{AtomicU8, Ordering};
         // 0 = unprobed, 1 = unavailable, 2 = available.
         static AVX2: AtomicU8 = AtomicU8::new(0);
+        // ORDERING: idempotent memoization of a CPUID probe — racing
+        // threads compute the same value, and the cell guards no other
+        // data, so no edge is needed in either direction.
         match AVX2.load(Ordering::Relaxed) {
             2 => true,
             1 => false,
             _ => {
                 let have = std::arch::is_x86_feature_detected!("avx2");
+                // ORDERING: same idempotent-probe cell as the load above.
                 AVX2.store(if have { 2 } else { 1 }, Ordering::Relaxed);
                 have
             }
@@ -77,6 +81,9 @@ pub fn xor_lanes(
         let flat = words.flat();
         for row in bit_offsets {
             for &bit in row {
+                // ASSERT-OK: bounds gate for the unchecked SIMD gather
+                // below; it must hold in release or the gather reads
+                // out of the arena.
                 assert!((bit >> 6) + 1 < flat.len(), "probe offset out of arena");
             }
         }

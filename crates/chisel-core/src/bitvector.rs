@@ -30,6 +30,8 @@ impl LeafVector {
     /// Panics if `stride > 24` (a 16M-bit vector is far past any sane
     /// hardware provisioning; the paper uses strides around 4).
     pub fn new(stride: u8) -> Self {
+        // ASSERT-OK: documented `# Panics` contract on the cold
+        // construction path.
         assert!(stride <= 24, "stride {stride} unreasonably large");
         let leaves = 1usize << stride;
         let nwords = leaves.div_ceil(64);
@@ -83,6 +85,9 @@ impl LeafVector {
     /// Panics if `i >= leaves`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
+        // ASSERT-OK: documented `# Panics` contract; `leaves` is not a
+        // word multiple, so slice indexing alone would let the rounded-
+        // up tail read garbage in release instead of failing.
         assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
@@ -94,6 +99,8 @@ impl LeafVector {
     /// Panics if `i >= leaves`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
+        // ASSERT-OK: documented `# Panics` contract; same rounded-up
+        // tail hazard as `get`.
         assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
         let w = i / 64;
         let mask = 1u64 << (i % 64);
@@ -122,6 +129,8 @@ impl LeafVector {
     /// Panics if `i >= leaves`.
     #[inline]
     pub fn rank(&self, i: usize) -> usize {
+        // ASSERT-OK: documented `# Panics` contract; same rounded-up
+        // tail hazard as `get`.
         assert!(i < self.leaves);
         let w = i / 64;
         let partial_bits = (i % 64) + 1;

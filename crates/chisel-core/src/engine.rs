@@ -272,6 +272,8 @@ impl ChiselLpm {
     /// Panics if `keys` and `out` differ in length, or (debug builds) on
     /// a key-family mismatch.
     pub fn lookup_batch_lanes(&self, keys: &[Key], out: &mut [Option<NextHop>], lanes: usize) {
+        // ASSERT-OK: documented `# Panics` contract, checked once per
+        // batch, amortized over every key.
         assert_eq!(
             keys.len(),
             out.len(),

@@ -101,6 +101,8 @@ impl FlowCache {
             hasher: MixHasher::from_rng(&mut rng),
             hits: 0,
             misses: 0,
+            // ALLOC-OK: empty scratch buffers on the cold construction
+            // path; the batch loop reuses them without reallocating.
             miss_idx: Vec::new(),
             miss_keys: Vec::new(),
             miss_out: Vec::new(),
@@ -215,6 +217,8 @@ impl FlowCache {
         out: &mut [Option<NextHop>],
         lanes: usize,
     ) {
+        // ASSERT-OK: documented `# Panics` contract, checked once per
+        // batch, amortized over every key.
         assert_eq!(
             keys.len(),
             out.len(),
@@ -269,6 +273,8 @@ impl FlowCache {
         out: &mut [Option<NextHop>],
         trace: &mut LookupTrace,
     ) {
+        // ASSERT-OK: documented `# Panics` contract, checked once per
+        // batch, amortized over every key.
         assert_eq!(
             keys.len(),
             out.len(),

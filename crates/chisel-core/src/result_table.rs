@@ -103,6 +103,10 @@ impl ResultTable {
     /// Panics if `offset` exceeds the block capacity.
     #[inline]
     pub fn read(&self, block: Block, offset: usize) -> NextHop {
+        // ASSERT-OK: documented `# Panics` contract; an offset past the
+        // block can still land inside `data`, so without this release
+        // check a malformed table would silently return a neighboring
+        // block's next hop.
         assert!(offset < block.capacity(), "offset beyond block");
         self.data[block.ptr as usize + offset]
     }

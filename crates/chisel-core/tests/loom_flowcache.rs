@@ -1,0 +1,158 @@
+//! Exhaustive model-checking of `CachedReader` + `FlowCache` generation
+//! coherence against concurrent snapshot publishes — the protocol PR 6
+//! shipped with only schedule-sampling tests.
+//!
+//! Only compiled under `RUSTFLAGS="--cfg loom_lite"`, which swaps
+//! `SnapshotCell`'s atomics for the virtual shims, so every pin, load
+//! and publish is a scheduling point and the DFS explores every
+//! reader/writer interleaving within the preemption budget. The
+//! property under check is the one the dataplane's differential replay
+//! leans on: `lookup_batch_pinned` returns a generation `g`, and every
+//! answer in the batch must equal the routing state *at exactly `g`* —
+//! a cache entry surviving a publish (stale hit) or a torn batch
+//! (answers from two generations) both fail the assertion on the
+//! schedule that exposes them.
+#![cfg(loom_lite)]
+
+use chisel_core::{ChiselConfig, SharedChisel};
+use chisel_prefix::{AddressFamily, Key, NextHop, RoutingTable};
+
+fn key(v: u128) -> Key {
+    Key::from_raw(AddressFamily::V4, v)
+}
+
+/// A tiny engine (one /8) built sequentially: the model closure re-runs
+/// once per explored schedule, so the build must be cheap and must not
+/// spawn native worker threads behind the virtual scheduler's back.
+fn tiny_shared() -> SharedChisel {
+    let mut t = RoutingTable::new_v4();
+    t.insert("10.0.0.0/8".parse().unwrap(), NextHop::new(1));
+    SharedChisel::build(&t, ChiselConfig::ipv4().build_threads(1)).unwrap()
+}
+
+/// The answers the routing state holds at generation `g`: the /8 is
+/// always there; the /16 exists only from generation 1 on.
+fn expected_at(g: u64, inside_16: bool) -> Option<NextHop> {
+    if inside_16 && g >= 1 {
+        Some(NextHop::new(2))
+    } else {
+        Some(NextHop::new(1))
+    }
+}
+
+/// One cached reader racing one publish: across every schedule, each
+/// batch's answers must match the batch's own reported generation, the
+/// generation must never go backwards, and a batch after the writer
+/// joins must see the publication.
+#[test]
+fn batch_answers_match_their_pinned_generation() {
+    loom_lite::model(|| {
+        let shared = tiny_shared();
+        // Probe A is inside the /16 the writer publishes, so its answer
+        // changes at generation 1; probe B sits only under the /8.
+        let probes = [key(0x0A01_0000), key(0x0AFF_0001)];
+        let mut reader = shared.reader_with_capacity(8);
+
+        let writer = {
+            let shared = shared.clone();
+            loom_lite::thread::spawn(move || {
+                shared
+                    .announce("10.1.0.0/16".parse().unwrap(), NextHop::new(2))
+                    .unwrap();
+            })
+        };
+
+        let mut out = [None, None];
+        // First batch warms the cache at whatever generation it pins.
+        let g1 = reader.lookup_batch_pinned(&probes, &mut out);
+        assert!(g1 <= 1, "phantom generation {g1}");
+        assert_eq!(out[0], expected_at(g1, true), "probe A torn at g{g1}");
+        assert_eq!(out[1], expected_at(g1, false), "probe B torn at g{g1}");
+
+        // Second batch may observe the publish mid-run; stale cache
+        // entries from g1 must not leak into a batch stamped g2.
+        let g2 = reader.lookup_batch_pinned(&probes, &mut out);
+        assert!(g2 >= g1, "generation went backwards: {g1} -> {g2}");
+        assert_eq!(out[0], expected_at(g2, true), "stale cached A at g{g2}");
+        assert_eq!(out[1], expected_at(g2, false), "stale cached B at g{g2}");
+
+        writer.join().unwrap();
+        // The writer joined: its publication must be visible and the
+        // cache must revalidate against it.
+        let g3 = reader.lookup_batch_pinned(&probes, &mut out);
+        assert_eq!(g3, 1, "publication lost after join");
+        assert_eq!(out[0], expected_at(1, true));
+        assert_eq!(out[1], expected_at(1, false));
+
+        // Hit/miss accounting never loses a lane, in any interleaving.
+        let cache = reader.cache();
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            3 * probes.len() as u64,
+            "flow-cache counters lost a lane"
+        );
+    });
+}
+
+/// Two readers with private caches across one publish: coherence is
+/// per-reader (no shared cache state). One reader races the writer
+/// through every interleaving; the other warms its cache strictly
+/// before the publish and must revalidate strictly after it — the
+/// wholesale-invalidation edge of the generation stamp.
+///
+/// (The two phases are deliberately not three-way concurrent: under
+/// `loom_lite` the `SnapshotCell` has [`SLOTS`] = 2 reader pin slots,
+/// and the writer's `load_owned` pins too, so a third concurrent pinner
+/// would spin against an exhausted preemption budget and trip the
+/// step bound, not find anything.)
+#[test]
+fn private_caches_stay_coherent_independently() {
+    loom_lite::model(|| {
+        let shared = tiny_shared();
+        let probe = key(0x0AFF_0001);
+        let want = |g: u64| {
+            if g >= 1 {
+                Some(NextHop::new(3))
+            } else {
+                Some(NextHop::new(1))
+            }
+        };
+
+        // Phase 1 (no concurrency): warm the main reader's cache at
+        // generation 0.
+        let mut r = shared.reader_with_capacity(4);
+        let mut out = [None];
+        let ga = r.lookup_batch_pinned(&[probe], &mut out);
+        assert_eq!(ga, 0);
+        assert_eq!(out[0], want(0));
+
+        // Phase 2: the other reader races the publish — every
+        // interleaving of its pin against the writer's clone/publish.
+        let writer = {
+            let shared = shared.clone();
+            loom_lite::thread::spawn(move || {
+                shared
+                    .announce("10.255.0.0/16".parse().unwrap(), NextHop::new(3))
+                    .unwrap();
+            })
+        };
+        let other = {
+            let shared = shared.clone();
+            loom_lite::thread::spawn(move || {
+                let mut r = shared.reader_with_capacity(4);
+                let mut out = [None];
+                let g = r.lookup_batch_pinned(&[probe], &mut out);
+                assert_eq!(out[0], want(g), "racing reader incoherent at g{g}");
+            })
+        };
+        writer.join().unwrap();
+        other.join().unwrap();
+
+        // Phase 3: the main reader's generation-0 cache entry is stale
+        // now; the stamp must force revalidation, not serve hop 1.
+        let gb = r.lookup_batch_pinned(&[probe], &mut out);
+        assert_eq!(gb, 1, "publication not visible after join");
+        assert_eq!(out[0], want(1), "stale cache hit served after publish");
+        assert_eq!(shared.generation(), 1);
+    });
+}

@@ -260,6 +260,9 @@ impl Dataplane {
             let mut per_shard = Vec::with_capacity(n);
             let mut records = Vec::with_capacity(n);
             for h in shard_handles {
+                // PANIC-OK: propagating a worker panic is `run`'s
+                // documented `# Panics` contract; swallowing it here
+                // would report a fake clean drain.
                 let (stats, recs) = h.join().expect("dataplane shard panicked");
                 per_shard.push(stats);
                 records.push(recs);
@@ -267,6 +270,8 @@ impl Dataplane {
             let elapsed = start.elapsed();
             per_shard.sort_by_key(|s| s.shard);
             let control = match control_handle {
+                // PANIC-OK: same propagation contract as the shard join
+                // above.
                 Some(h) => h.join().expect("dataplane control plane panicked"),
                 None => ControlReport {
                     final_generation: self.shared.generation(),

@@ -47,6 +47,8 @@ where
             scope.spawn(|| {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
+                    // ORDERING: work-queue ticket only; results travel
+                    // through the gathered Mutex and the scope join.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;

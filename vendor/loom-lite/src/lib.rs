@@ -50,6 +50,9 @@
 
 #![forbid(unsafe_code)]
 
+#[doc(hidden)]
+pub mod mpsc;
+pub mod race;
 mod scheduler;
 pub mod sync;
 pub mod thread;
@@ -198,5 +201,223 @@ mod tests {
         assert_eq!(a.load(SeqCst), 42);
         let m = Mutex::new(7);
         assert_eq!(*m.lock().unwrap(), 7);
+    }
+
+    mod race_detection {
+        use crate::race::RaceCell;
+        use crate::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::Mutex;
+        use std::sync::Arc;
+
+        fn rejects(f: impl Fn() + Send + Sync + 'static, what: &str) {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::Builder::new().check(f)
+            }));
+            let msg = match result {
+                Ok(()) => panic!("model accepted {what}"),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_default(),
+            };
+            assert!(
+                msg.contains("data race"),
+                "{what} failed for the wrong reason: {msg}"
+            );
+        }
+
+        #[test]
+        fn rejects_unsynchronized_write_write() {
+            rejects(
+                || {
+                    let c = Arc::new(RaceCell::new(0u64));
+                    let c2 = Arc::clone(&c);
+                    let t = crate::thread::spawn(move || c2.set(1));
+                    c.set(2);
+                    t.join().unwrap();
+                },
+                "a write/write race",
+            );
+        }
+
+        #[test]
+        fn rejects_unsynchronized_read_write() {
+            rejects(
+                || {
+                    let c = Arc::new(RaceCell::new(0u64));
+                    let c2 = Arc::clone(&c);
+                    let t = crate::thread::spawn(move || c2.get());
+                    c.set(2);
+                    t.join().unwrap();
+                },
+                "a read/write race",
+            );
+        }
+
+        #[test]
+        fn rejects_relaxed_message_passing() {
+            // The seeded-race fixture: data published over a Relaxed
+            // flag. Every interleaving is SC (the reader only touches
+            // the cell after seeing flag == 1), so only the missing
+            // happens-before edge makes this wrong — exactly what the
+            // vector clocks must catch.
+            rejects(
+                || {
+                    let data = Arc::new(RaceCell::new(0u64));
+                    let flag = Arc::new(AtomicUsize::new(0));
+                    let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                    let t = crate::thread::spawn(move || {
+                        d2.set(42);
+                        f2.store(1, Ordering::Relaxed);
+                    });
+                    if flag.load(Ordering::Relaxed) == 1 {
+                        assert_eq!(data.get(), 42);
+                    }
+                    t.join().unwrap();
+                },
+                "Relaxed message passing",
+            );
+        }
+
+        #[test]
+        fn accepts_release_acquire_message_passing() {
+            crate::model(|| {
+                let data = Arc::new(RaceCell::new(0u64));
+                let flag = Arc::new(AtomicUsize::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let t = crate::thread::spawn(move || {
+                    d2.set(42);
+                    f2.store(1, Ordering::Release);
+                });
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.get(), 42);
+                }
+                t.join().unwrap();
+            });
+        }
+
+        #[test]
+        fn accepts_mutex_guarded_data() {
+            crate::model(|| {
+                let cell = Arc::new(RaceCell::new(0u64));
+                let lock = Arc::new(Mutex::new(()));
+                let (c2, l2) = (Arc::clone(&cell), Arc::clone(&lock));
+                let t = crate::thread::spawn(move || {
+                    let _g = l2.lock().unwrap();
+                    c2.with_mut(|v| *v += 1);
+                });
+                {
+                    let _g = lock.lock().unwrap();
+                    cell.with_mut(|v| *v += 1);
+                }
+                t.join().unwrap();
+                assert_eq!(cell.get(), 2);
+            });
+        }
+
+        #[test]
+        fn accepts_join_ordered_data() {
+            crate::model(|| {
+                let cell = Arc::new(RaceCell::new(0u64));
+                let c2 = Arc::clone(&cell);
+                let t = crate::thread::spawn(move || c2.set(7));
+                t.join().unwrap();
+                assert_eq!(cell.get(), 7);
+            });
+        }
+
+        #[test]
+        fn accepts_rmw_release_sequence() {
+            // A fetch_add(AcqRel) chain orders both participants' prior
+            // writes for whoever acquires afterwards.
+            crate::model(|| {
+                let cell = Arc::new(RaceCell::new(0u64));
+                let gate = Arc::new(AtomicUsize::new(0));
+                let (c2, g2) = (Arc::clone(&cell), Arc::clone(&gate));
+                let t = crate::thread::spawn(move || {
+                    c2.with_mut(|v| *v += 1);
+                    g2.fetch_add(1, Ordering::AcqRel);
+                });
+                if gate.fetch_add(1, Ordering::AcqRel) == 1 {
+                    // The child's fetch_add came first: its write to
+                    // the cell happens-before this read.
+                    assert_eq!(cell.get(), 1);
+                }
+                t.join().unwrap();
+            });
+        }
+
+        #[test]
+        fn outside_a_model_racecell_is_a_plain_cell() {
+            let c = RaceCell::new(5u32);
+            c.set(6);
+            assert_eq!(c.get(), 6);
+            assert_eq!(c.into_inner(), 6);
+        }
+    }
+
+    mod channel {
+        use crate::race::RaceCell;
+        use crate::sync::mpsc;
+        use std::sync::Arc;
+
+        #[test]
+        fn delivers_in_order_and_disconnects() {
+            crate::model(|| {
+                let (tx, rx) = mpsc::sync_channel::<u32>(2);
+                let t = crate::thread::spawn(move || {
+                    for i in 0..4 {
+                        tx.send(i).unwrap();
+                    }
+                    // tx drops here: the receiver must observe
+                    // disconnection after the last message.
+                });
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                t.join().unwrap();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            });
+        }
+
+        #[test]
+        fn send_orders_data_for_the_receiver() {
+            // The channel hand-off must be a happens-before edge: the
+            // receiver touches the cell the sender wrote, with no other
+            // synchronization.
+            crate::model(|| {
+                let cell = Arc::new(RaceCell::new(0u64));
+                let c2 = Arc::clone(&cell);
+                let (tx, rx) = mpsc::sync_channel::<()>(1);
+                let t = crate::thread::spawn(move || {
+                    c2.set(9);
+                    tx.send(()).unwrap();
+                });
+                if rx.recv().is_ok() {
+                    assert_eq!(cell.get(), 9);
+                }
+                t.join().unwrap();
+            });
+        }
+
+        #[test]
+        fn send_fails_once_the_receiver_is_gone() {
+            crate::model(|| {
+                let (tx, rx) = mpsc::sync_channel::<u32>(1);
+                drop(rx);
+                assert!(tx.send(1).is_err());
+            });
+        }
+
+        #[test]
+        fn works_outside_the_model() {
+            let (tx, rx) = mpsc::sync_channel::<u32>(4);
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            drop((tx, tx2));
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+        }
     }
 }

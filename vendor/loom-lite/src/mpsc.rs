@@ -1,0 +1,198 @@
+//! Virtual bounded multi-producer single-consumer channels.
+//!
+//! [`sync_channel`] mirrors `std::sync::mpsc::sync_channel`: inside a
+//! [`crate::model`] execution sends and receives are scheduling points,
+//! a full channel blocks the sender and an empty one blocks the receiver
+//! (so the DFS explores both sides of every rendezvous, and a stuck
+//! protocol surfaces as a model deadlock instead of a hung test).
+//! Each successful send records a release edge and each successful
+//! receive an acquire edge on the channel, so data handed across the
+//! channel is happens-before ordered for the [`crate::race::RaceCell`]
+//! checker — the exact guarantee real channels provide.
+//!
+//! Outside a model both ends delegate to `std::sync::mpsc`.
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+use crate::scheduler::{self, Channel};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// Shared state of one virtual channel.
+struct Chan<T> {
+    queue: StdMutex<VecDeque<T>>,
+    capacity: usize,
+    senders: AtomicUsize,
+    receiver_alive: AtomicBool,
+}
+
+impl<T> Chan<T> {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Happens-before key for send/recv edges, and the block channel the
+    /// receiver waits on.
+    fn recv_addr(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Block channel senders wait on. Offset inside this allocation, so
+    /// it cannot collide with any other sync object's key.
+    fn send_addr(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize + 1
+    }
+}
+
+enum SenderInner<T> {
+    Virtual(Arc<Chan<T>>),
+    Native(std::sync::mpsc::SyncSender<T>),
+}
+
+enum ReceiverInner<T> {
+    Virtual(Arc<Chan<T>>),
+    Native(std::sync::mpsc::Receiver<T>),
+}
+
+/// Sending half of a [`sync_channel`].
+pub struct SyncSender<T>(SenderInner<T>);
+
+/// Receiving half of a [`sync_channel`].
+pub struct Receiver<T>(ReceiverInner<T>);
+
+/// Creates a bounded channel with space for `bound` queued messages.
+///
+/// Inside a model `bound` must be at least 1 (a rendezvous channel would
+/// need hand-off semantics the virtual queue does not model); outside a
+/// model the bound is passed straight to `std`.
+pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+    if scheduler::current().is_some() {
+        assert!(bound >= 1, "virtual sync_channel needs a bound >= 1");
+        let chan = Arc::new(Chan {
+            queue: StdMutex::new(VecDeque::new()),
+            capacity: bound,
+            senders: AtomicUsize::new(1),
+            receiver_alive: AtomicBool::new(true),
+        });
+        (
+            SyncSender(SenderInner::Virtual(Arc::clone(&chan))),
+            Receiver(ReceiverInner::Virtual(chan)),
+        )
+    } else {
+        let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+        (
+            SyncSender(SenderInner::Native(tx)),
+            Receiver(ReceiverInner::Native(rx)),
+        )
+    }
+}
+
+impl<T> SyncSender<T> {
+    /// Sends `value`, blocking the virtual thread while the channel is
+    /// full. Fails if the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderInner::Native(tx) => tx.send(value),
+            SenderInner::Virtual(chan) => {
+                let (sched, tid) =
+                    scheduler::current().expect("virtual channel used outside its model");
+                loop {
+                    sched.yield_point(tid);
+                    if !chan.receiver_alive.load(SeqCst) {
+                        return Err(SendError(value));
+                    }
+                    {
+                        let mut q = chan.queue();
+                        if q.len() < chan.capacity {
+                            q.push_back(value);
+                            drop(q);
+                            // Publish before the receiver can observe the
+                            // item; no scheduling point in between, so the
+                            // edge and the push are atomic to the model.
+                            scheduler::sync_release(chan.recv_addr());
+                            sched.unblock_all(Channel::Addr(chan.recv_addr()));
+                            return Ok(());
+                        }
+                    }
+                    sched.block_on(tid, Channel::Addr(chan.send_addr()));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SenderInner::Native(tx) => SyncSender(SenderInner::Native(tx.clone())),
+            SenderInner::Virtual(chan) => {
+                chan.senders.fetch_add(1, SeqCst);
+                SyncSender(SenderInner::Virtual(Arc::clone(chan)))
+            }
+        }
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        if let SenderInner::Virtual(chan) = &self.0 {
+            if chan.senders.fetch_sub(1, SeqCst) == 1 {
+                // Last sender gone: a receiver blocked on an empty queue
+                // must wake to observe disconnection. No scheduling
+                // point (drops must stay abort-safe).
+                if let Some((sched, _tid)) = scheduler::current() {
+                    sched.unblock_all(Channel::Addr(chan.recv_addr()));
+                }
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking the virtual thread while the
+    /// channel is empty. Fails once the channel is empty *and* every
+    /// sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.0 {
+            ReceiverInner::Native(rx) => rx.recv(),
+            ReceiverInner::Virtual(chan) => {
+                let (sched, tid) =
+                    scheduler::current().expect("virtual channel used outside its model");
+                loop {
+                    sched.yield_point(tid);
+                    {
+                        let mut q = chan.queue();
+                        if let Some(value) = q.pop_front() {
+                            drop(q);
+                            scheduler::sync_acquire(chan.recv_addr());
+                            sched.unblock_all(Channel::Addr(chan.send_addr()));
+                            return Ok(value);
+                        }
+                    }
+                    if chan.senders.load(SeqCst) == 0 {
+                        return Err(RecvError);
+                    }
+                    sched.block_on(tid, Channel::Addr(chan.recv_addr()));
+                }
+            }
+        }
+    }
+
+    /// Drains and returns every message currently queued plus all later
+    /// ones until disconnection (convenience for drain-protocol tests).
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverInner::Virtual(chan) = &self.0 {
+            chan.receiver_alive.store(false, SeqCst);
+            if let Some((sched, _tid)) = scheduler::current() {
+                sched.unblock_all(Channel::Addr(chan.send_addr()));
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-data cells whose accesses are checked for data races.
+//!
+//! [`RaceCell<T>`] models a *non-atomic* memory location. Inside a
+//! [`crate::model`] execution every access is a scheduling point and is
+//! checked against a vector-clock happens-before relation maintained by
+//! the scheduler: reads must be ordered after the last write, writes
+//! must be ordered after the last write *and* every read since it. Two
+//! accesses (at least one a write) with no ordering between them — no
+//! chain of acquire/release atomics, lock hand-offs, channel sends or
+//! spawn/join edges — fail the model with a `data race` report, exactly
+//! the accesses that would be undefined behavior on real hardware.
+//!
+//! The storage itself is a `std::sync::Mutex<T>` so the crate stays
+//! `#![forbid(unsafe_code)]`: the mutex makes the *simulated* racy
+//! access well-defined while the checker reports it, and outside a model
+//! it is a plain uncontended cell.
+
+use crate::scheduler;
+
+/// A plain (non-atomic) memory location under happens-before checking.
+///
+/// Use it in model tests for the data that a protocol's atomics are
+/// supposed to guard; the model then fails on any schedule where the
+/// protocol lets two threads touch the data concurrently.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        RaceCell {
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, T> {
+        self.data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Reads the value through `f` (scheduling point + read check).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        scheduler::yield_now();
+        scheduler::race_read(self.addr());
+        f(&self.inner())
+    }
+
+    /// Writes the value through `f` (scheduling point + write check).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        scheduler::yield_now();
+        scheduler::race_write(self.addr());
+        f(&mut self.inner())
+    }
+
+    /// Replaces the value (scheduling point + write check).
+    pub fn set(&self, value: T) {
+        self.with_mut(|v| *v = value);
+    }
+
+    /// Exclusive access (not a scheduling point: `&mut self` proves no
+    /// concurrent access exists).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(mut self) -> T
+    where
+        T: Default,
+    {
+        // `&mut self` proves exclusivity; Drop then clears the history.
+        std::mem::take(self.get_mut())
+    }
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Reads the value (scheduling point + read check).
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+}
+
+impl<T> Drop for RaceCell<T> {
+    fn drop(&mut self) {
+        // Clear this address's history so an allocation reused at the
+        // same address within one execution starts clean.
+        scheduler::race_reset(self.addr());
+    }
+}

@@ -8,10 +8,64 @@
 //! schedule tree depth-first.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::track::Tracker;
+
+/// A vector clock: entry `t` counts the synchronization epochs thread `t`
+/// has passed through. `a ⊑ b` (every entry of `a` at most the matching
+/// entry of `b`) means every event clocked by `a` happens-before the
+/// point clocked by `b`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn entry(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.entry(t))
+    }
+}
+
+/// Happens-before state of one [`crate::race::RaceCell`], keyed by its
+/// address.
+#[derive(Debug, Default)]
+struct CellState {
+    /// Clock of the last write, plus the writing thread for reports.
+    write: Option<(usize, VClock)>,
+    /// Per-thread clock components at each thread's last read.
+    reads: VClock,
+}
+
+/// Per-execution happens-before tracking: thread clocks, per-address
+/// release clocks for sync objects (atomics, locks, channels), and
+/// per-address access history for plain-data cells.
+#[derive(Debug, Default)]
+struct RaceState {
+    clocks: Vec<VClock>,
+    sync: HashMap<usize, VClock>,
+    cells: HashMap<usize, CellState>,
+}
 
 /// Payload used to unwind still-running virtual threads once a failure
 /// has been recorded; never reported as a failure itself.
@@ -110,6 +164,7 @@ pub(crate) struct Scheduler {
     state: Mutex<SchedState>,
     cv: Condvar,
     pub(crate) tracker: Mutex<Tracker>,
+    race: Mutex<RaceState>,
 }
 
 thread_local! {
@@ -137,6 +192,58 @@ pub(crate) fn yield_now() {
     }
 }
 
+/// Records an acquire edge from the sync object at `addr` into the
+/// calling thread's clock (no-op outside a model or while unwinding).
+pub(crate) fn sync_acquire(addr: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.acquire_sync(tid, addr);
+    }
+}
+
+/// Records a release edge from the calling thread's clock into the sync
+/// object at `addr` (no-op outside a model or while unwinding).
+pub(crate) fn sync_release(addr: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.release_sync(tid, addr);
+    }
+}
+
+/// Happens-before read check for the plain-data cell at `addr`.
+pub(crate) fn race_read(addr: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.cell_read(tid, addr);
+    }
+}
+
+/// Happens-before write check for the plain-data cell at `addr`.
+pub(crate) fn race_write(addr: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, tid)) = current() {
+        sched.cell_write(tid, addr);
+    }
+}
+
+/// Clears the access history of the cell at `addr`.
+pub(crate) fn race_reset(addr: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, _tid)) = current() {
+        sched.cell_reset(addr);
+    }
+}
+
 impl Scheduler {
     fn new(path: Path, max_preemptions: u32, max_steps: u64) -> Self {
         Scheduler {
@@ -154,7 +261,12 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             tracker: Mutex::new(Tracker::default()),
+            race: Mutex::new(RaceState::default()),
         }
+    }
+
+    fn race_lock(&self) -> MutexGuard<'_, RaceState> {
+        self.race.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn lock(&self) -> MutexGuard<'_, SchedState> {
@@ -285,11 +397,131 @@ impl Scheduler {
         self.wait_for_turn_locked(s, tid);
     }
 
-    /// Registers a new virtual thread (runnable, not yet scheduled).
+    /// Registers a new virtual thread (runnable, not yet scheduled) and
+    /// seeds its vector clock: the child inherits the parent's clock (the
+    /// fork edge), then both advance so neither's later events appear
+    /// ordered against the other's.
     fn register(&self) -> usize {
-        let mut s = self.lock();
-        s.threads.push(Run::Runnable);
-        s.threads.len() - 1
+        let parent = current().map(|(_, t)| t);
+        let tid = {
+            let mut s = self.lock();
+            s.threads.push(Run::Runnable);
+            s.threads.len() - 1
+        };
+        let mut r = self.race_lock();
+        let mut clock = match parent {
+            Some(p) => r.clocks[p].clone(),
+            None => VClock::default(),
+        };
+        clock.tick(tid);
+        debug_assert_eq!(r.clocks.len(), tid);
+        r.clocks.push(clock);
+        if let Some(p) = parent {
+            let parent_clock = &mut r.clocks[p];
+            parent_clock.tick(p);
+        }
+        tid
+    }
+
+    /// Acquire edge: the calling thread's clock absorbs every release
+    /// recorded against `addr`.
+    pub(crate) fn acquire_sync(&self, tid: usize, addr: usize) {
+        let mut r = self.race_lock();
+        if let Some(release) = r.sync.get(&addr) {
+            let release = release.clone();
+            r.clocks[tid].join(&release);
+        }
+    }
+
+    /// Release edge: `addr` absorbs the calling thread's clock, which
+    /// then advances (events after the release are not covered by it).
+    ///
+    /// Joining *every* release to `addr` (rather than only the one whose
+    /// value a later load observes) over-approximates happens-before
+    /// slightly; that can mask a race on some schedule, never invent one,
+    /// and the schedule where the extra release has not yet happened is
+    /// still explored separately, so detection is preserved.
+    pub(crate) fn release_sync(&self, tid: usize, addr: usize) {
+        let mut r = self.race_lock();
+        let clock = r.clocks[tid].clone();
+        r.sync.entry(addr).or_default().join(&clock);
+        r.clocks[tid].tick(tid);
+    }
+
+    /// Join edge: the joiner absorbs the finished child's final clock.
+    pub(crate) fn join_edge(&self, joiner: usize, child: usize) {
+        let mut r = self.race_lock();
+        let child_clock = r.clocks[child].clone();
+        r.clocks[joiner].join(&child_clock);
+    }
+
+    /// Read check for the plain-data cell at `addr`: the last write must
+    /// happen-before this read.
+    pub(crate) fn cell_read(&self, tid: usize, addr: usize) {
+        let mut r = self.race_lock();
+        let clock_entry = r.clocks[tid].entry(tid);
+        let my_clock = r.clocks[tid].clone();
+        let cell = r.cells.entry(addr).or_default();
+        if let Some((writer, write_clock)) = &cell.write {
+            if *writer != tid && !write_clock.le(&my_clock) {
+                let (writer, tid) = (*writer, tid);
+                drop(r);
+                self.fail(format!(
+                    "data race: RaceCell {addr:#x} read by thread {tid} is concurrent \
+                     with the write by thread {writer} (no happens-before edge)"
+                ));
+                std::panic::panic_any(AbortToken);
+            }
+        }
+        if cell.reads.entry(tid) < clock_entry {
+            if cell.reads.0.len() <= tid {
+                cell.reads.0.resize(tid + 1, 0);
+            }
+            cell.reads.0[tid] = clock_entry;
+        }
+    }
+
+    /// Write check for the plain-data cell at `addr`: the last write and
+    /// every prior read must happen-before this write.
+    pub(crate) fn cell_write(&self, tid: usize, addr: usize) {
+        let mut r = self.race_lock();
+        let my_clock = r.clocks[tid].clone();
+        let cell = r.cells.entry(addr).or_default();
+        if let Some((writer, write_clock)) = &cell.write {
+            if *writer != tid && !write_clock.le(&my_clock) {
+                let writer = *writer;
+                drop(r);
+                self.fail(format!(
+                    "data race: RaceCell {addr:#x} written by thread {tid} is concurrent \
+                     with the write by thread {writer} (no happens-before edge)"
+                ));
+                std::panic::panic_any(AbortToken);
+            }
+        }
+        let concurrent_reader = cell
+            .reads
+            .0
+            .iter()
+            .enumerate()
+            .find(|&(t, &v)| t != tid && v > 0 && v > my_clock.entry(t))
+            .map(|(t, _)| t);
+        if let Some(reader) = concurrent_reader {
+            drop(r);
+            self.fail(format!(
+                "data race: RaceCell {addr:#x} written by thread {tid} is concurrent \
+                 with the read by thread {reader} (no happens-before edge)"
+            ));
+            std::panic::panic_any(AbortToken);
+        }
+        cell.write = Some((tid, my_clock));
+        cell.reads = VClock::default();
+    }
+
+    /// Forgets the access history of the cell at `addr` (called when a
+    /// `RaceCell` drops, so an allocation reused at the same address
+    /// within one execution starts clean).
+    pub(crate) fn cell_reset(&self, addr: usize) {
+        self.race_lock().cells.remove(&addr);
     }
 
     /// Whether a virtual thread has finished (for `join` fast paths).

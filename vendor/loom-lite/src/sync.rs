@@ -1,19 +1,50 @@
 //! Virtual synchronization primitives.
 //!
 //! Inside a [`crate::model`] execution every operation on these types is a
-//! scheduling point; all accesses execute with `SeqCst` semantics (the
-//! `Ordering` argument is accepted for signature compatibility and
-//! ignored — the modeled protocol uses `SeqCst` everywhere, so this is
-//! not a weakening). Outside a model, every type delegates directly to
+//! scheduling point; all accesses *execute* with `SeqCst` semantics (one
+//! virtual thread runs at a time, so the explored executions are exactly
+//! the sequentially consistent interleavings). The `Ordering` argument
+//! is not ignored, though: it decides which happens-before edges the
+//! access feeds to the vector-clock race detector — see [`atomic`] and
+//! [`crate::race`]. Outside a model, every type delegates directly to
 //! its `std` counterpart.
 
 pub use std::sync::{LockResult, PoisonError};
 
+pub use crate::mpsc;
+
 /// Virtual atomics: std atomics whose every access yields to the
 /// scheduler first.
+///
+/// Execution is always `SeqCst` (one virtual thread runs at a time, so
+/// the explored executions are the sequentially consistent
+/// interleavings), but the `Ordering` argument is no longer ignored: it
+/// decides which *happens-before edges* the access contributes to the
+/// race detector. An `Acquire`-or-stronger load joins the clock of every
+/// prior release of the same atomic; a `Release`-or-stronger store
+/// publishes the writer's clock; `Relaxed` contributes nothing — so a
+/// protocol that passes plain data across a `Relaxed` flag fails the
+/// [`crate::race::RaceCell`] check even though the interleaving itself
+/// is sequentially consistent.
 pub mod atomic {
-    use crate::scheduler::yield_now;
+    use crate::scheduler::{sync_acquire, sync_release, yield_now};
     pub use std::sync::atomic::Ordering;
+
+    /// Whether a load at `order` creates an acquire edge.
+    fn edge_acquire(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    /// Whether a store at `order` creates a release edge.
+    fn edge_release(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
 
     macro_rules! int_atomic {
         ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
@@ -29,35 +60,71 @@ pub mod atomic {
                     Self { inner: <$std>::new(v) }
                 }
 
-                /// Loads the value (scheduling point; `SeqCst`).
-                pub fn load(&self, _order: Ordering) -> $int {
+                /// Loads the value (scheduling point; executes `SeqCst`,
+                /// contributes an acquire edge per `order`).
+                pub fn load(&self, order: Ordering) -> $int {
                     yield_now();
-                    self.inner.load(Ordering::SeqCst)
+                    let v = self.inner.load(Ordering::SeqCst);
+                    if edge_acquire(order) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                    v
                 }
 
-                /// Stores a value (scheduling point; `SeqCst`).
-                pub fn store(&self, v: $int, _order: Ordering) {
+                /// Stores a value (scheduling point; executes `SeqCst`,
+                /// contributes a release edge per `order`).
+                pub fn store(&self, v: $int, order: Ordering) {
                     yield_now();
+                    if edge_release(order) {
+                        sync_release(self as *const Self as usize);
+                    }
                     self.inner.store(v, Ordering::SeqCst);
                 }
 
-                /// Swaps the value (scheduling point; `SeqCst`).
-                pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                /// Swaps the value (scheduling point; executes `SeqCst`,
+                /// contributes acquire/release edges per `order`).
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
                     yield_now();
+                    if edge_acquire(order) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                    if edge_release(order) {
+                        sync_release(self as *const Self as usize);
+                    }
                     self.inner.swap(v, Ordering::SeqCst)
                 }
 
-                /// Compare-and-exchange (scheduling point; `SeqCst`).
+                /// Compare-and-exchange (scheduling point; executes
+                /// `SeqCst`, contributes edges per the ordering of the
+                /// taken branch: `success` edges on `Ok`, a load-side
+                /// acquire per `failure` on `Err`).
                 pub fn compare_exchange(
                     &self,
                     current: $int,
                     new: $int,
-                    _success: Ordering,
-                    _failure: Ordering,
+                    success: Ordering,
+                    failure: Ordering,
                 ) -> Result<$int, $int> {
                     yield_now();
-                    self.inner
-                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    let r = self
+                        .inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                    match r {
+                        Ok(_) => {
+                            if edge_acquire(success) {
+                                sync_acquire(self as *const Self as usize);
+                            }
+                            if edge_release(success) {
+                                sync_release(self as *const Self as usize);
+                            }
+                        }
+                        Err(_) => {
+                            if edge_acquire(failure) {
+                                sync_acquire(self as *const Self as usize);
+                            }
+                        }
+                    }
+                    r
                 }
 
                 /// Weak compare-and-exchange. Delegates to the strong
@@ -74,28 +141,44 @@ pub mod atomic {
                     self.compare_exchange(current, new, success, failure)
                 }
 
-                /// Atomic add, returning the previous value.
-                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
-                    yield_now();
+                /// Atomic add, returning the previous value (RMW edges
+                /// per `order`).
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    self.rmw_edges(order);
                     self.inner.fetch_add(v, Ordering::SeqCst)
                 }
 
-                /// Atomic subtract, returning the previous value.
-                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
-                    yield_now();
+                /// Atomic subtract, returning the previous value (RMW
+                /// edges per `order`).
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    self.rmw_edges(order);
                     self.inner.fetch_sub(v, Ordering::SeqCst)
                 }
 
-                /// Atomic max, returning the previous value.
-                pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
-                    yield_now();
+                /// Atomic max, returning the previous value (RMW edges
+                /// per `order`).
+                pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                    self.rmw_edges(order);
                     self.inner.fetch_max(v, Ordering::SeqCst)
                 }
 
-                /// Atomic min, returning the previous value.
-                pub fn fetch_min(&self, v: $int, _order: Ordering) -> $int {
-                    yield_now();
+                /// Atomic min, returning the previous value (RMW edges
+                /// per `order`).
+                pub fn fetch_min(&self, v: $int, order: Ordering) -> $int {
+                    self.rmw_edges(order);
                     self.inner.fetch_min(v, Ordering::SeqCst)
+                }
+
+                /// Scheduling point plus the acquire/release edges of a
+                /// read-modify-write at `order`.
+                fn rmw_edges(&self, order: Ordering) {
+                    yield_now();
+                    if edge_acquire(order) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                    if edge_release(order) {
+                        sync_release(self as *const Self as usize);
+                    }
                 }
 
                 /// Exclusive access to the value (not a scheduling point).
@@ -144,35 +227,69 @@ pub mod atomic {
             }
         }
 
-        /// Loads the value (scheduling point; `SeqCst`).
-        pub fn load(&self, _order: Ordering) -> bool {
+        /// Loads the value (scheduling point; executes `SeqCst`,
+        /// contributes an acquire edge per `order`).
+        pub fn load(&self, order: Ordering) -> bool {
             yield_now();
-            self.inner.load(Ordering::SeqCst)
+            let v = self.inner.load(Ordering::SeqCst);
+            if edge_acquire(order) {
+                sync_acquire(self as *const Self as usize);
+            }
+            v
         }
 
-        /// Stores a value (scheduling point; `SeqCst`).
-        pub fn store(&self, v: bool, _order: Ordering) {
+        /// Stores a value (scheduling point; executes `SeqCst`,
+        /// contributes a release edge per `order`).
+        pub fn store(&self, v: bool, order: Ordering) {
             yield_now();
+            if edge_release(order) {
+                sync_release(self as *const Self as usize);
+            }
             self.inner.store(v, Ordering::SeqCst);
         }
 
-        /// Swaps the value (scheduling point; `SeqCst`).
-        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        /// Swaps the value (scheduling point; executes `SeqCst`,
+        /// contributes RMW edges per `order`).
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
             yield_now();
+            if edge_acquire(order) {
+                sync_acquire(self as *const Self as usize);
+            }
+            if edge_release(order) {
+                sync_release(self as *const Self as usize);
+            }
             self.inner.swap(v, Ordering::SeqCst)
         }
 
-        /// Compare-and-exchange (scheduling point; `SeqCst`).
+        /// Compare-and-exchange (scheduling point; executes `SeqCst`,
+        /// contributes edges per the taken branch's ordering).
         pub fn compare_exchange(
             &self,
             current: bool,
             new: bool,
-            _success: Ordering,
-            _failure: Ordering,
+            success: Ordering,
+            failure: Ordering,
         ) -> Result<bool, bool> {
             yield_now();
-            self.inner
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            let r = self
+                .inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+            match r {
+                Ok(_) => {
+                    if edge_acquire(success) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                    if edge_release(success) {
+                        sync_release(self as *const Self as usize);
+                    }
+                }
+                Err(_) => {
+                    if edge_acquire(failure) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                }
+            }
+            r
         }
     }
 
@@ -190,35 +307,69 @@ pub mod atomic {
             }
         }
 
-        /// Loads the pointer (scheduling point; `SeqCst`).
-        pub fn load(&self, _order: Ordering) -> *mut T {
+        /// Loads the pointer (scheduling point; executes `SeqCst`,
+        /// contributes an acquire edge per `order`).
+        pub fn load(&self, order: Ordering) -> *mut T {
             yield_now();
-            self.inner.load(Ordering::SeqCst)
+            let p = self.inner.load(Ordering::SeqCst);
+            if edge_acquire(order) {
+                sync_acquire(self as *const Self as usize);
+            }
+            p
         }
 
-        /// Stores a pointer (scheduling point; `SeqCst`).
-        pub fn store(&self, p: *mut T, _order: Ordering) {
+        /// Stores a pointer (scheduling point; executes `SeqCst`,
+        /// contributes a release edge per `order`).
+        pub fn store(&self, p: *mut T, order: Ordering) {
             yield_now();
+            if edge_release(order) {
+                sync_release(self as *const Self as usize);
+            }
             self.inner.store(p, Ordering::SeqCst);
         }
 
-        /// Swaps the pointer (scheduling point; `SeqCst`).
-        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        /// Swaps the pointer (scheduling point; executes `SeqCst`,
+        /// contributes RMW edges per `order`).
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
             yield_now();
+            if edge_acquire(order) {
+                sync_acquire(self as *const Self as usize);
+            }
+            if edge_release(order) {
+                sync_release(self as *const Self as usize);
+            }
             self.inner.swap(p, Ordering::SeqCst)
         }
 
-        /// Compare-and-exchange (scheduling point; `SeqCst`).
+        /// Compare-and-exchange (scheduling point; executes `SeqCst`,
+        /// contributes edges per the taken branch's ordering).
         pub fn compare_exchange(
             &self,
             current: *mut T,
             new: *mut T,
-            _success: Ordering,
-            _failure: Ordering,
+            success: Ordering,
+            failure: Ordering,
         ) -> Result<*mut T, *mut T> {
             yield_now();
-            self.inner
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            let r = self
+                .inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+            match r {
+                Ok(_) => {
+                    if edge_acquire(success) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                    if edge_release(success) {
+                        sync_release(self as *const Self as usize);
+                    }
+                }
+                Err(_) => {
+                    if edge_acquire(failure) {
+                        sync_acquire(self as *const Self as usize);
+                    }
+                }
+            }
+            r
         }
 
         /// Exclusive access to the pointer (not a scheduling point).
@@ -270,6 +421,9 @@ impl<T> Mutex<T> {
             loop {
                 sched.yield_point(tid);
                 if !self.locked.swap(true, SeqCst) {
+                    // Lock acquired: absorb every prior unlock's clock,
+                    // so data handed over under the lock is ordered.
+                    sched.acquire_sync(tid, &self.locked as *const _ as usize);
                     break;
                 }
                 sched.block_on(tid, self.channel());
@@ -325,9 +479,12 @@ impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
         // Release the real lock first, then the virtual one, then wake
         // waiters. No scheduling point here: yielding inside a drop
-        // would re-enter the scheduler during abort unwinding.
+        // would re-enter the scheduler during abort unwinding. The
+        // release edge is clock bookkeeping only (and a no-op while
+        // unwinding), so it is abort-safe.
         self.inner = None;
         if let Some((sched, _tid)) = scheduler::current() {
+            scheduler::sync_release(&self.lock.locked as *const _ as usize);
             self.lock.locked.store(false, SeqCst);
             sched.unblock_all(self.lock.channel());
         }

@@ -56,6 +56,9 @@ impl<T> JoinHandle<T> {
                 while !sched.is_finished(tid) {
                     sched.block_on(my_tid, Channel::Join(tid));
                 }
+                // The join edge: everything the child did happens-before
+                // everything the joiner does from here on.
+                sched.join_edge(my_tid, tid);
                 match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
                     Some(v) => Ok(v),
                     None => Err(Box::new("virtual thread panicked before producing a value")

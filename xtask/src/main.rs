@@ -1,10 +1,23 @@
-//! `cargo xtask` — workspace automation. Currently one task: `analyze`,
-//! the static-analysis gate described in the library crate.
+//! `cargo xtask` — workspace automation:
+//!
+//! - `analyze [--json]` — the static-analysis gate described in the
+//!   library crate. Exit codes: 0 clean, 2 I/O error, 10–18 the stable
+//!   per-lint codes of [`xtask::Lint::exit_code`] (smallest wins when
+//!   lints mix). `--json` writes the machine-readable report to stdout
+//!   for CI annotation.
+//! - `loom` — the exhaustive model-checking suites under
+//!   `RUSTFLAGS="--cfg loom_lite"`: the checker's own race-detection
+//!   tests, the snapshot/flow-cache protocols, and the dataplane drain
+//!   protocols.
+//! - `sanitize` — ThreadSanitizer over the native concurrency suites
+//!   (`tests/concurrent.rs`, `tests/dataplane.rs`). Needs a nightly
+//!   toolchain with `rust-src` (`-Zbuild-std` instruments `std` too);
+//!   exits 3 with a message when nightly is unavailable.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 fn workspace_root() -> PathBuf {
     // Under `cargo xtask ...` the manifest dir is `<root>/xtask`.
@@ -17,42 +30,171 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(".")
 }
 
+const USAGE: &str = "usage: cargo xtask <analyze [--json] | loom | sanitize>";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("analyze") => analyze(),
+        Some("analyze") => analyze(args.iter().any(|a| a == "--json")),
+        Some("loom") => loom(),
+        Some("sanitize") => sanitize(),
         Some(other) => {
             eprintln!("unknown task `{other}`");
-            eprintln!("usage: cargo xtask analyze");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask analyze");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn analyze() -> ExitCode {
+fn analyze(json: bool) -> ExitCode {
     let root = workspace_root();
     match xtask::analyze_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!(
-                "xtask analyze: clean (allowlist: {} audited modules)",
-                xtask::UNSAFE_ALLOWLIST.len()
-            );
-            ExitCode::SUCCESS
-        }
         Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
+            if json {
+                print!("{}", xtask::json_report(&violations));
+            } else if violations.is_empty() {
+                println!(
+                    "xtask analyze: clean (allowlist: {} audited modules)",
+                    xtask::UNSAFE_ALLOWLIST.len()
+                );
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask analyze: {} violation(s)", violations.len());
             }
-            eprintln!("xtask analyze: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            match xtask::exit_code_for(&violations) {
+                0 => ExitCode::SUCCESS,
+                code => ExitCode::from(code),
+            }
         }
         Err(e) => {
             eprintln!("xtask analyze: i/o error walking {}: {e}", root.display());
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
+}
+
+/// Appends `extra` to the caller's `RUSTFLAGS` so a wrapping CI job's
+/// flags (e.g. `-D warnings`) survive.
+fn rustflags_with(extra: &str) -> String {
+    match std::env::var("RUSTFLAGS") {
+        Ok(flags) if !flags.is_empty() => format!("{flags} {extra}"),
+        _ => extra.to_string(),
+    }
+}
+
+/// Runs one `cargo` invocation in the workspace root, echoing it first;
+/// `Ok(())` iff it ran and exited 0.
+fn run_step(args: &[&str], env: &[(&str, &str)]) -> Result<(), ExitCode> {
+    let pretty: Vec<String> = env
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .chain(std::iter::once(format!("cargo {}", args.join(" "))))
+        .collect();
+    println!("xtask: {}", pretty.join(" "));
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(workspace_root()).args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    match cmd.status() {
+        Ok(status) if status.success() => Ok(()),
+        Ok(status) => {
+            eprintln!("xtask: step failed with {status}");
+            Err(ExitCode::FAILURE)
+        }
+        Err(e) => {
+            eprintln!("xtask: could not spawn cargo: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Every model-checking suite, in dependency order: the checker proves
+/// it can reject races (the seeded fixtures) before its verdict on the
+/// protocol suites is trusted.
+fn loom() -> ExitCode {
+    let flags = rustflags_with("--cfg loom_lite");
+    let env: &[(&str, &str)] = &[("RUSTFLAGS", &flags)];
+    let steps: &[&[&str]] = &[
+        &["test", "-p", "loom-lite", "--release"],
+        &[
+            "test",
+            "-p",
+            "chisel-core",
+            "--release",
+            "--test",
+            "loom_snapshot",
+            "--test",
+            "loom_flowcache",
+        ],
+        &[
+            "test",
+            "-p",
+            "chisel-dataplane",
+            "--release",
+            "--test",
+            "loom_dataplane",
+        ],
+    ];
+    for step in steps {
+        if let Err(code) = run_step(step, env) {
+            return code;
+        }
+    }
+    println!("xtask loom: all model-checking suites passed");
+    ExitCode::SUCCESS
+}
+
+/// The host target triple, from `rustc -vV` (`-Zbuild-std` needs an
+/// explicit `--target` or it will not instrument the standard library).
+fn host_triple() -> Option<String> {
+    let out = Command::new("rustc").arg("-vV").output().ok()?;
+    let text = String::from_utf8(out.stdout).ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("host: "))
+        .map(str::to_string)
+}
+
+fn sanitize() -> ExitCode {
+    let nightly_ok = Command::new("cargo")
+        .args(["+nightly", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !nightly_ok {
+        eprintln!(
+            "xtask sanitize: a nightly toolchain is required \
+             (rustup toolchain install nightly --component rust-src)"
+        );
+        return ExitCode::from(3);
+    }
+    let Some(host) = host_triple() else {
+        eprintln!("xtask sanitize: could not determine the host triple from `rustc -vV`");
+        return ExitCode::from(2);
+    };
+    let flags = rustflags_with("-Zsanitizer=thread");
+    let env: &[(&str, &str)] = &[("RUSTFLAGS", &flags)];
+    let step: &[&str] = &[
+        "+nightly",
+        "test",
+        "-Zbuild-std",
+        "--target",
+        &host,
+        "--release",
+        "--test",
+        "concurrent",
+        "--test",
+        "dataplane",
+    ];
+    if let Err(code) = run_step(step, env) {
+        return code;
+    }
+    println!("xtask sanitize: ThreadSanitizer found no data races");
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,317 @@
+//! A scope model over stripped Rust source: which braces open which
+//! kind of item, and which lines sit inside `#[cfg(test)]` code or a
+//! particular function body.
+//!
+//! The model is built from the output of
+//! [`strip_source`](crate::strip_source), so every `{`/`}`/`;` it sees
+//! is real code — comments, strings and char literals are already
+//! blanked. It is still lexical, not a parser: it tracks a *pending
+//! item* ahead of each `{` (the last `fn name` / `mod name` / `impl` /
+//! `trait` keyword whose body has not opened yet, cleared by `;`), so
+//! a brace opens a [`ScopeKind::Function`] exactly when a function
+//! signature is waiting for its body. That is precise enough to answer
+//! the two questions the lints ask — "is this line in test code?" and
+//! "which named function encloses this line?" — without rustc.
+
+use std::fmt;
+
+/// What kind of item a scope's opening brace belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// `fn name ... { }` — the name is the identifier after `fn`.
+    Function(String),
+    /// `mod name { }`.
+    Mod(String),
+    /// `impl ... { }` or `trait ... { }`.
+    Impl,
+    /// Any other brace pair: blocks, match arms, struct literals,
+    /// `struct`/`enum` bodies — scopes the lints never key on.
+    Block,
+}
+
+impl fmt::Display for ScopeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScopeKind::Function(n) => write!(f, "fn {n}"),
+            ScopeKind::Mod(n) => write!(f, "mod {n}"),
+            ScopeKind::Impl => f.write_str("impl"),
+            ScopeKind::Block => f.write_str("block"),
+        }
+    }
+}
+
+/// One brace-delimited scope: `start_line..=end_line` (1-based,
+/// inclusive, the lines of `{` and `}`), its nesting depth (0 for
+/// top-level items), and whether it or any ancestor is `#[cfg(test)]`.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub kind: ScopeKind,
+    pub cfg_test: bool,
+    pub start_line: usize,
+    pub end_line: usize,
+    pub depth: usize,
+}
+
+/// All scopes of one file, queryable by line.
+#[derive(Debug, Default)]
+pub struct SourceModel {
+    scopes: Vec<Scope>,
+}
+
+/// The item keyword seen but not yet opened with `{`.
+enum Pending {
+    Fn(String),
+    Mod(String),
+    Impl,
+}
+
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+impl SourceModel {
+    /// Builds the model from *stripped* source (see module docs).
+    pub fn build(stripped: &str) -> Self {
+        let b = stripped.as_bytes();
+        let mut scopes = Vec::new();
+        // (kind, cfg_test, start_line) for every still-open brace.
+        let mut stack: Vec<(ScopeKind, bool, usize)> = Vec::new();
+        let mut pending: Option<Pending> = None;
+        let mut pending_cfg_test = false;
+        let mut line = 1usize;
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b'\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                b'#' => {
+                    // Attribute: `#[...]` or `#![...]`. Scan the bracket
+                    // pair (attributes never contain braces here, and
+                    // strings inside them are already blanked) and flag
+                    // a pending `cfg(test)` gate for the next item.
+                    let mut j = i + 1;
+                    if b.get(j) == Some(&b'!') {
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'[') {
+                        let start = j;
+                        let mut depth = 0usize;
+                        while j < b.len() {
+                            match b[j] {
+                                b'[' => depth += 1,
+                                b']' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                b'\n' => line += 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        if stripped[start..j.min(b.len())].contains("cfg(test)") {
+                            pending_cfg_test = true;
+                        }
+                        i = j + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'{' => {
+                    let parent_test = stack.last().is_some_and(|s| s.1);
+                    let kind = match pending.take() {
+                        Some(Pending::Fn(n)) => ScopeKind::Function(n),
+                        Some(Pending::Mod(n)) => ScopeKind::Mod(n),
+                        Some(Pending::Impl) => ScopeKind::Impl,
+                        None => ScopeKind::Block,
+                    };
+                    let cfg_test = parent_test || std::mem::take(&mut pending_cfg_test);
+                    stack.push((kind, cfg_test, line));
+                    i += 1;
+                }
+                b'}' => {
+                    if let Some((kind, cfg_test, start_line)) = stack.pop() {
+                        scopes.push(Scope {
+                            kind,
+                            cfg_test,
+                            start_line,
+                            end_line: line,
+                            depth: stack.len(),
+                        });
+                    }
+                    i += 1;
+                }
+                b';' => {
+                    // End of a bodyless item (`mod m;`, trait-method
+                    // declarations) or a statement: nothing pending
+                    // survives a semicolon.
+                    pending = None;
+                    pending_cfg_test = false;
+                    i += 1;
+                }
+                _ if is_ident(c) => {
+                    let start = i;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    let word = &stripped[start..i];
+                    match word {
+                        "fn" => {
+                            // `fn name(...)`; a nameless `fn` is a
+                            // function-pointer type, not an item.
+                            let (name, next) = next_ident(stripped, i);
+                            if !name.is_empty() {
+                                pending = Some(Pending::Fn(name.to_string()));
+                                i = next;
+                            }
+                        }
+                        "mod" => {
+                            let (name, next) = next_ident(stripped, i);
+                            if !name.is_empty() {
+                                pending = Some(Pending::Mod(name.to_string()));
+                                i = next;
+                            }
+                        }
+                        // `impl` in return position (`-> impl Trait`)
+                        // must not clobber the pending `fn`, hence the
+                        // `is_none` guard.
+                        "impl" | "trait" if pending.is_none() => {
+                            pending = Some(Pending::Impl);
+                        }
+                        _ => {}
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        SourceModel { scopes }
+    }
+
+    /// Every scope, innermost-last in close order.
+    pub fn scopes(&self) -> &[Scope] {
+        &self.scopes
+    }
+
+    /// Whether `line` (1-based) is inside `#[cfg(test)]`-gated code.
+    pub fn in_cfg_test(&self, line: usize) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| s.cfg_test && s.start_line <= line && line <= s.end_line)
+    }
+
+    /// The name of the innermost function whose body spans `line`, if
+    /// any. The span runs from the line of the body's `{` to its `}`,
+    /// so signature-only lines above the brace do not count.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&str> {
+        self.scopes
+            .iter()
+            .filter(|s| s.start_line <= line && line <= s.end_line)
+            .filter_map(|s| match &s.kind {
+                ScopeKind::Function(n) => Some((s.depth, n.as_str())),
+                _ => None,
+            })
+            .max_by_key(|&(depth, _)| depth)
+            .map(|(_, name)| name)
+    }
+}
+
+/// The identifier starting at the first non-space byte at/after `from`,
+/// and the offset just past it (`("", from)` when the next token is not
+/// an identifier). Newlines between keyword and name are not expected
+/// in this codebase's rustfmt'd source and are not skipped, keeping the
+/// line counter in `build` exact.
+fn next_ident(s: &str, from: usize) -> (&str, usize) {
+    let b = s.as_bytes();
+    let mut j = from;
+    while j < b.len() && (b[j] == b' ' || b[j] == b'\t') {
+        j += 1;
+    }
+    let start = j;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    (&s[start..j], j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip_source;
+
+    fn model(src: &str) -> SourceModel {
+        SourceModel::build(&strip_source(src))
+    }
+
+    #[test]
+    fn functions_and_modules_are_scoped() {
+        let m = model("mod outer {\n    fn inner(x: u32) -> u32 {\n        x\n    }\n}\n");
+        assert_eq!(m.enclosing_fn(3), Some("inner"));
+        assert_eq!(m.enclosing_fn(1), None);
+        assert!(!m.in_cfg_test(3));
+        assert!(m
+            .scopes()
+            .iter()
+            .any(|s| s.kind == ScopeKind::Mod("outer".into()) && s.depth == 0));
+    }
+
+    #[test]
+    fn cfg_test_gates_nested_scopes() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        x();\n    }\n}\n";
+        let m = model(src);
+        assert!(!m.in_cfg_test(1));
+        assert!(m.in_cfg_test(5), "nested fn inherits the gate");
+        assert_eq!(m.enclosing_fn(5), Some("t"));
+    }
+
+    #[test]
+    fn return_position_impl_does_not_clobber_the_fn() {
+        let m = model("fn make() -> impl Iterator<Item = u32> {\n    x\n}\n");
+        assert_eq!(m.enclosing_fn(2), Some("make"));
+    }
+
+    #[test]
+    fn innermost_function_wins() {
+        let src = "fn outer() {\n    fn helper() {\n        y();\n    }\n    z();\n}\n";
+        let m = model(src);
+        assert_eq!(m.enclosing_fn(3), Some("helper"));
+        assert_eq!(m.enclosing_fn(5), Some("outer"));
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_do_not_leak() {
+        // `fn decl(&self);` ends at `;`; the next brace is the impl's.
+        let src = "trait T {\n    fn decl(&self);\n}\nfn real() {\n    w();\n}\n";
+        let m = model(src);
+        assert_eq!(m.enclosing_fn(5), Some("real"));
+        assert_eq!(m.enclosing_fn(2), None);
+    }
+
+    #[test]
+    fn function_pointer_types_are_not_items() {
+        let m = model("fn takes(f: fn(u32) -> u32) -> u32 {\n    f(1)\n}\n");
+        assert_eq!(m.enclosing_fn(2), Some("takes"));
+    }
+
+    #[test]
+    fn closures_and_blocks_stay_inside_their_function() {
+        let src = "fn run() {\n    let f = |x: u32| {\n        x + 1\n    };\n}\n";
+        let m = model(src);
+        assert_eq!(m.enclosing_fn(3), Some("run"));
+    }
+
+    #[test]
+    fn comments_and_strings_cannot_fake_scopes() {
+        let src =
+            "fn real() {\n    let s = \"fn fake() {\";\n    // fn also_fake() {\n    t();\n}\n";
+        let m = model(src);
+        assert_eq!(m.enclosing_fn(4), Some("real"));
+        assert!(m
+            .scopes()
+            .iter()
+            .all(|s| s.kind != ScopeKind::Function("fake".into())));
+    }
+}

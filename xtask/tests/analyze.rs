@@ -6,7 +6,7 @@
 //!   the same check `cargo xtask analyze` performs in CI).
 
 use std::path::Path;
-use xtask::{analyze_file, analyze_workspace, Lint};
+use xtask::{analyze_file, analyze_workspace, exit_code_for, json_report, Lint};
 
 fn fixture(name: &str) -> String {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
@@ -42,6 +42,72 @@ fn update_path_panic_is_flagged_in_fixture() {
         violations.iter().any(|v| v.lint == Lint::UpdatePathPanic),
         "update-path unwrap not flagged: {violations:?}"
     );
+}
+
+#[test]
+fn concurrency_fixture_trips_all_four_new_lints() {
+    let src = fixture("concurrency_violation.rs");
+    // flowcache.rs is whole-file hot-path AND lock-free, so every
+    // seeded site is in scope.
+    let violations = analyze_file("crates/chisel-core/src/flowcache.rs", &src);
+    for lint in [
+        Lint::AtomicOrdering,
+        Lint::HotPathAlloc,
+        Lint::LockDiscipline,
+        Lint::AssertDiscipline,
+    ] {
+        assert!(
+            violations.iter().any(|v| v.lint == lint),
+            "{lint} not flagged: {violations:?}"
+        );
+    }
+    // All three allocation forms are caught, not just the first.
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.lint == Lint::HotPathAlloc)
+            .count(),
+        3,
+        "Vec::new + format! + .collect(: {violations:?}"
+    );
+}
+
+#[test]
+fn concurrency_lints_respect_function_scoping() {
+    let src = fixture("concurrency_violation.rs");
+    // daemon.rs is lock-free only inside `shard_main`, so the Mutex in
+    // `guard` passes lint 8 — but daemon.rs is a no-panic path, so the
+    // `.unwrap()` in the same function trips lint 5.
+    let violations = analyze_file("crates/chisel-dataplane/src/daemon.rs", &src);
+    assert!(
+        violations.iter().all(|v| v.lint != Lint::LockDiscipline),
+        "Mutex outside shard_main wrongly flagged: {violations:?}"
+    );
+    assert!(
+        violations.iter().any(|v| v.lint == Lint::UpdatePathPanic),
+        "daemon unwrap not flagged: {violations:?}"
+    );
+}
+
+#[test]
+fn concurrency_clean_fixture_passes() {
+    let src = fixture("concurrency_clean.rs");
+    let violations = analyze_file("crates/chisel-core/src/flowcache.rs", &src);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn exit_code_and_json_report_reflect_the_violations() {
+    let src = fixture("concurrency_violation.rs");
+    let violations = analyze_file("crates/chisel-core/src/flowcache.rs", &src);
+    // Smallest code wins: hot-path-panic (13, the `.unwrap()` in
+    // `guard`) outranks the concurrency lints (15–18).
+    assert_eq!(exit_code_for(&violations), 13);
+    let json = json_report(&violations);
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"atomic-ordering\""));
+    assert!(json.contains("\"lock-discipline\""));
+    assert!(json.contains("crates/chisel-core/src/flowcache.rs"));
 }
 
 #[test]

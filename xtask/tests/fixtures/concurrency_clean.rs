@@ -1,0 +1,24 @@
+//! Clean counterpart of `concurrency_violation.rs`: every concurrency
+//! lint site carries its justification comment, and the hot loop uses
+//! `debug_assert!`. Never compiled.
+
+pub fn publish(flag: &AtomicBool) {
+    // ORDERING: flag-only signal; the consumer re-reads everything it
+    // needs after the join edge.
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn lookup(keys: &[u64], out: &mut [u64]) -> u64 {
+    debug_assert!(!keys.is_empty());
+    // ASSERT-OK: guards the unchecked gather below in release too.
+    assert!(out.len() <= keys.len());
+    // ALLOC-OK: cold spill path, only taken when the caller's buffer
+    // is too small.
+    let _spill: Vec<u64> = Vec::new();
+    keys[0]
+}
+
+pub struct Writer {
+    // LOCK-OK: write-side update serialization, never taken on a shard.
+    inner: Mutex<u64>,
+}

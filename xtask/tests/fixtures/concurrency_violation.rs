@@ -1,0 +1,21 @@
+//! Deliberately-violating fixture for the concurrency lints: an
+//! unjustified `Ordering::Relaxed`, hot-path allocations (`Vec::new`,
+//! `format!`, `.collect(`), a `Mutex` in a lock-free scope, and a
+//! release-mode `assert!` on the hot path. Never compiled; never
+//! scanned by the real `cargo xtask analyze` run (the walker skips
+//! `fixtures/` directories).
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn lookup(keys: &[u64]) -> Vec<u64> {
+    assert!(!keys.is_empty());
+    let mut scratch = Vec::new();
+    scratch.push(format!("{}", keys.len()).len() as u64);
+    keys.iter().copied().collect()
+}
+
+pub fn guard(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}
