@@ -10,15 +10,26 @@
 //! popcounts maintained on update, so a lookup never loops over the
 //! vector no matter the stride.
 
-/// A fixed-width bit-vector with O(1) rank, as stored in the Bit-vector
-/// Table.
+use std::sync::Arc;
+
+/// The heap payload of a [`LeafVector`], `Arc`-shared so that cloning a
+/// vector — which happens 64 entries at a time whenever a snapshot write
+/// copies a Bit-vector Table chunk — is a pointer bump; only the one
+/// vector a mutator touches pays for unshared words.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LeafVector {
+struct LeafBits {
     words: Vec<u64>,
     /// `sums[w]` = number of ones in `words[..w]` — the superblock prefix
     /// popcounts behind O(1) rank. Updates maintain it incrementally;
     /// lookups never recompute it.
     sums: Vec<u32>,
+}
+
+/// A fixed-width bit-vector with O(1) rank, as stored in the Bit-vector
+/// Table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafVector {
+    bits: Arc<LeafBits>,
     leaves: usize,
 }
 
@@ -36,8 +47,10 @@ impl LeafVector {
         let leaves = 1usize << stride;
         let nwords = leaves.div_ceil(64);
         LeafVector {
-            words: vec![0; nwords],
-            sums: vec![0; nwords],
+            bits: Arc::new(LeafBits {
+                words: vec![0; nwords],
+                sums: vec![0; nwords],
+            }),
             leaves,
         }
     }
@@ -66,8 +79,10 @@ impl LeafVector {
             sums[w] = sums[w - 1] + words[w - 1].count_ones();
         }
         Some(LeafVector {
-            words: words.to_vec(),
-            sums,
+            bits: Arc::new(LeafBits {
+                words: words.to_vec(),
+                sums,
+            }),
             leaves,
         })
     }
@@ -89,7 +104,7 @@ impl LeafVector {
         // word multiple, so slice indexing alone would let the rounded-
         // up tail read garbage in release instead of failing.
         assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
-        self.words[i / 64] >> (i % 64) & 1 == 1
+        self.bits.words[i / 64] >> (i % 64) & 1 == 1
     }
 
     /// Sets leaf `i` to `value`, maintaining the rank prefix sums.
@@ -104,18 +119,19 @@ impl LeafVector {
         assert!(i < self.leaves, "leaf {i} out of range {}", self.leaves);
         let w = i / 64;
         let mask = 1u64 << (i % 64);
-        let was = self.words[w] & mask != 0;
+        let was = self.bits.words[w] & mask != 0;
         if was == value {
             return;
         }
+        let bits = Arc::make_mut(&mut self.bits);
         if value {
-            self.words[w] |= mask;
-            for s in &mut self.sums[w + 1..] {
+            bits.words[w] |= mask;
+            for s in &mut bits.sums[w + 1..] {
                 *s += 1;
             }
         } else {
-            self.words[w] &= !mask;
-            for s in &mut self.sums[w + 1..] {
+            bits.words[w] &= !mask;
+            for s in &mut bits.sums[w + 1..] {
                 *s -= 1;
             }
         }
@@ -134,29 +150,33 @@ impl LeafVector {
         assert!(i < self.leaves);
         let w = i / 64;
         let partial_bits = (i % 64) + 1;
-        let masked = self.words[w] & (u64::MAX >> (64 - partial_bits));
-        self.sums[w] as usize + masked.count_ones() as usize
+        let masked = self.bits.words[w] & (u64::MAX >> (64 - partial_bits));
+        self.bits.sums[w] as usize + masked.count_ones() as usize
     }
 
     /// Total number of ones — the size of the group's Result Table block.
     #[inline]
     pub fn count_ones(&self) -> usize {
         // The last prefix sum covers all but the final word.
-        let last = self.words.len() - 1;
-        self.sums[last] as usize + self.words[last].count_ones() as usize
+        let last = self.bits.words.len() - 1;
+        self.bits.sums[last] as usize + self.bits.words[last].count_ones() as usize
     }
 
     /// Whether every leaf is zero (the group is empty and its collapsed
     /// prefix may be marked dirty).
     #[inline]
     pub fn is_zero(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.bits.words.iter().all(|&w| w == 0)
     }
 
     /// Clears every leaf.
     pub fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
-        self.sums.iter_mut().for_each(|s| *s = 0);
+        if self.is_zero() {
+            return;
+        }
+        let bits = Arc::make_mut(&mut self.bits);
+        bits.words.iter_mut().for_each(|w| *w = 0);
+        bits.sums.iter_mut().for_each(|s| *s = 0);
     }
 
     /// Storage footprint in bits (the Bit-vector Table provisions exactly
@@ -171,7 +191,7 @@ impl LeafVector {
     /// serializes.
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        &self.bits.words
     }
 }
 

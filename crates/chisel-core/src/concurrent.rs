@@ -169,6 +169,22 @@ impl SharedChisel {
         self.update(|e| e.withdraw(prefix))
     }
 
+    /// Applies a whole update window ([`ChiselLpm::apply_batch`]) and
+    /// publishes it as **one** snapshot generation: readers keep serving
+    /// the pre-batch snapshot while the window's partition rebuilds run in
+    /// parallel on the clone, and the post-batch snapshot appears
+    /// atomically — a pinned reader observes either all of the window (its
+    /// non-rejected events) or none of it, never a torn mix. Flow caches
+    /// invalidate wholesale once per window, not once per event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChiselLpm::apply_batch`] errors; on error the torn
+    /// clone is discarded and no new snapshot is published.
+    pub fn apply_batch(&self, events: &[crate::batch::RouteUpdate]) -> Result<crate::batch::BatchReport, ChiselError> {
+        self.update(|e| e.apply_batch(events))
+    }
+
     /// Clone-apply-publish under the writer lock.
     fn update<T>(
         &self,
@@ -429,6 +445,68 @@ mod tests {
             .announce("2001:db8::/32".parse().unwrap(), NextHop::new(3))
             .is_err());
         assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    fn batch_publishes_one_generation_and_one_version() {
+        use crate::batch::RouteUpdate;
+        let s = shared();
+        let gen0 = s.generation();
+        let ver0 = s.with_engine(|e| e.version());
+        let p: Prefix = "11.0.0.0/8".parse().unwrap();
+        let events = vec![
+            RouteUpdate::Announce(p, NextHop::new(2)),
+            RouteUpdate::Withdraw(p),
+            RouteUpdate::Announce(p, NextHop::new(3)),
+            RouteUpdate::Announce("12.0.0.0/8".parse().unwrap(), NextHop::new(4)),
+        ];
+        let report = s.apply_batch(&events).unwrap();
+        // One window → one generation, one flow-cache invalidation.
+        assert_eq!(s.generation(), gen0 + 1);
+        assert_eq!(s.with_engine(|e| e.version()), ver0 + 1);
+        assert_eq!(report.ingested, 4);
+        assert_eq!(report.coalesced, 2, "the flap pair must coalesce away");
+        assert_eq!(report.applied_ops, 2);
+        assert!(report.rejected_events.is_empty());
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.lookup("11.5.5.5".parse().unwrap()),
+            Some(NextHop::new(3))
+        );
+        assert_eq!(
+            snap.lookup("12.5.5.5".parse().unwrap()),
+            Some(NextHop::new(4))
+        );
+        assert!(snap.verify().is_ok());
+    }
+
+    #[test]
+    fn pinned_reader_never_sees_a_partial_batch() {
+        use crate::batch::RouteUpdate;
+        let s = shared();
+        let pre = s.snapshot();
+        let events: Vec<RouteUpdate> = (0..16u32)
+            .map(|i| {
+                RouteUpdate::Announce(
+                    Prefix::new(AddressFamily::V4, u128::from(0x0D00 + i), 16).unwrap(),
+                    NextHop::new(100 + i),
+                )
+            })
+            .collect();
+        s.apply_batch(&events).unwrap();
+        let post = s.snapshot();
+        // The pre-batch snapshot still answers pre-batch for every key of
+        // the window; the post-batch snapshot answers post-batch for all.
+        for i in 0..16u32 {
+            let k: Key = format!("{}.{}.9.9", 13, i).parse().unwrap();
+            assert_eq!(pre.lookup(k), None, "pre-batch snapshot torn at {i}");
+            assert_eq!(
+                post.lookup(k),
+                Some(NextHop::new(100 + i)),
+                "post-batch snapshot incomplete at {i}"
+            );
+        }
+        assert_eq!(post.generation, pre.generation + 1);
     }
 
     #[test]

@@ -8,11 +8,16 @@ use chisel_prefix::collapse::StridePlan;
 use chisel_prefix::parallel::{chunk_ranges, parallel_map, resolve_threads};
 use chisel_prefix::{AddressFamily, Key, NextHop, Prefix, RouteEntry, RoutingTable};
 
+use chisel_bloomier::RebuildCandidate;
+
+use crate::batch::{BatchPlan, BatchReport, RouteUpdate};
 use crate::faultpoint;
 use crate::shadow::GroupShadow;
 use crate::stats::{DegradedMode, EngineStats, LookupTrace, RecoveryStats, StorageBreakdown};
-use crate::subcell::{AnnounceOutcome, CellParams, PreparedKey, SubCell};
-use crate::update::{RecentWithdrawals, UpdateKind, UpdateStats};
+use crate::subcell::{
+    AnnounceOutcome, BatchStep, CellParams, PartitionResetupPlan, PreparedKey, SubCell,
+};
+use crate::update::{BatchStats, RecentWithdrawals, UpdateKind, UpdateStats};
 use crate::{ChiselConfig, ChiselError};
 
 /// The Chisel longest-prefix-matching engine.
@@ -45,6 +50,8 @@ pub struct ChiselLpm {
     cells: Vec<Arc<SubCell>>,
     default_route: Option<NextHop>,
     stats: UpdateStats,
+    /// Batched-update counters ([`ChiselLpm::apply_batch`]).
+    batch: BatchStats,
     recent: RecentWithdrawals,
     len: usize,
     /// Monotonic update counter, bumped at the top of every announce and
@@ -163,6 +170,7 @@ impl ChiselLpm {
             cells,
             default_route,
             stats: UpdateStats::default(),
+            batch: BatchStats::default(),
             recent: RecentWithdrawals::new(flap_window),
             len,
             version: 0,
@@ -352,14 +360,20 @@ impl ChiselLpm {
         // lookup result gets a fresh version, even if it turns out a no-op.
         self.version += 1;
         if prefix.is_empty() {
+            // `len` tracks state (was the slot empty?), not the flap
+            // classification: a withdraw/re-announce flap of the default
+            // route removed a route and now restores it.
+            let restored = self.default_route.is_none();
             let kind = if self.recent.take(&prefix) {
                 UpdateKind::RouteFlap
-            } else if self.default_route.is_some() {
-                UpdateKind::NextHopChange
-            } else {
-                self.len += 1;
+            } else if restored {
                 UpdateKind::AddCollapsed
+            } else {
+                UpdateKind::NextHopChange
             };
+            if restored {
+                self.len += 1;
+            }
             self.default_route = Some(next_hop);
             self.stats.record(kind);
             return Ok(kind);
@@ -454,6 +468,284 @@ impl ChiselLpm {
         Ok(UpdateKind::Withdraw)
     }
 
+    /// Applies a whole window of updates as one logical change.
+    ///
+    /// The window is coalesced to its per-prefix net effect first (an
+    /// announce/withdraw/announce flap collapses to one change, next-hop
+    /// churn to the last write — see [`BatchPlan`]), the residue is
+    /// applied incrementally, and every insert that would force a
+    /// partition re-setup is *deferred*: the key is parked transiently in
+    /// the spillover TCAM (so the cell stays fully consistent and
+    /// serveable), then all required re-setups run **in parallel** over
+    /// the build-thread pool as build-then-commit rebuild units — one
+    /// unit per touched (cell, partition), committed in a fixed order.
+    /// Inserts sharing a unit cost one rebuild instead of one each.
+    ///
+    /// One `version` bump covers the window, so a [`crate::FlowCache`]
+    /// invalidates wholesale once per batch; through
+    /// [`crate::SharedChisel::apply_batch`] the window publishes as a
+    /// single snapshot generation while readers keep serving the previous
+    /// one.
+    ///
+    /// Invalid events (wrong family / unsupported length) and events of
+    /// residual ops rolled back by a failed re-setup with no TCAM room
+    /// are reported in [`BatchReport::rejected_events`] instead of
+    /// failing the window: the resulting state is exactly the sequential
+    /// application of the window minus those events.
+    ///
+    /// # Errors
+    ///
+    /// Structural Bloomier failures and injected faults propagate, and
+    /// the bare engine may then be partially updated (exactly like a
+    /// failed [`ChiselLpm::announce`]); the snapshot path discards the
+    /// torn clone, so published generations are always whole windows.
+    pub fn apply_batch(&mut self, events: &[RouteUpdate]) -> Result<BatchReport, ChiselError> {
+        let mut report = BatchReport {
+            ingested: events.len(),
+            ..BatchReport::default()
+        };
+        if events.is_empty() {
+            return Ok(report);
+        }
+        // One conservative flow-cache invalidation for the whole window.
+        self.version += 1;
+
+        // Validate per event up front so one bad event cannot poison the
+        // window — the sequential path would reject it and carry on.
+        let mut valid: Vec<(usize, RouteUpdate)> = Vec::with_capacity(events.len());
+        for (i, ev) in events.iter().enumerate() {
+            let p = ev.prefix();
+            if p.family() != self.config.family
+                || (!p.is_empty() && self.plan.cell_for(p.len()).is_none())
+            {
+                report.rejected_events.push(i);
+            } else {
+                valid.push((i, *ev));
+            }
+        }
+
+        // Coalesce to the per-prefix net effect, keeping the raw window
+        // positions each residual op stands for.
+        let residual: Vec<RouteUpdate> = valid.iter().map(|&(_, ev)| ev).collect();
+        let bplan = BatchPlan::of(&residual);
+        report.coalesced = bplan.coalesced();
+        let absorbed_raw: Vec<Vec<usize>> = bplan
+            .ops
+            .iter()
+            .map(|op| op.absorbed.iter().map(|&pos| valid[pos].0).collect())
+            .collect();
+
+        // Incremental pass: apply residual ops in order. Each prefix has
+        // at most one op, so a deferred (TCAM-parked) insert can never be
+        // emptied or withdrawn later in the same window.
+        struct PendingInsert {
+            /// Residual-op index (into `bplan.ops`).
+            op: usize,
+            ci: usize,
+            collapsed: u128,
+            slot: u32,
+        }
+        let mut pending: Vec<PendingInsert> = Vec::new();
+        let mut kinds: Vec<Option<UpdateKind>> = vec![None; bplan.ops.len()];
+        for (oi, planned) in bplan.ops.iter().enumerate() {
+            match planned.op {
+                RouteUpdate::Announce(prefix, next_hop) => {
+                    let flap = self.recent.take(&prefix);
+                    if prefix.is_empty() {
+                        // Mirrors `announce`: `len` tracks whether the
+                        // slot was empty, independent of the flap tag.
+                        let restored = self.default_route.is_none();
+                        let kind = if flap {
+                            UpdateKind::RouteFlap
+                        } else if restored {
+                            UpdateKind::AddCollapsed
+                        } else {
+                            UpdateKind::NextHopChange
+                        };
+                        if restored {
+                            self.len += 1;
+                        }
+                        self.default_route = Some(next_hop);
+                        kinds[oi] = Some(kind);
+                        continue;
+                    }
+                    let ci = self.plan.cell_for(prefix.len()).expect("validated above");
+                    let base = self.plan.cells()[ci].base;
+                    let collapsed = prefix.truncate(base).bits();
+                    let depth = prefix.len() - base;
+                    let suffix = prefix.suffix_below(base);
+                    let res = Arc::make_mut(&mut self.cells[ci])
+                        .announce_batched(collapsed, depth, suffix, next_hop)?;
+                    if res.grew {
+                        // The capacity-doubling rebuild re-encoded every
+                        // live group of the cell: earlier deferred inserts
+                        // of this cell are resolved re-setups now (and
+                        // their recorded slots are stale — drop them).
+                        pending.retain(|p| {
+                            if p.ci == ci {
+                                kinds[p.op] = Some(UpdateKind::Resetup);
+                                report.resetups_saved += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    match res.step {
+                        BatchStep::Applied(outcome) => {
+                            let kind = match outcome {
+                                AnnounceOutcome::DirtyRestore => UpdateKind::RouteFlap,
+                                AnnounceOutcome::NextHopOnly => {
+                                    if flap {
+                                        UpdateKind::RouteFlap
+                                    } else {
+                                        UpdateKind::NextHopChange
+                                    }
+                                }
+                                AnnounceOutcome::Collapsed => {
+                                    if flap {
+                                        UpdateKind::RouteFlap
+                                    } else {
+                                        UpdateKind::AddCollapsed
+                                    }
+                                }
+                                AnnounceOutcome::Singleton => UpdateKind::AddSingleton,
+                                AnnounceOutcome::Resetup => UpdateKind::Resetup,
+                                AnnounceOutcome::DegradedSpill => UpdateKind::DegradedSpill,
+                            };
+                            if !matches!(outcome, AnnounceOutcome::NextHopOnly) {
+                                self.len += 1;
+                            }
+                            kinds[oi] = Some(kind);
+                        }
+                        BatchStep::Pending(slot) => {
+                            // Counted now; rolled back below if the unit
+                            // degrades and the TCAM has no room.
+                            self.len += 1;
+                            pending.push(PendingInsert {
+                                op: oi,
+                                ci,
+                                collapsed,
+                                slot,
+                            });
+                        }
+                    }
+                }
+                RouteUpdate::Withdraw(prefix) => {
+                    let existed = if prefix.is_empty() {
+                        self.default_route.take().is_some()
+                    } else {
+                        let ci = self.plan.cell_for(prefix.len()).expect("validated above");
+                        let base = self.plan.cells()[ci].base;
+                        Arc::make_mut(&mut self.cells[ci]).withdraw(
+                            prefix.truncate(base).bits(),
+                            prefix.len() - base,
+                            prefix.suffix_below(base),
+                        )
+                    };
+                    if existed {
+                        self.len -= 1;
+                        self.recent.record(prefix);
+                    }
+                    kinds[oi] = Some(UpdateKind::Withdraw);
+                }
+            }
+        }
+
+        // Rebuild phase: group the surviving deferred inserts into
+        // (cell, partition) units — partition membership is selector-
+        // stable, so the grouping is commit-order independent — and run
+        // every unit's gather + candidate build concurrently against the
+        // shared pre-commit state. Commits are sequential in unit order
+        // (build-then-commit: a failed unit leaves its partition exactly
+        // as it was).
+        if !pending.is_empty() {
+            let mut grouped: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            for (pi, p) in pending.iter().enumerate() {
+                let part = self.cells[p.ci].partition_of(p.collapsed);
+                grouped.entry((p.ci, part)).or_default().push(pi);
+            }
+            report.parallel_resetups = grouped.len();
+            report.resetups_saved += (pending.len() - grouped.len()) as u64;
+            // Fault decisions are occurrence-counted in call order, so
+            // the SETUP_FAIL draws happen sequentially (unit order) up
+            // front; the parallel builders consume fixed decisions.
+            type Unit = ((usize, usize), Vec<usize>, bool);
+            let units: Vec<Unit> = grouped
+                .into_iter()
+                .map(|(key, pis)| (key, pis, faultpoint::fire(faultpoint::SETUP_FAIL)))
+                .collect();
+            let threads = resolve_threads(self.config.build_threads);
+            let cells = &self.cells;
+            type Built = Result<(PartitionResetupPlan, Option<RebuildCandidate>), ChiselError>;
+            let built: Vec<Built> =
+                parallel_map(threads, &units, |_, &((ci, part), _, failed)| {
+                    let rplan = cells[ci].plan_partition_resetup(part);
+                    let candidate = if failed {
+                        None
+                    } else {
+                        Some(cells[ci].build_resetup_candidate(&rplan)?)
+                    };
+                    Ok((rplan, candidate))
+                });
+            for (((ci, _), pis, _), built) in units.iter().zip(built) {
+                let (rplan, candidate) = built?;
+                let unit_pending: Vec<(u128, u32)> = pis
+                    .iter()
+                    .map(|&pi| (pending[pi].collapsed, pending[pi].slot))
+                    .collect();
+                let (committed, parked) = Arc::make_mut(&mut self.cells[*ci])
+                    .commit_partition_resetup(&rplan, candidate, &unit_pending);
+                for (j, &pi) in pis.iter().enumerate() {
+                    if committed {
+                        kinds[pending[pi].op] = Some(UpdateKind::Resetup);
+                    } else if j < parked {
+                        kinds[pending[pi].op] = Some(UpdateKind::DegradedSpill);
+                    } else {
+                        // Rolled back: undo the provisional add and report
+                        // the op's raw events as rejected. The collapsed
+                        // group was new this window, so any absorbed
+                        // same-prefix withdraws were no-ops — excluding
+                        // the whole absorbed set keeps the accepted
+                        // sequence equivalent to what was applied.
+                        self.len -= 1;
+                        report
+                            .rejected_events
+                            .extend(absorbed_raw[pending[pi].op].iter().copied());
+                    }
+                }
+            }
+        }
+
+        // Models the control plane dying mid-window: the bare engine is
+        // torn, the snapshot path discards the clone — so a published
+        // generation always reflects a whole window (atomicity).
+        if faultpoint::fire(faultpoint::PARTIAL_UPDATE) {
+            return Err(ChiselError::FaultInjected {
+                site: faultpoint::PARTIAL_UPDATE,
+            });
+        }
+
+        for kind in kinds.iter().flatten() {
+            self.stats.record(*kind);
+            report.kinds.record(*kind);
+        }
+        report.applied_ops = report.kinds.total();
+        report.rejected_events.sort_unstable();
+        self.batch.batches_published += 1;
+        self.batch.events_ingested += report.ingested as u64;
+        self.batch.events_coalesced += report.coalesced as u64;
+        self.batch.events_rejected += report.rejected_events.len() as u64;
+        self.batch.resetups_saved += report.resetups_saved;
+        self.batch.parallel_resetups += report.parallel_resetups as u64;
+        Ok(report)
+    }
+
+    /// Cumulative batched-update counters ([`ChiselLpm::apply_batch`]).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch
+    }
+
     /// Update-classification tallies since build.
     pub fn update_stats(&self) -> UpdateStats {
         self.stats
@@ -486,6 +778,7 @@ impl ChiselLpm {
         }
         EngineStats {
             updates: self.stats,
+            batch: self.batch,
             recovery,
             degraded: if parked > 0 {
                 DegradedMode::Degraded {
@@ -740,6 +1033,40 @@ mod tests {
         assert_eq!(engine.lookup(k("5.5.5.5")), Some(nh(9)));
         engine.withdraw(p("0.0.0.0/0")).unwrap();
         assert_eq!(engine.lookup(k("5.5.5.5")), None);
+    }
+
+    #[test]
+    fn default_route_flap_keeps_len_consistent() {
+        // A withdraw/re-announce flap of the default route must restore
+        // the route count: the flap *classification* (RouteFlap) must not
+        // suppress the `len` increment the restore implies.
+        let mut engine = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        engine.announce(p("0.0.0.0/0"), nh(9)).unwrap();
+        assert_eq!(engine.len(), 1);
+        engine.withdraw(p("0.0.0.0/0")).unwrap();
+        assert_eq!(engine.len(), 0);
+        assert_eq!(
+            engine.announce(p("0.0.0.0/0"), nh(7)).unwrap(),
+            UpdateKind::RouteFlap
+        );
+        assert_eq!(engine.len(), 1);
+        assert!(engine.verify().is_ok());
+
+        // Same flap split across two batch windows (so coalescing cannot
+        // cancel it) through the batched path.
+        let mut batched =
+            ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        batched
+            .apply_batch(&[RouteUpdate::Announce(p("0.0.0.0/0"), nh(9))])
+            .unwrap();
+        batched
+            .apply_batch(&[RouteUpdate::Withdraw(p("0.0.0.0/0"))])
+            .unwrap();
+        batched
+            .apply_batch(&[RouteUpdate::Announce(p("0.0.0.0/0"), nh(7))])
+            .unwrap();
+        assert_eq!(batched.len(), 1);
+        assert!(batched.verify().is_ok());
     }
 
     #[test]

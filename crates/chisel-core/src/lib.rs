@@ -23,6 +23,7 @@
 //! See [`ChiselLpm`] for the user-facing API and [`ChiselConfig`] for the
 //! design-point knobs.
 
+pub mod batch;
 mod bitvector;
 mod concurrent;
 mod config;
@@ -40,6 +41,7 @@ mod subcell;
 mod update;
 pub mod verify;
 
+pub use batch::{BatchPlan, BatchReport, PlannedOp, RouteUpdate, UpdateBatch};
 pub use bitvector::LeafVector;
 pub use concurrent::{CachedReader, EngineSnapshot, SharedChisel};
 pub use config::ChiselConfig;
@@ -50,5 +52,5 @@ pub use image::{HardwareImage, ImageError};
 pub use result_table::{Block, ResultTable};
 pub use shadow::GroupShadow;
 pub use stats::{DegradedMode, EngineStats, LookupTrace, RecoveryStats, StorageBreakdown};
-pub use update::{RecentWithdrawals, UpdateKind, UpdateStats};
+pub use update::{BatchStats, RecentWithdrawals, UpdateKind, UpdateStats};
 pub use verify::{verify_image, VerifyReport, Violation};

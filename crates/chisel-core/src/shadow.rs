@@ -8,6 +8,7 @@
 //! exactly the information the hardware tables discard.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use chisel_prefix::NextHop;
 
@@ -17,7 +18,12 @@ use chisel_prefix::NextHop;
 pub struct GroupShadow {
     /// `(depth, suffix)` -> next hop, where `depth = original_len - base`
     /// and `suffix` is the collapsed-away low bits of the prefix.
-    routes: BTreeMap<(u8, u128), NextHop>,
+    ///
+    /// `Arc`-shared so that cloning a shadow — which happens 64 entries
+    /// at a time whenever a snapshot write copies a [`crate::SubCell`]
+    /// chunk — is a pointer bump, not a tree copy; only the one shadow a
+    /// mutator actually touches pays for an unshared map.
+    routes: Arc<BTreeMap<(u8, u128), NextHop>>,
 }
 
 impl GroupShadow {
@@ -40,12 +46,16 @@ impl GroupShadow {
     /// Inserts or overwrites an original prefix, returning the previous
     /// next hop if the prefix existed.
     pub fn insert(&mut self, depth: u8, suffix: u128, next_hop: NextHop) -> Option<NextHop> {
-        self.routes.insert((depth, suffix), next_hop)
+        Arc::make_mut(&mut self.routes).insert((depth, suffix), next_hop)
     }
 
     /// Removes an original prefix, returning its next hop if present.
     pub fn remove(&mut self, depth: u8, suffix: u128) -> Option<NextHop> {
-        self.routes.remove(&(depth, suffix))
+        if !self.routes.contains_key(&(depth, suffix)) {
+            // Misses stay clone-free: don't unshare the map for a no-op.
+            return None;
+        }
+        Arc::make_mut(&mut self.routes).remove(&(depth, suffix))
     }
 
     /// Exact-match lookup of an original prefix.
@@ -75,7 +85,13 @@ impl GroupShadow {
 
     /// Removes every prefix.
     pub fn clear(&mut self) {
-        self.routes.clear();
+        if self.routes.is_empty() {
+            return;
+        }
+        match Arc::get_mut(&mut self.routes) {
+            Some(r) => r.clear(),
+            None => self.routes = Arc::default(),
+        }
     }
 
     /// Merges another shadow's prefixes into this one. Used by the
@@ -83,7 +99,15 @@ impl GroupShadow {
     /// routing table holds each prefix once, the same `(depth, suffix)`
     /// never appears in two partials and the merge is order-independent.
     pub fn absorb(&mut self, other: GroupShadow) {
-        self.routes.extend(other.routes);
+        if self.routes.is_empty() {
+            self.routes = other.routes;
+            return;
+        }
+        let merged = Arc::make_mut(&mut self.routes);
+        match Arc::try_unwrap(other.routes) {
+            Ok(r) => merged.extend(r),
+            Err(shared) => merged.extend(shared.iter().map(|(&k, &v)| (k, v))),
+        }
     }
 }
 

@@ -9,6 +9,15 @@
 //! and then flips the hardware engine over to them in one atomic step,
 //! while the data path keeps forwarding against the old memories.
 //!
+//! The batched update engine ([`crate::ChiselLpm::apply_batch`]) leans on
+//! this same mechanism to overlap re-setups with serving: a whole update
+//! window — including every parallel partition re-setup it triggers — is
+//! staged on the writer's private clone and published as **one** snapshot
+//! generation via a single `store`. Readers pinned mid-batch keep the
+//! pre-batch snapshot; readers pinning after the flip see the post-batch
+//! snapshot; no interleaving in between is ever observable, so lookup
+//! tail latency stays flat no matter how many re-setups the window needs.
+//!
 //! # Protocol
 //!
 //! The cell keeps a global `epoch` counter, the `current` snapshot

@@ -137,6 +137,9 @@ impl DegradedMode {
 pub struct EngineStats {
     /// Incremental-update classification counters.
     pub updates: crate::update::UpdateStats,
+    /// Batched-update counters (windows published, coalescing and
+    /// rebuild-unit sharing wins) — see [`crate::ChiselLpm::apply_batch`].
+    pub batch: crate::update::BatchStats,
     /// Re-setup retry / degradation / rollback counters.
     pub recovery: RecoveryStats,
     /// Degraded-mode status.

@@ -92,6 +92,43 @@ pub(crate) enum AnnounceOutcome {
     DegradedSpill,
 }
 
+/// Result of one [`SubCell::announce_batched`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BatchAnnounce {
+    /// Whether the step triggered a capacity-doubling full cell rebuild.
+    /// A grow re-encodes *every* live group of the cell, so any pending
+    /// (deferred) inserts of this cell are resolved by it — the engine
+    /// must drop them from its rebuild worklist.
+    pub grew: bool,
+    /// What happened to this announce.
+    pub step: BatchStep,
+}
+
+/// How a batched announce was absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchStep {
+    /// Fully applied, same classification as the one-at-a-time path.
+    Applied(AnnounceOutcome),
+    /// New collapsed key that found no singleton: parked transiently in
+    /// the spillover TCAM at this slot, awaiting the batch rebuild phase.
+    Pending(u32),
+}
+
+/// The gathered inputs of one deferred partition re-setup (batch rebuild
+/// unit): produced by [`SubCell::plan_partition_resetup`] on a worker
+/// thread, consumed by [`SubCell::commit_partition_resetup`] on the
+/// update thread.
+#[derive(Debug, Clone)]
+pub(crate) struct PartitionResetupPlan {
+    /// The Index Table partition being re-encoded.
+    pub part: usize,
+    /// Live `(collapsed key, slot)` pairs to place, spillover re-offers
+    /// and pending batch inserts included.
+    pub keys: Vec<(u128, u32)>,
+    /// Dirty rows of the partition, purged only if the commit succeeds.
+    pub purges: Vec<u32>,
+}
+
 /// A Chisel sub-cell.
 ///
 /// The big tables are chunked copy-on-write ([`CowTable`]) and the Index
@@ -574,41 +611,53 @@ impl SubCell {
         }
     }
 
-    /// Applies an announce for an original prefix of `depth` extra bits
-    /// and collapsed key `collapsed`.
-    pub fn announce(
+    /// The existing-collapsed-key half of an announce: clears a dirty bit
+    /// if set, inserts/overwrites the prefix in the group shadow and
+    /// regenerates the row. Shared verbatim by the one-at-a-time and
+    /// batched announce paths.
+    fn announce_existing(
+        &mut self,
+        slot: u32,
+        depth: u8,
+        suffix: u128,
+        next_hop: NextHop,
+    ) -> AnnounceOutcome {
+        let si = slot as usize;
+        let was_dirty = self.filter[si].dirty;
+        if was_dirty {
+            self.filter.get_mut(si).expect("resolved slot").dirty = false;
+            self.shadows.get_mut(si).expect("resolved slot").clear();
+            self.live_groups += 1;
+        }
+        let existed = self
+            .shadows
+            .get_mut(si)
+            .expect("resolved slot")
+            .insert(depth, suffix, next_hop)
+            .is_some();
+        self.regenerate(slot);
+        self.debug_assert_slot(slot);
+        if was_dirty {
+            AnnounceOutcome::DirtyRestore
+        } else if existed {
+            AnnounceOutcome::NextHopOnly
+        } else {
+            AnnounceOutcome::Collapsed
+        }
+    }
+
+    /// Stages a brand-new collapsed group: claims a slot (growing the cell
+    /// if exhausted), writes the Filter row and shadow, regenerates the
+    /// row. Returns `(slot, grew)`. The key has *no* Index Table encoding
+    /// yet — the caller must obtain one (or roll back via
+    /// [`SubCell::rollback_new_group`]).
+    fn stage_new_group(
         &mut self,
         collapsed: u128,
         depth: u8,
         suffix: u128,
         next_hop: NextHop,
-    ) -> Result<AnnounceOutcome, ChiselError> {
-        if let Some(slot) = self.slot_of(collapsed) {
-            let si = slot as usize;
-            let was_dirty = self.filter[si].dirty;
-            if was_dirty {
-                self.filter.get_mut(si).expect("resolved slot").dirty = false;
-                self.shadows.get_mut(si).expect("resolved slot").clear();
-                self.live_groups += 1;
-            }
-            let existed = self
-                .shadows
-                .get_mut(si)
-                .expect("resolved slot")
-                .insert(depth, suffix, next_hop)
-                .is_some();
-            self.regenerate(slot);
-            self.debug_assert_slot(slot);
-            return Ok(if was_dirty {
-                AnnounceOutcome::DirtyRestore
-            } else if existed {
-                AnnounceOutcome::NextHopOnly
-            } else {
-                AnnounceOutcome::Collapsed
-            });
-        }
-
-        // New collapsed key: claim a slot (growing if exhausted).
+    ) -> Result<(u32, bool), ChiselError> {
         let grew = if self.slots_exhausted() {
             self.grow()?;
             true
@@ -629,15 +678,36 @@ impl SubCell {
         shadow.insert(depth, suffix, next_hop);
         self.regenerate(slot);
         self.live_groups += 1;
+        Ok((slot, grew))
+    }
 
-        // NO_SINGLETON forces the re-setup path even when the encoding
-        // would have accepted an incremental insert.
-        let inserted = if faultpoint::fire(faultpoint::NO_SINGLETON) {
+    /// Attempts the incremental singleton insert for a staged new key.
+    /// NO_SINGLETON forces the re-setup path even when the encoding would
+    /// have accepted it.
+    fn try_insert_new(&mut self, collapsed: u128, slot: u32) -> Result<(), BloomierError> {
+        if faultpoint::fire(faultpoint::NO_SINGLETON) {
             Err(BloomierError::NoSingleton { key: collapsed })
         } else {
             self.index.try_insert(collapsed, slot)
-        };
-        let outcome = match inserted {
+        }
+    }
+
+    /// Applies an announce for an original prefix of `depth` extra bits
+    /// and collapsed key `collapsed`.
+    pub fn announce(
+        &mut self,
+        collapsed: u128,
+        depth: u8,
+        suffix: u128,
+        next_hop: NextHop,
+    ) -> Result<AnnounceOutcome, ChiselError> {
+        if let Some(slot) = self.slot_of(collapsed) {
+            return Ok(self.announce_existing(slot, depth, suffix, next_hop));
+        }
+
+        // New collapsed key: claim a slot (growing if exhausted).
+        let (slot, grew) = self.stage_new_group(collapsed, depth, suffix, next_hop)?;
+        let outcome = match self.try_insert_new(collapsed, slot) {
             Ok(()) if grew => Ok(AnnounceOutcome::Resetup),
             Ok(()) => Ok(AnnounceOutcome::Singleton),
             Err(BloomierError::NoSingleton { .. }) => self.resetup_partition_with(collapsed, slot),
@@ -655,6 +725,216 @@ impl SubCell {
         };
         self.debug_assert_slot(slot);
         Ok(outcome)
+    }
+
+    /// Batched-path announce: identical to [`SubCell::announce`] except
+    /// that a no-singleton insert does *not* re-set-up its partition
+    /// inline. The staged key is instead parked transiently in the
+    /// spillover TCAM (searched before the Index Table), which keeps the
+    /// whole cell consistent — lookups, later batch ops and the verifier
+    /// all resolve the key through the TCAM — while the engine defers the
+    /// re-setup to the batch rebuild phase, where all pending inserts of
+    /// one (cell, partition) share a single parallel rebuild unit.
+    pub(crate) fn announce_batched(
+        &mut self,
+        collapsed: u128,
+        depth: u8,
+        suffix: u128,
+        next_hop: NextHop,
+    ) -> Result<BatchAnnounce, ChiselError> {
+        if let Some(slot) = self.slot_of(collapsed) {
+            return Ok(BatchAnnounce {
+                grew: false,
+                step: BatchStep::Applied(self.announce_existing(slot, depth, suffix, next_hop)),
+            });
+        }
+        let (slot, grew) = self.stage_new_group(collapsed, depth, suffix, next_hop)?;
+        match self.try_insert_new(collapsed, slot) {
+            Ok(()) => {
+                self.debug_assert_slot(slot);
+                Ok(BatchAnnounce {
+                    grew,
+                    step: BatchStep::Applied(if grew {
+                        AnnounceOutcome::Resetup
+                    } else {
+                        AnnounceOutcome::Singleton
+                    }),
+                })
+            }
+            Err(BloomierError::NoSingleton { .. }) => {
+                // Transient TCAM park; may exceed the spill budget until
+                // the batch commit, which either encodes the key (rebuild)
+                // or enforces the budget (degraded park / rollback).
+                self.spill.push((collapsed, slot));
+                self.sort_spill();
+                self.debug_assert_slot(slot);
+                Ok(BatchAnnounce {
+                    grew,
+                    step: BatchStep::Pending(slot),
+                })
+            }
+            Err(e) => {
+                self.rollback_new_group(collapsed, slot);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Index Table partition a collapsed key routes to. Stable across
+    /// re-setups and installs — the selector hash is fixed at build time —
+    /// so batch rebuild units keyed on it stay disjoint no matter the
+    /// commit order.
+    pub(crate) fn partition_of(&self, collapsed: u128) -> usize {
+        self.index.partition_of(collapsed)
+    }
+
+    /// Phase 1 of a deferred partition re-setup: the pure gather of
+    /// [`SubCell::resetup_partition_with`], factored out so batch rebuild
+    /// units can run it (and the candidate build) on `&self` from worker
+    /// threads. Collects the partition's live keys — spillover entries of
+    /// the partition (pending batch inserts included) are re-offered for
+    /// placement — and schedules its dirty rows for purging.
+    pub(crate) fn plan_partition_resetup(&self, part: usize) -> PartitionResetupPlan {
+        let mut keys: Vec<(u128, u32)> = Vec::new();
+        let mut purges: Vec<u32> = Vec::new();
+        for slot in 0..self.filter.len() as u32 {
+            let e = &self.filter[slot as usize];
+            if !e.valid {
+                continue;
+            }
+            if self.index.partition_of(e.key) != part {
+                continue;
+            }
+            if self.spill_slot(e.key).is_some() {
+                continue; // re-offered from the spill loop below
+            }
+            if e.dirty {
+                purges.push(slot);
+            } else {
+                keys.push((e.key, slot));
+            }
+        }
+        for &(k, s) in &self.spill {
+            if self.index.partition_of(k) == part {
+                if self.filter[s as usize].dirty {
+                    purges.push(s);
+                } else {
+                    keys.push((k, s));
+                }
+            }
+        }
+        PartitionResetupPlan { part, keys, purges }
+    }
+
+    /// Phase 2 of a deferred partition re-setup: builds a candidate
+    /// encoding over the gathered keys with the bounded salted retry
+    /// schedule, mutating nothing. Safe to call concurrently for distinct
+    /// units — all units of a batch plan and build against the same
+    /// pre-commit cell state.
+    pub(crate) fn build_resetup_candidate(
+        &self,
+        plan: &PartitionResetupPlan,
+    ) -> Result<chisel_bloomier::RebuildCandidate, ChiselError> {
+        let attempts = self.params.resetup_retries.max(1);
+        Ok(self
+            .index
+            .build_partition_candidate(plan.part, &plan.keys, attempts)?)
+    }
+
+    /// Phase 3 of a deferred partition re-setup: commit or degrade, run
+    /// sequentially in unit order by the engine. Mirrors the commit tail
+    /// of [`SubCell::resetup_partition_with`], except that on failure the
+    /// unit's pending keys (already parked in the TCAM by
+    /// [`SubCell::announce_batched`]) become formal degraded parks — as
+    /// many as the spill budget allows, in op order — and the rest are
+    /// rolled back. `candidate` is `None` when the retry schedule failed
+    /// (the SETUP_FAIL draw, taken sequentially by the engine).
+    ///
+    /// Returns `(committed, parked)`: whether the partition was
+    /// re-encoded, and — if not — how many of the unit's pending keys
+    /// were parked (a prefix of `pending`; the remainder were rolled
+    /// back and must be reported as rejected).
+    pub(crate) fn commit_partition_resetup(
+        &mut self,
+        plan: &PartitionResetupPlan,
+        candidate: Option<chisel_bloomier::RebuildCandidate>,
+        pending: &[(u128, u32)],
+    ) -> (bool, usize) {
+        self.resetups += 1;
+        let part = plan.part;
+        match &candidate {
+            Some(c) => {
+                self.recovery.resetup_attempts += c.attempts as u64;
+                self.recovery.resetup_retries += c.attempts.saturating_sub(1) as u64;
+            }
+            None => {
+                let attempts = self.params.resetup_retries.max(1);
+                self.recovery.resetup_attempts += attempts as u64;
+                self.recovery.resetup_retries += (attempts - 1) as u64;
+            }
+        }
+        // Spill entries of *other* partitions survive any outcome. Counted
+        // at commit time, not gather time: earlier units of the same cell
+        // may have rewritten the spill since the parallel gather ran.
+        // (Pending keys of not-yet-committed sibling units count against
+        // the budget here — conservative, never unsound.)
+        let kept = self
+            .spill
+            .iter()
+            .filter(|&&(k, _)| self.index.partition_of(k) != part)
+            .count();
+        let acceptable = candidate.as_ref().is_some_and(|c| {
+            kept + c.spilled.len() <= self.params.spill_capacity
+                && !faultpoint::fire(faultpoint::SPILL_OVERFLOW)
+        });
+        if let (true, Some(c)) = (acceptable, candidate) {
+            for &s in &plan.purges {
+                self.purge_slot(s);
+            }
+            self.index.install_partition(part, c.filter, c.salt);
+            {
+                let index = &self.index;
+                self.spill.retain(|&(k, _)| index.partition_of(k) != part);
+            }
+            self.spill.extend(c.spilled);
+            self.sort_spill();
+            // Every previously-degraded key of this partition was handed
+            // to the rebuild, so its park is reclaimed (it now has a
+            // healthy encoding, or is a regular spill).
+            if !self.degraded.is_empty() {
+                let before = self.degraded.len();
+                let index = &self.index;
+                self.degraded.retain(|&k| index.partition_of(k) != part);
+                self.recovery.degraded_reclaims += (before - self.degraded.len()) as u64;
+            }
+            for &(_, slot) in pending {
+                self.debug_assert_slot(slot);
+            }
+            return (true, pending.len());
+        }
+        // Degraded path: the partition keeps its pre-batch encoding and
+        // only the unit's pending keys are parked — as many as the TCAM
+        // budget allows (they already sit in the spill; `base` is the
+        // occupancy everything else accounts for).
+        self.recovery.resetup_failures += 1;
+        let base = self.spill.len().saturating_sub(pending.len());
+        let allowed = self
+            .params
+            .spill_capacity
+            .saturating_sub(base)
+            .min(pending.len());
+        for (i, &(key, slot)) in pending.iter().enumerate() {
+            if i < allowed {
+                if let Err(at) = self.degraded.binary_search(&key) {
+                    self.degraded.insert(at, key);
+                }
+                self.recovery.degraded_parks += 1;
+                self.debug_assert_slot(slot);
+            } else {
+                self.rollback_new_group(key, slot);
+            }
+        }
+        (false, allowed)
     }
 
     /// Undoes the group state [`SubCell::announce`] writes for a new

@@ -105,6 +105,45 @@ impl UpdateStats {
     }
 }
 
+/// Cumulative counters of the batched update path (see
+/// [`crate::ChiselLpm::apply_batch`]): how many windows were published,
+/// how much work per-prefix coalescing and rebuild-unit sharing avoided.
+/// The batch-window companion of [`UpdateStats`] — updates applied through
+/// the one-at-a-time path never touch these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Update windows applied (each published as one snapshot generation).
+    pub batches_published: u64,
+    /// Raw events ingested across all windows.
+    pub events_ingested: u64,
+    /// Raw events absorbed by per-prefix coalescing — they never touched
+    /// a table (announce/withdraw/announce collapses to one change,
+    /// next-hop churn collapses to the last write).
+    pub events_coalesced: u64,
+    /// Raw events rejected inside a window (invalid, or rolled back when
+    /// a failed re-setup found no spillover-TCAM room).
+    pub events_rejected: u64,
+    /// Inline partition re-setups avoided: deferred inserts that shared a
+    /// rebuild unit with another insert of the same window, or were swept
+    /// up by a capacity-doubling full cell rebuild.
+    pub resetups_saved: u64,
+    /// Partition-rebuild units executed by batch windows (units of one
+    /// window build concurrently).
+    pub parallel_resetups: u64,
+}
+
+impl BatchStats {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.batches_published += other.batches_published;
+        self.events_ingested += other.events_ingested;
+        self.events_coalesced += other.events_coalesced;
+        self.events_rejected += other.events_rejected;
+        self.resetups_saved += other.resetups_saved;
+        self.parallel_resetups += other.parallel_resetups;
+    }
+}
+
 /// A bounded memory of recently withdrawn prefixes, used to classify an
 /// announce as a route flap (paper Section 4.4: "a large fraction of
 /// updates are actually route-flaps").
@@ -226,6 +265,26 @@ mod tests {
         assert!(r.take(&p));
         assert!(r.take(&p));
         assert!(!r.take(&p));
+    }
+
+    #[test]
+    fn batch_stats_merge() {
+        let mut a = BatchStats {
+            batches_published: 1,
+            events_ingested: 64,
+            events_coalesced: 10,
+            events_rejected: 1,
+            resetups_saved: 2,
+            parallel_resetups: 3,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.batches_published, 2);
+        assert_eq!(a.events_ingested, 128);
+        assert_eq!(a.events_coalesced, 20);
+        assert_eq!(a.events_rejected, 2);
+        assert_eq!(a.resetups_saved, 4);
+        assert_eq!(a.parallel_resetups, 6);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use chisel_core::{CachedReader, FlowCache, LookupTrace, SharedChisel};
+use chisel_core::{CachedReader, FlowCache, LookupTrace, RouteUpdate, SharedChisel};
 use chisel_prefix::{Key, NextHop};
 use chisel_workloads::keystream::BatchSource;
 use chisel_workloads::UpdateEvent;
@@ -58,6 +58,12 @@ pub struct DataplaneConfig {
     /// more memory latency and feed the vectorized Index Table probe
     /// more work per gather.
     pub lane_depth: usize,
+    /// Control-plane update batching window, in events. `1` (the
+    /// default) replays the trace one event / one snapshot generation at
+    /// a time; `> 1` feeds windows of that size through
+    /// [`SharedChisel::apply_batch`], so each window coalesces, runs its
+    /// re-setups in parallel, and publishes exactly one generation.
+    pub update_batch: usize,
 }
 
 impl Default for DataplaneConfig {
@@ -68,6 +74,7 @@ impl Default for DataplaneConfig {
             cache_slots: FlowCache::DEFAULT_CAPACITY,
             queue_depth: 64,
             lane_depth: 64,
+            update_batch: 1,
         }
     }
 }
@@ -120,9 +127,40 @@ pub struct ControlReport {
     pub halted: bool,
     /// Generation published when the control plane finished.
     pub final_generation: u64,
-    /// The accepted events in application order (recorded runs only):
-    /// generation `g` is the state after `accepted[..g]`.
+    /// The accepted events in application order (recorded runs only).
+    /// With `update_batch == 1`, generation `g` is the state after
+    /// `accepted[..g]`; with a wider window, use
+    /// [`accepted_upto`](Self::accepted_upto) instead — one generation
+    /// covers a whole window.
     pub accepted: Vec<UpdateEvent>,
+    /// Generation the engine was at before the control plane applied
+    /// anything (recorded runs only).
+    pub start_generation: u64,
+    /// Cumulative accepted-event count after each control-plane
+    /// publication (recorded runs only): entry `i` belongs to generation
+    /// `start_generation + 1 + i`. With batching, one entry covers a
+    /// whole window — the intermediate counts were never observable.
+    pub generation_events: Vec<usize>,
+}
+
+impl ControlReport {
+    /// How many accepted trace events are included in the state published
+    /// as `generation` (recorded runs only). Zero at or before
+    /// `start_generation`; saturates at the final count past the last
+    /// control-plane publication.
+    pub fn accepted_upto(&self, generation: u64) -> usize {
+        if generation <= self.start_generation {
+            return 0;
+        }
+        let idx = (generation - self.start_generation - 1) as usize;
+        match self.generation_events.get(idx) {
+            Some(&n) => n,
+            None => match self.generation_events.last() {
+                Some(&n) => n,
+                None => 0,
+            },
+        }
+    }
 }
 
 /// Everything a finished run reports.
@@ -166,6 +204,10 @@ impl Dataplane {
         assert!(
             config.queue_depth > 0,
             "Dataplane queue depth must be nonzero"
+        );
+        assert!(
+            config.update_batch > 0,
+            "Dataplane update batch window must be nonzero"
         );
         Dataplane { shared, config }
     }
@@ -216,7 +258,8 @@ impl Dataplane {
                 let updates = &opts.updates[..];
                 let tolerate = opts.tolerate_rejections;
                 let record = opts.record;
-                scope.spawn(move || control_main(&shared, updates, &stop, tolerate, record))
+                let window = self.config.update_batch;
+                scope.spawn(move || control_main(&shared, updates, &stop, tolerate, record, window))
             });
 
             // Dispatch until the pass (or the clock) runs out.
@@ -334,33 +377,93 @@ fn shard_main(
     (stats, records)
 }
 
-/// The control plane: replay the trace through the shared handle, one
-/// published snapshot per accepted update, until done or told to stop.
+/// The control plane: replay the trace through the shared handle until
+/// done or told to stop. With `window == 1` every accepted event
+/// publishes its own snapshot generation; with a wider window the trace
+/// is fed through [`SharedChisel::apply_batch`] in chunks, each chunk
+/// coalescing internally and publishing exactly one generation.
 fn control_main(
     shared: &SharedChisel,
     updates: &[UpdateEvent],
     stop: &AtomicBool,
     tolerate_rejections: bool,
     record: bool,
+    window: usize,
 ) -> ControlReport {
-    let mut report = ControlReport::default();
-    for ev in updates {
+    let mut report = ControlReport {
+        start_generation: shared.generation(),
+        ..ControlReport::default()
+    };
+    if window <= 1 {
+        for ev in updates {
+            if stop.load(Ordering::Acquire) {
+                report.halted = true;
+                break;
+            }
+            let outcome = match *ev {
+                UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
+                UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
+            };
+            match outcome {
+                Ok(()) => {
+                    report.applied += 1;
+                    if record {
+                        report.accepted.push(*ev);
+                        report.generation_events.push(report.applied);
+                    }
+                }
+                Err(_) if tolerate_rejections => report.rejected += 1,
+                Err(e) => {
+                    report.failed = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        report.final_generation = shared.generation();
+        return report;
+    }
+    'windows: for chunk in updates.chunks(window) {
         if stop.load(Ordering::Acquire) {
             report.halted = true;
             break;
         }
-        let outcome = match *ev {
-            UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
-            UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
-        };
-        match outcome {
-            Ok(()) => {
-                report.applied += 1;
+        let events: Vec<RouteUpdate> = chunk
+            .iter()
+            .map(|ev| match *ev {
+                UpdateEvent::Announce(p, nh) => RouteUpdate::Announce(p, nh),
+                UpdateEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
+            })
+            .collect();
+        match shared.apply_batch(&events) {
+            Ok(batch) => {
+                let rejected = batch.rejected_events.len();
+                if rejected > 0 && !tolerate_rejections {
+                    report.failed = Some(format!(
+                        "{rejected} event(s) rejected inside an update window"
+                    ));
+                    // The window still published: its accepted residue is
+                    // live state and must be accounted before halting.
+                }
+                report.applied += chunk.len() - rejected;
+                report.rejected += rejected;
                 if record {
-                    report.accepted.push(*ev);
+                    let mut next_rejected = batch.rejected_events.iter().copied().peekable();
+                    for (i, ev) in chunk.iter().enumerate() {
+                        if next_rejected.peek() == Some(&i) {
+                            next_rejected.next();
+                        } else {
+                            report.accepted.push(*ev);
+                        }
+                    }
+                    report.generation_events.push(report.applied);
+                }
+                if report.failed.is_some() {
+                    break 'windows;
                 }
             }
-            Err(_) if tolerate_rejections => report.rejected += 1,
+            // A failed window never published (build-then-commit): the
+            // engine is still at the previous generation.
+            Err(_) if tolerate_rejections => report.rejected += chunk.len(),
             Err(e) => {
                 report.failed = Some(e.to_string());
                 break;
@@ -530,6 +633,76 @@ mod tests {
         for sh in &report.per_shard {
             if sh.batches > 0 {
                 assert!(sh.max_generation <= report.control.final_generation);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_control_plane_publishes_one_generation_per_window() {
+        let s = shared();
+        let window = 16usize;
+        let dp = Dataplane::new(
+            s.clone(),
+            DataplaneConfig {
+                shards: 2,
+                update_batch: window,
+                ..DataplaneConfig::default()
+            },
+        );
+        let updates: Vec<UpdateEvent> = (0..64u32)
+            .map(|i| {
+                UpdateEvent::Announce(
+                    Prefix::new(AddressFamily::V4, 0x0B00 | u128::from(i), 16).unwrap(),
+                    NextHop::new(100 + i),
+                )
+            })
+            .collect();
+        let report = dp.run(
+            &keys(20_000),
+            &RunOptions {
+                updates: updates.clone(),
+                record: true,
+                ..RunOptions::default()
+            },
+        );
+        assert!(report.control.failed.is_none());
+        assert_eq!(report.control.rejected, 0);
+        let c = &report.control;
+        assert_eq!(c.start_generation, 0);
+        assert_eq!(c.accepted.len(), c.applied);
+        // Whole windows publish one generation each, so the generation
+        // count is the number of windows the control plane got through,
+        // not the event count.
+        assert_eq!(
+            c.final_generation,
+            c.generation_events.len() as u64,
+            "one generation per window"
+        );
+        assert!(c.final_generation <= (updates.len() / window) as u64);
+        if !c.halted {
+            assert_eq!(c.applied, updates.len());
+            assert_eq!(c.final_generation, (updates.len() / window) as u64);
+        }
+        // accepted_upto walks the per-generation cumulative counts.
+        assert_eq!(c.accepted_upto(0), 0);
+        for (i, &n) in c.generation_events.iter().enumerate() {
+            assert_eq!(c.accepted_upto(i as u64 + 1), n);
+            assert_eq!(n % window, 0, "full windows accept in window multiples");
+        }
+        assert_eq!(c.accepted_upto(u64::MAX), c.applied);
+        // The batch path feeds the same engine state as per-event replay
+        // would: every announced prefix answers once the run settles.
+        if !c.halted {
+            let snap = s.snapshot();
+            for i in 0..64u32 {
+                let k = Key::from_raw(AddressFamily::V4, (0x0B00 | u128::from(i)) << 16 | 0x0101);
+                assert_eq!(snap.lookup(k), Some(NextHop::new(100 + i)));
+            }
+            assert!(snap.verify().is_ok());
+        }
+        for sh in &report.per_shard {
+            if sh.batches > 0 {
+                assert!(sh.max_generation <= c.final_generation);
             }
         }
     }

@@ -41,4 +41,4 @@ pub use keystream::{flow_pool, uniform_stream, zipf_stream, BatchSource};
 pub use mrt::{read_mrt, write_mrt, MrtError};
 pub use stats::{analyze, TraceStats};
 pub use synth::synthesize;
-pub use updates::{generate_trace, rrc_profiles, TraceProfile, UpdateEvent};
+pub use updates::{generate_trace, resetup_storm_profile, rrc_profiles, TraceProfile, UpdateEvent};

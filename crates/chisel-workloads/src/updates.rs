@@ -94,6 +94,24 @@ pub fn rrc_profiles() -> Vec<TraceProfile> {
     ]
 }
 
+/// A deliberately unrealistic re-setup storm: almost every event is a
+/// brand-new unrelated prefix, the rare Index-Table-insert case that
+/// forces singleton encodes and partition re-setups. **Not** part of
+/// [`rrc_profiles`] — real collector mixes keep `add_new` at a ~0.1%
+/// sliver — this is the stress profile the batched update engine uses to
+/// demonstrate re-setup sharing (`resetups_saved`).
+pub fn resetup_storm_profile() -> TraceProfile {
+    TraceProfile {
+        name: "resetup-storm (synthetic)",
+        seed: 0xc5_70_12,
+        withdraws: 0.05,
+        flaps: 0.05,
+        next_hops: 0.04,
+        add_specific: 0.01,
+        add_new: 0.85,
+    }
+}
+
 /// Generates `events` updates against (a model of) `table`.
 ///
 /// The generator tracks the evolving live prefix set so withdraws target
@@ -242,6 +260,25 @@ mod tests {
             );
             assert!(p.add_new <= 0.01, "new-key adds must be a sliver");
         }
+    }
+
+    #[test]
+    fn storm_profile_is_add_new_heavy_and_separate() {
+        let storm = resetup_storm_profile();
+        assert!(
+            storm.add_new > 0.5,
+            "the storm exists to force new-key inserts"
+        );
+        // The storm must never leak into the realistic collector set,
+        // whose profiles all keep add_new at a sliver.
+        assert!(rrc_profiles().iter().all(|p| p.name != storm.name));
+        let t = base_table();
+        let trace = generate_trace(&t, 5_000, &storm);
+        let new_keys = trace
+            .iter()
+            .filter(|e| matches!(e, UpdateEvent::Announce(_, _)))
+            .count();
+        assert!(new_keys as f64 / trace.len() as f64 > 0.8);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! chisel-router stats  <table-file>                      table + engine stats
 //! chisel-router check  <table-file> [--threads N]        invariant verifier
 //! chisel-router replay <table-file> [<trace.mrt>] [--threads N] [--adversarial[=N]]
-//!                                                        apply an MRT update trace
+//!                      [--batch N]                       apply an MRT update trace
 //! chisel-router serve  <table-file> [--shards N] [--duration S] [--batch B]
-//!                      [--cache[=SLOTS]] [--adversarial[=N]] [--threads N]
-//!                                                        sharded dataplane daemon
+//!                      [--update-batch N] [--cache[=SLOTS]] [--adversarial[=N]]
+//!                      [--threads N]                     sharded dataplane daemon
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
 //!
@@ -36,6 +36,14 @@
 //! degraded-mode status afterwards. A `replay` with no trace at all is
 //! a no-op that still prints the (zeroed) counter summary and exits 0.
 //!
+//! `replay --batch=N` applies the trace through the batched update
+//! engine in windows of N events: each window coalesces per prefix,
+//! runs its partition re-setups in parallel, and publishes exactly one
+//! snapshot generation; the batch-engine counters (events coalesced,
+//! re-setups saved) are printed after the run. `serve --update-batch=N`
+//! does the same on the live control plane while the shards keep
+//! serving.
+//!
 //! `serve` runs the saturation scenario of the sharded dataplane daemon
 //! (`chisel::dataplane`): `--shards N` run-to-completion workers, each
 //! with a private flow cache, fed by an RSS-style flow hash over a
@@ -55,7 +63,7 @@ use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use chisel::core::{DegradedMode, FlowCache, SharedChisel};
+use chisel::core::{DegradedMode, FlowCache, RouteUpdate, SharedChisel};
 use chisel::dataplane::{Dataplane, DataplaneConfig, RunOptions};
 use chisel::prefix::io::read_table;
 use chisel::prefix::parallel::resolve_threads;
@@ -88,17 +96,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--batch N` belongs to `replay` only (`serve` has its own --batch
+    // for keystream batches), so it is peeled off arm-locally.
+    let replay_batch = if args.first().map(String::as_str) == Some("replay") {
+        match take_value_flag::<usize>(&mut args, "batch") {
+            Ok(b) => {
+                let b = b.unwrap_or(1);
+                if b == 0 {
+                    eprintln!("error: --batch must be at least 1");
+                    return ExitCode::FAILURE;
+                }
+                b
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        1
+    };
     let result = match args.first().map(String::as_str) {
         Some("build") if args.len() == 2 => cmd_build(&args[1], threads),
         Some("lookup") if args.len() >= 3 => cmd_lookup(&args[1], &args[2..], cache),
         Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
         Some("check") if args.len() == 2 => cmd_check(&args[1], threads),
         Some("replay") if args.len() == 3 => {
-            cmd_replay(&args[1], Some(&args[2]), threads, adversarial)
+            cmd_replay(&args[1], Some(&args[2]), threads, adversarial, replay_batch)
         }
         // An empty trace (no MRT file, no adversarial stream) is a valid
         // no-op replay: print the zeroed counter summary and exit 0.
-        Some("replay") if args.len() == 2 => cmd_replay(&args[1], None, threads, adversarial),
+        Some("replay") if args.len() == 2 => {
+            cmd_replay(&args[1], None, threads, adversarial, replay_batch)
+        }
         Some("serve") if args.len() >= 2 => {
             match ServeFlags::take(&mut args).and_then(|f| {
                 if args.len() == 2 {
@@ -120,8 +150,8 @@ fn main() -> ExitCode {
                 "usage: chisel-router build <table> [--threads N] | \
                  lookup <table> <addr>... [--cache[=SLOTS]] | stats <table> | \
                  check <table> [--threads N] | \
-                 replay <table> [<trace.mrt>] [--threads N] [--adversarial[=N]] | \
-                 serve <table> [--shards N] [--duration S] [--batch B] \
+                 replay <table> [<trace.mrt>] [--threads N] [--adversarial[=N]] [--batch N] | \
+                 serve <table> [--shards N] [--duration S] [--batch B] [--update-batch N] \
                  [--cache[=SLOTS]] [--adversarial[=N]] [--threads N] | \
                  synth <n> <out> [seed]"
             );
@@ -188,23 +218,29 @@ fn take_value_flag<T: std::str::FromStr>(
         .map_err(|_| format!("invalid --{name} value '{value}'"))
 }
 
-/// The `serve` subcommand's own flags (shard count, run length, batch).
+/// The `serve` subcommand's own flags (shard count, run length, batch,
+/// control-plane update window).
 struct ServeFlags {
     shards: usize,
     duration_secs: f64,
     batch: usize,
+    update_batch: usize,
 }
 
 impl ServeFlags {
     fn take(args: &mut Vec<String>) -> Result<ServeFlags, String> {
         let shards = take_value_flag::<usize>(args, "shards")?.unwrap_or(1);
         let duration_secs = take_value_flag::<f64>(args, "duration")?.unwrap_or(1.0);
+        let update_batch = take_value_flag::<usize>(args, "update-batch")?.unwrap_or(1);
         let batch = take_value_flag::<usize>(args, "batch")?.unwrap_or(64);
         if shards == 0 {
             return Err("--shards must be at least 1".into());
         }
         if batch == 0 {
             return Err("--batch must be at least 1".into());
+        }
+        if update_batch == 0 {
+            return Err("--update-batch must be at least 1".into());
         }
         if !duration_secs.is_finite() || duration_secs <= 0.0 {
             return Err(format!("invalid --duration value '{duration_secs}'"));
@@ -213,6 +249,7 @@ impl ServeFlags {
             shards,
             duration_secs,
             batch,
+            update_batch,
         })
     }
 }
@@ -444,6 +481,7 @@ fn cmd_replay(
     mrt_path: Option<&str>,
     threads: usize,
     adversarial: Option<usize>,
+    batch: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let build_start = Instant::now();
     let (table, engine) = load(table_path, threads)?;
@@ -480,20 +518,45 @@ fn cmd_replay(
     let shared = SharedChisel::from_engine(engine);
     let start = Instant::now();
     let mut rejected = 0usize;
-    for ev in &events {
-        let outcome = match *ev {
-            UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
-            UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
-        };
-        match outcome {
-            Ok(()) => {}
-            Err(e) if adversarial.is_some() => {
-                rejected += 1;
-                if rejected <= 5 {
-                    eprintln!("  rejected update: {e}");
+    if batch <= 1 {
+        for ev in &events {
+            let outcome = match *ev {
+                UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
+                UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
+            };
+            match outcome {
+                Ok(()) => {}
+                Err(e) if adversarial.is_some() => {
+                    rejected += 1;
+                    if rejected <= 5 {
+                        eprintln!("  rejected update: {e}");
+                    }
                 }
+                Err(e) => return Err(e.into()),
             }
-            Err(e) => return Err(e.into()),
+        }
+    } else {
+        // Windowed replay: each chunk coalesces per prefix, runs its
+        // re-setups in parallel and publishes a single generation.
+        for chunk in events.chunks(batch) {
+            let window: Vec<RouteUpdate> = chunk
+                .iter()
+                .map(|ev| match *ev {
+                    UpdateEvent::Announce(p, nh) => RouteUpdate::Announce(p, nh),
+                    UpdateEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
+                })
+                .collect();
+            match shared.apply_batch(&window) {
+                Ok(report) => {
+                    let r = report.rejected_events.len();
+                    if r > 0 && adversarial.is_none() {
+                        return Err(format!("{r} event(s) rejected inside an update window").into());
+                    }
+                    rejected += r;
+                }
+                Err(_) if adversarial.is_some() => rejected += chunk.len(),
+                Err(e) => return Err(e.into()),
+            }
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
@@ -511,6 +574,19 @@ fn cmd_replay(
     println!("published generation: {}", shared.generation());
     println!("incremental fraction: {:.5}", u.incremental_fraction());
     let es = shared.engine_stats();
+    if batch > 1 {
+        let b = es.batch;
+        println!(
+            "batch engine (window {batch}): {} batches published, {} events ingested, \
+             {} coalesced, {} rejected, {} parallel re-setups, {} re-setups saved",
+            b.batches_published,
+            b.events_ingested,
+            b.events_coalesced,
+            b.events_rejected,
+            b.parallel_resetups,
+            b.resetups_saved,
+        );
+    }
     println!(
         "recovery: {} re-setup attempts ({} retries, {} failures), \
          {} degraded parks / {} reclaims, {} rollbacks",
@@ -568,14 +644,16 @@ fn cmd_serve(
             shards: flags.shards,
             batch: flags.batch,
             cache_slots: slots,
+            update_batch: flags.update_batch,
             ..DataplaneConfig::default()
         },
     );
     println!(
-        "dataplane: {} shard(s), batch {}, {} cache slots/shard, \
+        "dataplane: {} shard(s), batch {}, update window {}, {} cache slots/shard, \
          {} flows (zipf s=1.0), {} adversarial updates",
         flags.shards,
         flags.batch,
+        flags.update_batch,
         slots,
         FLOWS,
         updates.len(),
@@ -652,6 +730,19 @@ fn cmd_serve(
             DegradedMode::Degraded { parked_keys } => format!("DEGRADED ({parked_keys} parked)"),
         },
     );
+    if flags.update_batch > 1 {
+        let b = es.batch;
+        println!(
+            "batch engine (window {}): {} batches published, {} events ingested, \
+             {} coalesced, {} parallel re-setups, {} re-setups saved",
+            flags.update_batch,
+            b.batches_published,
+            b.events_ingested,
+            b.events_coalesced,
+            b.parallel_resetups,
+            b.resetups_saved,
+        );
+    }
     if !agg.is_balanced() {
         return Err("dataplane counters failed to balance after drain".into());
     }

@@ -17,7 +17,7 @@
 #![cfg(faultpoint)]
 
 use chisel::core::faultpoint::{self, arm, FaultPlan};
-use chisel::core::{ChiselError, DegradedMode, LookupTrace, SharedChisel, UpdateKind};
+use chisel::core::{ChiselError, DegradedMode, LookupTrace, RouteUpdate, SharedChisel, UpdateKind};
 use chisel::prefix::oracle::OracleLpm;
 use chisel::workloads::{adversarial_trace, synthesize, PrefixLenDistribution, UpdateEvent};
 use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
@@ -312,6 +312,138 @@ fn degraded_parks_surface_in_lookup_trace() {
         &mut clean,
     );
     assert_eq!(clean.degraded_hits, 0, "{clean:?}");
+}
+
+/// Every rebuild unit of a batched window fails its re-setup: the new
+/// keys degrade into partition-local TCAM parks up to the budget (the
+/// overflow rolls back as rejected events) while the *inline* half of
+/// the window — next-hop changes on existing routes — commits untouched
+/// and the window still publishes.
+#[test]
+fn batch_setup_failures_degrade_only_affected_partitions() {
+    for seed in seeds() {
+        let (t, mut e) = tiny_spill_setup();
+        let baseline_len = e.len();
+
+        // Inline half: re-point every existing route. Deferred half:
+        // four brand-new keys that NO_SINGLETON forces through the
+        // parallel re-setup machinery, where SETUP_FAIL kills every unit.
+        let mut events: Vec<RouteUpdate> = t
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RouteUpdate::Announce(r.prefix, NextHop::new(40 + i as u32)))
+            .collect();
+        for i in 0..4u128 {
+            events.push(RouteUpdate::Announce(
+                parked_prefix(i),
+                NextHop::new(100 + i as u32),
+            ));
+        }
+
+        let guard = arm(FaultPlan::new(seed)
+            .with(faultpoint::NO_SINGLETON, 1.0)
+            .with(faultpoint::SETUP_FAIL, 1.0));
+        let report = e.apply_batch(&events).expect("window must publish");
+        drop(guard);
+
+        let verify = e.verify();
+        assert!(verify.is_ok(), "[seed {seed}] {verify}");
+        assert!(
+            report.parallel_resetups >= 1,
+            "[seed {seed}] no rebuild units ran"
+        );
+
+        // Whatever the partition split of the four keys, the 2-entry
+        // TCAM parks exactly two and the other two roll back, named in
+        // the report.
+        let es = e.engine_stats();
+        assert!(es.recovery.resetup_failures >= 1, "[seed {seed}]");
+        assert_eq!(es.degraded, DegradedMode::Degraded { parked_keys: 2 });
+        assert_eq!(es.recovery.degraded_parks, 2, "[seed {seed}]");
+        assert_eq!(report.rejected_events.len(), 2, "[seed {seed}]");
+        assert_eq!(e.len(), baseline_len + 2, "[seed {seed}]");
+
+        // The failed units' blast radius never reaches the inline ops.
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(
+                e.lookup(r.prefix.first_key()),
+                Some(NextHop::new(40 + i as u32)),
+                "[seed {seed}] inline next-hop change lost at {}",
+                r.prefix
+            );
+        }
+        // Parked keys answer through the TCAM; rolled-back keys answer
+        // exactly as if never announced.
+        for i in 0..4u128 {
+            let raw = t.len() + i as usize;
+            let got = e.lookup(parked_prefix(i).first_key());
+            if report.rejected_events.contains(&raw) {
+                assert_eq!(got, None, "[seed {seed}] rolled-back key answers");
+            } else {
+                assert_eq!(
+                    got,
+                    Some(NextHop::new(100 + i as u32)),
+                    "[seed {seed}] parked key lost"
+                );
+            }
+        }
+    }
+}
+
+/// With SETUP_FAIL at coin-flip odds, some seeds fail one rebuild unit
+/// of a window while the sibling unit commits: the committed partition
+/// gets real encodings, the failed one degrades, and the engine stays
+/// verified either way. The seed sweep must exhibit at least one such
+/// mixed window.
+#[test]
+fn batch_mixed_resetup_outcome_commits_healthy_units() {
+    let mut mixed_seen = false;
+    for seed in 1..=16u64 {
+        let (t, mut e) = tiny_spill_setup();
+        let baseline_len = e.len();
+        let events: Vec<RouteUpdate> = (0..8u128)
+            .map(|i| RouteUpdate::Announce(parked_prefix(i), NextHop::new(100 + i as u32)))
+            .collect();
+
+        let guard = arm(FaultPlan::new(seed)
+            .with(faultpoint::NO_SINGLETON, 1.0)
+            .with(faultpoint::SETUP_FAIL, 0.5));
+        let report = e.apply_batch(&events).expect("window must publish");
+        drop(guard);
+
+        let verify = e.verify();
+        assert!(verify.is_ok(), "[seed {seed}] {verify}");
+        assert_eq!(
+            e.len(),
+            baseline_len + events.len() - report.rejected_events.len(),
+            "[seed {seed}] length diverged from the report"
+        );
+        for i in 0..8u128 {
+            let got = e.lookup(parked_prefix(i).first_key());
+            if report.rejected_events.contains(&(i as usize)) {
+                assert_eq!(got, None, "[seed {seed}] rejected key answers");
+            } else {
+                assert_eq!(
+                    got,
+                    Some(NextHop::new(100 + i as u32)),
+                    "[seed {seed}] accepted key lost"
+                );
+            }
+        }
+        // Pre-existing routes are untouched by any outcome.
+        for r in t.iter() {
+            assert_eq!(e.lookup(r.prefix.first_key()), Some(r.next_hop));
+        }
+
+        let es = e.engine_stats();
+        if report.kinds.resetups > 0 && es.recovery.resetup_failures > 0 {
+            mixed_seen = true;
+        }
+    }
+    assert!(
+        mixed_seen,
+        "no seed produced a window with both a committed and a failed unit"
+    );
 }
 
 #[test]

@@ -142,6 +142,7 @@ pub const HOT_PATHS: &[(&str, Option<&[&str]>)] = &[
 /// above it (or on the same line).
 pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/chisel-core/src/update.rs",
+    "crates/chisel-core/src/batch.rs",
     "crates/chisel-core/src/image.rs",
     "crates/chisel-dataplane/src/daemon.rs",
 ];
