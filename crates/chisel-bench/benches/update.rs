@@ -68,12 +68,7 @@ struct RunResult {
 /// Replays `trace` through `shared` in windows of `window` events while a
 /// reader thread hammers 64-key lookup batches against live snapshots;
 /// returns writer throughput and the reader's p99.
-fn replay(
-    shared: &SharedChisel,
-    trace: &[UpdateEvent],
-    window: usize,
-    keys: &[Key],
-) -> RunResult {
+fn replay(shared: &SharedChisel, trace: &[UpdateEvent], window: usize, keys: &[Key]) -> RunResult {
     let gen0 = shared.generation();
     let stop = AtomicBool::new(false);
     let (elapsed, rejected, samples) = std::thread::scope(|scope| {

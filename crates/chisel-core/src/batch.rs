@@ -259,7 +259,10 @@ mod tests {
         let plan = BatchPlan::of(&evs);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.coalesced(), 2);
-        assert_eq!(plan.ops[0].op, RouteUpdate::Announce(p("10.0.0.0/8"), nh(2)));
+        assert_eq!(
+            plan.ops[0].op,
+            RouteUpdate::Announce(p("10.0.0.0/8"), nh(2))
+        );
         assert_eq!(plan.ops[0].absorbed, vec![0, 1, 2]);
     }
 
@@ -271,7 +274,10 @@ mod tests {
         let plan = BatchPlan::of(&evs);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.coalesced(), 9);
-        assert_eq!(plan.ops[0].op, RouteUpdate::Announce(p("10.0.0.0/8"), nh(9)));
+        assert_eq!(
+            plan.ops[0].op,
+            RouteUpdate::Announce(p("10.0.0.0/8"), nh(9))
+        );
     }
 
     #[test]

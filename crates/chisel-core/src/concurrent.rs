@@ -109,12 +109,17 @@ impl SharedChisel {
 
     /// Wraps an existing engine as generation 0.
     pub fn from_engine(engine: ChiselLpm) -> Self {
+        Self::from_engine_at(engine, 0)
+    }
+
+    /// Wraps an existing engine, republishing at a specific generation.
+    /// Crash recovery (`crate::journal`) uses this to re-enter the
+    /// generation sequence exactly where the checkpoint froze it before
+    /// replaying the journal tail.
+    pub fn from_engine_at(engine: ChiselLpm, generation: u64) -> Self {
         SharedChisel {
             inner: Arc::new(Inner {
-                cell: SnapshotCell::new(Arc::new(EngineSnapshot {
-                    generation: 0,
-                    engine,
-                })),
+                cell: SnapshotCell::new(Arc::new(EngineSnapshot { generation, engine })),
                 writer: Mutex::new(()),
             }),
         }
@@ -181,7 +186,10 @@ impl SharedChisel {
     ///
     /// Propagates [`ChiselLpm::apply_batch`] errors; on error the torn
     /// clone is discarded and no new snapshot is published.
-    pub fn apply_batch(&self, events: &[crate::batch::RouteUpdate]) -> Result<crate::batch::BatchReport, ChiselError> {
+    pub fn apply_batch(
+        &self,
+        events: &[crate::batch::RouteUpdate],
+    ) -> Result<crate::batch::BatchReport, ChiselError> {
         self.update(|e| e.apply_batch(events))
     }
 

@@ -678,16 +678,15 @@ impl ChiselLpm {
             let threads = resolve_threads(self.config.build_threads);
             let cells = &self.cells;
             type Built = Result<(PartitionResetupPlan, Option<RebuildCandidate>), ChiselError>;
-            let built: Vec<Built> =
-                parallel_map(threads, &units, |_, &((ci, part), _, failed)| {
-                    let rplan = cells[ci].plan_partition_resetup(part);
-                    let candidate = if failed {
-                        None
-                    } else {
-                        Some(cells[ci].build_resetup_candidate(&rplan)?)
-                    };
-                    Ok((rplan, candidate))
-                });
+            let built: Vec<Built> = parallel_map(threads, &units, |_, &((ci, part), _, failed)| {
+                let rplan = cells[ci].plan_partition_resetup(part);
+                let candidate = if failed {
+                    None
+                } else {
+                    Some(cells[ci].build_resetup_candidate(&rplan)?)
+                };
+                Ok((rplan, candidate))
+            });
             for (((ci, _), pis, _), built) in units.iter().zip(built) {
                 let (rplan, candidate) = built?;
                 let unit_pending: Vec<(u128, u32)> = pis
@@ -1054,8 +1053,7 @@ mod tests {
 
         // Same flap split across two batch windows (so coalescing cannot
         // cancel it) through the batched path.
-        let mut batched =
-            ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
+        let mut batched = ChiselLpm::build(&RoutingTable::new_v4(), ChiselConfig::ipv4()).unwrap();
         batched
             .apply_batch(&[RouteUpdate::Announce(p("0.0.0.0/0"), nh(9))])
             .unwrap();

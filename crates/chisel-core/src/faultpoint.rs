@@ -46,6 +46,20 @@ pub const ALLOC_PRESSURE: &str = "alloc-pressure";
 /// re-setup path (paper §4.4.2) regardless of the actual encoding.
 pub const NO_SINGLETON: &str = "no-singleton";
 
+/// Torn journal append: the process "crashes" after half of a record's
+/// frame reached the file, leaving a torn tail the journal scanner must
+/// truncate on recovery.
+pub const JOURNAL_SHORT_WRITE: &str = "journal-short-write";
+
+/// Checkpoint durability failure: the temp-file write completes but the
+/// fsync "fails" (process death before sync/rename), so the previous
+/// checkpoint must remain the authoritative one.
+pub const CHECKPOINT_FSYNC_FAIL: &str = "checkpoint-fsync-fail";
+
+/// Dataplane shard panic: a worker thread panics mid-batch; supervision
+/// must respawn the shard on a fresh reader and reconcile counters.
+pub const SHARD_PANIC: &str = "shard-panic";
+
 /// Returns whether the named fault point fires at this occurrence.
 ///
 /// Always `false` unless the crate is built with `--cfg faultpoint` and a
@@ -63,11 +77,20 @@ pub use armed::{arm, fire, hits, ArmGuard, FaultPlan};
 mod armed {
     use std::sync::{Mutex, MutexGuard, PoisonError};
 
+    /// How one site fires.
+    #[derive(Debug, Clone, Copy)]
+    enum Rule {
+        /// Fire with this probability at every occurrence.
+        Rate(f64),
+        /// Fire exactly once, at the given zero-based occurrence.
+        OnceAt(u64),
+    }
+
     /// Seeded per-site firing rules.
     #[derive(Debug, Clone)]
     pub struct FaultPlan {
         seed: u64,
-        rules: Vec<(&'static str, f64)>,
+        rules: Vec<(&'static str, Rule)>,
     }
 
     impl FaultPlan {
@@ -84,11 +107,21 @@ mod armed {
         /// `rate` per occurrence; `rate >= 1.0` fires every time.
         pub fn with(mut self, site: &'static str, rate: f64) -> Self {
             self.rules.retain(|&(s, _)| s != site);
-            self.rules.push((site, rate.clamp(0.0, 1.0)));
+            self.rules.push((site, Rule::Rate(rate.clamp(0.0, 1.0))));
             self
         }
 
-        fn rate(&self, site: &str) -> Option<f64> {
+        /// Adds (or replaces) a rule: `site` fires exactly once, at its
+        /// `occurrence`-th reach (zero-based). The crash-injection
+        /// harness uses this to walk a kill site through every
+        /// occurrence deterministically.
+        pub fn once_at(mut self, site: &'static str, occurrence: u64) -> Self {
+            self.rules.retain(|&(s, _)| s != site);
+            self.rules.push((site, Rule::OnceAt(occurrence)));
+            self
+        }
+
+        fn rule(&self, site: &str) -> Option<Rule> {
             self.rules
                 .iter()
                 .find(|&&(s, _)| s == site)
@@ -188,16 +221,18 @@ mod armed {
     /// Returns whether the named fault point fires at this occurrence.
     pub fn fire(site: &'static str) -> bool {
         let mut st = active();
-        let Some(rate) = st.plan.as_ref().and_then(|p| p.rate(site)) else {
+        let Some(rule) = st.plan.as_ref().and_then(|p| p.rule(site)) else {
             return false;
         };
         let seed = st.plan.as_ref().map(|p| p.seed).unwrap_or(0);
         let occurrence = bump(&mut st.counts, site);
-        let fired = if rate >= 1.0 {
-            true
-        } else {
-            let h = mix(seed ^ site_hash(site).wrapping_add(occurrence));
-            ((h >> 32) as f64) < rate * 4_294_967_296.0
+        let fired = match rule {
+            Rule::Rate(rate) if rate >= 1.0 => true,
+            Rule::Rate(rate) => {
+                let h = mix(seed ^ site_hash(site).wrapping_add(occurrence));
+                ((h >> 32) as f64) < rate * 4_294_967_296.0
+            }
+            Rule::OnceAt(n) => occurrence == n,
         };
         if fired {
             bump(&mut st.hits, site);
@@ -241,6 +276,17 @@ mod tests {
         assert_ne!(a, c, "different seeds diverge");
         let fired = a.iter().filter(|&&f| f).count();
         assert!((64..192).contains(&fired), "rate 0.5 fired {fired}/256");
+    }
+
+    #[test]
+    fn once_at_fires_exactly_once_at_the_named_occurrence() {
+        let _guard = arm(FaultPlan::new(5).once_at(JOURNAL_SHORT_WRITE, 3));
+        let fired: Vec<bool> = (0..8).map(|_| fire(JOURNAL_SHORT_WRITE)).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, false]
+        );
+        assert_eq!(hits(JOURNAL_SHORT_WRITE), 1);
     }
 
     #[test]

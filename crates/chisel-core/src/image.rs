@@ -358,8 +358,10 @@ impl HardwareImage {
 
 /// FNV-1a over a section body: cheap, dependency-free, and plenty to
 /// catch the bit flips and truncations a DMA transfer can suffer (this
-/// is an integrity check, not an authenticity one).
-fn fnv1a32(bytes: &[u8]) -> u32 {
+/// is an integrity check, not an authenticity one). Shared with the
+/// update journal (`crate::journal`), which frames its records with the
+/// same discipline.
+pub(crate) fn fnv1a32(bytes: &[u8]) -> u32 {
     let mut h = 0x811C_9DC5u32;
     for &b in bytes {
         h ^= u32::from(b);

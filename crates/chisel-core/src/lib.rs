@@ -33,6 +33,7 @@ mod error;
 pub mod faultpoint;
 mod flowcache;
 pub mod image;
+pub mod journal;
 mod result_table;
 mod shadow;
 pub mod snapshot;
@@ -49,6 +50,10 @@ pub use engine::ChiselLpm;
 pub use error::ChiselError;
 pub use flowcache::FlowCache;
 pub use image::{HardwareImage, ImageError};
+pub use journal::{
+    recover, recover_with_config, DurableControl, DurableError, DurableOptions, DurableStats,
+    JournalError, JournalWriter, Recovered, RecoveryReport,
+};
 pub use result_table::{Block, ResultTable};
 pub use shadow::GroupShadow;
 pub use stats::{DegradedMode, EngineStats, LookupTrace, RecoveryStats, StorageBreakdown};

@@ -28,11 +28,14 @@
 //!   counters, and exit; nothing in flight is dropped, so the post-drain
 //!   roll-up balances exactly (`cache_hits + cache_misses == lookups`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use chisel_core::faultpoint;
+use chisel_core::journal::{DurableControl, DurableError, DurableOptions, DurableStats};
 use chisel_core::{CachedReader, FlowCache, LookupTrace, RouteUpdate, SharedChisel};
 use chisel_prefix::{Key, NextHop};
 use chisel_workloads::keystream::BatchSource;
@@ -64,6 +67,13 @@ pub struct DataplaneConfig {
     /// [`SharedChisel::apply_batch`], so each window coalesces, runs its
     /// re-setups in parallel, and publishes exactly one generation.
     pub update_batch: usize,
+    /// Supervise worker shards (the default): a panicking shard is
+    /// caught, respawned on a fresh reader over the current snapshot,
+    /// and its batch retried once; the failure is reported as a
+    /// [`ShardFailure`] with `respawned: true` instead of aborting the
+    /// run. With supervision off a shard panic kills its thread and
+    /// surfaces as a non-respawned `ShardFailure` at join.
+    pub supervise: bool,
 }
 
 impl Default for DataplaneConfig {
@@ -75,6 +85,7 @@ impl Default for DataplaneConfig {
             queue_depth: 64,
             lane_depth: 64,
             update_batch: 1,
+            supervise: true,
         }
     }
 }
@@ -99,6 +110,16 @@ pub struct RunOptions {
     /// `degraded_hits`). Misses walk the scalar traced path, so leave
     /// this off when measuring throughput.
     pub traced: bool,
+    /// Journal + checkpoint the control plane's updates through a
+    /// [`DurableControl`] (see `chisel_core::journal`): an initial
+    /// checkpoint at spawn, one journal record per accepted update (or
+    /// window), periodic checkpoints, and a final checkpoint at drain.
+    pub durable: Option<DurableOptions>,
+    /// External shutdown flag (e.g. the SIGINT/SIGTERM latch from
+    /// [`crate::signal::shutdown_flag`]). When set, the dispatcher runs
+    /// the normal drain at the next batch boundary. With a `stop` flag
+    /// and no `duration`, the stream loops until the flag is raised.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 /// One recorded shard batch: the snapshot generation it was answered at,
@@ -141,6 +162,8 @@ pub struct ControlReport {
     /// `start_generation + 1 + i`. With batching, one entry covers a
     /// whole window — the intermediate counts were never observable.
     pub generation_events: Vec<usize>,
+    /// Journal/checkpoint counters (durable runs only).
+    pub durable: Option<DurableStats>,
 }
 
 impl ControlReport {
@@ -163,6 +186,22 @@ impl ControlReport {
     }
 }
 
+/// One worker-shard failure, typed instead of a propagated panic.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// The shard that failed.
+    pub shard: usize,
+    /// The panic payload, stringified.
+    pub panic: String,
+    /// Whether supervision respawned the shard (the run continued on a
+    /// fresh reader). `false` means the shard thread died and its queue
+    /// went unserved from that point on.
+    pub respawned: bool,
+    /// Keys abandoned because of this failure (0 when the respawned
+    /// shard's batch retry succeeded).
+    pub lost_keys: u64,
+}
+
 /// Everything a finished run reports.
 #[derive(Debug)]
 pub struct DataplaneReport {
@@ -176,12 +215,26 @@ pub struct DataplaneReport {
     pub elapsed: Duration,
     /// Recorded batches per shard (empty unless [`RunOptions::record`]).
     pub records: Vec<Vec<BatchRecord>>,
+    /// Every worker failure, whether supervision recovered it or not.
+    /// Empty after a clean run.
+    pub failures: Vec<ShardFailure>,
 }
 
 impl DataplaneReport {
     /// Aggregate throughput in million searches per second.
     pub fn aggregate_msps(&self) -> f64 {
         self.aggregate.aggregate_msps(self.elapsed.as_secs_f64())
+    }
+
+    /// Whether the run ended with no unrecovered damage: every failure
+    /// (if any) was respawned with its batch retried successfully, and
+    /// the control plane did not halt on an error.
+    pub fn healthy(&self) -> bool {
+        self.control.failed.is_none()
+            && self
+                .failures
+                .iter()
+                .all(|f| f.respawned && f.lost_keys == 0)
     }
 }
 
@@ -223,12 +276,17 @@ impl Dataplane {
     }
 
     /// Runs the daemon over `keys`: spawns the shards (and the control
-    /// plane if `opts.updates` is nonempty), dispatches from the calling
-    /// thread, then drains and joins everything before returning.
+    /// plane if `opts.updates` is nonempty or the run is durable),
+    /// dispatches from the calling thread, then drains and joins
+    /// everything before returning.
+    ///
+    /// A worker panic never propagates out of `run`: supervised shards
+    /// are respawned in place, and an unsupervised shard death is
+    /// reported as a non-respawned [`ShardFailure`] in the report.
     ///
     /// # Panics
     ///
-    /// Panics if `keys` is empty, or if a worker thread panicked.
+    /// Panics if `keys` is empty.
     pub fn run(&self, keys: &[Key], opts: &RunOptions) -> DataplaneReport {
         assert!(
             !keys.is_empty(),
@@ -248,28 +306,47 @@ impl Dataplane {
                 let record = opts.record;
                 let traced = opts.traced;
                 let lanes = self.config.lane_depth;
-                shard_handles.push(
-                    scope.spawn(move || shard_main(shard, reader, rx, record, traced, lanes)),
-                );
+                let supervise = self.config.supervise;
+                let cache_slots = self.config.cache_slots;
+                shard_handles.push(scope.spawn(move || {
+                    shard_main(
+                        shard,
+                        reader,
+                        rx,
+                        record,
+                        traced,
+                        lanes,
+                        supervise,
+                        cache_slots,
+                    )
+                }));
             }
-            let control_handle = (!opts.updates.is_empty()).then(|| {
+            let control_handle = (!opts.updates.is_empty() || opts.durable.is_some()).then(|| {
                 let shared = self.shared.clone();
                 let stop = Arc::clone(&stop);
                 let updates = &opts.updates[..];
                 let tolerate = opts.tolerate_rejections;
                 let record = opts.record;
                 let window = self.config.update_batch;
-                scope.spawn(move || control_main(&shared, updates, &stop, tolerate, record, window))
+                let durable = opts.durable.clone();
+                scope.spawn(move || {
+                    control_main(&shared, updates, &stop, tolerate, record, window, durable)
+                })
             });
 
-            // Dispatch until the pass (or the clock) runs out.
+            // Dispatch until the pass (or the clock, or an external
+            // shutdown signal) runs out.
             let start = Instant::now();
             let deadline = opts.duration.map(|d| start + d);
+            let external = opts.stop.as_deref();
             let mut source = BatchSource::new(keys);
             let mut buckets: Vec<Vec<Key>> = (0..n)
                 .map(|_| Vec::with_capacity(self.config.batch))
                 .collect();
             'feed: loop {
+                if external.is_some_and(|f| f.load(Ordering::Acquire)) {
+                    break;
+                }
                 let chunk = source.next_batch(self.config.batch);
                 for &key in chunk {
                     let s = dispatcher.shard_of(key);
@@ -285,7 +362,9 @@ impl Dataplane {
                     }
                 }
                 match deadline {
-                    None if source.laps() > 0 => break,
+                    // A run holding an external stop flag (serve mode)
+                    // loops the stream until the flag is raised.
+                    None if external.is_none() && source.laps() > 0 => break,
                     Some(d) if Instant::now() >= d => break,
                     _ => {}
                 }
@@ -302,20 +381,43 @@ impl Dataplane {
 
             let mut per_shard = Vec::with_capacity(n);
             let mut records = Vec::with_capacity(n);
-            for h in shard_handles {
-                // PANIC-OK: propagating a worker panic is `run`'s
-                // documented `# Panics` contract; swallowing it here
-                // would report a fake clean drain.
-                let (stats, recs) = h.join().expect("dataplane shard panicked");
-                per_shard.push(stats);
-                records.push(recs);
+            let mut failures = Vec::new();
+            for (shard, h) in shard_handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((stats, recs, fails)) => {
+                        per_shard.push(stats);
+                        records.push(recs);
+                        failures.extend(fails);
+                    }
+                    // An unsupervised worker died: report the typed
+                    // failure instead of aborting the whole run. Its
+                    // counters up to the panic are lost with the thread.
+                    Err(payload) => {
+                        failures.push(ShardFailure {
+                            shard,
+                            panic: panic_message(payload.as_ref()),
+                            respawned: false,
+                            lost_keys: 0,
+                        });
+                        per_shard.push(ShardStats::new(shard));
+                        records.push(Vec::new());
+                    }
+                }
             }
             let elapsed = start.elapsed();
             per_shard.sort_by_key(|s| s.shard);
             let control = match control_handle {
-                // PANIC-OK: same propagation contract as the shard join
-                // above.
-                Some(h) => h.join().expect("dataplane control plane panicked"),
+                Some(h) => match h.join() {
+                    Ok(report) => report,
+                    Err(payload) => ControlReport {
+                        failed: Some(format!(
+                            "control plane panicked: {}",
+                            panic_message(payload.as_ref())
+                        )),
+                        final_generation: self.shared.generation(),
+                        ..ControlReport::default()
+                    },
+                },
                 None => ControlReport {
                     final_generation: self.shared.generation(),
                     ..ControlReport::default()
@@ -328,13 +430,61 @@ impl Dataplane {
                 control,
                 elapsed,
                 records,
+                failures,
             }
         })
     }
 }
 
+/// Stringifies a caught panic payload (the two shapes `panic!` emits).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Answers one batch against a single pinned snapshot, returning the
+/// generation it was answered at. The `shard-panic` faultpoint cuts the
+/// worker here under `--cfg faultpoint`, before any counter moves — the
+/// supervision story the crash harness exercises.
+fn answer_batch(
+    reader: &mut CachedReader,
+    batch: &[Key],
+    out: &mut Vec<Option<NextHop>>,
+    trace: &mut LookupTrace,
+    traced: bool,
+    lanes: usize,
+) -> u64 {
+    if faultpoint::fire(faultpoint::SHARD_PANIC) {
+        // PANIC-OK: this is the injected worker crash itself (test
+        // builds only) — the panic *is* the fault being simulated.
+        panic!("injected fault at {}", faultpoint::SHARD_PANIC);
+    }
+    out.clear();
+    out.resize(batch.len(), None);
+    if traced {
+        reader.lookup_batch_traced(batch, out, trace)
+    } else {
+        reader.lookup_batch_pinned_lanes(batch, out, lanes)
+    }
+}
+
 /// One run-to-completion worker: pull batches until the queue closes and
 /// drains, answering each batch against a single pinned snapshot.
+///
+/// Supervised, the worker is self-healing: a panic while answering is
+/// caught, the (possibly poisoned) reader is retired — its committed
+/// cache counters folded into the shard totals — a fresh reader is
+/// pinned over the current snapshot, and the batch is retried once. A
+/// second panic on the same batch abandons it with explicit
+/// `dropped_batches`/`dropped_keys` accounting; the shard then keeps
+/// serving its queue. Unsupervised, the panic propagates and kills the
+/// thread (reported as a non-respawned [`ShardFailure`] at join).
+#[allow(clippy::too_many_arguments)]
 fn shard_main(
     shard: usize,
     mut reader: CachedReader,
@@ -342,18 +492,67 @@ fn shard_main(
     record: bool,
     traced: bool,
     lanes: usize,
-) -> (ShardStats, Vec<BatchRecord>) {
+    supervise: bool,
+    cache_slots: usize,
+) -> (ShardStats, Vec<BatchRecord>, Vec<ShardFailure>) {
     let mut stats = ShardStats::new(shard);
     let mut records = Vec::new();
+    let mut failures = Vec::new();
     let mut trace = LookupTrace::default();
     let mut out: Vec<Option<NextHop>> = Vec::new();
+    // Cache counters of readers retired by supervision, already folded.
+    let mut retired = (0u64, 0u64);
     while let Ok(batch) = rx.recv() {
-        out.clear();
-        out.resize(batch.len(), None);
-        let generation = if traced {
-            reader.lookup_batch_traced(&batch, &mut out, &mut trace)
-        } else {
-            reader.lookup_batch_pinned_lanes(&batch, &mut out, lanes)
+        let mut generation = None;
+        for attempt in 0..2 {
+            if !supervise {
+                generation = Some(answer_batch(
+                    &mut reader,
+                    &batch,
+                    &mut out,
+                    &mut trace,
+                    traced,
+                    lanes,
+                ));
+                break;
+            }
+            // Marks taken before the attempt: a panicking attempt's
+            // partial counter movement is rolled back so the shard's
+            // books only ever contain committed batches.
+            let trace_mark = trace;
+            let cache_mark = (reader.cache().hits(), reader.cache().misses());
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                answer_batch(&mut reader, &batch, &mut out, &mut trace, traced, lanes)
+            }));
+            match outcome {
+                Ok(g) => {
+                    generation = Some(g);
+                    break;
+                }
+                Err(payload) => {
+                    trace = trace_mark;
+                    // Retire the reader mid-panic state and all: only
+                    // its pre-attempt counters are committed.
+                    retired.0 += cache_mark.0;
+                    retired.1 += cache_mark.1;
+                    reader = reader.shared().reader_with_capacity(cache_slots);
+                    stats.respawns += 1;
+                    let dropping = attempt == 1;
+                    failures.push(ShardFailure {
+                        shard,
+                        panic: panic_message(payload.as_ref()),
+                        respawned: true,
+                        lost_keys: if dropping { batch.len() as u64 } else { 0 },
+                    });
+                    if dropping {
+                        stats.dropped_batches += 1;
+                        stats.dropped_keys += batch.len() as u64;
+                    }
+                }
+            }
+        }
+        let Some(generation) = generation else {
+            continue; // batch abandoned after the retry also panicked
         };
         stats.batches += 1;
         stats.lookups += batch.len() as u64;
@@ -370,11 +569,28 @@ fn shard_main(
         }
     }
     // The queue is closed and empty: finalize. Cache counters are read
-    // once here so nothing is lost between last batch and shutdown.
-    stats.cache_hits = reader.cache().hits();
-    stats.cache_misses = reader.cache().misses();
+    // once here so nothing is lost between last batch and shutdown;
+    // retired readers' committed counters are folded back in.
+    stats.cache_hits = retired.0 + reader.cache().hits();
+    stats.cache_misses = retired.1 + reader.cache().misses();
     stats.trace = trace;
-    (stats, records)
+    (stats, records, failures)
+}
+
+/// How a control-plane step failed: a tolerable per-event rejection
+/// (the engine refused the update, nothing published) or a fatal
+/// durability failure (the update may be live but is not journaled —
+/// continuing would let a crash silently lose it).
+enum CtrlFail {
+    Reject(String),
+    Fatal(String),
+}
+
+fn durable_fail(e: DurableError) -> CtrlFail {
+    match e {
+        DurableError::Engine(e) => CtrlFail::Reject(e.to_string()),
+        DurableError::Journal(e) => CtrlFail::Fatal(e.to_string()),
+    }
 }
 
 /// The control plane: replay the trace through the shared handle until
@@ -382,6 +598,11 @@ fn shard_main(
 /// publishes its own snapshot generation; with a wider window the trace
 /// is fed through [`SharedChisel::apply_batch`] in chunks, each chunk
 /// coalescing internally and publishing exactly one generation.
+///
+/// A durable run wraps the handle in a [`DurableControl`]: initial
+/// checkpoint at spawn, one journal record per publication, and — if
+/// the trace finished without a durability failure — a final checkpoint
+/// at drain so a clean shutdown leaves an empty journal tail.
 fn control_main(
     shared: &SharedChisel,
     updates: &[UpdateEvent],
@@ -389,10 +610,22 @@ fn control_main(
     tolerate_rejections: bool,
     record: bool,
     window: usize,
+    durable_opts: Option<DurableOptions>,
 ) -> ControlReport {
     let mut report = ControlReport {
         start_generation: shared.generation(),
         ..ControlReport::default()
+    };
+    let mut durable = match durable_opts {
+        Some(opts) => match DurableControl::create(shared.clone(), opts) {
+            Ok(dc) => Some(dc),
+            Err(e) => {
+                report.failed = Some(format!("durable control init: {e}"));
+                report.final_generation = shared.generation();
+                return report;
+            }
+        },
+        None => None,
     };
     if window <= 1 {
         for ev in updates {
@@ -400,9 +633,21 @@ fn control_main(
                 report.halted = true;
                 break;
             }
-            let outcome = match *ev {
-                UpdateEvent::Announce(p, nh) => shared.announce(p, nh).map(|_| ()),
-                UpdateEvent::Withdraw(p) => shared.withdraw(p).map(|_| ()),
+            let outcome: Result<(), CtrlFail> = match (&mut durable, *ev) {
+                (None, UpdateEvent::Announce(p, nh)) => shared
+                    .announce(p, nh)
+                    .map(|_| ())
+                    .map_err(|e| CtrlFail::Reject(e.to_string())),
+                (None, UpdateEvent::Withdraw(p)) => shared
+                    .withdraw(p)
+                    .map(|_| ())
+                    .map_err(|e| CtrlFail::Reject(e.to_string())),
+                (Some(dc), UpdateEvent::Announce(p, nh)) => {
+                    dc.announce(p, nh).map(|_| ()).map_err(durable_fail)
+                }
+                (Some(dc), UpdateEvent::Withdraw(p)) => {
+                    dc.withdraw(p).map(|_| ()).map_err(durable_fail)
+                }
             };
             match outcome {
                 Ok(()) => {
@@ -412,15 +657,14 @@ fn control_main(
                         report.generation_events.push(report.applied);
                     }
                 }
-                Err(_) if tolerate_rejections => report.rejected += 1,
-                Err(e) => {
-                    report.failed = Some(e.to_string());
+                Err(CtrlFail::Reject(_)) if tolerate_rejections => report.rejected += 1,
+                Err(CtrlFail::Reject(msg)) | Err(CtrlFail::Fatal(msg)) => {
+                    report.failed = Some(msg);
                     break;
                 }
             }
         }
-        report.final_generation = shared.generation();
-        return report;
+        return finish_control(report, shared, durable.as_mut());
     }
     'windows: for chunk in updates.chunks(window) {
         if stop.load(Ordering::Acquire) {
@@ -434,7 +678,13 @@ fn control_main(
                 UpdateEvent::Withdraw(p) => RouteUpdate::Withdraw(p),
             })
             .collect();
-        match shared.apply_batch(&events) {
+        let outcome = match &mut durable {
+            None => shared
+                .apply_batch(&events)
+                .map_err(|e| CtrlFail::Reject(e.to_string())),
+            Some(dc) => dc.apply_batch(&events).map_err(durable_fail),
+        };
+        match outcome {
             Ok(batch) => {
                 let rejected = batch.rejected_events.len();
                 if rejected > 0 && !tolerate_rejections {
@@ -463,12 +713,31 @@ fn control_main(
             }
             // A failed window never published (build-then-commit): the
             // engine is still at the previous generation.
-            Err(_) if tolerate_rejections => report.rejected += chunk.len(),
-            Err(e) => {
-                report.failed = Some(e.to_string());
+            Err(CtrlFail::Reject(_)) if tolerate_rejections => report.rejected += chunk.len(),
+            Err(CtrlFail::Reject(msg)) | Err(CtrlFail::Fatal(msg)) => {
+                report.failed = Some(msg);
                 break;
             }
         }
+    }
+    finish_control(report, shared, durable.as_mut())
+}
+
+/// The durable drain: a final checkpoint (unless the run already hit a
+/// durability failure — durability must never *regress* on the way
+/// out), then the stats fold.
+fn finish_control(
+    mut report: ControlReport,
+    shared: &SharedChisel,
+    durable: Option<&mut DurableControl>,
+) -> ControlReport {
+    if let Some(dc) = durable {
+        if report.failed.is_none() {
+            if let Err(e) = dc.checkpoint() {
+                report.failed = Some(format!("final checkpoint: {e}"));
+            }
+        }
+        report.durable = Some(*dc.stats());
     }
     report.final_generation = shared.generation();
     report
@@ -792,5 +1061,97 @@ mod tests {
     fn empty_stream_is_rejected() {
         let s = shared();
         Dataplane::new(s, DataplaneConfig::default()).run(&[], &RunOptions::default());
+    }
+
+    #[test]
+    fn clean_runs_report_no_failures() {
+        let s = shared();
+        for supervise in [true, false] {
+            let dp = Dataplane::new(
+                s.clone(),
+                DataplaneConfig {
+                    shards: 2,
+                    supervise,
+                    ..DataplaneConfig::default()
+                },
+            );
+            let report = dp.run(&keys(2_000), &RunOptions::default());
+            assert!(report.failures.is_empty(), "supervise={supervise}");
+            assert_eq!(report.aggregate.respawns, 0);
+            assert_eq!(report.aggregate.dropped_batches, 0);
+            assert!(report.healthy());
+        }
+    }
+
+    #[test]
+    fn external_stop_flag_drains_the_run() {
+        let s = shared();
+        let dp = Dataplane::new(s, DataplaneConfig::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        // Pre-raised flag: the feed loop must exit at its first check
+        // and still drain cleanly (a run-until-signal serve that got
+        // SIGINT immediately).
+        stop.store(true, Ordering::Release);
+        let report = dp.run(
+            &keys(512),
+            &RunOptions {
+                stop: Some(Arc::clone(&stop)),
+                ..RunOptions::default()
+            },
+        );
+        assert!(report.aggregate.is_balanced());
+        assert!(report.healthy());
+    }
+
+    #[test]
+    fn durable_run_journals_and_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("chisel-daemon-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("durable-run.journal");
+        let s = shared();
+        let dp = Dataplane::new(
+            s.clone(),
+            DataplaneConfig {
+                shards: 2,
+                ..DataplaneConfig::default()
+            },
+        );
+        let updates: Vec<UpdateEvent> = (0..24u32)
+            .map(|i| {
+                UpdateEvent::Announce(
+                    Prefix::new(AddressFamily::V4, 0x0C00 | u128::from(i), 16).unwrap(),
+                    NextHop::new(300 + i),
+                )
+            })
+            .collect();
+        let opts = DurableOptions {
+            fsync: false,
+            ..DurableOptions::at(&journal, 0)
+        };
+        let report = dp.run(
+            &keys(40_000),
+            &RunOptions {
+                updates,
+                durable: Some(opts.clone()),
+                ..RunOptions::default()
+            },
+        );
+        assert!(
+            report.control.failed.is_none(),
+            "{:?}",
+            report.control.failed
+        );
+        let stats = report.control.durable.expect("durable stats");
+        assert_eq!(stats.appended_records as usize, report.control.applied);
+        // Initial + final checkpoint at minimum (checkpoint_every = 0).
+        assert!(stats.checkpoints >= 2);
+        // The final checkpoint rotated the journal: clean shutdown
+        // leaves an empty tail, and recovery lands exactly where the
+        // control plane stopped.
+        let scan = chisel_core::journal::read_journal(&journal, AddressFamily::V4).unwrap();
+        assert!(scan.records.is_empty(), "journal not rotated at drain");
+        let rec = chisel_core::journal::recover(&opts.checkpoint, &journal).unwrap();
+        assert_eq!(rec.report.final_generation, report.control.final_generation);
+        assert_eq!(rec.shared.generation(), s.generation());
     }
 }

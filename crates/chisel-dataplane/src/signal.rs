@@ -1,0 +1,105 @@
+//! Minimal SIGINT/SIGTERM shutdown flag, dependency-free.
+//!
+//! `chisel-router serve` needs a graceful way out that is not
+//! `--duration`: on SIGINT (operator Ctrl-C) or SIGTERM (orchestrator
+//! stop) the daemon should run its normal drain — flush dispatch
+//! buckets, close the shard queues, stop the control plane, write a
+//! final checkpoint when journaling — and exit 0 with full counters.
+//!
+//! The handler does the only thing that is async-signal-safe here: it
+//! stores `true` into a pre-installed `AtomicBool` (lock-free atomics
+//! are on POSIX's async-signal-safe list; allocation, locking, and I/O
+//! are not). The daemon's feed loop polls the flag between dispatch
+//! chunks.
+//!
+//! Registration uses `signal(2)` through a direct FFI declaration
+//! rather than a crate dependency: std already links libc, and the
+//! historic `signal` portability pitfalls (SysV reset-on-entry
+//! semantics) don't matter for a one-shot latch — if a second SIGINT
+//! arrives after the first reset the disposition, the default action
+//! kills a process that was already draining.
+
+#![allow(unsafe_code)] // the crate-wide deny, re-allowed for this one FFI leaf
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    const SIG_ERR: usize = usize::MAX;
+
+    // SAFETY: `signal` is declared with the libc ABI — int argument,
+    // pointer-sized handler/return (`void (*)(int)` smuggled as `usize`
+    // so the declaration needs no function-pointer transmutes). std
+    // already links libc on every unix target.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // SAFETY-relevant: only a lock-free atomic store — the single
+        // async-signal-safe operation this handler is allowed. The
+        // OnceLock is never initialized from here (get, not get_or_init).
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn install() -> bool {
+        // SAFETY: `on_signal` is an `extern "C" fn(i32)` as signal(2)
+        // requires, performs only an atomic store, and the FLAG cell it
+        // reads is initialized before install() is called.
+        let handler = on_signal as *const () as usize;
+        unsafe { signal(SIGINT, handler) != SIG_ERR && signal(SIGTERM, handler) != SIG_ERR }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the
+/// shared shutdown flag it latches. Returns `None` where handlers
+/// cannot be installed (non-unix targets, or `signal(2)` failure);
+/// callers should then fall back to duration-bounded runs.
+pub fn shutdown_flag() -> Option<Arc<AtomicBool>> {
+    let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false)));
+    if imp::install() {
+        Some(Arc::clone(flag))
+    } else {
+        None
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_installs_and_latches() {
+        let flag = shutdown_flag().expect("unix: handler must install");
+        // Repeated installs hand back the same flag.
+        let again = shutdown_flag().expect("reinstall");
+        assert!(Arc::ptr_eq(&flag, &again));
+        assert!(!flag.load(Ordering::Acquire));
+        // Raise SIGINT at ourselves; the handler must latch the flag.
+        // SAFETY: raising a signal we have just installed a handler for.
+        unsafe {
+            unsafe extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            assert_eq!(raise(2), 0);
+        }
+        assert!(flag.load(Ordering::Acquire));
+        flag.store(false, Ordering::Release);
+    }
+}

@@ -32,6 +32,14 @@ pub struct ShardStats {
     pub min_generation: u64,
     /// Highest snapshot generation any batch was answered at.
     pub max_generation: u64,
+    /// Times the shard's worker was respawned after a caught panic
+    /// (supervised runs only; 0 in a clean run).
+    pub respawns: u64,
+    /// Batches abandoned because even the respawned worker could not
+    /// answer them (0 in a clean run).
+    pub dropped_batches: u64,
+    /// Keys inside those abandoned batches.
+    pub dropped_keys: u64,
     /// Accumulated per-table read counts (only populated in traced
     /// runs; carries `degraded_hits` through shutdown).
     pub trace: LookupTrace,
@@ -86,6 +94,12 @@ pub struct DataplaneStats {
     pub min_generation: u64,
     /// Highest generation observed by any shard.
     pub max_generation: u64,
+    /// Total worker respawns after caught panics.
+    pub respawns: u64,
+    /// Total batches abandoned by supervision.
+    pub dropped_batches: u64,
+    /// Total keys inside those abandoned batches.
+    pub dropped_keys: u64,
     /// Summed per-table read counts (traced runs only).
     pub trace: LookupTrace,
 }
@@ -102,6 +116,9 @@ impl Default for DataplaneStats {
             cache_misses: 0,
             min_generation: u64::MAX,
             max_generation: 0,
+            respawns: 0,
+            dropped_batches: 0,
+            dropped_keys: 0,
             trace: LookupTrace::default(),
         }
     }
@@ -119,6 +136,9 @@ impl DataplaneStats {
         self.cache_misses += s.cache_misses;
         self.min_generation = self.min_generation.min(s.min_generation);
         self.max_generation = self.max_generation.max(s.max_generation);
+        self.respawns += s.respawns;
+        self.dropped_batches += s.dropped_batches;
+        self.dropped_keys += s.dropped_keys;
         self.trace.merge(&s.trace);
     }
 
@@ -134,6 +154,9 @@ impl DataplaneStats {
         self.cache_misses += other.cache_misses;
         self.min_generation = self.min_generation.min(other.min_generation);
         self.max_generation = self.max_generation.max(other.max_generation);
+        self.respawns += other.respawns;
+        self.dropped_batches += other.dropped_batches;
+        self.dropped_keys += other.dropped_keys;
         self.trace.merge(&other.trace);
     }
 
@@ -188,6 +211,9 @@ mod tests {
             cache_misses: 7,
             min_generation: 5 + i as u64,
             max_generation: 50 - i as u64,
+            respawns: i as u64 % 2,
+            dropped_batches: i as u64 % 3,
+            dropped_keys: (i as u64 % 3) * 16,
             trace: LookupTrace {
                 index_reads: i + 1,
                 filter_reads: i + 2,
@@ -267,6 +293,11 @@ mod tests {
             shards.iter().map(|s| s.trace.cache_hits).sum::<usize>()
         );
         assert_eq!(agg.shards, shards.len());
+        assert_eq!(agg.respawns, shards.iter().map(|s| s.respawns).sum::<u64>());
+        assert_eq!(
+            agg.dropped_keys,
+            shards.iter().map(|s| s.dropped_keys).sum::<u64>()
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!                      [--batch N]                       apply an MRT update trace
 //! chisel-router serve  <table-file> [--shards N] [--duration S] [--batch B]
 //!                      [--update-batch N] [--cache[=SLOTS]] [--adversarial[=N]]
+//!                      [--journal PATH] [--checkpoint-every N]
 //!                      [--threads N]                     sharded dataplane daemon
+//! chisel-router recover --journal PATH [--checkpoint PATH]
+//!                                                        crash recovery + verify
 //! chisel-router synth  <n> <out-file> [seed]             write a synthetic table
 //! ```
 //!
@@ -50,8 +53,21 @@
 //! Zipf-ordered key stream synthesized from the table, while the
 //! control plane replays an adversarial update storm (`--adversarial=N`
 //! events, default 20000) at full rate. Runs for `--duration S` seconds
-//! (default 1.0), then drains and prints per-shard counters and the
-//! aggregate Msps.
+//! (default 1.0; `--duration 0` runs until SIGINT/SIGTERM), then drains
+//! and prints per-shard counters and the aggregate Msps. SIGINT or
+//! SIGTERM at any point triggers the same graceful drain and a zero
+//! exit with full counters.
+//!
+//! `serve --journal PATH` makes the control plane durable: an initial
+//! checkpoint at `PATH.ckpt`, every accepted update window appended to
+//! the write-ahead journal at `PATH` before it is acknowledged, a
+//! periodic checkpoint every `--checkpoint-every N` accepted events
+//! (0, the default, checkpoints only at start and drain), and a final
+//! checkpoint + journal rotation at drain. After a crash,
+//! `recover --journal PATH` loads the newest valid checkpoint, replays
+//! the journal tail (truncating a torn final record), verifies the
+//! recovered engine's invariants, and reports the exact recovered
+//! generation — see `chisel::core::journal`.
 //!
 //! Table files are `prefix next-hop-id` lines (see `chisel_prefix::io`);
 //! traces are MRT/BGP4MP as produced by `chisel::workloads::write_mrt`
@@ -63,8 +79,9 @@ use std::fs::File;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use chisel::core::journal::DurableOptions;
 use chisel::core::{DegradedMode, FlowCache, RouteUpdate, SharedChisel};
-use chisel::dataplane::{Dataplane, DataplaneConfig, RunOptions};
+use chisel::dataplane::{signal, Dataplane, DataplaneConfig, RunOptions};
 use chisel::prefix::io::read_table;
 use chisel::prefix::parallel::resolve_threads;
 use chisel::workloads::{
@@ -144,6 +161,31 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("recover") => {
+            let journal = match take_value_flag::<String>(&mut args, "journal") {
+                Ok(Some(j)) => j,
+                Ok(None) => {
+                    eprintln!("error: recover requires --journal PATH");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let checkpoint = match take_value_flag::<String>(&mut args, "checkpoint") {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if args.len() != 1 {
+                eprintln!("error: recover takes only --journal and --checkpoint");
+                return ExitCode::FAILURE;
+            }
+            cmd_recover(&journal, checkpoint.as_deref())
+        }
         Some("synth") if args.len() >= 3 => cmd_synth(&args[1], &args[2], args.get(3)),
         _ => {
             eprintln!(
@@ -152,7 +194,9 @@ fn main() -> ExitCode {
                  check <table> [--threads N] | \
                  replay <table> [<trace.mrt>] [--threads N] [--adversarial[=N]] [--batch N] | \
                  serve <table> [--shards N] [--duration S] [--batch B] [--update-batch N] \
-                 [--cache[=SLOTS]] [--adversarial[=N]] [--threads N] | \
+                 [--cache[=SLOTS]] [--adversarial[=N]] [--journal PATH] [--checkpoint-every N] \
+                 [--threads N] | \
+                 recover --journal PATH [--checkpoint PATH] | \
                  synth <n> <out> [seed]"
             );
             return ExitCode::FAILURE;
@@ -219,12 +263,15 @@ fn take_value_flag<T: std::str::FromStr>(
 }
 
 /// The `serve` subcommand's own flags (shard count, run length, batch,
-/// control-plane update window).
+/// control-plane update window, durability).
 struct ServeFlags {
     shards: usize,
+    /// `0.0` means run until SIGINT/SIGTERM.
     duration_secs: f64,
     batch: usize,
     update_batch: usize,
+    journal: Option<String>,
+    checkpoint_every: u64,
 }
 
 impl ServeFlags {
@@ -233,6 +280,8 @@ impl ServeFlags {
         let duration_secs = take_value_flag::<f64>(args, "duration")?.unwrap_or(1.0);
         let update_batch = take_value_flag::<usize>(args, "update-batch")?.unwrap_or(1);
         let batch = take_value_flag::<usize>(args, "batch")?.unwrap_or(64);
+        let journal = take_value_flag::<String>(args, "journal")?;
+        let checkpoint_every = take_value_flag::<u64>(args, "checkpoint-every")?.unwrap_or(0);
         if shards == 0 {
             return Err("--shards must be at least 1".into());
         }
@@ -242,14 +291,19 @@ impl ServeFlags {
         if update_batch == 0 {
             return Err("--update-batch must be at least 1".into());
         }
-        if !duration_secs.is_finite() || duration_secs <= 0.0 {
+        if !duration_secs.is_finite() || duration_secs < 0.0 {
             return Err(format!("invalid --duration value '{duration_secs}'"));
+        }
+        if checkpoint_every > 0 && journal.is_none() {
+            return Err("--checkpoint-every needs --journal".into());
         }
         Ok(ServeFlags {
             shards,
             duration_secs,
             batch,
             update_batch,
+            journal,
+            checkpoint_every,
         })
     }
 }
@@ -658,12 +712,38 @@ fn cmd_serve(
         FLOWS,
         updates.len(),
     );
+    let durable = flags.journal.as_ref().map(|journal| {
+        let opts = DurableOptions {
+            checkpoint_every: flags.checkpoint_every,
+            ..DurableOptions::at(journal, flags.checkpoint_every)
+        };
+        println!(
+            "durable: journal {}, checkpoint {} (every {} accepted events)",
+            opts.journal.display(),
+            opts.checkpoint.display(),
+            if opts.checkpoint_every == 0 {
+                "start/drain only, 0".to_string()
+            } else {
+                opts.checkpoint_every.to_string()
+            },
+        );
+        opts
+    });
+    // SIGINT/SIGTERM runs the same graceful drain as the deadline; with
+    // --duration 0 the signal is the *only* way out.
+    let stop = signal::shutdown_flag();
+    if flags.duration_secs == 0.0 && stop.is_none() {
+        return Err("--duration 0 needs signal support (unavailable on this platform)".into());
+    }
     let report = dataplane.run(
         &stream,
         &RunOptions {
-            duration: Some(std::time::Duration::from_secs_f64(flags.duration_secs)),
+            duration: (flags.duration_secs > 0.0)
+                .then(|| std::time::Duration::from_secs_f64(flags.duration_secs)),
             updates,
             tolerate_rejections: true,
+            durable,
+            stop,
             ..RunOptions::default()
         },
     );
@@ -700,6 +780,38 @@ fn cmd_serve(
         c.final_generation,
         if c.halted { ", halted at drain" } else { "" },
     );
+    if let Some(d) = &c.durable {
+        println!(
+            "durable: {} journal records ({} events) appended, {} checkpoints \
+             (final checkpoint at drain)",
+            d.appended_records, d.appended_events, d.checkpoints,
+        );
+    }
+    for f in &report.failures {
+        println!(
+            "shard {} FAILURE: {} ({}{})",
+            f.shard,
+            f.panic,
+            if f.respawned {
+                "respawned"
+            } else {
+                "thread lost"
+            },
+            if f.lost_keys > 0 {
+                format!(", {} keys dropped", f.lost_keys)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if report.aggregate.respawns > 0 {
+        println!(
+            "supervision: {} respawn(s), {} batch(es) dropped ({} keys)",
+            report.aggregate.respawns,
+            report.aggregate.dropped_batches,
+            report.aggregate.dropped_keys,
+        );
+    }
     let agg = &report.aggregate;
     println!(
         "aggregate: {} lookups in {:.3}s -> {:.3} Msps ({:.3} Msps/shard), \
@@ -746,6 +858,55 @@ fn cmd_serve(
     if !agg.is_balanced() {
         return Err("dataplane counters failed to balance after drain".into());
     }
+    if let Some(msg) = &report.control.failed {
+        return Err(format!("control plane failed: {msg}").into());
+    }
+    if !report.healthy() {
+        return Err("dataplane ended with unrecovered shard failures".into());
+    }
+    Ok(())
+}
+
+/// Crash recovery: load the checkpoint (default `<journal>.ckpt`),
+/// replay the journal tail, verify the recovered engine, and report the
+/// exact recovered generation. Exit status is non-zero on any rejected
+/// structure or failed invariant.
+fn cmd_recover(journal: &str, checkpoint: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = DurableOptions::at(journal, 0);
+    let ckpt = match checkpoint {
+        Some(c) => std::path::PathBuf::from(c),
+        None => opts.checkpoint.clone(),
+    };
+    let start = Instant::now();
+    let recovered = chisel::core::journal::recover(&ckpt, &opts.journal)?;
+    let r = &recovered.report;
+    println!(
+        "recovered in {:.3}s: checkpoint generation {} ({} routes), \
+         {} journal record(s) replayed ({} events), {} skipped, {} torn byte(s) truncated",
+        start.elapsed().as_secs_f64(),
+        r.checkpoint_generation,
+        r.checkpoint_routes,
+        r.replayed_records,
+        r.replayed_events,
+        r.skipped_records,
+        r.truncated_bytes,
+    );
+    println!("final generation: {}", r.final_generation);
+    let snap = recovered.shared.snapshot();
+    let verify = snap.verify();
+    print!("verify:  {verify}");
+    if !verify.is_ok() {
+        return Err(format!(
+            "{} invariant violation(s) in the recovered engine",
+            verify.violations.len()
+        )
+        .into());
+    }
+    println!(
+        "recover: engine serves {} routes at generation {}",
+        snap.engine().len(),
+        r.final_generation,
+    );
     Ok(())
 }
 

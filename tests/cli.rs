@@ -219,6 +219,223 @@ fn serve_runs_the_sharded_daemon_to_a_balanced_drain() {
 }
 
 #[test]
+fn serve_with_journal_drains_to_a_recoverable_checkpoint() {
+    let dir = tempdir();
+    let table = dir.join("durable-table.txt");
+    let journal = dir.join("serve.journal");
+    let out = router()
+        .args(["synth", "1500", table.to_str().unwrap(), "17"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    let out = router()
+        .args([
+            "serve",
+            table.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--duration",
+            "0.3",
+            "--adversarial=1500",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--checkpoint-every",
+            "256",
+        ])
+        .output()
+        .expect("durable serve runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("durable: journal"), "{text}");
+    assert!(text.contains("(final checkpoint at drain)"), "{text}");
+    assert!(
+        text.contains("counters balanced (hits + misses == lookups)"),
+        "{text}"
+    );
+    assert!(journal.exists(), "journal file must exist after serve");
+    let ckpt = dir.join("serve.journal.ckpt");
+    assert!(
+        ckpt.exists(),
+        "default checkpoint sibling must exist after drain"
+    );
+
+    // The drain checkpoint makes the run recoverable with an empty tail.
+    let out = router()
+        .args(["recover", "--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("recover runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 journal record(s) replayed"), "{text}");
+    assert!(text.contains("final generation:"), "{text}");
+    assert!(text.contains("recover: engine serves"), "{text}");
+}
+
+#[test]
+fn recover_truncates_torn_tails_and_rejects_interior_damage() {
+    use chisel::core::journal::{DurableControl, DurableOptions};
+    use chisel::core::SharedChisel;
+    use chisel::{AddressFamily, ChiselConfig, NextHop, Prefix, RoutingTable};
+
+    // Build a crashed-process state in-library: checkpoint plus a
+    // journal tail that never saw a final checkpoint.
+    let dir = tempdir();
+    let journal = dir.join("crashed.journal");
+    let mut t = RoutingTable::new_v4();
+    t.insert(
+        Prefix::new(AddressFamily::V4, 0x0A, 8).unwrap(),
+        NextHop::new(1),
+    );
+    let shared = SharedChisel::build(&t, ChiselConfig::ipv4()).unwrap();
+    let opts = DurableOptions {
+        fsync: false,
+        ..DurableOptions::at(&journal, 0)
+    };
+    let mut dc = DurableControl::create(shared, opts).unwrap();
+    for i in 0..12u128 {
+        dc.announce(
+            Prefix::new(AddressFamily::V4, 0x0A00 | i, 16).unwrap(),
+            NextHop::new(10 + i as u32),
+        )
+        .unwrap();
+    }
+    drop(dc); // crash: journal holds 12 records past the boot checkpoint
+
+    let out = router()
+        .args(["recover", "--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("recover runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12 journal record(s) replayed"), "{text}");
+    assert!(text.contains("final generation: 12"), "{text}");
+
+    // Torn tail: recovery still exits 0, one generation short.
+    let bytes = std::fs::read(&journal).expect("journal readable");
+    std::fs::write(&journal, &bytes[..bytes.len() - 5]).unwrap();
+    let out = router()
+        .args(["recover", "--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("recover runs on torn journal");
+    assert!(
+        out.status.success(),
+        "torn tails are recoverable: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final generation: 11"), "{text}");
+    assert!(!text.contains("0 torn byte(s)"), "{text}");
+
+    // Interior damage: flip a byte mid-journal — typed failure, exit ≠ 0.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    std::fs::write(&journal, &corrupt).unwrap();
+    let out = router()
+        .args(["recover", "--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("recover runs on corrupt journal");
+    assert!(
+        !out.status.success(),
+        "interior corruption must fail recovery"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_serve_gracefully_with_a_final_checkpoint() {
+    use std::io::Read;
+    use std::time::{Duration, Instant};
+
+    let dir = tempdir();
+    let table = dir.join("sig-table.txt");
+    let journal = dir.join("sig.journal");
+    let out = router()
+        .args(["synth", "1000", table.to_str().unwrap(), "19"])
+        .output()
+        .expect("synth runs");
+    assert!(out.status.success());
+
+    // `--duration 0`: the signal is the only way out.
+    let mut child = router()
+        .args([
+            "serve",
+            table.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--duration",
+            "0",
+            "--adversarial=1000",
+            "--journal",
+            journal.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+
+    // Give the daemon time to build and start serving, then interrupt.
+    std::thread::sleep(Duration::from_millis(1500));
+    let kill = std::process::Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success(), "failed to deliver SIGINT");
+
+    // Watchdog: a graceful drain takes well under 30s; a hang means the
+    // stop flag never reached the feed loop.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("serve did not drain within 30s of SIGINT");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let mut text = String::new();
+    child
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut text)
+        .expect("stdout readable");
+    assert!(status.success(), "SIGINT drain must exit 0: {text}");
+    assert!(
+        text.contains("counters balanced (hits + misses == lookups)"),
+        "{text}"
+    );
+    assert!(text.contains("(final checkpoint at drain)"), "{text}");
+
+    // And the checkpoint the drain wrote is immediately recoverable.
+    let out = router()
+        .args(["recover", "--journal", journal.to_str().unwrap()])
+        .output()
+        .expect("recover runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn check_verifies_synthesized_table() {
     let dir = tempdir();
     let table = dir.join("check-table.txt");

@@ -1,4 +1,5 @@
-//! Corruption fuzzing for the hardware-image loader.
+//! Corruption fuzzing for the hardware-image loader and the update
+//! journal scanner.
 //!
 //! The loader's contract (ISSUE 5): loading a serialized image must
 //! *never* panic, and must never yield an engine that passes the image
@@ -7,10 +8,18 @@
 //! deterministic 10k-bit-flip sweep, an exhaustive truncation sweep, and
 //! proptest-generated garbage/mutations — against a small engine so the
 //! whole file stays fast in debug tier-1 runs.
+//!
+//! The journal scanner (ISSUE 10) carries the sibling contract: scanning
+//! a damaged journal must never panic, an `Ok` scan must return a
+//! byte-exact *prefix* of the original record sequence (torn tails are
+//! truncated, never invented), and interior damage must surface as a
+//! typed error — so the same three fuzz modes run against journal bytes
+//! too.
 
 use std::sync::OnceLock;
 
-use chisel::core::{verify_image, HardwareImage, ImageError};
+use chisel::core::journal::{scan_journal, JournalRecord, JournalWriter};
+use chisel::core::{verify_image, HardwareImage, ImageError, RouteUpdate};
 use chisel::prefix::bits::mask;
 use chisel::{AddressFamily, ChiselConfig, ChiselLpm, Key, NextHop, Prefix, RoutingTable};
 use proptest::prelude::*;
@@ -195,6 +204,165 @@ fn consistent_blocked_geometry_lie_is_rejected() {
             expected: declared,
         }
     );
+}
+
+/// Canonical journal bytes (64 records over a /24 flap set, mixed
+/// announce/withdraw, two events per record) plus the parsed records —
+/// built once, through the real writer, for the whole suite.
+struct JournalBaseline {
+    bytes: Vec<u8>,
+    records: Vec<JournalRecord>,
+}
+
+fn journal_baseline() -> &'static JournalBaseline {
+    static CELL: OnceLock<JournalBaseline> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("chisel-jfuzz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("baseline.journal");
+        let mut rng = StdRng::seed_from_u64(0x0CC5);
+        let mut writer =
+            JournalWriter::create(&path, AddressFamily::V4, false).expect("journal create");
+        for generation in 1..=64u64 {
+            let events: Vec<RouteUpdate> = (0..2)
+                .map(|_| {
+                    let p = Prefix::new(
+                        AddressFamily::V4,
+                        0xC0_0000 | u128::from(rng.gen_range(0..64u32)),
+                        24,
+                    )
+                    .expect("masked bits fit");
+                    if rng.gen_bool(0.7) {
+                        RouteUpdate::Announce(p, NextHop::new(rng.gen_range(0..64)))
+                    } else {
+                        RouteUpdate::Withdraw(p)
+                    }
+                })
+                .collect();
+            writer.append(generation, &events).expect("append");
+        }
+        drop(writer);
+        let bytes = std::fs::read(&path).expect("read journal back");
+        let records = scan_journal(&bytes).expect("canonical scan").records;
+        assert_eq!(records.len(), 64);
+        JournalBaseline { bytes, records }
+    })
+}
+
+/// The scan-side contract for one (possibly corrupted) journal stream:
+/// scanning must not panic, and an `Ok` scan must hand back a prefix of
+/// the original records with the byte accounting intact — corruption may
+/// shorten history, never rewrite or extend it.
+fn assert_journal_contract(bytes: &[u8], what: &str) {
+    let original = &journal_baseline().records;
+    match scan_journal(bytes) {
+        Err(_) => {} // typed rejection is always acceptable
+        Ok(scan) => {
+            if scan.family != AddressFamily::V4 {
+                // The one-byte family tag is not checksummed at scan
+                // level; `read_journal`'s expected-family cross-check
+                // (driven off the checkpoint) is the guard. A flip here
+                // must still have actually hit that byte.
+                assert_ne!(bytes[6], 4, "{what}: family changed without tag damage");
+                return;
+            }
+            assert!(
+                scan.records.len() <= original.len(),
+                "{what}: scan invented records"
+            );
+            assert_eq!(
+                scan.records,
+                original[..scan.records.len()],
+                "{what}: accepted records are not a prefix of the originals"
+            );
+            assert_eq!(
+                scan.valid_len + scan.truncated_bytes,
+                bytes.len() as u64,
+                "{what}: byte accounting leaks"
+            );
+        }
+    }
+}
+
+#[test]
+fn journal_truncations_replay_a_prefix_at_every_cut() {
+    let b = journal_baseline();
+    for len in 0..b.bytes.len() {
+        match scan_journal(&b.bytes[..len]) {
+            Ok(scan) => {
+                assert_eq!(scan.records, b.records[..scan.records.len()]);
+                assert_eq!(scan.valid_len + scan.truncated_bytes, len as u64);
+                // A cut strictly inside record k's frame keeps records
+                // 0..k; only a cut at a frame boundary keeps everything
+                // scanned so far with no torn remainder.
+                if scan.truncated_bytes == 0 {
+                    assert_eq!(scan.valid_len, len as u64);
+                }
+            }
+            // Every cut of a well-formed journal is a torn tail, never
+            // corruption — even inside the 7-byte header (died
+            // mid-create: empty scan).
+            Err(e) => panic!("cut at {len} was rejected as corruption: {e}"),
+        }
+    }
+}
+
+#[test]
+fn journal_bit_flips_never_panic_or_rewrite_history() {
+    let b = journal_baseline();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut clean = 0usize;
+    for round in 0..10_000 {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let byte = (r as usize >> 8) % b.bytes.len();
+        let bit = (r & 7) as u8;
+        let mut mutated = b.bytes.clone();
+        mutated[byte] ^= 1 << bit;
+        if scan_journal(&mutated)
+            .is_ok_and(|s| s.family == AddressFamily::V4 && s.records == b.records)
+        {
+            clean += 1;
+        }
+        assert_journal_contract(
+            &mutated,
+            &format!("journal bit flip #{round} (byte {byte} bit {bit})"),
+        );
+    }
+    assert_eq!(
+        clean, 0,
+        "single-bit flips slipped past the record checksums"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary garbage never panics the journal scanner.
+    #[test]
+    fn journal_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let _ = scan_journal(&bytes);
+    }
+
+    /// Multi-byte splices into a canonical journal keep the
+    /// prefix-replay contract: damaged history shrinks, never mutates.
+    #[test]
+    fn journal_splices_keep_prefix_contract(
+        offset in any::<u32>(),
+        splice in proptest::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let b = journal_baseline();
+        let at = offset as usize % b.bytes.len();
+        let mut mutated = b.bytes.clone();
+        for (i, &v) in splice.iter().enumerate() {
+            if at + i < mutated.len() {
+                mutated[at + i] = v;
+            }
+        }
+        assert_journal_contract(&mutated, "journal splice");
+    }
 }
 
 proptest! {

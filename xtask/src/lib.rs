@@ -76,11 +76,14 @@ use std::path::{Path, PathBuf};
 ///   intrinsics used by the pipelined batch lookup.
 /// - `chisel-bloomier/src/simd.rs`: the AVX2 gather kernel behind the
 ///   `simd` feature (runtime-detected; bit-identical scalar fallback).
+/// - `chisel-dataplane/src/signal.rs`: the `signal(2)` FFI registration
+///   behind the graceful SIGINT/SIGTERM drain (atomic-store handler).
 pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/chisel-core/src/snapshot.rs",
     "crates/chisel-bloomier/src/packed.rs",
     "crates/chisel-bloomier/src/lib.rs",
     "crates/chisel-bloomier/src/simd.rs",
+    "crates/chisel-dataplane/src/signal.rs",
 ];
 
 /// Crates owning an allowlisted module; their roots cannot carry
@@ -88,6 +91,7 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
 const UNSAFE_CRATE_ROOTS: &[&str] = &[
     "crates/chisel-core/src/lib.rs",
     "crates/chisel-bloomier/src/lib.rs",
+    "crates/chisel-dataplane/src/lib.rs",
 ];
 
 /// Lookup hot-path scopes (lints 4, 7, 9): `None` covers the whole
@@ -144,6 +148,7 @@ pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/chisel-core/src/update.rs",
     "crates/chisel-core/src/batch.rs",
     "crates/chisel-core/src/image.rs",
+    "crates/chisel-core/src/journal.rs",
     "crates/chisel-dataplane/src/daemon.rs",
 ];
 
